@@ -1,0 +1,56 @@
+// Ablation: data-owner batching. With Ethereum's 21,000-gas intrinsic fee
+// per transaction, submitting objects one-per-transaction pays the fee N
+// times; batching K objects per transaction amortizes it — but a batch is one
+// gasLimit budget, so K is bounded (see the gaslimit_feasibility bench).
+//
+// Expected shape: gas/object falls toward the pure maintenance cost as K
+// grows, with diminishing returns once the intrinsic fee is amortized away.
+#include "bench_common.h"
+
+namespace gem2::bench {
+namespace {
+
+void GasVsBatchSize(benchmark::State& state, uint64_t batch) {
+  const uint64_t n = EnvScale("GEM2_BATCH_N", 20'000);
+  uint64_t total_gas = 0;
+  for (auto _ : state) {
+    WorkloadGenerator gen(MakeWorkload(KeyDistribution::kUniform));
+    DbOptions options = MakeDbOptions(AdsKind::kGem2, gen);
+    options.env.tx_base_fee = 21'000;
+    AuthenticatedDb db(options);
+    uint64_t inserted = 0;
+    while (inserted < n) {
+      std::vector<Object> objects;
+      for (uint64_t i = 0; i < batch && inserted + i < n; ++i) {
+        objects.push_back(gen.Next().object);
+      }
+      inserted += objects.size();
+      total_gas += db.InsertBatch(objects).gas_used;
+    }
+  }
+  state.counters["gas_per_object"] =
+      benchmark::Counter(static_cast<double>(total_gas) / static_cast<double>(n));
+  state.counters["intrinsic_share_pct"] = benchmark::Counter(
+      100.0 * 21'000.0 / static_cast<double>(batch) /
+      (static_cast<double>(total_gas) / static_cast<double>(n)));
+}
+
+void RegisterAll() {
+  for (uint64_t batch : {1, 2, 4, 8, 16, 32, 64}) {
+    benchmark::RegisterBenchmark(
+        ("AblationBatch/GEM2-tree/K:" + std::to_string(batch)).c_str(),
+        [batch](benchmark::State& s) { GasVsBatchSize(s, batch); })
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace gem2::bench
+
+int main(int argc, char** argv) {
+  gem2::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: the Smax bound on the largest SMB-tree partition (paper sets
+// 2048 "based on the cost analysis of the MB-tree and SMB-tree"). Sweeps
+// Smax and reports average insert gas plus the most expensive single
+// transaction for the GEM2-tree.
+//
+// Expected shape: average gas falls as Smax grows (objects migrate into the
+// expensive MB-tree P0 less often, and SMB rebuild costs are amortized), but
+// the worst single transaction — the bulk merge of Smax objects into P0 —
+// grows linearly with Smax. The usable optimum is therefore the largest Smax
+// whose merge transaction still fits the block gasLimit (see
+// gaslimit_feasibility), which is what the paper's cost analysis balances.
+#include "bench_common.h"
+
+namespace gem2::bench {
+namespace {
+
+void Gem2GasVsSmax(benchmark::State& state, uint64_t smax) {
+  const uint64_t n = EnvScale("GEM2_ABLATION_N", 30'000);
+  uint64_t total = 0;
+  uint64_t max_tx = 0;
+  for (auto _ : state) {
+    WorkloadGenerator gen(MakeWorkload(KeyDistribution::kUniform));
+    DbOptions options = MakeDbOptions(AdsKind::kGem2, gen);
+    options.gem2.smax = smax;
+    AuthenticatedDb db(options);
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t gas = db.Insert(gen.Next().object).gas_used;
+      total += gas;
+      if (gas > max_tx) max_tx = gas;
+    }
+  }
+  state.counters["gas_per_op"] =
+      benchmark::Counter(static_cast<double>(total) / static_cast<double>(n));
+  state.counters["max_tx_gas"] = benchmark::Counter(static_cast<double>(max_tx));
+}
+
+void RegisterAll() {
+  for (uint64_t smax : {64, 256, 1024, 2048, 4096, 16384}) {
+    benchmark::RegisterBenchmark(
+        ("AblationSmax/GEM2-tree/Smax:" + std::to_string(smax)).c_str(),
+        [smax](benchmark::State& s) { Gem2GasVsSmax(s, smax); })
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace gem2::bench
+
+int main(int argc, char** argv) {
+  gem2::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

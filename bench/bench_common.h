@@ -1,0 +1,89 @@
+/// \file bench_common.h
+/// Shared plumbing for the paper-reproduction benchmarks: database builders,
+/// workload wiring, and environment-variable scale knobs.
+///
+/// Every bench binary prints one series per benchmark name, e.g.
+///   Fig7/GEM2-tree/uniform/N:10000  ... gas_per_op=1.23e5
+/// matching the corresponding paper table or figure (see EXPERIMENTS.md).
+#ifndef GEM2_BENCH_BENCH_COMMON_H_
+#define GEM2_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/authenticated_db.h"
+#include "workload/workload.h"
+
+namespace gem2::bench {
+
+using core::AdsKind;
+using core::AuthenticatedDb;
+using core::DbOptions;
+using workload::KeyDistribution;
+using workload::Operation;
+using workload::WorkloadGenerator;
+using workload::WorkloadOptions;
+
+/// Reads a positive integer scale knob from the environment.
+inline uint64_t EnvScale(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<uint64_t>(parsed) : fallback;
+}
+
+inline const char* DistName(KeyDistribution d) {
+  return d == KeyDistribution::kUniform ? "uniform" : "zipfian";
+}
+
+inline WorkloadOptions MakeWorkload(KeyDistribution dist, uint64_t seed = 42,
+                                    double update_ratio = 0.0) {
+  WorkloadOptions w;
+  w.distribution = dist;
+  w.zipf_constant = 0.8;
+  w.domain_max = 1'000'000'000;
+  w.update_ratio = update_ratio;
+  w.seed = seed;
+  return w;
+}
+
+/// DbOptions with the paper's Section VII-A parameters. The gas limit is
+/// lifted so gas can be *measured* past the 8M block limit (the gasLimit
+/// feasibility experiment enforces the real limit separately).
+inline DbOptions MakeDbOptions(AdsKind kind, const WorkloadGenerator& gen,
+                               size_t regions = 100) {
+  DbOptions o;
+  o.kind = kind;
+  o.gem2.m = 8;
+  o.gem2.smax = 2048;
+  o.gem2.fanout = 4;
+  o.lsm.level0_capacity = 8;
+  o.lsm.fanout = 4;
+  o.env.gas_limit = 1'000'000'000'000'000ull;
+  o.env.txs_per_block = 1024;
+  if (kind == AdsKind::kGem2Star) {
+    o.split_points = gen.SplitPoints(regions);
+  }
+  return o;
+}
+
+/// Builds a database preloaded with `n` fresh objects.
+inline std::unique_ptr<AuthenticatedDb> BuildDb(AdsKind kind, KeyDistribution dist,
+                                                uint64_t n,
+                                                WorkloadGenerator* gen_out = nullptr,
+                                                size_t regions = 100) {
+  WorkloadGenerator gen(MakeWorkload(dist));
+  auto db = std::make_unique<AuthenticatedDb>(MakeDbOptions(kind, gen, regions));
+  for (uint64_t i = 0; i < n; ++i) {
+    db->Insert(gen.Next().object);
+  }
+  if (gen_out != nullptr) *gen_out = std::move(gen);
+  return db;
+}
+
+}  // namespace gem2::bench
+
+#endif  // GEM2_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,14 @@
+// Reproduces paper Fig. 10: authenticated query and verification performance
+// (SP CPU time, VO size, client CPU time) vs query selectivity under a
+// zipfian(0.8) key distribution. See bench_query.h for protocol and
+// expectations.
+#include "bench_query.h"
+
+int main(int argc, char** argv) {
+  gem2::bench::RegisterQueryBenchmarks("Fig10",
+                                       gem2::workload::KeyDistribution::kZipfian);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

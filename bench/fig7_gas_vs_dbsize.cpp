@@ -1,0 +1,78 @@
+// Reproduces paper Fig. 7: average gas consumption per insert vs database
+// size, for the MB-tree baseline, GEM2-tree, GEM2*-tree, and the LSM-tree
+// comparator, under uniform and zipfian key distributions.
+//
+// Expected shape (paper Section VII-B1):
+//   - GEM2 and GEM2* consume several times less gas than the MB-tree
+//     (up to ~4x), with GEM2* always below GEM2;
+//   - the LSM-tree is the most expensive and is only practical for small
+//     databases (its merges blow past the block gasLimit; see
+//     gaslimit_feasibility in the bench suite).
+//
+// Default sizes are scaled down from the paper's 10^3..10^8 (simulator, not a
+// testbed); extend with GEM2_FIG7_MAX_N=1000000 etc.
+#include "bench_common.h"
+
+namespace gem2::bench {
+namespace {
+
+void GasVsDbSize(benchmark::State& state, AdsKind kind, KeyDistribution dist,
+                 uint64_t n) {
+  uint64_t total_gas = 0;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    WorkloadGenerator gen(MakeWorkload(dist));
+    AuthenticatedDb db(MakeDbOptions(kind, gen));
+    for (uint64_t i = 0; i < n; ++i) {
+      total_gas += db.Insert(gen.Next().object).gas_used;
+      ++ops;
+    }
+  }
+  state.counters["gas_per_op"] =
+      benchmark::Counter(static_cast<double>(total_gas) / static_cast<double>(ops));
+  state.counters["total_gas"] = benchmark::Counter(static_cast<double>(total_gas));
+}
+
+void RegisterAll() {
+  const uint64_t max_n = EnvScale("GEM2_FIG7_MAX_N", 100'000);
+  const uint64_t lsm_max_n = EnvScale("GEM2_FIG7_LSM_MAX_N", 10'000);
+
+  const struct {
+    AdsKind kind;
+    const char* name;
+  } kinds[] = {
+      {AdsKind::kMbTree, "MB-tree"},
+      {AdsKind::kGem2, "GEM2-tree"},
+      {AdsKind::kGem2Star, "GEM2x-tree"},
+      {AdsKind::kLsm, "LSM-tree"},
+  };
+
+  for (KeyDistribution dist :
+       {KeyDistribution::kUniform, KeyDistribution::kZipfian}) {
+    for (const auto& k : kinds) {
+      for (uint64_t n = 1000; n <= max_n; n *= 10) {
+        if (k.kind == AdsKind::kLsm && n > lsm_max_n) continue;
+        std::string name = std::string("Fig7/") + k.name + "/" + DistName(dist) +
+                           "/N:" + std::to_string(n);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [kind = k.kind, dist, n](benchmark::State& s) {
+              GasVsDbSize(s, kind, dist, n);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gem2::bench
+
+int main(int argc, char** argv) {
+  gem2::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Fig. 8: average gas consumption vs update ratio, for the
+// MB-tree, GEM2-tree, and GEM2*-tree under uniform and zipfian keys.
+//
+// Protocol (Section VII-B1, scaled): preload an existing database, then
+// drive a mixed insert/update stream with update ratio in {0.4, 0.2, 0.1,
+// 0.05} and report average gas per operation.
+//
+// Expected shape: gas decreases as the update ratio rises (updates are
+// cheaper than inserts); GEM2 saves >= 30% against the MB-tree in every
+// setting; GEM2* saves the most; the savings grow with more inserts.
+#include "bench_common.h"
+
+namespace gem2::bench {
+namespace {
+
+void GasVsUpdateRatio(benchmark::State& state, AdsKind kind, KeyDistribution dist,
+                      double update_ratio) {
+  const uint64_t preload = EnvScale("GEM2_FIG8_PRELOAD", 10'000);
+  const uint64_t ops = EnvScale("GEM2_FIG8_OPS", 10'000);
+
+  uint64_t total_gas = 0;
+  for (auto _ : state) {
+    WorkloadGenerator gen(MakeWorkload(dist));
+    AuthenticatedDb db(MakeDbOptions(kind, gen));
+    for (uint64_t i = 0; i < preload; ++i) db.Insert(gen.Next().object);
+
+    // Mixed phase over the same key population.
+    gen.set_update_ratio(update_ratio);
+    for (uint64_t i = 0; i < ops; ++i) {
+      Operation op = gen.Next();
+      total_gas += (op.type == Operation::Type::kUpdate ? db.Update(op.object)
+                                                        : db.Insert(op.object))
+                       .gas_used;
+    }
+  }
+  state.counters["gas_per_op"] =
+      benchmark::Counter(static_cast<double>(total_gas) / static_cast<double>(ops));
+}
+
+void RegisterAll() {
+  const struct {
+    AdsKind kind;
+    const char* name;
+  } kinds[] = {
+      {AdsKind::kMbTree, "MB-tree"},
+      {AdsKind::kGem2, "GEM2-tree"},
+      {AdsKind::kGem2Star, "GEM2x-tree"},
+  };
+  for (KeyDistribution dist :
+       {KeyDistribution::kUniform, KeyDistribution::kZipfian}) {
+    for (const auto& k : kinds) {
+      for (double ratio : {0.4, 0.2, 0.1, 0.05}) {
+        std::string name = std::string("Fig8/") + k.name + "/" + DistName(dist) +
+                           "/update_ratio:" + std::to_string(ratio).substr(0, 4);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [kind = k.kind, dist, ratio](benchmark::State& s) {
+              GasVsUpdateRatio(s, kind, dist, ratio);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gem2::bench
+
+int main(int argc, char** argv) {
+  gem2::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces paper Fig. 9: authenticated query and verification performance
+// (SP CPU time, VO size, client CPU time) vs query selectivity under a
+// uniform key distribution. See bench_query.h for protocol and expectations.
+#include "bench_query.h"
+
+int main(int argc, char** argv) {
+  gem2::bench::RegisterQueryBenchmarks("Fig9",
+                                       gem2::workload::KeyDistribution::kUniform);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Gas composition per ADS: where each structure actually spends its gas,
+// as percentages of sstore / supdate / sload / memory / hashing. This is the
+// measured counterpart of the paper's design principles (Section IV-C):
+// the MB-tree is write-dominated; the GEM2 family shifts spend toward reads
+// and in-memory hashing ("use more reads instead of writes").
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace gem2::bench {
+namespace {
+
+void Breakdown(benchmark::State& state, AdsKind kind) {
+  uint64_t n = EnvScale("GEM2_BREAKDOWN_N", 10'000);
+  // The SMB-tree is O(N) per op (O(N^2) for the stream); cap it.
+  if (kind == AdsKind::kSmbTree) n = std::min<uint64_t>(n, 2000);
+  gas::GasBreakdown total;
+  for (auto _ : state) {
+    WorkloadGenerator gen(MakeWorkload(KeyDistribution::kUniform));
+    AuthenticatedDb db(MakeDbOptions(kind, gen));
+    for (uint64_t i = 0; i < n; ++i) {
+      total += db.Insert(gen.Next().object).breakdown;
+    }
+  }
+  const double sum = static_cast<double>(total.total());
+  state.counters["gas_per_op"] = benchmark::Counter(sum / static_cast<double>(n));
+  state.counters["sstore_pct"] =
+      benchmark::Counter(100.0 * static_cast<double>(total.sstore) / sum);
+  state.counters["supdate_pct"] =
+      benchmark::Counter(100.0 * static_cast<double>(total.supdate) / sum);
+  state.counters["sload_pct"] =
+      benchmark::Counter(100.0 * static_cast<double>(total.sload) / sum);
+  state.counters["mem_pct"] =
+      benchmark::Counter(100.0 * static_cast<double>(total.mem) / sum);
+  state.counters["hash_pct"] =
+      benchmark::Counter(100.0 * static_cast<double>(total.hash) / sum);
+}
+
+void RegisterAll() {
+  const struct {
+    AdsKind kind;
+    const char* name;
+  } kinds[] = {
+      {AdsKind::kMbTree, "MB-tree"},
+      {AdsKind::kSmbTree, "SMB-tree"},
+      {AdsKind::kGem2, "GEM2-tree"},
+      {AdsKind::kGem2Star, "GEM2x-tree"},
+  };
+  for (const auto& k : kinds) {
+    benchmark::RegisterBenchmark(
+        (std::string("GasBreakdown/") + k.name).c_str(),
+        [kind = k.kind](benchmark::State& s) { Breakdown(s, kind); })
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace gem2::bench
+
+int main(int argc, char** argv) {
+  gem2::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Feasibility under the real 8,000,000 block gasLimit (paper Section II-B and
+// the Fig. 7 observation that the LSM-tree "is only able to support up to
+// 10,000 objects"): drives each ADS with the limit *enforced* and reports the
+// database size at which the first transaction aborts with out-of-gas
+// (0 = never, within the swept horizon).
+//
+// Expected: MB-tree, GEM2-tree and GEM2*-tree never abort (their per-op gas
+// is bounded well under the limit); the LSM-tree aborts as soon as a level
+// merge must rewrite more storage words than the limit affords; the SMB-tree
+// baseline aborts once its O(N) rebuild outgrows the limit.
+#include "bench_common.h"
+#include "crypto/digest.h"
+#include "smbtree/smbtree.h"
+
+namespace gem2::bench {
+namespace {
+
+void FirstAbortSize(benchmark::State& state, AdsKind kind, uint64_t smax = 0) {
+  const uint64_t horizon = EnvScale("GEM2_GASLIMIT_HORIZON", 30'000);
+  uint64_t abort_at = 0;
+  uint64_t max_gas = 0;
+  for (auto _ : state) {
+    WorkloadGenerator gen(MakeWorkload(KeyDistribution::kUniform));
+    DbOptions options = MakeDbOptions(kind, gen);
+    options.env.gas_limit = gas::kDefaultGasLimit;  // enforce 8M
+    if (smax != 0) options.gem2.smax = smax;
+    AuthenticatedDb db(options);
+    for (uint64_t i = 1; i <= horizon; ++i) {
+      chain::TxReceipt r = db.Insert(gen.Next().object);
+      if (r.gas_used > max_gas) max_gas = r.gas_used;
+      if (!r.ok) {
+        abort_at = i;
+        break;
+      }
+    }
+  }
+  state.counters["first_abort_at_n"] = benchmark::Counter(static_cast<double>(abort_at));
+  state.counters["max_tx_gas"] = benchmark::Counter(static_cast<double>(max_gas));
+  state.counters["gas_limit"] =
+      benchmark::Counter(static_cast<double>(gas::kDefaultGasLimit));
+}
+
+/// The SMB-tree rebuild is O(N) gas *and* CPU per insert, so instead of
+/// replaying an O(N^2) stream we seed contracts at doubling sizes and probe a
+/// single metered insert at each, reporting the first size that aborts.
+void SmbAbortSize(benchmark::State& state) {
+  const uint64_t horizon = EnvScale("GEM2_GASLIMIT_SMB_HORIZON", 65'536);
+  uint64_t abort_at = 0;
+  uint64_t max_gas = 0;
+  for (auto _ : state) {
+    for (uint64_t n = 1024; n <= horizon; n *= 2) {
+      WorkloadGenerator gen(MakeWorkload(KeyDistribution::kUniform));
+      smbtree::SmbTreeContract contract("smb", 4);
+      ads::EntryList seed;
+      for (uint64_t i = 0; i < n; ++i) {
+        Object o = gen.Next().object;
+        seed.push_back({o.key, crypto::ValueHash(o.value)});
+      }
+      contract.SeedUnmetered(seed);
+      Object probe = gen.Next().object;
+      gas::Meter meter(gas::kEthereumSchedule, gas::kDefaultGasLimit);
+      try {
+        contract.Insert(probe.key, crypto::ValueHash(probe.value), meter);
+        if (meter.used() > max_gas) max_gas = meter.used();
+      } catch (const gas::OutOfGasError&) {
+        abort_at = n;
+        break;
+      }
+    }
+  }
+  state.counters["first_abort_at_n"] = benchmark::Counter(static_cast<double>(abort_at));
+  state.counters["max_tx_gas"] = benchmark::Counter(static_cast<double>(max_gas));
+  state.counters["gas_limit"] =
+      benchmark::Counter(static_cast<double>(gas::kDefaultGasLimit));
+}
+
+void RegisterAll() {
+  const struct {
+    AdsKind kind;
+    const char* name;
+  } kinds[] = {
+      {AdsKind::kMbTree, "MB-tree"},
+      {AdsKind::kGem2, "GEM2-tree"},
+      {AdsKind::kGem2Star, "GEM2x-tree"},
+      {AdsKind::kLsm, "LSM-tree"},
+  };
+  for (const auto& k : kinds) {
+    benchmark::RegisterBenchmark(
+        (std::string("GasLimit/") + k.name).c_str(),
+        [kind = k.kind](benchmark::State& s) { FirstAbortSize(s, kind); })
+        ->Iterations(1);
+  }
+  // The paper's default Smax = 2048 makes the GEM2 bulk merge into P0 a
+  // single ~10^8-gas transaction — far past the public-chain limit (the
+  // paper deployed on a private Geth network, where gasLimit is
+  // configurable). Shrinking Smax helps less than one might hope for the
+  // plain GEM2-tree: under uniform keys a bulk run scatters across P0, so
+  // nearly every merged object dirties its own MB-tree path and the merge
+  // transaction stays expensive. The GEM2*-tree's regions keep each bulk run
+  // key-local, which is what actually brings merges under the public limit —
+  // a deployment-relevant advantage of the two-level design beyond its
+  // average-gas savings.
+  benchmark::RegisterBenchmark(
+      "GasLimit/GEM2-tree-Smax64",
+      [](benchmark::State& s) { FirstAbortSize(s, AdsKind::kGem2, 64); })
+      ->Iterations(1);
+  benchmark::RegisterBenchmark(
+      "GasLimit/GEM2x-tree-Smax64",
+      [](benchmark::State& s) { FirstAbortSize(s, AdsKind::kGem2Star, 64); })
+      ->Iterations(1);
+  benchmark::RegisterBenchmark("GasLimit/SMB-tree", SmbAbortSize)->Iterations(1);
+}
+
+}  // namespace
+}  // namespace gem2::bench
+
+int main(int argc, char** argv) {
+  gem2::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,26 @@
+/// \file entry.h
+/// The unit indexed by every authenticated tree: a search key plus the hash
+/// of the object's payload (only the hash lives on-chain).
+#ifndef GEM2_ADS_ENTRY_H_
+#define GEM2_ADS_ENTRY_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace gem2::ads {
+
+struct Entry {
+  Key key = 0;
+  Hash value_hash{};
+
+  friend bool operator==(const Entry& a, const Entry& b) = default;
+};
+
+inline bool EntryKeyLess(const Entry& a, const Entry& b) { return a.key < b.key; }
+
+using EntryList = std::vector<Entry>;
+
+}  // namespace gem2::ads
+
+#endif  // GEM2_ADS_ENTRY_H_

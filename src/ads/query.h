@@ -1,0 +1,27 @@
+/// \file query.h
+/// The unit of an authenticated-query exchange: one tree's contribution to a
+/// range query. A full SP response is a list of TreeAnswers whose labels
+/// match the authenticated digest labels in VO_chain (paper Algorithms 5-8).
+#ifndef GEM2_ADS_QUERY_H_
+#define GEM2_ADS_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "ads/entry.h"
+#include "ads/vo.h"
+
+namespace gem2::ads {
+
+struct TreeAnswer {
+  /// Matches a chain::DigestEntry label from VO_chain.
+  std::string label;
+  /// Entries of this tree falling in the query range.
+  EntryList result;
+  /// Proof for this tree.
+  TreeVo vo;
+};
+
+}  // namespace gem2::ads
+
+#endif  // GEM2_ADS_QUERY_H_

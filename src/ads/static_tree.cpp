@@ -1,0 +1,161 @@
+#include "ads/static_tree.h"
+
+#include <stdexcept>
+
+#include "crypto/digest.h"
+
+namespace gem2::ads {
+namespace {
+
+bool Overlaps(Key a_lo, Key a_hi, Key b_lo, Key b_hi) {
+  return a_lo <= b_hi && b_lo <= a_hi;
+}
+
+}  // namespace
+
+StaticTree::StaticTree(EntryList entries, int fanout)
+    : entries_(std::move(entries)), fanout_(fanout) {
+  if (fanout_ < 2) throw std::invalid_argument("fanout must be >= 2");
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i - 1].key >= entries_[i].key) {
+      throw std::invalid_argument("entries must be sorted with unique keys");
+    }
+  }
+  if (entries_.empty()) {
+    root_digest_ = crypto::EmptyTreeDigest();
+    return;
+  }
+
+  // Leaf level: chunks of `fanout_` entries.
+  std::vector<Node> leaves;
+  for (size_t begin = 0; begin < entries_.size(); begin += fanout_) {
+    size_t count = std::min<size_t>(fanout_, entries_.size() - begin);
+    Node node;
+    node.child_begin = begin;
+    node.child_count = count;
+    node.lo = entries_[begin].key;
+    node.hi = entries_[begin + count - 1].key;
+    std::vector<Hash> digests;
+    digests.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      digests.push_back(
+          crypto::EntryDigest(entries_[begin + i].key, entries_[begin + i].value_hash));
+    }
+    node.content = crypto::ContentDigest(digests);
+    node.digest = crypto::WrapDigest(node.lo, node.hi, node.content);
+    leaves.push_back(node);
+  }
+  levels_.push_back(std::move(leaves));
+
+  // Internal levels: chunks of `fanout_` nodes.
+  while (levels_.back().size() > 1) {
+    const std::vector<Node>& prev = levels_.back();
+    std::vector<Node> next;
+    for (size_t begin = 0; begin < prev.size(); begin += fanout_) {
+      size_t count = std::min<size_t>(fanout_, prev.size() - begin);
+      Node node;
+      node.child_begin = begin;
+      node.child_count = count;
+      node.lo = prev[begin].lo;
+      node.hi = prev[begin + count - 1].hi;
+      std::vector<Hash> digests;
+      digests.reserve(count);
+      for (size_t i = 0; i < count; ++i) digests.push_back(prev[begin + i].digest);
+      node.content = crypto::ContentDigest(digests);
+      node.digest = crypto::WrapDigest(node.lo, node.hi, node.content);
+      next.push_back(node);
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_digest_ = levels_.back()[0].digest;
+}
+
+Key StaticTree::lo() const {
+  if (empty()) throw std::logic_error("empty tree has no boundaries");
+  return levels_.back()[0].lo;
+}
+
+Key StaticTree::hi() const {
+  if (empty()) throw std::logic_error("empty tree has no boundaries");
+  return levels_.back()[0].hi;
+}
+
+TreeVo StaticTree::RangeQuery(Key lb, Key ub, EntryList* result) const {
+  TreeVo vo;
+  if (empty()) {
+    vo.empty_tree = true;
+    return vo;
+  }
+  vo.root = QueryNode(levels_.size() - 1, 0, lb, ub, result);
+  return vo;
+}
+
+VoChild StaticTree::QueryNode(size_t level, size_t index, Key lb, Key ub,
+                              EntryList* result) const {
+  const Node& node = levels_[level][index];
+  if (!Overlaps(node.lo, node.hi, lb, ub)) {
+    return VoPruned{node.lo, node.hi, node.content};
+  }
+  auto out = std::make_unique<VoNode>();
+  out->children.reserve(node.child_count);
+  if (level == 0) {
+    for (size_t i = 0; i < node.child_count; ++i) {
+      const Entry& e = entries_[node.child_begin + i];
+      const bool in_range = e.key >= lb && e.key <= ub;
+      out->children.push_back(VoEntry{e.key, e.value_hash, in_range});
+      if (in_range && result != nullptr) result->push_back(e);
+    }
+  } else {
+    for (size_t i = 0; i < node.child_count; ++i) {
+      out->children.push_back(
+          QueryNode(level - 1, node.child_begin + i, lb, ub, result));
+    }
+  }
+  return VoChild(std::move(out));
+}
+
+Hash CanonicalRootDigest(std::span<const Entry> sorted, int fanout, gas::Meter* meter) {
+  if (fanout < 2) throw std::invalid_argument("fanout must be >= 2");
+  if (sorted.empty()) return crypto::EmptyTreeDigest();
+
+  struct Item {
+    Key lo;
+    Key hi;
+    Hash digest;
+  };
+
+  // Entry digests.
+  std::vector<Item> level;
+  level.reserve(sorted.size());
+  for (const Entry& e : sorted) {
+    if (meter != nullptr) meter->ChargeHash(crypto::EntryDigestBytes());
+    level.push_back({e.key, e.key, crypto::EntryDigest(e.key, e.value_hash)});
+  }
+
+  // Fold fanout-sized chunks until a single root remains. At least one fold
+  // always happens: entry digests must be wrapped into a leaf node digest.
+  bool folded = false;
+  while (!folded || level.size() > 1) {
+    folded = true;
+    std::vector<Item> next;
+    next.reserve((level.size() + fanout - 1) / fanout);
+    for (size_t begin = 0; begin < level.size(); begin += fanout) {
+      size_t count = std::min<size_t>(fanout, level.size() - begin);
+      std::vector<Hash> digests;
+      digests.reserve(count);
+      for (size_t i = 0; i < count; ++i) digests.push_back(level[begin + i].digest);
+      if (meter != nullptr) {
+        meter->ChargeHash(crypto::ContentDigestBytes(count));
+        meter->ChargeHash(crypto::WrapDigestBytes());
+      }
+      Hash content = crypto::ContentDigest(digests);
+      Key lo = level[begin].lo;
+      Key hi = level[begin + count - 1].hi;
+      next.push_back({lo, hi, crypto::WrapDigest(lo, hi, content)});
+    }
+    level = std::move(next);
+  }
+  return level[0].digest;
+}
+
+}  // namespace gem2::ads

@@ -1,0 +1,75 @@
+/// \file static_tree.h
+/// The canonical F-ary Merkle tree over a *sorted* run of entries.
+///
+/// Both sides of the system build this exact shape over an SMB-tree's data:
+/// the smart contract computes only the root digest on the fly (suppressed
+/// structure, Section IV-B), while the service provider materializes the tree
+/// to answer range queries with VOs (Fig. 4, right side). The shape is fully
+/// determined by (sorted entries, fanout): leaves are consecutive chunks of
+/// `fanout` entries, upper levels chunk `fanout` nodes, so the two sides agree
+/// on every digest bit-for-bit.
+#ifndef GEM2_ADS_STATIC_TREE_H_
+#define GEM2_ADS_STATIC_TREE_H_
+
+#include <span>
+#include <vector>
+
+#include "ads/entry.h"
+#include "ads/vo.h"
+#include "common/types.h"
+#include "gas/meter.h"
+
+namespace gem2::ads {
+
+class StaticTree {
+ public:
+  /// `entries` must be sorted by key with unique keys; `fanout` >= 2.
+  StaticTree(EntryList entries, int fanout);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  int fanout() const { return fanout_; }
+
+  /// Root digest; EmptyTreeDigest() when empty.
+  const Hash& root_digest() const { return root_digest_; }
+
+  /// Key boundaries of the whole tree (valid only when non-empty).
+  Key lo() const;
+  Key hi() const;
+
+  /// Range query: appends matches to `result` and returns the VO.
+  TreeVo RangeQuery(Key lb, Key ub, EntryList* result) const;
+
+  const EntryList& entries() const { return entries_; }
+
+ private:
+  struct Node {
+    Key lo = 0;
+    Key hi = 0;
+    Hash content{};
+    Hash digest{};
+    size_t child_begin = 0;   // index into entries_ (level 0) or previous level
+    size_t child_count = 0;
+  };
+
+  VoChild QueryNode(size_t level, size_t index, Key lb, Key ub,
+                    EntryList* result) const;
+
+  EntryList entries_;
+  int fanout_;
+  // levels_[0] = leaf nodes over entries_, levels_.back() = { root }.
+  std::vector<std::vector<Node>> levels_;
+  Hash root_digest_;
+};
+
+/// Computes the StaticTree root digest of a sorted run without materializing
+/// the tree — this is what the smart contract executes when it rebuilds a
+/// suppressed SMB-tree. When `meter` is non-null, every hash invocation is
+/// charged (Chash = 30 + 6*words) exactly as the metered computation performs
+/// it. Sorting and storage loads are charged by the caller.
+Hash CanonicalRootDigest(std::span<const Entry> sorted, int fanout,
+                         gas::Meter* meter = nullptr);
+
+}  // namespace gem2::ads
+
+#endif  // GEM2_ADS_STATIC_TREE_H_

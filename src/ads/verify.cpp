@@ -1,0 +1,142 @@
+#include "ads/verify.h"
+
+#include <map>
+
+#include "crypto/digest.h"
+
+namespace gem2::ads {
+namespace {
+
+/// Verification context threaded through the recursive digest reconstruction.
+struct Context {
+  Key lb;
+  Key ub;
+  const std::map<Key, const Object*>& result_by_key;
+  size_t consumed = 0;
+  bool have_prev = false;
+  Key prev_hi = 0;
+  std::string error;
+
+  bool Fail(const std::string& msg) {
+    if (error.empty()) error = msg;
+    return false;
+  }
+
+  bool InRange(Key k) const { return k >= lb && k <= ub; }
+
+  /// Global in-order check: each element's range must start strictly after
+  /// everything seen so far.
+  bool Advance(Key lo, Key hi) {
+    if (lo > hi) return Fail("element with inverted boundaries");
+    if (have_prev && lo <= prev_hi) return Fail("VO elements out of order");
+    have_prev = true;
+    prev_hi = hi;
+    return true;
+  }
+};
+
+struct SubtreeDigest {
+  Hash digest{};
+  Key lo = 0;
+  Key hi = 0;
+};
+
+bool ReconstructChild(const VoChild& child, Context* ctx, SubtreeDigest* out) {
+  if (const auto* entry = std::get_if<VoEntry>(&child)) {
+    if (!ctx->Advance(entry->key, entry->key)) return false;
+    Hash value_hash;
+    if (entry->is_result) {
+      if (!ctx->InRange(entry->key)) {
+        return ctx->Fail("result entry outside query range");
+      }
+      auto it = ctx->result_by_key.find(entry->key);
+      if (it == ctx->result_by_key.end()) {
+        return ctx->Fail("VO marks a result entry missing from the result set");
+      }
+      value_hash = crypto::ValueHash(it->second->value);
+      ++ctx->consumed;
+    } else {
+      if (ctx->InRange(entry->key)) {
+        return ctx->Fail("in-range entry not returned as a result (withheld answer)");
+      }
+      value_hash = entry->value_hash;
+    }
+    out->digest = crypto::EntryDigest(entry->key, value_hash);
+    out->lo = out->hi = entry->key;
+    return true;
+  }
+
+  if (const auto* pruned = std::get_if<VoPruned>(&child)) {
+    if (!ctx->Advance(pruned->lo, pruned->hi)) return false;
+    if (pruned->lo <= ctx->ub && ctx->lb <= pruned->hi) {
+      return ctx->Fail("pruned subtree overlaps the query range");
+    }
+    out->digest = crypto::WrapDigest(pruned->lo, pruned->hi, pruned->content_hash);
+    out->lo = pruned->lo;
+    out->hi = pruned->hi;
+    return true;
+  }
+
+  const VoNode& node = *std::get<VoNodePtr>(child);
+  if (node.children.empty()) return ctx->Fail("expanded node with no children");
+  std::vector<Hash> digests;
+  digests.reserve(node.children.size());
+  Key lo = 0;
+  Key hi = 0;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    SubtreeDigest sub;
+    if (!ReconstructChild(node.children[i], ctx, &sub)) return false;
+    if (i == 0) lo = sub.lo;
+    hi = sub.hi;
+    digests.push_back(sub.digest);
+  }
+  Hash content = crypto::ContentDigest(digests);
+  out->digest = crypto::WrapDigest(lo, hi, content);
+  out->lo = lo;
+  out->hi = hi;
+  return true;
+}
+
+}  // namespace
+
+VerifyOutcome VerifyTreeVo(Key lb, Key ub, const TreeVo& vo, const Hash& trusted_root,
+                           const std::vector<Object>& result) {
+  if (lb > ub) return VerifyOutcome::Fail("invalid query range");
+
+  std::map<Key, const Object*> by_key;
+  for (const Object& obj : result) {
+    if (!by_key.emplace(obj.key, &obj).second) {
+      return VerifyOutcome::Fail("duplicate key in result set");
+    }
+  }
+
+  if (vo.empty_tree) {
+    if (trusted_root != crypto::EmptyTreeDigest()) {
+      return VerifyOutcome::Fail("VO claims empty tree but on-chain digest disagrees");
+    }
+    if (!result.empty()) {
+      return VerifyOutcome::Fail("results claimed from an empty tree");
+    }
+    return VerifyOutcome::Ok();
+  }
+
+  if (!vo.root) return VerifyOutcome::Fail("missing VO root");
+  if (std::holds_alternative<VoEntry>(*vo.root)) {
+    return VerifyOutcome::Fail("bare entry cannot be a tree root");
+  }
+
+  Context ctx{lb, ub, by_key, 0, false, 0, {}};
+  SubtreeDigest root;
+  if (!ReconstructChild(*vo.root, &ctx, &root)) {
+    return VerifyOutcome::Fail(ctx.error);
+  }
+  if (root.digest != trusted_root) {
+    return VerifyOutcome::Fail("reconstructed root digest does not match VO_chain");
+  }
+  if (ctx.consumed != result.size()) {
+    return VerifyOutcome::Fail("result set contains objects not proven by the VO");
+  }
+  return VerifyOutcome::Ok();
+}
+
+}  // namespace gem2::ads

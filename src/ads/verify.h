@@ -1,0 +1,43 @@
+/// \file verify.h
+/// Client-side verification of a single tree's VO against its trusted root
+/// digest (one invocation of "MBTreeVerify" in the paper's Algorithms 6/8).
+///
+/// Soundness: the root digest is reconstructed bottom-up from the returned
+/// objects (re-hashed locally), the boundary entries, and the pruned-subtree
+/// preimages; it must equal the digest retrieved from the blockchain.
+///
+/// Completeness: the VO's in-order traversal must be strictly increasing, a
+/// pruned subtree's [lo, hi] must not intersect the query range, and every
+/// exposed entry inside the range must be a returned result. Together these
+/// guarantee no in-range key of the tree can be withheld.
+#ifndef GEM2_ADS_VERIFY_H_
+#define GEM2_ADS_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "ads/vo.h"
+#include "common/types.h"
+
+namespace gem2::ads {
+
+struct VerifyOutcome {
+  bool ok = true;
+  std::string error;
+
+  static VerifyOutcome Ok() { return {}; }
+  static VerifyOutcome Fail(std::string msg) { return {false, std::move(msg)}; }
+  explicit operator bool() const { return ok; }
+};
+
+/// Verifies one tree's VO.
+///   [lb, ub]       — the query range (inclusive).
+///   vo             — the SP-produced VO for this tree.
+///   trusted_root   — this tree's digest obtained from VO_chain.
+///   result         — the objects the SP claims this tree contributes.
+VerifyOutcome VerifyTreeVo(Key lb, Key ub, const TreeVo& vo, const Hash& trusted_root,
+                           const std::vector<Object>& result);
+
+}  // namespace gem2::ads
+
+#endif  // GEM2_ADS_VERIFY_H_

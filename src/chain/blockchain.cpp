@@ -1,0 +1,130 @@
+#include "chain/blockchain.h"
+
+#include <stdexcept>
+
+#include "crypto/digest.h"
+#include "crypto/keccak.h"
+#include "crypto/merkle.h"
+
+namespace gem2::chain {
+
+Hash Transaction::Digest() const {
+  crypto::Keccak256Hasher h;
+  Bytes b;
+  AppendUint64(&b, seq);
+  AppendUint64(&b, gas_used);
+  AppendUint64(&b, ok ? 1 : 0);
+  // Length-prefix the variable fields: hashing bare concatenations would let
+  // bytes migrate between fields without changing the digest.
+  AppendUint64(&b, contract.size());
+  AppendString(&b, contract);
+  AppendUint64(&b, method.size());
+  AppendString(&b, method);
+  AppendUint64(&b, error.size());
+  AppendString(&b, error);
+  h.Update(b);
+  return h.Finalize();
+}
+
+Hash BlockHeader::Digest() const {
+  crypto::Keccak256Hasher h;
+  Bytes b;
+  AppendUint64(&b, height);
+  AppendUint64(&b, timestamp);
+  h.Update(b);
+  h.Update(prev_hash);
+  h.Update(tx_root);
+  h.Update(state_root);
+  Bytes tail;
+  AppendUint64(&tail, nonce);
+  AppendUint64(&tail, difficulty_bits);
+  h.Update(tail);
+  return h.Finalize();
+}
+
+bool SatisfiesPow(const Hash& digest, uint32_t bits) {
+  uint32_t remaining = bits;
+  for (uint8_t byte : digest) {
+    if (remaining == 0) return true;
+    if (remaining >= 8) {
+      if (byte != 0) return false;
+      remaining -= 8;
+    } else {
+      return (byte >> (8 - remaining)) == 0;
+    }
+  }
+  return remaining == 0;
+}
+
+Hash ComputeTxRoot(const std::vector<Transaction>& txs) {
+  std::vector<Hash> leaves;
+  leaves.reserve(txs.size());
+  for (const Transaction& tx : txs) leaves.push_back(tx.Digest());
+  return crypto::BinaryMerkleTree::RootOf(leaves);
+}
+
+Blockchain::Blockchain(uint32_t difficulty_bits) : difficulty_bits_(difficulty_bits) {
+  Block genesis;
+  genesis.header.height = 0;
+  genesis.header.timestamp = 0;
+  genesis.header.tx_root = ComputeTxRoot({});
+  genesis.header.state_root = crypto::EmptyTreeDigest();
+  genesis.header.difficulty_bits = difficulty_bits_;
+  genesis.header.nonce = MineNonce(&genesis.header);
+  blocks_.push_back(std::move(genesis));
+}
+
+uint64_t Blockchain::MineNonce(BlockHeader* header) const {
+  for (uint64_t nonce = 0;; ++nonce) {
+    header->nonce = nonce;
+    if (SatisfiesPow(header->Digest(), header->difficulty_bits)) return nonce;
+  }
+}
+
+Blockchain::Blockchain(AdoptTag, std::vector<Block> blocks, uint32_t difficulty_bits)
+    : blocks_(std::move(blocks)), difficulty_bits_(difficulty_bits) {
+  if (blocks_.empty()) throw std::invalid_argument("chain needs a genesis block");
+}
+
+Blockchain Blockchain::FromBlocks(std::vector<Block> blocks,
+                                  uint32_t difficulty_bits) {
+  return Blockchain(AdoptTag{}, std::move(blocks), difficulty_bits);
+}
+
+const Block& Blockchain::Append(std::vector<Transaction> txs, const Hash& state_root,
+                                uint64_t timestamp) {
+  Block block;
+  block.header.height = blocks_.size();
+  block.header.timestamp = timestamp;
+  block.header.prev_hash = blocks_.back().header.Digest();
+  block.header.tx_root = ComputeTxRoot(txs);
+  block.header.state_root = state_root;
+  block.header.difficulty_bits = difficulty_bits_;
+  block.transactions = std::move(txs);
+  block.header.nonce = MineNonce(&block.header);
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+bool Blockchain::Validate(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& block = blocks_[i];
+    if (block.header.height != i) return fail("bad height at block " + std::to_string(i));
+    if (i > 0 && block.header.prev_hash != blocks_[i - 1].header.Digest()) {
+      return fail("broken hash chain at block " + std::to_string(i));
+    }
+    if (block.header.tx_root != ComputeTxRoot(block.transactions)) {
+      return fail("tx root mismatch at block " + std::to_string(i));
+    }
+    if (!SatisfiesPow(block.header.Digest(), block.header.difficulty_bits)) {
+      return fail("invalid proof of work at block " + std::to_string(i));
+    }
+  }
+  return true;
+}
+
+}  // namespace gem2::chain

@@ -1,0 +1,91 @@
+/// \file blockchain.h
+/// Block / transaction structures and the hash-chained ledger (paper Fig. 3).
+/// Blocks commit to their transactions through a binary MHT root and to the
+/// contract state through `state_root` (an MHT over all authenticated
+/// digests), and are sealed with a simplified PoW nonce:
+///   H(header fields || nonce) must have `difficulty_bits` leading zero bits.
+#ifndef GEM2_CHAIN_BLOCKCHAIN_H_
+#define GEM2_CHAIN_BLOCKCHAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "gas/meter.h"
+
+namespace gem2::chain {
+
+/// A recorded smart-contract invocation.
+struct Transaction {
+  uint64_t seq = 0;
+  std::string contract;
+  std::string method;
+  gas::Gas gas_used = 0;
+  bool ok = true;
+  std::string error;
+
+  Hash Digest() const;
+};
+
+struct BlockHeader {
+  uint64_t height = 0;
+  uint64_t timestamp = 0;
+  Hash prev_hash{};
+  Hash tx_root{};
+  Hash state_root{};
+  uint64_t nonce = 0;
+  uint32_t difficulty_bits = 0;
+
+  /// Digest over all header fields including the nonce; this is the block's
+  /// identity and the PoW target.
+  Hash Digest() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+};
+
+/// True when `digest` has at least `bits` leading zero bits.
+bool SatisfiesPow(const Hash& digest, uint32_t bits);
+
+/// The append-only hash-chained ledger. A genesis block is created eagerly.
+class Blockchain {
+ public:
+  explicit Blockchain(uint32_t difficulty_bits = 0);
+
+  /// Mines and appends a block containing `txs`, committing to `state_root`.
+  const Block& Append(std::vector<Transaction> txs, const Hash& state_root,
+                      uint64_t timestamp);
+
+  /// Full structural validation: hash-chain linkage, PoW on every block, and
+  /// tx-root recomputation. Returns false and fills `error` on any mismatch.
+  bool Validate(std::string* error = nullptr) const;
+
+  /// Reconstructs a chain from pre-existing blocks (deserialization); the
+  /// blocks are adopted as-is — callers must Validate() afterwards.
+  static Blockchain FromBlocks(std::vector<Block> blocks, uint32_t difficulty_bits);
+
+  const Block& latest() const { return blocks_.back(); }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  /// Number of blocks beyond genesis.
+  size_t height() const { return blocks_.size() - 1; }
+  uint32_t difficulty_bits() const { return difficulty_bits_; }
+
+ private:
+  struct AdoptTag {};
+  Blockchain(AdoptTag, std::vector<Block> blocks, uint32_t difficulty_bits);
+
+  uint64_t MineNonce(BlockHeader* header) const;
+
+  std::vector<Block> blocks_;
+  uint32_t difficulty_bits_;
+};
+
+/// MHT root over transaction digests.
+Hash ComputeTxRoot(const std::vector<Transaction>& txs);
+
+}  // namespace gem2::chain
+
+#endif  // GEM2_CHAIN_BLOCKCHAIN_H_

@@ -1,0 +1,150 @@
+#include "chain/codec.h"
+
+#include <cstring>
+
+namespace gem2::chain {
+namespace {
+
+constexpr uint8_t kFormatVersion = 1;
+
+void AppendVarString(Bytes* out, const std::string& s) {
+  AppendUint64(out, s.size());
+  AppendString(out, s);
+}
+
+struct Reader {
+  const Bytes& data;
+  size_t pos = 0;
+  bool failed = false;
+
+  bool Need(size_t n) {
+    if (pos + n > data.size()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  uint8_t Byte() {
+    if (!Need(1)) return 0;
+    return data[pos++];
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data[pos++];
+    return v;
+  }
+
+  Hash ReadHash() {
+    Hash h{};
+    if (!Need(32)) return h;
+    std::memcpy(h.data(), data.data() + pos, 32);
+    pos += 32;
+    return h;
+  }
+
+  std::string ReadString() {
+    const uint64_t n = U64();
+    if (failed || !Need(n)) {
+      failed = true;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data.data() + pos), n);
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+void SerializeHeader(const BlockHeader& header, Bytes* out) {
+  AppendUint64(out, header.height);
+  AppendUint64(out, header.timestamp);
+  AppendHash(out, header.prev_hash);
+  AppendHash(out, header.tx_root);
+  AppendHash(out, header.state_root);
+  AppendUint64(out, header.nonce);
+  AppendUint64(out, header.difficulty_bits);
+}
+
+void SerializeTransaction(const Transaction& tx, Bytes* out) {
+  AppendUint64(out, tx.seq);
+  AppendVarString(out, tx.contract);
+  AppendVarString(out, tx.method);
+  AppendUint64(out, tx.gas_used);
+  out->push_back(tx.ok ? 1 : 0);
+  AppendVarString(out, tx.error);
+}
+
+Bytes SerializeChain(const Blockchain& chain) {
+  Bytes out;
+  out.push_back(kFormatVersion);
+  AppendUint64(&out, chain.difficulty_bits());
+  AppendUint64(&out, chain.blocks().size());
+  for (const Block& block : chain.blocks()) {
+    SerializeHeader(block.header, &out);
+    AppendUint64(&out, block.transactions.size());
+    for (const Transaction& tx : block.transactions) {
+      SerializeTransaction(tx, &out);
+    }
+  }
+  return out;
+}
+
+std::optional<Blockchain> ParseChain(const Bytes& data, std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Blockchain> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  Reader r{data};
+  if (r.Byte() != kFormatVersion) return fail("unsupported format version");
+  const uint64_t difficulty = r.U64();
+  if (difficulty > 256) return fail("bad chain difficulty");
+  const uint64_t num_blocks = r.U64();
+  if (r.failed) return fail("truncated chain header");
+  if (num_blocks == 0 || num_blocks > (1ull << 32)) return fail("bad block count");
+
+  std::vector<Block> blocks;
+  blocks.reserve(num_blocks);
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    Block block;
+    block.header.height = r.U64();
+    block.header.timestamp = r.U64();
+    block.header.prev_hash = r.ReadHash();
+    block.header.tx_root = r.ReadHash();
+    block.header.state_root = r.ReadHash();
+    block.header.nonce = r.U64();
+    const uint64_t bits = r.U64();
+    if (bits > 256) return fail("bad block difficulty");
+    block.header.difficulty_bits = static_cast<uint32_t>(bits);
+    const uint64_t num_txs = r.U64();
+    if (r.failed || num_txs > (1ull << 32)) return fail("truncated block");
+    block.transactions.reserve(num_txs);
+    for (uint64_t t = 0; t < num_txs; ++t) {
+      Transaction tx;
+      tx.seq = r.U64();
+      tx.contract = r.ReadString();
+      tx.method = r.ReadString();
+      tx.gas_used = r.U64();
+      tx.ok = r.Byte() != 0;
+      tx.error = r.ReadString();
+      if (r.failed) return fail("truncated transaction");
+      block.transactions.push_back(std::move(tx));
+    }
+    blocks.push_back(std::move(block));
+  }
+  if (r.pos != data.size()) return fail("trailing bytes after chain");
+
+  Blockchain chain =
+      Blockchain::FromBlocks(std::move(blocks), static_cast<uint32_t>(difficulty));
+  std::string validate_error;
+  if (!chain.Validate(&validate_error)) {
+    return fail("deserialized chain failed validation: " + validate_error);
+  }
+  return chain;
+}
+
+}  // namespace gem2::chain

@@ -1,0 +1,30 @@
+/// \file codec.h
+/// Binary serialization of the ledger: blocks, headers, and transactions.
+/// Lets a node persist its chain and lets peers/auditors exchange chains;
+/// a deserialized chain revalidates from scratch (hash linkage + PoW + tx
+/// roots), so storage corruption or tampering is detected on load.
+#ifndef GEM2_CHAIN_CODEC_H_
+#define GEM2_CHAIN_CODEC_H_
+
+#include <optional>
+
+#include "chain/blockchain.h"
+#include "common/bytes.h"
+
+namespace gem2::chain {
+
+/// Serializes the full chain (all blocks, including genesis).
+Bytes SerializeChain(const Blockchain& chain);
+
+/// Parses a serialized chain and validates it structurally. Returns
+/// std::nullopt on malformed input or failed validation; `error` (optional)
+/// receives the reason.
+std::optional<Blockchain> ParseChain(const Bytes& data, std::string* error = nullptr);
+
+/// Individual piece codecs (exposed for tests and wire protocols).
+void SerializeHeader(const BlockHeader& header, Bytes* out);
+void SerializeTransaction(const Transaction& tx, Bytes* out);
+
+}  // namespace gem2::chain
+
+#endif  // GEM2_CHAIN_CODEC_H_

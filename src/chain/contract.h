@@ -1,0 +1,51 @@
+/// \file contract.h
+/// Base class for on-chain smart contracts. Each contract owns one metered
+/// storage space and exposes the list of authenticated digests (ADS roots)
+/// that clients retrieve as VO_chain.
+#ifndef GEM2_CHAIN_CONTRACT_H_
+#define GEM2_CHAIN_CONTRACT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chain/storage.h"
+#include "common/types.h"
+
+namespace gem2::chain {
+
+/// A named authenticated digest exposed by a contract, e.g. an MB-tree root
+/// or one slot of a GEM2-tree part_table.
+struct DigestEntry {
+  std::string label;
+  Hash digest{};
+
+  friend bool operator==(const DigestEntry& a, const DigestEntry& b) = default;
+};
+
+class Contract {
+ public:
+  explicit Contract(std::string name) : name_(std::move(name)) {}
+  virtual ~Contract() = default;
+
+  Contract(const Contract&) = delete;
+  Contract& operator=(const Contract&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  MeteredStorage& storage() { return storage_; }
+  const MeteredStorage& storage() const { return storage_; }
+
+  /// The authenticated digests this contract currently exposes, in a
+  /// deterministic order. These are committed into every block's state root
+  /// and served to clients (with inclusion proofs) as VO_chain.
+  virtual std::vector<DigestEntry> AuthenticatedDigests() const = 0;
+
+ private:
+  std::string name_;
+  MeteredStorage storage_;
+};
+
+}  // namespace gem2::chain
+
+#endif  // GEM2_CHAIN_CONTRACT_H_

@@ -1,0 +1,175 @@
+#include "chain/environment.h"
+
+#include <stdexcept>
+
+#include "crypto/keccak.h"
+
+namespace gem2::chain {
+
+Environment::Environment(EnvironmentOptions options)
+    : options_(options), blockchain_(options.difficulty_bits) {}
+
+void Environment::Register(Contract* contract) {
+  if (contract == nullptr) throw std::invalid_argument("null contract");
+  auto [it, inserted] = contracts_.emplace(contract->name(), contract);
+  if (!inserted) throw std::invalid_argument("duplicate contract " + contract->name());
+}
+
+TxReceipt Environment::Execute(Contract& contract, const std::string& method,
+                               const std::function<void(gas::Meter&)>& body) {
+  if (contracts_.find(contract.name()) == contracts_.end()) {
+    throw std::logic_error("contract not registered: " + contract.name());
+  }
+  gas::Meter meter(options_.schedule, options_.gas_limit);
+  TxReceipt receipt;
+  Transaction tx;
+  tx.seq = next_seq_++;
+  tx.contract = contract.name();
+  tx.method = method;
+
+  contract.storage().BeginTx();
+  try {
+    if (options_.tx_base_fee > 0) meter.ChargeIntrinsic(options_.tx_base_fee);
+    body(meter);
+    contract.storage().CommitTx();
+  } catch (const gas::OutOfGasError& e) {
+    contract.storage().RollbackTx();
+    receipt.ok = false;
+    receipt.error = e.what();
+  } catch (...) {
+    contract.storage().RollbackTx();
+    throw;
+  }
+
+  receipt.gas_used = meter.used();
+  receipt.breakdown = meter.breakdown();
+  receipt.op_counts = meter.op_counts();
+  tx.gas_used = receipt.gas_used;
+  tx.ok = receipt.ok;
+  tx.error = receipt.error;
+  total_gas_used_ += receipt.gas_used;
+
+  pending_.push_back(std::move(tx));
+  if (pending_.size() >= options_.txs_per_block) SealBlock();
+  return receipt;
+}
+
+Bytes Environment::StateKey(const std::string& contract, const std::string& label) {
+  Bytes key;
+  AppendString(&key, contract);
+  key.push_back(0);
+  AppendString(&key, label);
+  return key;
+}
+
+crypto::PatriciaTrie Environment::BuildStateTrie() const {
+  crypto::PatriciaTrie trie;
+  for (const auto& [name, contract] : contracts_) {
+    for (const DigestEntry& entry : contract->AuthenticatedDigests()) {
+      trie.Put(StateKey(name, entry.label),
+               Bytes(entry.digest.begin(), entry.digest.end()));
+    }
+  }
+  return trie;
+}
+
+Hash Environment::ComputeStateRoot() const {
+  if (options_.state_commitment == StateCommitment::kPatriciaTrie) {
+    return BuildStateTrie().RootHash();
+  }
+  return crypto::BinaryMerkleTree::RootOf(StateLeaves());
+}
+
+void Environment::SealBlock() {
+  if (pending_.empty()) return;
+  blockchain_.Append(std::move(pending_), ComputeStateRoot(), clock_++);
+  pending_.clear();
+}
+
+Hash Environment::StateLeaf(const std::string& contract, const DigestEntry& entry) {
+  crypto::Keccak256Hasher h;
+  h.Update(contract);
+  h.Update(std::string(1, '\0'));
+  h.Update(entry.label);
+  h.Update(std::string(1, '\0'));
+  h.Update(entry.digest);
+  return h.Finalize();
+}
+
+std::vector<Hash> Environment::StateLeaves() const {
+  std::vector<Hash> leaves;
+  for (const auto& [name, contract] : contracts_) {
+    for (const DigestEntry& entry : contract->AuthenticatedDigests()) {
+      leaves.push_back(StateLeaf(name, entry));
+    }
+  }
+  return leaves;
+}
+
+AuthenticatedState Environment::ReadAuthenticatedState(const std::string& contract_name) {
+  auto it = contracts_.find(contract_name);
+  if (it == contracts_.end()) {
+    throw std::invalid_argument("unknown contract " + contract_name);
+  }
+  // Make sure the latest header commits to the current state. Registering a
+  // contract changes the state tree without any transaction, so an empty
+  // block may be needed even when nothing is pending.
+  SealBlock();
+  const Hash root = ComputeStateRoot();
+  if (blockchain_.latest().header.state_root != root) {
+    blockchain_.Append({}, root, clock_++);
+  }
+
+  AuthenticatedState state;
+  state.contract = contract_name;
+  state.commitment = options_.state_commitment;
+  state.header = blockchain_.latest().header;
+
+  if (options_.state_commitment == StateCommitment::kPatriciaTrie) {
+    crypto::PatriciaTrie trie = BuildStateTrie();
+    for (const DigestEntry& entry : it->second->AuthenticatedDigests()) {
+      ProvenDigest pd;
+      pd.entry = entry;
+      pd.mpt_proof = trie.Prove(StateKey(contract_name, entry.label));
+      state.digests.push_back(std::move(pd));
+    }
+    return state;
+  }
+
+  crypto::BinaryMerkleTree tree(StateLeaves());
+  size_t leaf_index = 0;
+  for (const auto& [name, contract] : contracts_) {
+    for (const DigestEntry& entry : contract->AuthenticatedDigests()) {
+      if (name == contract_name) {
+        ProvenDigest pd;
+        pd.entry = entry;
+        pd.proof = tree.Prove(leaf_index);
+        state.digests.push_back(std::move(pd));
+      }
+      ++leaf_index;
+    }
+  }
+  return state;
+}
+
+bool Environment::VerifyAuthenticatedState(const AuthenticatedState& state) {
+  for (const ProvenDigest& pd : state.digests) {
+    if (state.commitment == StateCommitment::kPatriciaTrie) {
+      if (!crypto::PatriciaTrie::VerifyProof(
+              state.header.state_root, StateKey(state.contract, pd.entry.label),
+              Bytes(pd.entry.digest.begin(), pd.entry.digest.end()),
+              pd.mpt_proof)) {
+        return false;
+      }
+    } else {
+      Hash leaf = StateLeaf(state.contract, pd.entry);
+      if (crypto::BinaryMerkleTree::RootFromProof(leaf, pd.proof) !=
+          state.header.state_root) {
+        return false;
+      }
+    }
+  }
+  return SatisfiesPow(state.header.Digest(), state.header.difficulty_bits);
+}
+
+}  // namespace gem2::chain

@@ -1,0 +1,125 @@
+/// \file environment.h
+/// The execution host tying contracts to the ledger. It meters each contract
+/// invocation as one transaction (rolling back storage on out-of-gas), batches
+/// transactions into blocks, commits contract digests into the block state
+/// root, and serves authenticated state (VO_chain) with inclusion proofs.
+#ifndef GEM2_CHAIN_ENVIRONMENT_H_
+#define GEM2_CHAIN_ENVIRONMENT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "chain/contract.h"
+#include "crypto/merkle.h"
+#include "crypto/mpt.h"
+#include "gas/meter.h"
+#include "gas/schedule.h"
+
+namespace gem2::chain {
+
+/// How contract digests are committed into block headers.
+enum class StateCommitment {
+  /// Binary Merkle tree over (contract, label, digest) leaves.
+  kBinaryMerkle,
+  /// Ethereum-style Merkle Patricia Trie keyed by contract/label.
+  kPatriciaTrie,
+};
+
+struct EnvironmentOptions {
+  gas::Schedule schedule = gas::kEthereumSchedule;
+  StateCommitment state_commitment = StateCommitment::kBinaryMerkle;
+  gas::Gas gas_limit = gas::kDefaultGasLimit;
+  /// Transactions accumulated before a block is sealed automatically.
+  size_t txs_per_block = 16;
+  /// PoW difficulty in leading zero bits (0 = trivial sealing, for benches).
+  uint32_t difficulty_bits = 0;
+  /// Flat intrinsic fee charged per transaction (Ethereum: 21,000). Defaults
+  /// to 0 for parity with the paper's per-operation accounting; batching
+  /// experiments enable it.
+  gas::Gas tx_base_fee = 0;
+};
+
+/// Outcome of one contract invocation.
+struct TxReceipt {
+  bool ok = true;
+  gas::Gas gas_used = 0;
+  gas::GasBreakdown breakdown;
+  gas::OpCounts op_counts;
+  std::string error;
+};
+
+/// Authenticated digest together with its state-root inclusion proof.
+/// Exactly one of the proof members is populated, matching the environment's
+/// StateCommitment mode.
+struct ProvenDigest {
+  DigestEntry entry;
+  crypto::MerkleProof proof;            // kBinaryMerkle
+  crypto::PatriciaTrie::Proof mpt_proof;  // kPatriciaTrie
+};
+
+/// What a client retrieves from the blockchain for a contract: the digests,
+/// their proofs, and the header they commit into.
+struct AuthenticatedState {
+  std::string contract;
+  StateCommitment commitment = StateCommitment::kBinaryMerkle;
+  std::vector<ProvenDigest> digests;
+  BlockHeader header;
+};
+
+class Environment {
+ public:
+  explicit Environment(EnvironmentOptions options = {});
+
+  /// Registers a contract (non-owning; the caller keeps it alive).
+  void Register(Contract* contract);
+
+  /// Runs `body` against `contract` as a metered transaction. On
+  /// gas::OutOfGasError the storage is rolled back and the receipt reports
+  /// failure; any other exception propagates after rollback.
+  TxReceipt Execute(Contract& contract, const std::string& method,
+                    const std::function<void(gas::Meter&)>& body);
+
+  /// Seals pending transactions (if any) plus the current state commitment
+  /// into a new block. Called automatically every `txs_per_block` executes.
+  void SealBlock();
+
+  /// Seals any pending transactions so the latest header reflects the current
+  /// contract state; then returns digests + proofs for `contract_name`.
+  AuthenticatedState ReadAuthenticatedState(const std::string& contract_name);
+
+  /// Client-side check: header committed by the chain, proofs valid.
+  static bool VerifyAuthenticatedState(const AuthenticatedState& state);
+
+  const Blockchain& blockchain() const { return blockchain_; }
+  const EnvironmentOptions& options() const { return options_; }
+  uint64_t total_gas_used() const { return total_gas_used_; }
+  uint64_t num_transactions() const { return next_seq_; }
+
+ private:
+  /// Leaf digests of the state MHT: one per (contract, digest entry), in
+  /// deterministic (contract name, entry order) order.
+  std::vector<Hash> StateLeaves() const;
+  static Hash StateLeaf(const std::string& contract, const DigestEntry& entry);
+
+  /// MPT key for one digest entry (kPatriciaTrie mode).
+  static Bytes StateKey(const std::string& contract, const std::string& label);
+  /// Builds the state MPT over every contract digest.
+  crypto::PatriciaTrie BuildStateTrie() const;
+  /// Root under the configured commitment mode.
+  Hash ComputeStateRoot() const;
+
+  EnvironmentOptions options_;
+  Blockchain blockchain_;
+  std::map<std::string, Contract*> contracts_;
+  std::vector<Transaction> pending_;
+  uint64_t next_seq_ = 0;
+  uint64_t clock_ = 1;
+  uint64_t total_gas_used_ = 0;
+};
+
+}  // namespace gem2::chain
+
+#endif  // GEM2_CHAIN_ENVIRONMENT_H_

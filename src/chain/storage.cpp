@@ -1,0 +1,91 @@
+#include "chain/storage.h"
+
+#include <stdexcept>
+
+namespace gem2::chain {
+
+Word MeteredStorage::Load(const Slot& slot, gas::Meter& meter) {
+  meter.ChargeSload();
+  auto it = slots_.find(slot);
+  return it == slots_.end() ? kZeroWord : it->second;
+}
+
+void MeteredStorage::Store(const Slot& slot, const Word& value, gas::Meter& meter) {
+  auto it = slots_.find(slot);
+  const bool occupied = it != slots_.end();
+  // Charge gas before mutating: an OutOfGasError must not corrupt state even
+  // outside a transaction bracket.
+  if (occupied) {
+    meter.ChargeSupdate();
+  } else {
+    meter.ChargeSstore();
+  }
+  RecordUndo(slot);
+  if (value == kZeroWord) {
+    if (occupied) slots_.erase(it);
+  } else if (occupied) {
+    it->second = value;
+  } else {
+    slots_.emplace(slot, value);
+  }
+}
+
+uint64_t MeteredStorage::LoadUint(const Slot& slot, gas::Meter& meter) {
+  return Uint64FromWord(Load(slot, meter));
+}
+
+void MeteredStorage::StoreUint(const Slot& slot, uint64_t value, gas::Meter& meter) {
+  Store(slot, WordFromUint64(value), meter);
+}
+
+bool MeteredStorage::Contains(const Slot& slot) const {
+  return slots_.find(slot) != slots_.end();
+}
+
+Word MeteredStorage::Peek(const Slot& slot) const {
+  auto it = slots_.find(slot);
+  return it == slots_.end() ? kZeroWord : it->second;
+}
+
+void MeteredStorage::BeginTx() {
+  if (in_tx_) throw std::logic_error("nested transaction");
+  in_tx_ = true;
+  undo_log_.clear();
+  touched_.clear();
+}
+
+void MeteredStorage::CommitTx() {
+  if (!in_tx_) throw std::logic_error("commit outside transaction");
+  in_tx_ = false;
+  undo_log_.clear();
+  touched_.clear();
+}
+
+void MeteredStorage::RollbackTx() {
+  if (!in_tx_) throw std::logic_error("rollback outside transaction");
+  // Apply undo entries in reverse; only first-touch entries exist.
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    if (it->second.has_value()) {
+      slots_[it->first] = *it->second;
+    } else {
+      slots_.erase(it->first);
+    }
+  }
+  in_tx_ = false;
+  undo_log_.clear();
+  touched_.clear();
+}
+
+void MeteredStorage::RecordUndo(const Slot& slot) {
+  if (!in_tx_) return;
+  auto [it, inserted] = touched_.emplace(slot, true);
+  if (!inserted) return;
+  auto existing = slots_.find(slot);
+  if (existing == slots_.end()) {
+    undo_log_.emplace_back(slot, std::nullopt);
+  } else {
+    undo_log_.emplace_back(slot, existing->second);
+  }
+}
+
+}  // namespace gem2::chain

@@ -1,0 +1,89 @@
+/// \file storage.h
+/// Word-granular, gas-metered contract storage with transactional journaling.
+///
+/// Semantics mirror the paper's cost model (Table I):
+///   Load          -> Csload per word
+///   Store (empty) -> Csstore per word
+///   Store (taken) -> Csupdate per word
+/// Storing the all-zero word clears the slot (Ethereum storage deletion);
+/// we charge it as an update and ignore refunds, as the paper does.
+///
+/// A transaction that runs out of gas must leave no trace, so the host brackets
+/// execution with BeginTx / CommitTx / RollbackTx and the storage keeps a
+/// first-touch undo log.
+#ifndef GEM2_CHAIN_STORAGE_H_
+#define GEM2_CHAIN_STORAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "gas/meter.h"
+
+namespace gem2::chain {
+
+/// Address of one storage word: a contract-defined region (think Solidity
+/// state variable) plus an index within it (array slot / mapping bucket).
+struct Slot {
+  uint32_t region = 0;
+  uint64_t index = 0;
+
+  friend bool operator==(const Slot& a, const Slot& b) = default;
+};
+
+struct SlotHasher {
+  size_t operator()(const Slot& s) const {
+    // Splitmix-style mix of region and index.
+    uint64_t x = (static_cast<uint64_t>(s.region) << 48) ^ s.index;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+inline const Word kZeroWord{};
+
+class MeteredStorage {
+ public:
+  /// Metered read. A missing slot reads as the zero word (still charged).
+  Word Load(const Slot& slot, gas::Meter& meter);
+
+  /// Metered write; charges sstore on an empty slot, supdate otherwise.
+  /// Writing the zero word clears the slot.
+  void Store(const Slot& slot, const Word& value, gas::Meter& meter);
+
+  /// Metered convenience wrappers for integer-valued slots.
+  uint64_t LoadUint(const Slot& slot, gas::Meter& meter);
+  void StoreUint(const Slot& slot, uint64_t value, gas::Meter& meter);
+
+  /// Unmetered inspection (tests, SP mirroring, state commitment).
+  bool Contains(const Slot& slot) const;
+  Word Peek(const Slot& slot) const;
+  size_t NumSlots() const { return slots_.size(); }
+
+  /// Transaction bracketing (see file comment).
+  void BeginTx();
+  void CommitTx();
+  void RollbackTx();
+  bool in_tx() const { return in_tx_; }
+
+ private:
+  void RecordUndo(const Slot& slot);
+
+  std::unordered_map<Slot, Word, SlotHasher> slots_;
+  bool in_tx_ = false;
+  // First write to a slot within a tx records (slot, previous value or
+  // nullopt if the slot was empty).
+  std::vector<std::pair<Slot, std::optional<Word>>> undo_log_;
+  std::unordered_map<Slot, bool, SlotHasher> touched_;
+};
+
+}  // namespace gem2::chain
+
+#endif  // GEM2_CHAIN_STORAGE_H_

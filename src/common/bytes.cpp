@@ -1,0 +1,56 @@
+#include "common/bytes.h"
+
+namespace gem2 {
+
+void AppendUint64(Bytes* out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendKey(Bytes* out, Key k) { AppendUint64(out, static_cast<uint64_t>(k)); }
+
+void AppendHash(Bytes* out, const Hash& h) { out->insert(out->end(), h.begin(), h.end()); }
+
+void AppendString(Bytes* out, const std::string& s) {
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+Word WordFromUint64(uint64_t v) {
+  Word w{};
+  for (int i = 0; i < 8; ++i) {
+    w[31 - i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+  }
+  return w;
+}
+
+uint64_t Uint64FromWord(const Word& w) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(w[31 - i]) << (8 * i);
+  }
+  return v;
+}
+
+Word WordFromKey(Key k) { return WordFromUint64(static_cast<uint64_t>(k)); }
+
+Key KeyFromWord(const Word& w) { return static_cast<Key>(Uint64FromWord(w)); }
+
+std::string ToHex(const uint8_t* data, size_t len) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(kDigits[data[i] >> 4]);
+    s.push_back(kDigits[data[i] & 0x0f]);
+  }
+  return s;
+}
+
+std::string ToHex(const Hash& h) { return ToHex(h.data(), h.size()); }
+
+std::string HexAbbrev(const Hash& h, size_t n) {
+  return ToHex(h.data(), n < h.size() ? n : h.size()) + "..";
+}
+
+}  // namespace gem2

@@ -1,0 +1,48 @@
+/// \file bytes.h
+/// Byte-buffer helpers: fixed-width big-endian encoding of integral types,
+/// word <-> integer conversion, and hex formatting. All encodings are
+/// deterministic so that digests computed by the smart contract and by the
+/// service provider agree bit-for-bit.
+#ifndef GEM2_COMMON_BYTES_H_
+#define GEM2_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gem2 {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Appends `v` to `out` as 8 big-endian bytes (two's complement for signed).
+void AppendUint64(Bytes* out, uint64_t v);
+void AppendKey(Bytes* out, Key k);
+
+/// Appends the raw 32 bytes of a hash/word.
+void AppendHash(Bytes* out, const Hash& h);
+
+/// Appends the raw bytes of a string payload.
+void AppendString(Bytes* out, const std::string& s);
+
+/// Packs an unsigned integer into a 32-byte word (big-endian, zero padded).
+Word WordFromUint64(uint64_t v);
+uint64_t Uint64FromWord(const Word& w);
+
+/// Packs a signed key into a word and back (two's complement in low 8 bytes).
+Word WordFromKey(Key k);
+Key KeyFromWord(const Word& w);
+
+/// Lower-case hex string of arbitrary bytes; `HexAbbrev` keeps the first
+/// `n` bytes ("1a2b3c..").
+std::string ToHex(const uint8_t* data, size_t len);
+std::string ToHex(const Hash& h);
+std::string HexAbbrev(const Hash& h, size_t n = 4);
+
+/// Number of 32-byte words needed to hold `byte_len` bytes (rounded up).
+inline uint64_t WordsForBytes(uint64_t byte_len) { return (byte_len + 31) / 32; }
+
+}  // namespace gem2
+
+#endif  // GEM2_COMMON_BYTES_H_

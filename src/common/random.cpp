@@ -1,0 +1,22 @@
+#include "common/random.h"
+
+namespace gem2 {
+
+uint64_t Rng::Uniform(uint64_t lo, uint64_t hi) {
+  std::uniform_int_distribution<uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+}  // namespace gem2

@@ -1,0 +1,36 @@
+/// \file random.h
+/// Deterministic pseudo-random number utilities. Every stochastic component of
+/// the library (workload generation, PoW nonce search in tests) goes through
+/// this RNG so runs are reproducible given a seed.
+#ifndef GEM2_COMMON_RANDOM_H_
+#define GEM2_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace gem2 {
+
+/// Thin wrapper around a 64-bit Mersenne Twister with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  uint64_t Uniform(uint64_t lo, uint64_t hi);
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Chance(double p);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gem2
+
+#endif  // GEM2_COMMON_RANDOM_H_

@@ -1,0 +1,41 @@
+/// \file types.h
+/// Core value types shared by every module of the GEM2-tree library.
+#ifndef GEM2_COMMON_TYPES_H_
+#define GEM2_COMMON_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace gem2 {
+
+/// Search key of a data object. The paper uses 4-byte keys; we use a signed
+/// 64-bit integer and account storage at 32-byte word granularity, which packs
+/// identically into one EVM word.
+using Key = int64_t;
+
+/// Smallest / largest representable search keys (used as open boundaries).
+inline constexpr Key kKeyMin = std::numeric_limits<Key>::min();
+inline constexpr Key kKeyMax = std::numeric_limits<Key>::max();
+
+/// A 256-bit digest (Keccak-256 output) and, equivalently, one EVM storage word.
+using Hash = std::array<uint8_t, 32>;
+using Word = Hash;
+
+/// A data object as produced by a data owner: search key plus opaque payload.
+/// Only `h(value)` ever reaches the blockchain; the raw value lives at the SP.
+struct Object {
+  Key key = 0;
+  std::string value;
+
+  friend bool operator==(const Object& a, const Object& b) = default;
+};
+
+/// One-based storage location inside the append-only on-chain key log
+/// (`key_storage` in the paper). Location 0 means "not present".
+using Loc = uint64_t;
+
+}  // namespace gem2
+
+#endif  // GEM2_COMMON_TYPES_H_

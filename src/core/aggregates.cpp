@@ -1,0 +1,40 @@
+#include "core/aggregates.h"
+
+#include <cstdlib>
+
+namespace gem2::core {
+namespace {
+
+std::optional<long long> ParseNumeric(const std::string& value) {
+  if (value.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) return std::nullopt;
+  return parsed;
+}
+
+}  // namespace
+
+std::optional<RangeAggregates> Aggregate(const VerifiedResult& result) {
+  if (!result.ok) return std::nullopt;
+  RangeAggregates agg;
+  agg.count = result.objects.size();
+  long long sum = 0;
+  bool all_numeric = true;
+  for (const Object& obj : result.objects) {
+    if (!agg.min_key || obj.key < *agg.min_key) agg.min_key = obj.key;
+    if (!agg.max_key || obj.key > *agg.max_key) agg.max_key = obj.key;
+    if (all_numeric) {
+      if (auto v = ParseNumeric(obj.value)) {
+        sum += *v;
+      } else {
+        all_numeric = false;
+      }
+    }
+  }
+  if (all_numeric && agg.count > 0) agg.sum = sum;
+  return agg;
+}
+
+}  // namespace gem2::core

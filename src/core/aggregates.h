@@ -1,0 +1,36 @@
+/// \file aggregates.h
+/// Client-side authenticated aggregates over verified range results.
+///
+/// The paper's conclusion flags authenticated aggregation as future work;
+/// the *client-side* flavour falls out of range verification: once a range
+/// result is proven sound and complete, any function of it (COUNT, MIN, MAX,
+/// SUM over numeric payloads) inherits the guarantee. This header provides
+/// that derivation; server-computed aggregates with sublinear VOs would need
+/// a different ADS and are out of scope.
+#ifndef GEM2_CORE_AGGREGATES_H_
+#define GEM2_CORE_AGGREGATES_H_
+
+#include <optional>
+
+#include "core/response.h"
+
+namespace gem2::core {
+
+struct RangeAggregates {
+  /// Number of live (non-tombstoned) objects in the range.
+  uint64_t count = 0;
+  /// Smallest / largest key in the range (unset when count == 0).
+  std::optional<Key> min_key;
+  std::optional<Key> max_key;
+  /// Sum over payloads that parse fully as decimal integers; unset when any
+  /// payload in the range is non-numeric.
+  std::optional<long long> sum;
+};
+
+/// Derives aggregates from a verified result. Returns std::nullopt when the
+/// result did not verify (aggregates over unverified data are meaningless).
+std::optional<RangeAggregates> Aggregate(const VerifiedResult& result);
+
+}  // namespace gem2::core
+
+#endif  // GEM2_CORE_AGGREGATES_H_

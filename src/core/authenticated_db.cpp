@@ -1,0 +1,537 @@
+#include "core/authenticated_db.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "ads/verify.h"
+#include "core/tombstone.h"
+#include "crypto/digest.h"
+
+namespace gem2::core {
+namespace {
+
+constexpr const char* kContractName = "ads";
+
+/// Converts one tree's entry list to raw objects via the SP value store.
+std::vector<Object> ToObjects(
+    const ads::EntryList& entries,
+    const std::unordered_map<Key, std::string>& values) {
+  std::vector<Object> out;
+  out.reserve(entries.size());
+  for (const ads::Entry& e : entries) {
+    out.push_back({e.key, values.at(e.key)});
+  }
+  return out;
+}
+
+/// Region index of `key` for split points (mirrors Gem2StarEngine::RegionOf).
+size_t RegionOf(const std::vector<Key>& splits, Key key) {
+  auto it = std::upper_bound(splits.begin(), splits.end(), key);
+  return static_cast<size_t>(it - splits.begin());
+}
+
+bool HasRegionPrefix(const std::string& label, size_t region) {
+  const std::string prefix = "R" + std::to_string(region) + ".";
+  return label.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+std::string AdsKindName(AdsKind kind) {
+  switch (kind) {
+    case AdsKind::kMbTree:
+      return "MB-tree";
+    case AdsKind::kSmbTree:
+      return "SMB-tree";
+    case AdsKind::kLsm:
+      return "LSM-tree";
+    case AdsKind::kGem2:
+      return "GEM2-tree";
+    case AdsKind::kGem2Star:
+      return "GEM2*-tree";
+  }
+  return "unknown";
+}
+
+struct AuthenticatedDb::Impl {
+  std::unique_ptr<mbtree::MbTreeContract> mb_contract;
+  std::unique_ptr<smbtree::SmbTreeContract> smb_contract;
+  std::unique_ptr<lsm::LsmTreeContract> lsm_contract;
+  std::unique_ptr<gem2tree::Gem2Contract> gem2_contract;
+  std::unique_ptr<gem2star::Gem2StarContract> star_contract;
+
+  std::unique_ptr<mbtree::MbTree> mb_sp;
+  std::unique_ptr<smbtree::SmbTreeMirror> smb_sp;
+  std::unique_ptr<lsm::LsmMirror> lsm_sp;
+  std::unique_ptr<gem2tree::Gem2Engine> gem2_sp;
+  std::unique_ptr<gem2star::Gem2StarEngine> star_sp;
+
+  /// Dispatches one operation to the active contract.
+  void ChainOp(AdsKind kind, bool insert, Key key, const Hash& vh,
+               gas::Meter& meter) {
+    switch (kind) {
+      case AdsKind::kMbTree:
+        insert ? mb_contract->Insert(key, vh, meter)
+               : mb_contract->Update(key, vh, meter);
+        break;
+      case AdsKind::kSmbTree:
+        insert ? smb_contract->Insert(key, vh, meter)
+               : smb_contract->Update(key, vh, meter);
+        break;
+      case AdsKind::kLsm:
+        insert ? lsm_contract->Insert(key, vh, meter)
+               : lsm_contract->Update(key, vh, meter);
+        break;
+      case AdsKind::kGem2:
+        insert ? gem2_contract->Insert(key, vh, meter)
+               : gem2_contract->Update(key, vh, meter);
+        break;
+      case AdsKind::kGem2Star:
+        insert ? star_contract->Insert(key, vh, meter)
+               : star_contract->Update(key, vh, meter);
+        break;
+    }
+  }
+
+  /// Applies the same operation to the SP mirror.
+  void SpOp(AdsKind kind, bool insert, Key key, const Hash& vh) {
+    switch (kind) {
+      case AdsKind::kMbTree:
+        insert ? mb_sp->Insert(key, vh) : void(mb_sp->Update(key, vh));
+        break;
+      case AdsKind::kSmbTree:
+        insert ? smb_sp->Insert(key, vh) : smb_sp->Update(key, vh);
+        break;
+      case AdsKind::kLsm:
+        insert ? lsm_sp->Insert(key, vh) : lsm_sp->Update(key, vh);
+        break;
+      case AdsKind::kGem2:
+        insert ? gem2_sp->Insert(key, vh) : gem2_sp->Update(key, vh);
+        break;
+      case AdsKind::kGem2Star:
+        insert ? star_sp->Insert(key, vh) : star_sp->Update(key, vh);
+        break;
+    }
+  }
+};
+
+AuthenticatedDb::AuthenticatedDb(DbOptions options)
+    : options_(std::move(options)), env_(options_.env), impl_(new Impl) {
+  const int fanout = options_.gem2.fanout;
+  switch (options_.kind) {
+    case AdsKind::kMbTree:
+      impl_->mb_contract =
+          std::make_unique<mbtree::MbTreeContract>(kContractName, fanout);
+      impl_->mb_sp = std::make_unique<mbtree::MbTree>(fanout);
+      break;
+    case AdsKind::kSmbTree:
+      impl_->smb_contract =
+          std::make_unique<smbtree::SmbTreeContract>(kContractName, fanout);
+      impl_->smb_sp = std::make_unique<smbtree::SmbTreeMirror>(fanout);
+      break;
+    case AdsKind::kLsm:
+      impl_->lsm_contract =
+          std::make_unique<lsm::LsmTreeContract>(kContractName, options_.lsm);
+      impl_->lsm_sp = std::make_unique<lsm::LsmMirror>(options_.lsm);
+      break;
+    case AdsKind::kGem2:
+      impl_->gem2_contract =
+          std::make_unique<gem2tree::Gem2Contract>(kContractName, options_.gem2);
+      impl_->gem2_sp = std::make_unique<gem2tree::Gem2Engine>(options_.gem2);
+      break;
+    case AdsKind::kGem2Star:
+      impl_->star_contract = std::make_unique<gem2star::Gem2StarContract>(
+          kContractName, options_.gem2, options_.split_points);
+      impl_->star_sp = std::make_unique<gem2star::Gem2StarEngine>(
+          options_.gem2, options_.split_points);
+      break;
+  }
+  env_.Register(&contract());
+  light_client_ = std::make_unique<chain::LightClient>(
+      env_.blockchain().blocks().front().header);
+}
+
+AuthenticatedDb::~AuthenticatedDb() = default;
+
+chain::Contract& AuthenticatedDb::contract() {
+  switch (options_.kind) {
+    case AdsKind::kMbTree:
+      return *impl_->mb_contract;
+    case AdsKind::kSmbTree:
+      return *impl_->smb_contract;
+    case AdsKind::kLsm:
+      return *impl_->lsm_contract;
+    case AdsKind::kGem2:
+      return *impl_->gem2_contract;
+    case AdsKind::kGem2Star:
+      return *impl_->star_contract;
+  }
+  throw std::logic_error("unreachable");
+}
+
+const chain::Contract& AuthenticatedDb::contract() const {
+  return const_cast<AuthenticatedDb*>(this)->contract();
+}
+
+void AuthenticatedDb::ApplyToSp(bool insert, Key key, const std::string& value,
+                                const Hash& vh) {
+  impl_->SpOp(options_.kind, insert, key, vh);
+  sp_values_[key] = value;
+}
+
+chain::TxReceipt AuthenticatedDb::Insert(const Object& object) {
+  if (poisoned_) {
+    throw std::logic_error("AuthenticatedDb poisoned by an out-of-gas transaction");
+  }
+  // Reviving a tombstoned key is an in-place update of the dummy object.
+  const bool revive = deleted_.count(object.key) != 0;
+  if (!revive && sp_values_.count(object.key) != 0) {
+    throw std::invalid_argument("Insert: key already present");
+  }
+  const Hash vh = crypto::ValueHash(object.value);
+  chain::TxReceipt receipt =
+      env_.Execute(contract(), revive ? "revive" : "insert", [&](gas::Meter& m) {
+        impl_->ChainOp(options_.kind, /*insert=*/!revive, object.key, vh, m);
+      });
+  if (!receipt.ok) {
+    poisoned_ = true;
+    return receipt;
+  }
+  ApplyToSp(/*insert=*/!revive, object.key, object.value, vh);
+  deleted_.erase(object.key);
+  ++size_;
+  journal_.Record({JournalEntry::Op::kInsert, object});
+  return receipt;
+}
+
+chain::TxReceipt AuthenticatedDb::Update(const Object& object) {
+  if (poisoned_) {
+    throw std::logic_error("AuthenticatedDb poisoned by an out-of-gas transaction");
+  }
+  if (!Contains(object.key)) {
+    throw std::invalid_argument("Update: unknown key");
+  }
+  const Hash vh = crypto::ValueHash(object.value);
+  chain::TxReceipt receipt =
+      env_.Execute(contract(), "update", [&](gas::Meter& m) {
+        impl_->ChainOp(options_.kind, /*insert=*/false, object.key, vh, m);
+      });
+  if (!receipt.ok) {
+    poisoned_ = true;
+    return receipt;
+  }
+  ApplyToSp(/*insert=*/false, object.key, object.value, vh);
+  journal_.Record({JournalEntry::Op::kUpdate, object});
+  return receipt;
+}
+
+chain::TxReceipt AuthenticatedDb::Delete(Key key) {
+  if (poisoned_) {
+    throw std::logic_error("AuthenticatedDb poisoned by an out-of-gas transaction");
+  }
+  if (!Contains(key)) {
+    throw std::invalid_argument("Delete: unknown key");
+  }
+  const Hash vh = crypto::ValueHash(TombstoneValue());
+  chain::TxReceipt receipt =
+      env_.Execute(contract(), "delete", [&](gas::Meter& m) {
+        impl_->ChainOp(options_.kind, /*insert=*/false, key, vh, m);
+      });
+  if (!receipt.ok) {
+    poisoned_ = true;
+    return receipt;
+  }
+  ApplyToSp(/*insert=*/false, key, TombstoneValue(), vh);
+  deleted_.insert(key);
+  --size_;
+  journal_.Record({JournalEntry::Op::kDelete, {key, {}}});
+  return receipt;
+}
+
+chain::TxReceipt AuthenticatedDb::InsertBatch(const std::vector<Object>& objects) {
+  if (poisoned_) {
+    throw std::logic_error("AuthenticatedDb poisoned by an out-of-gas transaction");
+  }
+  std::unordered_set<Key> batch_keys;
+  for (const Object& obj : objects) {
+    if (sp_values_.count(obj.key) != 0 || !batch_keys.insert(obj.key).second) {
+      throw std::invalid_argument("InsertBatch: duplicate or existing key");
+    }
+  }
+  chain::TxReceipt receipt =
+      env_.Execute(contract(), "insert_batch", [&](gas::Meter& m) {
+        for (const Object& obj : objects) {
+          impl_->ChainOp(options_.kind, /*insert=*/true, obj.key,
+                         crypto::ValueHash(obj.value), m);
+        }
+      });
+  if (!receipt.ok) {
+    poisoned_ = true;
+    return receipt;
+  }
+  for (const Object& obj : objects) {
+    ApplyToSp(/*insert=*/true, obj.key, obj.value, crypto::ValueHash(obj.value));
+    ++size_;
+    journal_.Record({JournalEntry::Op::kInsert, obj});
+  }
+  return receipt;
+}
+
+bool AuthenticatedDb::Contains(Key key) const {
+  return sp_values_.count(key) != 0 && deleted_.count(key) == 0;
+}
+
+QueryResponse AuthenticatedDb::Query(Key lb, Key ub) const {
+  QueryResponse response;
+  response.lb = lb;
+  response.ub = ub;
+
+  std::vector<ads::TreeAnswer> answers;
+  switch (options_.kind) {
+    case AdsKind::kMbTree: {
+      ads::TreeAnswer a;
+      a.label = "mbtree.root";
+      a.vo = impl_->mb_sp->RangeQuery(lb, ub, &a.result);
+      answers.push_back(std::move(a));
+      break;
+    }
+    case AdsKind::kSmbTree: {
+      ads::TreeAnswer a;
+      a.label = "smbtree.root";
+      a.vo = impl_->smb_sp->RangeQuery(lb, ub, &a.result);
+      answers.push_back(std::move(a));
+      break;
+    }
+    case AdsKind::kLsm: {
+      for (size_t i = 0; i < impl_->lsm_sp->num_levels(); ++i) {
+        ads::TreeAnswer a;
+        a.label = "lsm.L" + std::to_string(i);
+        a.vo = impl_->lsm_sp->RangeQuery(i, lb, ub, &a.result);
+        answers.push_back(std::move(a));
+      }
+      break;
+    }
+    case AdsKind::kGem2:
+      answers = impl_->gem2_sp->Query(lb, ub);
+      break;
+    case AdsKind::kGem2Star:
+      answers = impl_->star_sp->Query(lb, ub);
+      response.upper_splits = impl_->star_sp->split_points();
+      break;
+  }
+
+  for (ads::TreeAnswer& a : answers) {
+    TreeResultSet set;
+    set.label = std::move(a.label);
+    set.objects = ToObjects(a.result, sp_values_);
+    set.vo = std::move(a.vo);
+    response.trees.push_back(std::move(set));
+  }
+  return response;
+}
+
+uint64_t VoSpBytes(const QueryResponse& response) {
+  uint64_t total = 0;
+  for (const TreeResultSet& t : response.trees) {
+    total += t.label.size() + ads::VoSizeBytes(t.vo);
+  }
+  total += response.upper_splits.size() * sizeof(Key);
+  return total;
+}
+
+VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
+                              bool chain_valid, AdsKind kind,
+                              const QueryResponse& response) {
+  VerifiedResult out;
+  out.vo_sp_bytes = VoSpBytes(response);
+  for (const chain::ProvenDigest& pd : state.digests) {
+    out.vo_chain_bytes += pd.entry.label.size() + 32 + pd.proof.size() * 33;
+    for (const Bytes& node : pd.mpt_proof) out.vo_chain_bytes += node.size();
+  }
+  out.vo_chain_bytes += 4 * 32 + 24;  // block header fields
+
+  auto fail = [&](const std::string& msg) {
+    out.ok = false;
+    out.error = msg;
+    out.objects.clear();
+    return out;
+  };
+
+  if (!chain_valid) return fail("blockchain failed validation");
+  if (!chain::Environment::VerifyAuthenticatedState(state)) {
+    return fail("VO_chain inclusion proofs do not match the block state root");
+  }
+
+  std::map<std::string, Hash> digest_by_label;
+  for (const chain::ProvenDigest& pd : state.digests) {
+    if (!digest_by_label.emplace(pd.entry.label, pd.entry.digest).second) {
+      return fail("duplicate digest label in VO_chain");
+    }
+  }
+
+  // Which VO_chain trees must be answered?
+  std::vector<std::string> required;
+  if (kind == AdsKind::kGem2Star) {
+    auto upper = digest_by_label.find("upper");
+    if (upper == digest_by_label.end()) {
+      return fail("VO_chain misses the upper-level digest");
+    }
+    if (upper->second != gem2star::UpperLevelDigest(response.upper_splits)) {
+      return fail("upper-level split points do not match VO_chain");
+    }
+    const size_t li = RegionOf(response.upper_splits, response.lb);
+    const size_t ui = RegionOf(response.upper_splits, response.ub);
+    for (const auto& [label, digest] : digest_by_label) {
+      if (label == "upper") continue;
+      if (label == "P0") {
+        required.push_back(label);
+        continue;
+      }
+      for (size_t r = li; r <= ui; ++r) {
+        if (HasRegionPrefix(label, r)) {
+          required.push_back(label);
+          break;
+        }
+      }
+    }
+  } else {
+    for (const auto& [label, digest] : digest_by_label) required.push_back(label);
+  }
+
+  // Verify every answered tree against its on-chain digest.
+  std::map<std::string, bool> answered;
+  std::map<Key, Object> by_key;
+  for (const TreeResultSet& tree : response.trees) {
+    auto digest = digest_by_label.find(tree.label);
+    if (digest == digest_by_label.end()) {
+      return fail("answer for unknown tree '" + tree.label + "'");
+    }
+    if (!answered.emplace(tree.label, true).second) {
+      return fail("duplicate answer for tree '" + tree.label + "'");
+    }
+    ads::VerifyOutcome outcome = ads::VerifyTreeVo(
+        response.lb, response.ub, tree.vo, digest->second, tree.objects);
+    if (!outcome.ok) {
+      return fail("tree '" + tree.label + "': " + outcome.error);
+    }
+    for (const Object& obj : tree.objects) {
+      if (!by_key.emplace(obj.key, obj).second) {
+        return fail("key appears in multiple trees");
+      }
+    }
+  }
+
+  // Completeness across trees: every required tree must have been answered.
+  for (const std::string& label : required) {
+    if (answered.find(label) == answered.end()) {
+      return fail("missing answer for tree '" + label + "'");
+    }
+  }
+
+  out.ok = true;
+  out.objects.reserve(by_key.size());
+  for (auto& [key, obj] : by_key) {
+    // Deleted objects carry the dummy tombstone payload (paper Section V-B):
+    // they participate in all proofs but are dropped from the logical result.
+    if (IsTombstone(obj.value)) {
+      ++out.tombstones_filtered;
+      continue;
+    }
+    out.objects.push_back(std::move(obj));
+  }
+  return out;
+}
+
+VerifiedResult AuthenticatedDb::Verify(const QueryResponse& response) {
+  chain::AuthenticatedState state = env_.ReadAuthenticatedState(kContractName);
+  // SPV-style client: follow headers (PoW + linkage) and anchor VO_chain at
+  // the tip, instead of revalidating the whole chain per query.
+  light_client_->Sync(env_.blockchain());
+  std::string error;
+  const bool chain_valid = light_client_->VerifyStateAtTip(state, &error);
+  return VerifyResponse(state, chain_valid, options_.kind, response);
+}
+
+VerifiedResult AuthenticatedDb::VerifyFor(Key lb, Key ub,
+                                          const QueryResponse& response) {
+  if (response.lb != lb || response.ub != ub) {
+    VerifiedResult out;
+    out.ok = false;
+    out.error = "response range does not match the issued query";
+    return out;
+  }
+  return Verify(response);
+}
+
+VerifiedResult AuthenticatedDb::AuthenticatedRange(Key lb, Key ub) {
+  return Verify(Query(lb, ub));
+}
+
+std::unique_ptr<AuthenticatedDb> AuthenticatedDb::Replay(DbOptions options,
+                                                         const Journal& journal) {
+  auto db = std::make_unique<AuthenticatedDb>(std::move(options));
+  for (const JournalEntry& e : journal.entries()) {
+    chain::TxReceipt receipt;
+    switch (e.op) {
+      case JournalEntry::Op::kInsert:
+        receipt = db->Insert(e.object);
+        break;
+      case JournalEntry::Op::kUpdate:
+        receipt = db->Update(e.object);
+        break;
+      case JournalEntry::Op::kDelete:
+        receipt = db->Delete(e.object.key);
+        break;
+    }
+    if (!receipt.ok) {
+      throw std::runtime_error("journal replay aborted: " + receipt.error);
+    }
+  }
+  return db;
+}
+
+std::vector<chain::DigestEntry> AuthenticatedDb::ChainDigests() const {
+  return contract().AuthenticatedDigests();
+}
+
+void AuthenticatedDb::CheckConsistency() const {
+  auto require = [](bool cond, const char* msg) {
+    if (!cond) throw std::logic_error(msg);
+  };
+  switch (options_.kind) {
+    case AdsKind::kMbTree:
+      require(impl_->mb_contract->tree().root_digest() ==
+                  impl_->mb_sp->root_digest(),
+              "MB-tree contract/SP roots diverged");
+      impl_->mb_contract->tree().CheckInvariants();
+      impl_->mb_sp->CheckInvariants();
+      break;
+    case AdsKind::kSmbTree:
+      require(impl_->smb_contract->root_digest() == impl_->smb_sp->root_digest(),
+              "SMB-tree contract/SP roots diverged");
+      break;
+    case AdsKind::kLsm:
+      require(impl_->lsm_contract->num_levels() == impl_->lsm_sp->num_levels(),
+              "LSM level counts diverged");
+      for (size_t i = 0; i < impl_->lsm_sp->num_levels(); ++i) {
+        require(impl_->lsm_contract->level_root(i) == impl_->lsm_sp->level_root(i),
+                "LSM level roots diverged");
+      }
+      break;
+    case AdsKind::kGem2:
+      require(impl_->gem2_contract->engine().Digests() == impl_->gem2_sp->Digests(),
+              "GEM2 contract/SP digests diverged");
+      impl_->gem2_contract->engine().CheckInvariants();
+      impl_->gem2_sp->CheckInvariants();
+      break;
+    case AdsKind::kGem2Star:
+      require(impl_->star_contract->engine().Digests() == impl_->star_sp->Digests(),
+              "GEM2* contract/SP digests diverged");
+      impl_->star_contract->engine().CheckInvariants();
+      impl_->star_sp->CheckInvariants();
+      break;
+  }
+}
+
+}  // namespace gem2::core

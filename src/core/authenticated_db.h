@@ -1,0 +1,163 @@
+/// \file authenticated_db.h
+/// The library's top-level public API: a hybrid-storage blockchain database
+/// with authenticated range queries (paper Fig. 1).
+///
+/// An AuthenticatedDb wires together all four parties of the system model:
+///   - the data owner, whose Insert/Update calls are sent both to the smart
+///     contract (as metered transactions on the simulated chain) and to the
+///     off-chain service provider;
+///   - the blockchain, which maintains the chosen ADS inside a contract and
+///     commits its digests into every block;
+///   - the service provider (SP), which stores the raw objects and answers
+///     range queries with verification objects (VO_sp);
+///   - the client, which checks soundness and completeness of each answer
+///     against the on-chain digests (VO_chain).
+///
+/// The ADS is selectable: the paper's GEM2-tree and GEM2*-tree, the MB-tree
+/// and SMB-tree baselines, and the LSM-tree comparator.
+#ifndef GEM2_CORE_AUTHENTICATED_DB_H_
+#define GEM2_CORE_AUTHENTICATED_DB_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/environment.h"
+#include "chain/light_client.h"
+#include "core/journal.h"
+#include "core/response.h"
+#include "gem2/engine.h"
+#include "gem2/options.h"
+#include "gem2star/gem2star.h"
+#include "lsm/lsm.h"
+#include "mbtree/contract.h"
+#include "smbtree/smbtree.h"
+
+namespace gem2::core {
+
+enum class AdsKind { kMbTree, kSmbTree, kLsm, kGem2, kGem2Star };
+
+std::string AdsKindName(AdsKind kind);
+
+struct DbOptions {
+  AdsKind kind = AdsKind::kGem2;
+  /// GEM2 / GEM2* parameters (also supplies the fanout for the baselines).
+  gem2tree::Gem2Options gem2;
+  /// GEM2*-tree upper-level split points (quantiles of the expected key
+  /// distribution; see workload::WorkloadGenerator::SplitPoints).
+  std::vector<Key> split_points;
+  lsm::LsmOptions lsm;
+  chain::EnvironmentOptions env;
+};
+
+class AuthenticatedDb {
+ public:
+  explicit AuthenticatedDb(DbOptions options = {});
+  ~AuthenticatedDb();
+
+  AuthenticatedDb(const AuthenticatedDb&) = delete;
+  AuthenticatedDb& operator=(const AuthenticatedDb&) = delete;
+
+  // --- Data-owner interface ---------------------------------------------
+
+  /// Inserts a fresh object: one metered transaction on-chain plus the SP
+  /// mirror update. Throws std::logic_error if a prior transaction ran out
+  /// of gas (the contract is then unusable — see chain/storage.h).
+  chain::TxReceipt Insert(const Object& object);
+
+  /// Updates an existing object's value.
+  chain::TxReceipt Update(const Object& object);
+
+  /// Deletes a key (paper Section V-B): the object is replaced by a dummy
+  /// tombstone value on-chain and at the SP; the client filters tombstones
+  /// from verified results. Re-inserting a deleted key revives it.
+  chain::TxReceipt Delete(Key key);
+
+  /// Inserts many fresh objects in ONE transaction: a single intrinsic fee
+  /// and one gasLimit budget (large batches can therefore abort where the
+  /// same objects inserted one-by-one would not).
+  chain::TxReceipt InsertBatch(const std::vector<Object>& objects);
+
+  /// True when the key is present and not deleted.
+  bool Contains(Key key) const;
+  /// Live (non-deleted) objects.
+  uint64_t size() const { return size_; }
+
+  // --- Service-provider interface ---------------------------------------
+
+  /// Runs the range query on the SP's materialized ADS, returning the result
+  /// objects and VO_sp (Algorithms 5 / 7).
+  QueryResponse Query(Key lb, Key ub) const;
+
+  // --- Client interface ---------------------------------------------------
+
+  /// Full client-side verification (Algorithms 6 / 8): retrieves VO_chain
+  /// from the blockchain (validating the chain, the state commitment, and
+  /// the inclusion proofs), then checks every tree's soundness and
+  /// completeness. Returns the verified, key-ordered result.
+  VerifiedResult Verify(const QueryResponse& response);
+
+  /// As Verify, but pins the range the client actually asked for: a response
+  /// claiming any other range (e.g. a tampered wire image widening the upper
+  /// bound) is rejected outright. Use this whenever the response crossed a
+  /// trust boundary (Algorithm 6's input is the client's own Q).
+  VerifiedResult VerifyFor(Key lb, Key ub, const QueryResponse& response);
+
+  /// Convenience: Query + Verify in one call.
+  VerifiedResult AuthenticatedRange(Key lb, Key ub);
+
+  // --- Introspection -------------------------------------------------------
+
+  chain::Environment& environment() { return env_; }
+  const DbOptions& options() const { return options_; }
+  /// True once a transaction ran out of gas (db no longer usable).
+  bool poisoned() const { return poisoned_; }
+
+  /// Digest labels the client would currently require for [lb, ub].
+  std::vector<chain::DigestEntry> ChainDigests() const;
+
+  /// Every successful data-owner operation, in order (see core/journal.h).
+  const Journal& journal() const { return journal_; }
+
+  /// Rebuilds a database by replaying a journal against fresh chain and SP
+  /// state — the SP recovery path. The result's digests match the source's
+  /// bit-for-bit (reconstruction is deterministic); any journal corruption
+  /// shows up as a digest mismatch or a replay error.
+  static std::unique_ptr<AuthenticatedDb> Replay(DbOptions options,
+                                                 const Journal& journal);
+
+  /// Cross-checks contract and SP mirrors (tests): digests must agree and
+  /// structural invariants must hold.
+  void CheckConsistency() const;
+
+ private:
+  struct Impl;
+
+  chain::Contract& contract();
+  const chain::Contract& contract() const;
+
+  /// Applies a successfully committed op to the SP-side mirror.
+  void ApplyToSp(bool insert, Key key, const std::string& value, const Hash& vh);
+
+  DbOptions options_;
+  chain::Environment env_;
+  std::unique_ptr<Impl> impl_;
+  std::unordered_map<Key, std::string> sp_values_;  // SP raw-object store
+  std::unordered_set<Key> deleted_;                 // tombstoned keys
+  Journal journal_;                                 // successful ops, in order
+  std::unique_ptr<chain::LightClient> light_client_;
+  uint64_t size_ = 0;
+  bool poisoned_ = false;
+};
+
+/// Client-side verification given an already-retrieved authenticated state.
+/// Exposed separately so tests can feed tampered states/responses.
+VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
+                              bool chain_valid, AdsKind kind,
+                              const QueryResponse& response);
+
+}  // namespace gem2::core
+
+#endif  // GEM2_CORE_AUTHENTICATED_DB_H_

@@ -1,0 +1,55 @@
+#include "core/journal.h"
+
+namespace gem2::core {
+namespace {
+
+constexpr uint8_t kFormatVersion = 1;
+
+}  // namespace
+
+Bytes Journal::Serialize() const {
+  Bytes out;
+  out.push_back(kFormatVersion);
+  AppendUint64(&out, entries_.size());
+  for (const JournalEntry& e : entries_) {
+    out.push_back(static_cast<uint8_t>(e.op));
+    AppendKey(&out, e.object.key);
+    AppendUint64(&out, e.object.value.size());
+    AppendString(&out, e.object.value);
+  }
+  return out;
+}
+
+std::optional<Journal> Journal::Parse(const Bytes& data) {
+  size_t pos = 0;
+  auto need = [&](size_t n) { return pos + n <= data.size(); };
+  auto u64 = [&]() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data[pos++];
+    return v;
+  };
+
+  if (!need(1) || data[pos++] != kFormatVersion) return std::nullopt;
+  if (!need(8)) return std::nullopt;
+  const uint64_t n = u64();
+  if (n > (1ull << 32)) return std::nullopt;
+
+  Journal journal;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!need(1 + 8 + 8)) return std::nullopt;
+    JournalEntry e;
+    const uint8_t op = data[pos++];
+    if (op < 1 || op > 3) return std::nullopt;
+    e.op = static_cast<JournalEntry::Op>(op);
+    e.object.key = static_cast<Key>(u64());
+    const uint64_t len = u64();
+    if (!need(len)) return std::nullopt;
+    e.object.value.assign(reinterpret_cast<const char*>(data.data() + pos), len);
+    pos += len;
+    journal.Record(std::move(e));
+  }
+  if (pos != data.size()) return std::nullopt;
+  return journal;
+}
+
+}  // namespace gem2::core

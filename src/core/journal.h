@@ -1,0 +1,52 @@
+/// \file journal.h
+/// Data-owner operation journal and service-provider recovery.
+///
+/// In the hybrid-storage architecture the SP's materialized ADS is *derived*
+/// state: every structural decision is a deterministic function of the
+/// data-owner operation stream. A crashed or newly provisioned SP therefore
+/// recovers by replaying the journal — and because the on-chain digests
+/// commit to the same stream, a client can tell immediately (via any
+/// authenticated query) whether the rebuilt SP is consistent with the chain.
+///
+/// The journal also serializes to bytes, so operators can ship it between
+/// machines; a corrupted journal surfaces as digest divergence, never as a
+/// silently wrong SP.
+#ifndef GEM2_CORE_JOURNAL_H_
+#define GEM2_CORE_JOURNAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace gem2::core {
+
+/// One data-owner operation, in stream order.
+struct JournalEntry {
+  enum class Op : uint8_t { kInsert = 1, kUpdate = 2, kDelete = 3 };
+  Op op = Op::kInsert;
+  Object object;  // for kDelete only the key matters
+
+  friend bool operator==(const JournalEntry& a, const JournalEntry& b) = default;
+};
+
+class Journal {
+ public:
+  void Record(JournalEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<JournalEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  Bytes Serialize() const;
+  static std::optional<Journal> Parse(const Bytes& data);
+
+  friend bool operator==(const Journal& a, const Journal& b) = default;
+
+ private:
+  std::vector<JournalEntry> entries_;
+};
+
+}  // namespace gem2::core
+
+#endif  // GEM2_CORE_JOURNAL_H_

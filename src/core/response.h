@@ -1,0 +1,51 @@
+/// \file response.h
+/// Wire types of the authenticated-query protocol between the service
+/// provider and the client (paper Fig. 1: R + VO_sp).
+#ifndef GEM2_CORE_RESPONSE_H_
+#define GEM2_CORE_RESPONSE_H_
+
+#include <string>
+#include <vector>
+
+#include "ads/vo.h"
+#include "common/types.h"
+
+namespace gem2::core {
+
+/// One tree's contribution to a query answer: the objects it holds inside the
+/// range (raw values — the SP keeps them off-chain) plus its VO.
+struct TreeResultSet {
+  std::string label;  // matches a VO_chain digest label
+  std::vector<Object> objects;
+  ads::TreeVo vo;
+};
+
+/// VO_sp + R, as produced by ServiceProvider::Query.
+struct QueryResponse {
+  Key lb = 0;
+  Key ub = 0;
+  std::vector<TreeResultSet> trees;
+  /// GEM2*-tree only: the upper-level split points, authenticated against
+  /// VO_chain's "upper" digest (Algorithm 8 line 2).
+  std::vector<Key> upper_splits;
+};
+
+/// Serialized size of the VO_sp portion (boundary hashes, pruned subtrees,
+/// tree framing — not the raw result payloads).
+uint64_t VoSpBytes(const QueryResponse& response);
+
+/// Outcome of full client-side verification (Algorithms 6 / 8).
+struct VerifiedResult {
+  bool ok = false;
+  std::string error;
+  /// The verified result set, in ascending key order. Tombstoned (deleted)
+  /// objects have already been filtered out — see core/tombstone.h.
+  std::vector<Object> objects;
+  uint64_t tombstones_filtered = 0;
+  uint64_t vo_sp_bytes = 0;
+  uint64_t vo_chain_bytes = 0;
+};
+
+}  // namespace gem2::core
+
+#endif  // GEM2_CORE_RESPONSE_H_

@@ -1,0 +1,32 @@
+/// \file tombstone.h
+/// Deletion support (paper Section V-B): "the deletion operation can be seen
+/// as updating the data object with a dummy one."
+///
+/// A deleted key stays in every ADS — its value is replaced by a fixed dummy
+/// payload — so digests and completeness proofs keep working unchanged. The
+/// SP returns tombstoned objects like any others (they are needed for the
+/// completeness argument); the *client* filters them from the verified result
+/// after the cryptographic checks pass.
+#ifndef GEM2_CORE_TOMBSTONE_H_
+#define GEM2_CORE_TOMBSTONE_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace gem2::core {
+
+/// The dummy payload marking a deleted object. Contains a NUL byte so no
+/// ordinary text payload collides with it.
+inline const std::string& TombstoneValue() {
+  static const std::string kTombstone("\0GEM2_TOMBSTONE\0", 16);
+  return kTombstone;
+}
+
+inline bool IsTombstone(const std::string& value) {
+  return value == TombstoneValue();
+}
+
+}  // namespace gem2::core
+
+#endif  // GEM2_CORE_TOMBSTONE_H_

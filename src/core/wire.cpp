@@ -1,0 +1,127 @@
+#include "core/wire.h"
+
+#include "ads/vo.h"
+
+namespace gem2::core {
+namespace {
+
+constexpr uint8_t kFormatVersion = 1;
+
+void AppendVarString(Bytes* out, const std::string& s) {
+  AppendUint64(out, s.size());
+  AppendString(out, s);
+}
+
+struct Reader {
+  const Bytes& data;
+  size_t pos = 0;
+  bool failed = false;
+
+  bool Need(size_t n) {
+    if (pos + n > data.size()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  uint8_t Byte() {
+    if (!Need(1)) return 0;
+    return data[pos++];
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data[pos++];
+    return v;
+  }
+
+  std::string ReadString() {
+    const uint64_t n = U64();
+    if (failed || !Need(n)) {
+      failed = true;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data.data() + pos), n);
+    pos += n;
+    return s;
+  }
+
+  Bytes ReadBlob() {
+    const uint64_t n = U64();
+    if (failed || !Need(n)) {
+      failed = true;
+      return {};
+    }
+    Bytes b(data.begin() + static_cast<long>(pos),
+            data.begin() + static_cast<long>(pos + n));
+    pos += n;
+    return b;
+  }
+};
+
+}  // namespace
+
+Bytes SerializeResponse(const QueryResponse& response) {
+  Bytes out;
+  out.push_back(kFormatVersion);
+  AppendKey(&out, response.lb);
+  AppendKey(&out, response.ub);
+  AppendUint64(&out, response.upper_splits.size());
+  for (Key s : response.upper_splits) AppendKey(&out, s);
+  AppendUint64(&out, response.trees.size());
+  for (const TreeResultSet& tree : response.trees) {
+    AppendVarString(&out, tree.label);
+    AppendUint64(&out, tree.objects.size());
+    for (const Object& obj : tree.objects) {
+      AppendKey(&out, obj.key);
+      AppendVarString(&out, obj.value);
+    }
+    Bytes vo = ads::SerializeTreeVo(tree.vo);
+    AppendUint64(&out, vo.size());
+    out.insert(out.end(), vo.begin(), vo.end());
+  }
+  return out;
+}
+
+std::optional<QueryResponse> ParseResponse(const Bytes& data) {
+  Reader r{data};
+  if (r.Byte() != kFormatVersion) return std::nullopt;
+  QueryResponse response;
+  response.lb = static_cast<Key>(r.U64());
+  response.ub = static_cast<Key>(r.U64());
+  const uint64_t num_splits = r.U64();
+  if (r.failed || num_splits > (1ull << 24)) return std::nullopt;
+  response.upper_splits.reserve(num_splits);
+  for (uint64_t i = 0; i < num_splits; ++i) {
+    response.upper_splits.push_back(static_cast<Key>(r.U64()));
+  }
+  const uint64_t num_trees = r.U64();
+  if (r.failed || num_trees > (1ull << 24)) return std::nullopt;
+  response.trees.reserve(num_trees);
+  for (uint64_t t = 0; t < num_trees; ++t) {
+    TreeResultSet tree;
+    tree.label = r.ReadString();
+    const uint64_t num_objects = r.U64();
+    if (r.failed || num_objects > (1ull << 32)) return std::nullopt;
+    tree.objects.reserve(num_objects);
+    for (uint64_t i = 0; i < num_objects; ++i) {
+      Object obj;
+      obj.key = static_cast<Key>(r.U64());
+      obj.value = r.ReadString();
+      if (r.failed) return std::nullopt;
+      tree.objects.push_back(std::move(obj));
+    }
+    Bytes vo_bytes = r.ReadBlob();
+    if (r.failed) return std::nullopt;
+    auto vo = ads::ParseTreeVo(vo_bytes);
+    if (!vo.has_value()) return std::nullopt;
+    tree.vo = std::move(*vo);
+    response.trees.push_back(std::move(tree));
+  }
+  if (r.pos != data.size()) return std::nullopt;
+  return response;
+}
+
+}  // namespace gem2::core

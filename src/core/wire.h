@@ -1,0 +1,27 @@
+/// \file wire.h
+/// Wire codec for the SP -> client protocol: a QueryResponse (result objects,
+/// per-tree VOs, and — for the GEM2*-tree — the upper-level split points)
+/// serializes to a compact byte string. This is what would travel over the
+/// network in a deployment, and it makes the reported VO sizes concrete:
+/// VoSpBytes(response) accounts exactly the proof portion of these bytes.
+#ifndef GEM2_CORE_WIRE_H_
+#define GEM2_CORE_WIRE_H_
+
+#include <optional>
+
+#include "core/response.h"
+
+namespace gem2::core {
+
+/// Serializes a full query response.
+Bytes SerializeResponse(const QueryResponse& response);
+
+/// Parses a serialized response; std::nullopt on malformed input. A parsed
+/// response carries exactly the same verification guarantees: the client
+/// verifies it against VO_chain as usual, so a corrupted or tampered wire
+/// image is rejected at verification (or here, if structurally invalid).
+std::optional<QueryResponse> ParseResponse(const Bytes& data);
+
+}  // namespace gem2::core
+
+#endif  // GEM2_CORE_WIRE_H_

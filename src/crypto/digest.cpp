@@ -1,0 +1,39 @@
+#include "crypto/digest.h"
+
+namespace gem2::crypto {
+
+Hash EntryDigest(Key key, const Hash& value_hash) {
+  Keccak256Hasher h;
+  h.UpdateKey(key);
+  h.Update(value_hash);
+  return h.Finalize();
+}
+
+Hash ContentDigest(std::span<const Hash> children) {
+  Keccak256Hasher h;
+  for (const Hash& c : children) h.Update(c);
+  return h.Finalize();
+}
+
+Hash WrapDigest(Key lo, Key hi, const Hash& content) {
+  Keccak256Hasher h;
+  h.UpdateKey(lo);
+  h.UpdateKey(hi);
+  h.Update(content);
+  return h.Finalize();
+}
+
+Hash EmptyTreeDigest() {
+  static const Hash kEmpty = Keccak256(std::string("GEM2_EMPTY_TREE"));
+  return kEmpty;
+}
+
+Hash ValueHash(const std::string& value) { return Keccak256(value); }
+
+uint64_t EntryDigestBytes() { return 8 + 32; }
+
+uint64_t ContentDigestBytes(size_t num_children) { return 32 * num_children; }
+
+uint64_t WrapDigestBytes() { return 8 + 8 + 32; }
+
+}  // namespace gem2::crypto

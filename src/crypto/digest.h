@@ -1,0 +1,48 @@
+/// \file digest.h
+/// The node-digest scheme shared by every authenticated tree in this library.
+///
+/// The paper (Fig. 5) encodes key boundaries into SMB-tree root hashes, e.g.
+/// h7 = h(13 || 91 || h(h5 || h6)). We apply the same wrapping at *every* node:
+///
+///   entry digest  = H(key || value_hash)
+///   node digest   = H(lo || hi || H(child_digest_1 || ... || child_digest_n))
+///
+/// where [lo, hi] is the subtree's key range. This is identical to the paper's
+/// scheme at roots and strictly generalizes it inside trees; it lets the client
+/// check pruned-subtree boundaries uniformly (see ads/verify.h).
+#ifndef GEM2_CRYPTO_DIGEST_H_
+#define GEM2_CRYPTO_DIGEST_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/keccak.h"
+
+namespace gem2::crypto {
+
+/// Digest of a single indexed object: H(key || value_hash).
+Hash EntryDigest(Key key, const Hash& value_hash);
+
+/// Digest of the concatenation of child digests: H(d1 || d2 || ... || dn).
+Hash ContentDigest(std::span<const Hash> children);
+
+/// Boundary-wrapped node digest: H(lo || hi || content).
+Hash WrapDigest(Key lo, Key hi, const Hash& content);
+
+/// Digest of an empty tree (fixed domain-separated constant).
+Hash EmptyTreeDigest();
+
+/// Hash of a raw object payload, i.e. the h(value) stored on-chain.
+Hash ValueHash(const std::string& value);
+
+/// Gas-accounting helper: number of message bytes hashed by EntryDigest /
+/// ContentDigest / WrapDigest calls, so metered implementations can charge
+/// Chash = 30 + 6 * ceil(bytes / 32) for the identical computation.
+uint64_t EntryDigestBytes();
+uint64_t ContentDigestBytes(size_t num_children);
+uint64_t WrapDigestBytes();
+
+}  // namespace gem2::crypto
+
+#endif  // GEM2_CRYPTO_DIGEST_H_

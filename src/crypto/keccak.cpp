@@ -1,0 +1,146 @@
+#include "crypto/keccak.h"
+
+#include <cstring>
+
+namespace gem2::crypto {
+namespace {
+
+constexpr int kRounds = 24;
+constexpr size_t kRate = 136;  // bytes; 1600 - 2*256 bits
+
+constexpr uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+// Rotation offsets, indexed [x][y] flattened as x + 5*y.
+constexpr int kRotc[25] = {
+    0,  1,  62, 28, 27,  //
+    36, 44, 6,  55, 20,  //
+    3,  10, 43, 25, 39,  //
+    41, 45, 15, 21, 8,   //
+    18, 2,  61, 56, 14,
+};
+
+inline uint64_t Rotl64(uint64_t v, int n) {
+  return n == 0 ? v : (v << n) | (v >> (64 - n));
+}
+
+void KeccakF1600(uint64_t a[25]) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta.
+    uint64_t c[5], d[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ Rotl64(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d[x];
+    }
+    // Rho + Pi.
+    uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        // B[y, 2x+3y] = rotl(A[x, y], r[x, y])
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = Rotl64(a[x + 5 * y], kRotc[x + 5 * y]);
+      }
+    }
+    // Chi.
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] = b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota.
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+Keccak256Hasher::Keccak256Hasher() : buffer_len_(0), absorbed_(0), finalized_(false) {
+  std::memset(state_, 0, sizeof(state_));
+  std::memset(buffer_, 0, sizeof(buffer_));
+}
+
+void Keccak256Hasher::AbsorbBlock() {
+  for (size_t i = 0; i < kRate / 8; ++i) {
+    uint64_t lane = 0;
+    for (int j = 0; j < 8; ++j) {
+      lane |= static_cast<uint64_t>(buffer_[8 * i + j]) << (8 * j);
+    }
+    state_[i] ^= lane;
+  }
+  KeccakF1600(state_);
+  buffer_len_ = 0;
+}
+
+Keccak256Hasher& Keccak256Hasher::Update(const uint8_t* data, size_t len) {
+  absorbed_ += len;
+  while (len > 0) {
+    size_t take = kRate - buffer_len_;
+    if (take > len) take = len;
+    std::memcpy(buffer_ + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == kRate) AbsorbBlock();
+  }
+  return *this;
+}
+
+Keccak256Hasher& Keccak256Hasher::Update(const Bytes& data) {
+  return Update(data.data(), data.size());
+}
+
+Keccak256Hasher& Keccak256Hasher::Update(const Hash& h) {
+  return Update(h.data(), h.size());
+}
+
+Keccak256Hasher& Keccak256Hasher::Update(const std::string& s) {
+  return Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+Keccak256Hasher& Keccak256Hasher::UpdateKey(Key k) {
+  Bytes b;
+  AppendKey(&b, k);
+  return Update(b);
+}
+
+Hash Keccak256Hasher::Finalize() {
+  // Keccak (pre-SHA3) padding: append 0x01, zero fill, set top bit of last byte.
+  std::memset(buffer_ + buffer_len_, 0, kRate - buffer_len_);
+  buffer_[buffer_len_] = 0x01;
+  buffer_[kRate - 1] |= 0x80;
+  buffer_len_ = kRate;
+  AbsorbBlock();
+  finalized_ = true;
+
+  Hash out{};
+  for (size_t i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = static_cast<uint8_t>((state_[i] >> (8 * j)) & 0xff);
+    }
+  }
+  return out;
+}
+
+Hash Keccak256(const uint8_t* data, size_t len) {
+  Keccak256Hasher h;
+  h.Update(data, len);
+  return h.Finalize();
+}
+
+Hash Keccak256(const Bytes& data) { return Keccak256(data.data(), data.size()); }
+
+Hash Keccak256(const std::string& data) {
+  return Keccak256(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+}
+
+}  // namespace gem2::crypto

@@ -1,0 +1,52 @@
+/// \file keccak.h
+/// From-scratch Keccak-256 (the Ethereum variant of SHA-3, with the original
+/// 0x01 domain padding). This is the cryptographic hash `h(.)` used by every
+/// authenticated data structure in the library.
+#ifndef GEM2_CRYPTO_KECCAK_H_
+#define GEM2_CRYPTO_KECCAK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace gem2::crypto {
+
+/// One-shot Keccak-256 of an arbitrary byte string.
+Hash Keccak256(const uint8_t* data, size_t len);
+Hash Keccak256(const Bytes& data);
+Hash Keccak256(const std::string& data);
+
+/// Incremental Keccak-256 sponge. Absorb any number of chunks, then finalize.
+class Keccak256Hasher {
+ public:
+  Keccak256Hasher();
+
+  Keccak256Hasher& Update(const uint8_t* data, size_t len);
+  Keccak256Hasher& Update(const Bytes& data);
+  Keccak256Hasher& Update(const Hash& h);
+  Keccak256Hasher& Update(const std::string& s);
+  Keccak256Hasher& UpdateKey(Key k);
+
+  /// Pads, squeezes, and returns the digest. The hasher must not be reused
+  /// after finalization. `absorbed_bytes()` remains valid.
+  Hash Finalize();
+
+  /// Total number of message bytes absorbed so far (used for gas accounting:
+  /// Chash = 30 + 6 * ceil(bytes/32)).
+  uint64_t absorbed_bytes() const { return absorbed_; }
+
+ private:
+  void AbsorbBlock();
+
+  uint64_t state_[25];
+  uint8_t buffer_[136];  // rate for Keccak-256 = 1088 bits
+  size_t buffer_len_;
+  uint64_t absorbed_;
+  bool finalized_;
+};
+
+}  // namespace gem2::crypto
+
+#endif  // GEM2_CRYPTO_KECCAK_H_

@@ -1,0 +1,377 @@
+#include "crypto/mpt.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "crypto/keccak.h"
+#include "crypto/rlp.h"
+
+namespace gem2::crypto {
+namespace {
+
+using Nibbles = std::vector<uint8_t>;
+
+Nibbles ToNibbles(const Bytes& key) {
+  Nibbles out;
+  out.reserve(key.size() * 2);
+  for (uint8_t b : key) {
+    out.push_back(b >> 4);
+    out.push_back(b & 0x0f);
+  }
+  return out;
+}
+
+/// Hex-prefix encoding (yellow paper appendix C): packs a nibble path plus a
+/// leaf/extension flag into bytes.
+Bytes HexPrefix(const Nibbles& path, size_t from, size_t count, bool leaf) {
+  Bytes out;
+  const bool odd = (count % 2) != 0;
+  uint8_t first = static_cast<uint8_t>((leaf ? 2 : 0) + (odd ? 1 : 0)) << 4;
+  size_t i = from;
+  if (odd) {
+    first |= path[i++];
+  }
+  out.push_back(first);
+  for (; i + 1 < from + count + (odd ? 1 : 0); i += 2) {
+    out.push_back(static_cast<uint8_t>((path[i] << 4) | path[i + 1]));
+  }
+  return out;
+}
+
+/// Decodes a hex-prefix path; returns (nibbles, is_leaf) or nullopt.
+std::optional<std::pair<Nibbles, bool>> DecodeHexPrefix(const Bytes& data) {
+  if (data.empty()) return std::nullopt;
+  const uint8_t flag = data[0] >> 4;
+  if (flag > 3) return std::nullopt;
+  const bool leaf = flag >= 2;
+  const bool odd = (flag % 2) != 0;
+  Nibbles nibbles;
+  if (odd) nibbles.push_back(data[0] & 0x0f);
+  for (size_t i = 1; i < data.size(); ++i) {
+    nibbles.push_back(data[i] >> 4);
+    nibbles.push_back(data[i] & 0x0f);
+  }
+  return std::make_pair(std::move(nibbles), leaf);
+}
+
+size_t CommonPrefix(const Nibbles& a, size_t a_from, const Nibbles& b, size_t b_from) {
+  size_t n = 0;
+  while (a_from + n < a.size() && b_from + n < b.size() &&
+         a[a_from + n] == b[b_from + n]) {
+    ++n;
+  }
+  return n;
+}
+
+Bytes HashBytes(const Hash& h) { return Bytes(h.begin(), h.end()); }
+
+}  // namespace
+
+struct PatriciaTrie::Node {
+  enum class Kind { kLeaf, kExtension, kBranch };
+
+  Kind kind = Kind::kLeaf;
+  Nibbles path;   // leaf / extension
+  Bytes value;    // leaf value, or branch value slot
+  std::array<std::unique_ptr<Node>, 16> children;  // branch
+  std::unique_ptr<Node> next;                      // extension target
+
+  /// RLP encoding of this node (children referenced by hash).
+  Bytes Encode() const {
+    using rlp::Item;
+    switch (kind) {
+      case Kind::kLeaf:
+        return rlp::Encode(Item::List(
+            {Item::String(HexPrefix(path, 0, path.size(), true)),
+             Item::String(value)}));
+      case Kind::kExtension:
+        return rlp::Encode(Item::List(
+            {Item::String(HexPrefix(path, 0, path.size(), false)),
+             Item::String(HashBytes(next->HashNode()))}));
+      case Kind::kBranch: {
+        std::vector<Item> items;
+        items.reserve(17);
+        for (const auto& child : children) {
+          items.push_back(Item::String(
+              child == nullptr ? Bytes{} : HashBytes(child->HashNode())));
+        }
+        items.push_back(Item::String(value));
+        return rlp::Encode(Item::List(std::move(items)));
+      }
+    }
+    throw std::logic_error("unreachable");
+  }
+
+  Hash HashNode() const { return Keccak256(Encode()); }
+};
+
+PatriciaTrie::PatriciaTrie() = default;
+PatriciaTrie::~PatriciaTrie() = default;
+PatriciaTrie::PatriciaTrie(PatriciaTrie&&) noexcept = default;
+PatriciaTrie& PatriciaTrie::operator=(PatriciaTrie&&) noexcept = default;
+
+Hash PatriciaTrie::EmptyRoot() {
+  static const Hash kEmpty = Keccak256(rlp::EncodeString({}));
+  return kEmpty;
+}
+
+Hash PatriciaTrie::RootHash() const {
+  if (root_ == nullptr) return EmptyRoot();
+  return root_->HashNode();
+}
+
+void PatriciaTrie::Put(const Bytes& key, const Bytes& value) {
+  if (value.empty()) throw std::invalid_argument("MPT values must be non-empty");
+  Nibbles nibbles = ToNibbles(key);
+
+  // Recursive insert, written iteratively-by-recursion via a lambda.
+  struct Inserter {
+    const Nibbles& nibbles;
+    const Bytes& value;
+    bool replaced = false;
+
+    std::unique_ptr<PatriciaTrie::Node> Insert(
+        std::unique_ptr<PatriciaTrie::Node> node, size_t pos) {
+      using N = PatriciaTrie::Node;
+      if (node == nullptr) {
+        auto leaf = std::make_unique<N>();
+        leaf->kind = N::Kind::kLeaf;
+        leaf->path.assign(nibbles.begin() + static_cast<long>(pos), nibbles.end());
+        leaf->value = value;
+        return leaf;
+      }
+
+      switch (node->kind) {
+        case N::Kind::kLeaf: {
+          const size_t common = CommonPrefix(nibbles, pos, node->path, 0);
+          const size_t remaining = nibbles.size() - pos;
+          if (common == node->path.size() && common == remaining) {
+            node->value = value;  // overwrite
+            replaced = true;
+            return node;
+          }
+          // Split into a branch (optionally behind an extension).
+          auto branch = std::make_unique<N>();
+          branch->kind = N::Kind::kBranch;
+          // Existing leaf goes below the branch.
+          if (node->path.size() == common) {
+            branch->value = node->value;
+          } else {
+            auto old_leaf = std::make_unique<N>();
+            old_leaf->kind = N::Kind::kLeaf;
+            old_leaf->path.assign(node->path.begin() + static_cast<long>(common + 1),
+                                  node->path.end());
+            old_leaf->value = std::move(node->value);
+            branch->children[node->path[common]] = std::move(old_leaf);
+          }
+          // New value goes below the branch too.
+          if (remaining == common) {
+            branch->value = value;
+          } else {
+            auto new_leaf = std::make_unique<N>();
+            new_leaf->kind = N::Kind::kLeaf;
+            new_leaf->path.assign(nibbles.begin() + static_cast<long>(pos + common + 1),
+                                  nibbles.end());
+            new_leaf->value = value;
+            branch->children[nibbles[pos + common]] = std::move(new_leaf);
+          }
+          if (common == 0) return branch;
+          auto ext = std::make_unique<N>();
+          ext->kind = N::Kind::kExtension;
+          ext->path.assign(node->path.begin(),
+                           node->path.begin() + static_cast<long>(common));
+          ext->next = std::move(branch);
+          return ext;
+        }
+
+        case N::Kind::kExtension: {
+          const size_t common = CommonPrefix(nibbles, pos, node->path, 0);
+          if (common == node->path.size()) {
+            node->next = Insert(std::move(node->next), pos + common);
+            return node;
+          }
+          // Split the extension.
+          auto branch = std::make_unique<N>();
+          branch->kind = N::Kind::kBranch;
+          // Tail of the old extension.
+          std::unique_ptr<N> old_tail;
+          if (node->path.size() == common + 1) {
+            old_tail = std::move(node->next);
+          } else {
+            auto tail_ext = std::make_unique<N>();
+            tail_ext->kind = N::Kind::kExtension;
+            tail_ext->path.assign(node->path.begin() + static_cast<long>(common + 1),
+                                  node->path.end());
+            tail_ext->next = std::move(node->next);
+            old_tail = std::move(tail_ext);
+          }
+          branch->children[node->path[common]] = std::move(old_tail);
+          // New entry.
+          if (pos + common == nibbles.size()) {
+            branch->value = value;
+          } else {
+            auto new_leaf = std::make_unique<N>();
+            new_leaf->kind = N::Kind::kLeaf;
+            new_leaf->path.assign(nibbles.begin() + static_cast<long>(pos + common + 1),
+                                  nibbles.end());
+            new_leaf->value = value;
+            branch->children[nibbles[pos + common]] = std::move(new_leaf);
+          }
+          if (common == 0) return branch;
+          auto ext = std::make_unique<N>();
+          ext->kind = N::Kind::kExtension;
+          ext->path.assign(node->path.begin(),
+                           node->path.begin() + static_cast<long>(common));
+          ext->next = std::move(branch);
+          return ext;
+        }
+
+        case N::Kind::kBranch: {
+          if (pos == nibbles.size()) {
+            replaced = !node->value.empty();
+            node->value = value;
+            return node;
+          }
+          const uint8_t nib = nibbles[pos];
+          node->children[nib] = Insert(std::move(node->children[nib]), pos + 1);
+          return node;
+        }
+      }
+      throw std::logic_error("unreachable");
+    }
+  };
+
+  Inserter inserter{nibbles, value};
+  root_ = inserter.Insert(std::move(root_), 0);
+  if (!inserter.replaced) ++size_;
+}
+
+std::optional<Bytes> PatriciaTrie::Get(const Bytes& key) const {
+  const Nibbles nibbles = ToNibbles(key);
+  const Node* node = root_.get();
+  size_t pos = 0;
+  while (node != nullptr) {
+    switch (node->kind) {
+      case Node::Kind::kLeaf: {
+        if (nibbles.size() - pos == node->path.size() &&
+            std::equal(node->path.begin(), node->path.end(),
+                       nibbles.begin() + static_cast<long>(pos))) {
+          return node->value;
+        }
+        return std::nullopt;
+      }
+      case Node::Kind::kExtension: {
+        if (nibbles.size() - pos < node->path.size() ||
+            !std::equal(node->path.begin(), node->path.end(),
+                        nibbles.begin() + static_cast<long>(pos))) {
+          return std::nullopt;
+        }
+        pos += node->path.size();
+        node = node->next.get();
+        break;
+      }
+      case Node::Kind::kBranch: {
+        if (pos == nibbles.size()) {
+          if (node->value.empty()) return std::nullopt;
+          return node->value;
+        }
+        node = node->children[nibbles[pos]].get();
+        ++pos;
+        break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+PatriciaTrie::Proof PatriciaTrie::Prove(const Bytes& key) const {
+  Proof proof;
+  const Nibbles nibbles = ToNibbles(key);
+  const Node* node = root_.get();
+  size_t pos = 0;
+  while (node != nullptr) {
+    proof.push_back(node->Encode());
+    switch (node->kind) {
+      case Node::Kind::kLeaf:
+        if (nibbles.size() - pos == node->path.size() &&
+            std::equal(node->path.begin(), node->path.end(),
+                       nibbles.begin() + static_cast<long>(pos))) {
+          return proof;
+        }
+        throw std::out_of_range("MPT proof: key absent");
+      case Node::Kind::kExtension:
+        if (nibbles.size() - pos < node->path.size() ||
+            !std::equal(node->path.begin(), node->path.end(),
+                        nibbles.begin() + static_cast<long>(pos))) {
+          throw std::out_of_range("MPT proof: key absent");
+        }
+        pos += node->path.size();
+        node = node->next.get();
+        break;
+      case Node::Kind::kBranch:
+        if (pos == nibbles.size()) {
+          if (node->value.empty()) throw std::out_of_range("MPT proof: key absent");
+          return proof;
+        }
+        node = node->children[nibbles[pos]].get();
+        ++pos;
+        break;
+    }
+  }
+  throw std::out_of_range("MPT proof: key absent");
+}
+
+bool PatriciaTrie::VerifyProof(const Hash& root, const Bytes& key,
+                               const Bytes& value, const Proof& proof) {
+  if (proof.empty() || value.empty()) return false;
+  const Nibbles nibbles = ToNibbles(key);
+  Hash expected = root;
+  size_t pos = 0;
+
+  for (size_t step = 0; step < proof.size(); ++step) {
+    const Bytes& encoded = proof[step];
+    if (Keccak256(encoded) != expected) return false;
+    auto item = rlp::Decode(encoded);
+    if (!item || !item->is_list) return false;
+    const auto& fields = item->list;
+
+    if (fields.size() == 2) {
+      // Leaf or extension.
+      if (fields[0].is_list || fields[1].is_list) return false;
+      auto hp = DecodeHexPrefix(fields[0].str);
+      if (!hp) return false;
+      const auto& [path, is_leaf] = *hp;
+      if (nibbles.size() - pos < path.size() ||
+          !std::equal(path.begin(), path.end(),
+                      nibbles.begin() + static_cast<long>(pos))) {
+        return false;
+      }
+      pos += path.size();
+      if (is_leaf) {
+        return step + 1 == proof.size() && pos == nibbles.size() &&
+               fields[1].str == value;
+      }
+      // Extension: next hash.
+      if (fields[1].str.size() != 32) return false;
+      std::copy(fields[1].str.begin(), fields[1].str.end(), expected.begin());
+      continue;
+    }
+
+    if (fields.size() == 17) {
+      if (pos == nibbles.size()) {
+        return step + 1 == proof.size() && !fields[16].is_list &&
+               fields[16].str == value;
+      }
+      const auto& slot = fields[nibbles[pos]];
+      if (slot.is_list || slot.str.size() != 32) return false;
+      std::copy(slot.str.begin(), slot.str.end(), expected.begin());
+      ++pos;
+      continue;
+    }
+
+    return false;
+  }
+  return false;  // ran out of proof nodes before reaching the entry
+}
+
+}  // namespace gem2::crypto

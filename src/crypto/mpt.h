@@ -1,0 +1,67 @@
+/// \file mpt.h
+/// Merkle Patricia Trie — the authenticated key/value map Ethereum uses for
+/// its state and storage commitments (yellow paper appendix D). Nodes are
+/// RLP-encoded (crypto/rlp) and referenced by their Keccak-256 hashes; the
+/// empty-trie root is keccak(rlp("")), matching Ethereum's well-known
+/// constant 0x56e81f17...
+///
+/// One simplification relative to the yellow paper, documented in DESIGN.md:
+/// nodes shorter than 32 bytes are *not* embedded inline in their parent —
+/// every child reference is a 32-byte hash. Proofs remain sound (each proof
+/// step is the full preimage of the hash the previous step committed to);
+/// only the encoding of very small tries differs from Geth's.
+#ifndef GEM2_CRYPTO_MPT_H_
+#define GEM2_CRYPTO_MPT_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace gem2::crypto {
+
+class PatriciaTrie {
+ public:
+  /// An inclusion proof: the RLP encodings of the nodes on the path from the
+  /// root to the entry, in order.
+  using Proof = std::vector<Bytes>;
+
+  PatriciaTrie();
+  ~PatriciaTrie();
+  PatriciaTrie(PatriciaTrie&&) noexcept;
+  PatriciaTrie& operator=(PatriciaTrie&&) noexcept;
+
+  /// Inserts or overwrites `key` (any bytes) with `value` (must be
+  /// non-empty; an empty value denotes absence in the MPT model).
+  void Put(const Bytes& key, const Bytes& value);
+
+  /// Value stored at `key`, or nullopt.
+  std::optional<Bytes> Get(const Bytes& key) const;
+
+  size_t size() const { return size_; }
+
+  /// Root commitment; keccak(rlp("")) when empty.
+  Hash RootHash() const;
+
+  /// Root hash of an empty trie (Ethereum's 0x56e81f17... constant).
+  static Hash EmptyRoot();
+
+  /// Inclusion proof for `key`; throws std::out_of_range if absent.
+  Proof Prove(const Bytes& key) const;
+
+  /// Verifies that `proof` shows key -> value under `root`.
+  static bool VerifyProof(const Hash& root, const Bytes& key, const Bytes& value,
+                          const Proof& proof);
+
+ private:
+  struct Node;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace gem2::crypto
+
+#endif  // GEM2_CRYPTO_MPT_H_

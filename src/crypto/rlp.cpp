@@ -1,0 +1,123 @@
+#include "crypto/rlp.h"
+
+namespace gem2::crypto::rlp {
+namespace {
+
+void AppendLength(Bytes* out, size_t len, uint8_t short_base, uint8_t long_base) {
+  if (len <= 55) {
+    out->push_back(static_cast<uint8_t>(short_base + len));
+    return;
+  }
+  Bytes be;
+  for (size_t v = len; v > 0; v >>= 8) {
+    be.insert(be.begin(), static_cast<uint8_t>(v & 0xff));
+  }
+  out->push_back(static_cast<uint8_t>(long_base + be.size()));
+  out->insert(out->end(), be.begin(), be.end());
+}
+
+void EncodeInto(const Item& item, Bytes* out) {
+  if (!item.is_list) {
+    if (item.str.size() == 1 && item.str[0] <= 0x7f) {
+      out->push_back(item.str[0]);
+      return;
+    }
+    AppendLength(out, item.str.size(), 0x80, 0xb7);
+    out->insert(out->end(), item.str.begin(), item.str.end());
+    return;
+  }
+  Bytes payload;
+  for (const Item& child : item.list) EncodeInto(child, &payload);
+  AppendLength(out, payload.size(), 0xc0, 0xf7);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+struct Decoder {
+  const Bytes& data;
+  size_t pos = 0;
+  bool failed = false;
+
+  bool Need(size_t n) {
+    if (pos + n > data.size()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  size_t ReadLongLength(size_t len_of_len) {
+    if (len_of_len == 0 || len_of_len > 8 || !Need(len_of_len)) {
+      failed = true;
+      return 0;
+    }
+    if (data[pos] == 0) {  // leading zero: non-canonical
+      failed = true;
+      return 0;
+    }
+    size_t len = 0;
+    for (size_t i = 0; i < len_of_len; ++i) len = (len << 8) | data[pos++];
+    if (len <= 55) failed = true;  // should have used the short form
+    return len;
+  }
+
+  std::optional<Item> Next() {
+    if (!Need(1)) return std::nullopt;
+    const uint8_t b = data[pos++];
+    if (b <= 0x7f) {
+      return Item::String({b});
+    }
+    if (b <= 0xbf) {  // string
+      size_t len;
+      if (b <= 0xb7) {
+        len = b - 0x80;
+      } else {
+        len = ReadLongLength(b - 0xb7);
+      }
+      if (failed || !Need(len)) return std::nullopt;
+      Bytes s(data.begin() + static_cast<long>(pos),
+              data.begin() + static_cast<long>(pos + len));
+      pos += len;
+      if (s.size() == 1 && s[0] <= 0x7f) {  // should be the single-byte form
+        failed = true;
+        return std::nullopt;
+      }
+      return Item::String(std::move(s));
+    }
+    // list
+    size_t len;
+    if (b <= 0xf7) {
+      len = b - 0xc0;
+    } else {
+      len = ReadLongLength(b - 0xf7);
+    }
+    if (failed || !Need(len)) return std::nullopt;
+    const size_t end = pos + len;
+    std::vector<Item> items;
+    while (pos < end) {
+      auto child = Next();
+      if (!child || failed || pos > end) return std::nullopt;
+      items.push_back(std::move(*child));
+    }
+    if (pos != end) return std::nullopt;
+    return Item::List(std::move(items));
+  }
+};
+
+}  // namespace
+
+Bytes Encode(const Item& item) {
+  Bytes out;
+  EncodeInto(item, &out);
+  return out;
+}
+
+Bytes EncodeString(const Bytes& data) { return Encode(Item::String(data)); }
+
+std::optional<Item> Decode(const Bytes& data) {
+  Decoder decoder{data};
+  auto item = decoder.Next();
+  if (!item || decoder.failed || decoder.pos != data.size()) return std::nullopt;
+  return item;
+}
+
+}  // namespace gem2::crypto::rlp

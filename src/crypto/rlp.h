@@ -1,0 +1,53 @@
+/// \file rlp.h
+/// Recursive Length Prefix (RLP) encoding — Ethereum's canonical
+/// serialization, used here to encode Merkle Patricia Trie nodes (crypto/mpt)
+/// exactly as the yellow paper specifies:
+///   - a single byte in [0x00, 0x7f] encodes as itself;
+///   - a string of 0-55 bytes: 0x80+len, then the bytes;
+///   - a longer string: 0xb7+len(len), big-endian len, bytes;
+///   - a list: payload is the concatenation of the encoded items, prefixed
+///     with 0xc0+len (short) or 0xf7+len(len), len (long).
+#ifndef GEM2_CRYPTO_RLP_H_
+#define GEM2_CRYPTO_RLP_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace gem2::crypto::rlp {
+
+/// An RLP item: either a byte string or a list of items.
+struct Item {
+  bool is_list = false;
+  Bytes str;                 // valid when !is_list
+  std::vector<Item> list;    // valid when is_list
+
+  static Item String(Bytes b) {
+    Item item;
+    item.str = std::move(b);
+    return item;
+  }
+  static Item List(std::vector<Item> items) {
+    Item item;
+    item.is_list = true;
+    item.list = std::move(items);
+    return item;
+  }
+
+  friend bool operator==(const Item& a, const Item& b) = default;
+};
+
+/// Encodes an item to its canonical RLP byte string.
+Bytes Encode(const Item& item);
+
+/// Convenience: encode a raw byte string.
+Bytes EncodeString(const Bytes& data);
+
+/// Decodes a complete RLP encoding (rejects trailing bytes and non-canonical
+/// encodings such as padded lengths or single bytes wrapped as strings).
+std::optional<Item> Decode(const Bytes& data);
+
+}  // namespace gem2::crypto::rlp
+
+#endif  // GEM2_CRYPTO_RLP_H_

@@ -1,0 +1,59 @@
+#include "gas/meter.h"
+
+#include <bit>
+
+namespace gem2::gas {
+
+void Meter::ChargeIntrinsic(Gas amount) {
+  breakdown_.intrinsic += amount;
+  CheckLimit();
+}
+
+void Meter::ChargeSload(uint64_t words) {
+  breakdown_.sload += schedule_.sload * words;
+  ops_.sload += words;
+  CheckLimit();
+}
+
+void Meter::ChargeSstore(uint64_t words) {
+  breakdown_.sstore += schedule_.sstore * words;
+  ops_.sstore += words;
+  CheckLimit();
+}
+
+void Meter::ChargeSupdate(uint64_t words) {
+  breakdown_.supdate += schedule_.supdate * words;
+  ops_.supdate += words;
+  CheckLimit();
+}
+
+void Meter::ChargeMem(uint64_t words) {
+  breakdown_.mem += schedule_.mem * words;
+  ops_.mem_words += words;
+  CheckLimit();
+}
+
+void Meter::ChargeHash(uint64_t bytes) {
+  breakdown_.hash += schedule_.HashCost(bytes);
+  ops_.hash_calls += 1;
+  ops_.hash_bytes += bytes;
+  CheckLimit();
+}
+
+void Meter::ChargeSortCost(uint64_t n) {
+  if (n <= 1) return;
+  // ceil(log2(n)) comparisons per element, one memory word touch each.
+  uint64_t log2n = 64 - std::countl_zero(n - 1);
+  ChargeMem(n * log2n);
+}
+
+void Meter::Reset() {
+  breakdown_ = GasBreakdown{};
+  ops_ = OpCounts{};
+}
+
+void Meter::CheckLimit() {
+  if (used() > limit_) throw OutOfGasError(used(), limit_);
+}
+
+}  // namespace gem2::gas

@@ -1,0 +1,106 @@
+/// \file meter.h
+/// Transaction-scoped gas meter. Every metered resource (storage words,
+/// memory words, hash invocations) charges through one of these; exceeding
+/// the limit raises OutOfGasError, which aborts the enclosing transaction
+/// exactly like EVM execution running past gasLimit.
+#ifndef GEM2_GAS_METER_H_
+#define GEM2_GAS_METER_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "gas/schedule.h"
+
+namespace gem2::gas {
+
+/// Thrown when cumulative gas exceeds the transaction gas limit.
+class OutOfGasError : public std::runtime_error {
+ public:
+  OutOfGasError(Gas used, Gas limit)
+      : std::runtime_error("out of gas: used " + std::to_string(used) +
+                           " > limit " + std::to_string(limit)),
+        used_(used),
+        limit_(limit) {}
+
+  Gas used() const { return used_; }
+  Gas limit() const { return limit_; }
+
+ private:
+  Gas used_;
+  Gas limit_;
+};
+
+/// Per-category gas breakdown, for cost-model validation and benchmarking.
+struct GasBreakdown {
+  Gas sload = 0;
+  Gas sstore = 0;
+  Gas supdate = 0;
+  Gas mem = 0;
+  Gas hash = 0;
+  /// Flat per-transaction charges (e.g. Ethereum's 21,000 intrinsic fee).
+  Gas intrinsic = 0;
+
+  Gas total() const { return sload + sstore + supdate + mem + hash + intrinsic; }
+
+  GasBreakdown& operator+=(const GasBreakdown& o) {
+    sload += o.sload;
+    sstore += o.sstore;
+    supdate += o.supdate;
+    mem += o.mem;
+    hash += o.hash;
+    intrinsic += o.intrinsic;
+    return *this;
+  }
+};
+
+/// Counts of metered operations (not gas), useful for analytic validation.
+struct OpCounts {
+  uint64_t sload = 0;
+  uint64_t sstore = 0;
+  uint64_t supdate = 0;
+  uint64_t mem_words = 0;
+  uint64_t hash_calls = 0;
+  uint64_t hash_bytes = 0;
+};
+
+/// Accumulates gas against a schedule and a limit.
+class Meter {
+ public:
+  explicit Meter(const Schedule& schedule = kEthereumSchedule,
+                 Gas limit = kDefaultGasLimit)
+      : schedule_(schedule), limit_(limit) {}
+
+  void ChargeSload(uint64_t words = 1);
+  /// Flat charge (per-transaction intrinsic fee).
+  void ChargeIntrinsic(Gas amount);
+  void ChargeSstore(uint64_t words = 1);
+  void ChargeSupdate(uint64_t words = 1);
+  void ChargeMem(uint64_t words);
+  void ChargeHash(uint64_t bytes);
+
+  /// Charges the analytic in-memory sort cost used by the paper's model:
+  /// n * log2(n) memory-word accesses (Section IV-B).
+  void ChargeSortCost(uint64_t n);
+
+  Gas used() const { return breakdown_.total(); }
+  Gas limit() const { return limit_; }
+  const GasBreakdown& breakdown() const { return breakdown_; }
+  const OpCounts& op_counts() const { return ops_; }
+  const Schedule& schedule() const { return schedule_; }
+
+  /// Zeroes accumulated gas (start of a new transaction).
+  void Reset();
+
+ private:
+  void CheckLimit();
+
+  Schedule schedule_;
+  Gas limit_;
+  GasBreakdown breakdown_;
+  OpCounts ops_;
+};
+
+}  // namespace gem2::gas
+
+#endif  // GEM2_GAS_METER_H_

@@ -1,0 +1,43 @@
+/// \file schedule.h
+/// The Ethereum gas fee schedule of Table I in the paper, plus the block
+/// gasLimit. All on-chain cost accounting in the library derives from these
+/// constants; benchmarks can supply modified schedules for ablation studies.
+#ifndef GEM2_GAS_SCHEDULE_H_
+#define GEM2_GAS_SCHEDULE_H_
+
+#include <cstdint>
+
+namespace gem2::gas {
+
+using Gas = uint64_t;
+
+/// Fee schedule (paper Table I; values from the Ethereum yellow paper).
+struct Schedule {
+  /// Csload: load a word from contract storage.
+  Gas sload = 200;
+  /// Csstore: store a word to a previously empty storage slot.
+  Gas sstore = 20'000;
+  /// Csupdate: overwrite a word in an occupied storage slot.
+  Gas supdate = 5'000;
+  /// Cmem: access a word in (volatile) EVM memory.
+  Gas mem = 3;
+  /// Chash base and per-word costs: hashing data of w words costs
+  /// hash_base + hash_word * w.
+  Gas hash_base = 30;
+  Gas hash_word = 6;
+
+  /// Gas cost of hashing `bytes` bytes of data.
+  Gas HashCost(uint64_t bytes) const {
+    return hash_base + hash_word * ((bytes + 31) / 32);
+  }
+};
+
+/// Default Ethereum schedule.
+inline constexpr Schedule kEthereumSchedule{};
+
+/// Default per-transaction gas limit (paper Section II-B).
+inline constexpr Gas kDefaultGasLimit = 8'000'000;
+
+}  // namespace gem2::gas
+
+#endif  // GEM2_GAS_SCHEDULE_H_

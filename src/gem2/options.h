@@ -1,0 +1,23 @@
+/// \file options.h
+/// Tuning parameters of the GEM2-tree (paper Section VII-A defaults).
+#ifndef GEM2_GEM2_OPTIONS_H_
+#define GEM2_GEM2_OPTIONS_H_
+
+#include <cstdint>
+
+namespace gem2::gem2tree {
+
+struct Gem2Options {
+  /// M: maximum size of the smallest SMB-tree (paper default 8).
+  uint64_t m = 8;
+  /// Smax: upper bound on an SMB-tree partition's total size; once the
+  /// largest partition reaches this, its objects are bulk-inserted into the
+  /// fully-structured MB-tree P0 (paper default 2048).
+  uint64_t smax = 2048;
+  /// Fanout of both the canonical SMB-trees and the P0 MB-tree (paper: 4).
+  int fanout = 4;
+};
+
+}  // namespace gem2::gem2tree
+
+#endif  // GEM2_GEM2_OPTIONS_H_

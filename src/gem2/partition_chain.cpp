@@ -1,0 +1,415 @@
+#include "gem2/partition_chain.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/digest.h"
+
+namespace gem2::gem2tree {
+namespace {
+
+// Storage regions, relative to the chain's region base.
+constexpr uint32_t kRegionMeta = 0;         // 0: count, 1: max
+constexpr uint32_t kRegionKeyMap = 1;       // key -> loc
+constexpr uint32_t kRegionKeyStorage = 2;   // loc -> key
+constexpr uint32_t kRegionValueStorage = 3; // key -> h(value)
+constexpr uint32_t kRegionPartTable = 4;    // partition*4 + {0..3}
+
+constexpr uint64_t kMetaCount = 0;
+constexpr uint64_t kMetaMax = 1;
+
+Word PackRange(Loc start, Loc end) {
+  Word w{};
+  for (int i = 0; i < 8; ++i) {
+    w[23 - i] = static_cast<uint8_t>((start >> (8 * i)) & 0xff);
+    w[31 - i] = static_cast<uint8_t>((end >> (8 * i)) & 0xff);
+  }
+  return w;
+}
+
+Word HashWord(const Hash& h) {
+  Word w;
+  std::copy(h.begin(), h.end(), w.begin());
+  return w;
+}
+
+}  // namespace
+
+PartitionChain::PartitionChain(Gem2Options options, mbtree::MbTree* p0,
+                               chain::MeteredStorage* storage, uint32_t region_base)
+    : options_(options), p0_(p0), storage_(storage), region_base_(region_base) {
+  if (p0_ == nullptr) throw std::invalid_argument("PartitionChain requires a P0 tree");
+  if (options_.m < 1 || options_.smax < 2 * options_.m) {
+    throw std::invalid_argument("invalid GEM2 options: need Smax >= 2*M >= 2");
+  }
+  parts_.resize(1);  // parts_[0] unused
+}
+
+uint64_t PartitionChain::Occupied(const PartTree& t) const {
+  if (!t.allocated()) return 0;
+  const Loc hi = std::min<Loc>(t.end, count_);
+  return hi >= t.start ? hi - t.start + 1 : 0;
+}
+
+uint64_t PartitionChain::partition_size() const {
+  uint64_t total = 0;
+  for (uint64_t i = 1; i <= max_; ++i) {
+    total += Occupied(parts_[i].tl) + Occupied(parts_[i].tr);
+  }
+  return total;
+}
+
+ads::EntryList PartitionChain::CollectEntries(const PartTree& t,
+                                              gas::Meter* meter) const {
+  ads::EntryList entries;
+  const uint64_t n = Occupied(t);
+  entries.reserve(n);
+  for (Loc loc = t.start; loc < t.start + n; ++loc) {
+    Key key;
+    if (storage_ != nullptr && meter != nullptr) {
+      // One sload per object record (paper's SMB rebuild accounting).
+      Word w = storage_->Load(
+          chain::Slot{region_base_ + kRegionKeyStorage, loc}, *meter);
+      key = KeyFromWord(w);
+    } else {
+      key = key_by_loc_[loc - 1];
+    }
+    entries.push_back({key, value_by_key_.at(key)});
+  }
+  return entries;
+}
+
+void PartitionChain::WriteRange(uint64_t partition, bool left, Loc start, Loc end,
+                                gas::Meter* meter) {
+  PartTree& t = left ? parts_[partition].tl : parts_[partition].tr;
+  t.start = start;
+  t.end = end;
+  t.sp_cache.reset();
+  if (storage_ != nullptr && meter != nullptr) {
+    const uint64_t idx = partition * 4 + (left ? 0 : 2);
+    storage_->Store(chain::Slot{region_base_ + kRegionPartTable, idx},
+                    start == 0 ? chain::kZeroWord : PackRange(start, end), *meter);
+  }
+}
+
+void PartitionChain::WriteRoot(uint64_t partition, bool left, const Hash& root,
+                               gas::Meter* meter) {
+  PartTree& t = left ? parts_[partition].tl : parts_[partition].tr;
+  t.root = root;
+  if (storage_ != nullptr && meter != nullptr) {
+    const uint64_t idx = partition * 4 + (left ? 1 : 3);
+    const bool zero = root == Hash{};
+    storage_->Store(chain::Slot{region_base_ + kRegionPartTable, idx},
+                    zero ? chain::kZeroWord : HashWord(root), *meter);
+  }
+}
+
+void PartitionChain::ReadRange(uint64_t partition, bool left,
+                               gas::Meter* meter) const {
+  if (storage_ != nullptr && meter != nullptr) {
+    const uint64_t idx = partition * 4 + (left ? 0 : 2);
+    storage_->Load(chain::Slot{region_base_ + kRegionPartTable, idx}, *meter);
+  }
+}
+
+void PartitionChain::BuildTree(uint64_t partition, PartTree* t, gas::Meter* meter) {
+  ads::EntryList entries = CollectEntries(*t, meter);
+  if (meter != nullptr) meter->ChargeSortCost(entries.size());
+  std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
+  const Hash root = ads::CanonicalRootDigest(entries, options_.fanout, meter);
+  t->sp_cache.reset();
+  const bool left = (t == &parts_[partition].tl);
+  WriteRoot(partition, left, root, meter);
+}
+
+void PartitionChain::EmptyTree(uint64_t partition, PartTree* t, gas::Meter* meter) {
+  const bool left = (t == &parts_[partition].tl);
+  WriteRange(partition, left, 0, 0, meter);
+  WriteRoot(partition, left, Hash{}, meter);
+  t->sp_cache.reset();
+}
+
+void PartitionChain::BulkToP0(gas::Meter* meter) {
+  Partition& p1 = parts_[1];
+  ads::EntryList entries = CollectEntries(p1.tl, meter);
+  ads::EntryList right = CollectEntries(p1.tr, meter);
+  entries.insert(entries.end(), right.begin(), right.end());
+  if (meter != nullptr) meter->ChargeSortCost(entries.size());
+  std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
+  p0_->BulkInsert(entries, meter);
+  bulked_ += entries.size();
+}
+
+bool PartitionChain::Merge(uint64_t i, gas::Meter* meter) {
+  Partition& p = parts_[i];
+  if (i == 1) {
+    const uint64_t length = Occupied(p.tl) + Occupied(p.tr);
+    if (length < options_.smax) {
+      // Combine P1's two trees into one twice-as-large SMB-tree.
+      WriteRange(1, true, p.tl.start, p.tr.end, meter);
+      BuildTree(1, &p.tl, meter);
+      EmptyTree(1, &p.tr, meter);
+      return true;
+    }
+    // P1 is as large as allowed: migrate it into the MB-tree P0.
+    BulkToP0(meter);
+    EmptyTree(1, &p.tl, meter);
+    EmptyTree(1, &p.tr, meter);
+    return false;
+  }
+
+  Partition& prev = parts_[i - 1];
+  if (!prev.tr.allocated()) {
+    // The preceding partition has a free right slot: move Pi's combined
+    // objects there.
+    WriteRange(i - 1, false, p.tl.start, p.tr.end, meter);
+    BuildTree(i - 1, &prev.tr, meter);
+    EmptyTree(i, &p.tl, meter);
+    EmptyTree(i, &p.tr, meter);
+    return false;
+  }
+
+  const bool ret = Merge(i - 1, meter);
+  if (ret) {
+    // Every partition doubles (max will increment): combine Pi's trees.
+    WriteRange(i, true, p.tl.start, p.tr.end, meter);
+    BuildTree(i, &p.tl, meter);
+    EmptyTree(i, &p.tr, meter);
+    return true;
+  }
+  // The preceding partition was vacated: move Pi's combined objects into it.
+  WriteRange(i - 1, true, p.tl.start, p.tr.end, meter);
+  BuildTree(i - 1, &prev.tl, meter);
+  EmptyTree(i, &p.tl, meter);
+  EmptyTree(i, &p.tr, meter);
+  return false;
+}
+
+void PartitionChain::Insert(Key key, const Hash& value_hash, gas::Meter* meter) {
+  if (loc_by_key_.count(key) != 0) {
+    throw std::invalid_argument("PartitionChain::Insert: key already present");
+  }
+  const uint64_t m = options_.m;
+
+  // Algorithm 1 lines 1-4: append the object.
+  Loc loc;
+  if (storage_ != nullptr && meter != nullptr) {
+    loc = storage_->LoadUint(chain::Slot{region_base_ + kRegionMeta, kMetaCount},
+                             *meter) +
+          1;
+    storage_->Store(chain::Slot{region_base_ + kRegionKeyMap,
+                                static_cast<uint64_t>(key)},
+                    WordFromUint64(loc), *meter);
+    storage_->Store(chain::Slot{region_base_ + kRegionKeyStorage, loc},
+                    WordFromKey(key), *meter);
+    storage_->Store(chain::Slot{region_base_ + kRegionValueStorage,
+                                static_cast<uint64_t>(key)},
+                    HashWord(value_hash), *meter);
+    storage_->StoreUint(chain::Slot{region_base_ + kRegionMeta, kMetaCount}, loc,
+                        *meter);
+  } else {
+    loc = count_ + 1;
+  }
+  count_ = loc;
+  key_by_loc_.push_back(key);
+  loc_by_key_.emplace(key, loc);
+  value_by_key_[key] = value_hash;
+
+  // Algorithm 1 lines 5-7: bootstrap the first partition.
+  if (max_ == 0) {
+    max_ = 1;
+    parts_.resize(2);
+    if (storage_ != nullptr && meter != nullptr) {
+      storage_->StoreUint(chain::Slot{region_base_ + kRegionMeta, kMetaMax}, max_,
+                          *meter);
+    }
+    WriteRange(1, true, 1, m, meter);
+    WriteRange(1, false, m + 1, 2 * m, meter);
+  }
+
+  // Algorithm 1 lines 8-11: the common case — the object lands in P_max.
+  Partition& pmax = parts_[max_];
+  ReadRange(max_, true, meter);
+  if (loc >= pmax.tl.start && loc <= pmax.tl.end) {
+    BuildTree(max_, &pmax.tl, meter);
+    return;
+  }
+  ReadRange(max_, false, meter);
+  if (loc >= pmax.tr.start && loc <= pmax.tr.end) {
+    BuildTree(max_, &pmax.tr, meter);
+    return;
+  }
+
+  // Algorithm 1 lines 13-17: P_max is full — merge, then open a fresh P_max.
+  const bool ret = Merge(max_, meter);
+  if (ret) {
+    ++max_;
+    parts_.resize(max_ + 1);
+    if (storage_ != nullptr && meter != nullptr) {
+      storage_->StoreUint(chain::Slot{region_base_ + kRegionMeta, kMetaMax}, max_,
+                          *meter);
+    }
+  }
+  WriteRange(max_, true, loc, loc + m - 1, meter);
+  WriteRange(max_, false, loc + m, loc + 2 * m - 1, meter);
+  BuildTree(max_, &parts_[max_].tl, meter);
+}
+
+int PartitionChain::LocatePartition(Loc loc, gas::Meter* meter) const {
+  if (max_ == 0) return 0;
+  // Read P_max's LocTr entry (Algorithm 4 line 2).
+  ReadRange(max_, false, meter);
+  if (meter != nullptr) meter->ChargeMem(max_);
+  uint64_t len = parts_[max_].tr.end;
+  uint64_t cap = 2 * options_.m;
+  for (uint64_t p = max_; p >= 1; --p) {
+    if (len % cap == 0) {
+      // Partition p spans two SMB-trees.
+      if (loc >= len - cap + 1 && loc <= len) return static_cast<int>(p);
+      len -= cap;
+    } else {
+      // Partition p spans a single SMB-tree.
+      if (loc >= len - cap / 2 + 1 && loc <= len) return static_cast<int>(p);
+      len -= cap / 2;
+    }
+    cap *= 2;
+  }
+  return 0;
+}
+
+void PartitionChain::Update(Key key, const Hash& value_hash, gas::Meter* meter) {
+  auto it = loc_by_key_.find(key);
+  if (it == loc_by_key_.end()) {
+    throw std::invalid_argument("PartitionChain::Update: unknown key");
+  }
+  // Algorithm 3 lines 1-2: rewrite value_storage, read key_map.
+  value_by_key_[key] = value_hash;
+  if (storage_ != nullptr && meter != nullptr) {
+    storage_->Store(chain::Slot{region_base_ + kRegionValueStorage,
+                                static_cast<uint64_t>(key)},
+                    HashWord(value_hash), *meter);
+    storage_->Load(chain::Slot{region_base_ + kRegionKeyMap,
+                               static_cast<uint64_t>(key)},
+                   *meter);
+  }
+  const Loc loc = it->second;
+  const int p = LocatePartition(loc, meter);
+  if (p == 0) {
+    if (!p0_->Update(key, value_hash, meter)) {
+      throw std::logic_error("PartitionChain::Update: key missing from P0");
+    }
+    return;
+  }
+  Partition& part = parts_[static_cast<uint64_t>(p)];
+  ReadRange(static_cast<uint64_t>(p), true, meter);
+  if (loc >= part.tl.start && loc <= part.tl.end) {
+    BuildTree(static_cast<uint64_t>(p), &part.tl, meter);
+  } else {
+    BuildTree(static_cast<uint64_t>(p), &part.tr, meter);
+  }
+}
+
+void PartitionChain::AppendDigests(const std::string& prefix,
+                                   std::vector<chain::DigestEntry>* out) const {
+  for (uint64_t i = 1; i <= max_; ++i) {
+    const Partition& p = parts_[i];
+    if (Occupied(p.tl) > 0) {
+      out->push_back({prefix + "P" + std::to_string(i) + ".Tl", p.tl.root});
+    }
+    if (Occupied(p.tr) > 0) {
+      out->push_back({prefix + "P" + std::to_string(i) + ".Tr", p.tr.root});
+    }
+  }
+}
+
+const ads::StaticTree& PartitionChain::SpTree(const PartTree& t) const {
+  if (t.sp_cache == nullptr) {
+    ads::EntryList entries = CollectEntries(t, nullptr);
+    std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
+    t.sp_cache = std::make_unique<ads::StaticTree>(std::move(entries),
+                                                   options_.fanout);
+  }
+  return *t.sp_cache;
+}
+
+void PartitionChain::Query(Key lb, Key ub, const std::string& prefix,
+                           std::vector<ads::TreeAnswer>* out) const {
+  for (uint64_t i = 1; i <= max_; ++i) {
+    const Partition& p = parts_[i];
+    for (const bool left : {true, false}) {
+      const PartTree& t = left ? p.tl : p.tr;
+      if (Occupied(t) == 0) continue;
+      ads::TreeAnswer answer;
+      answer.label = prefix + "P" + std::to_string(i) + (left ? ".Tl" : ".Tr");
+      answer.vo = SpTree(t).RangeQuery(lb, ub, &answer.result);
+      out->push_back(std::move(answer));
+    }
+  }
+}
+
+PartitionChain::TreeInfo PartitionChain::tree_info(uint64_t partition,
+                                                   bool left) const {
+  TreeInfo info;
+  if (partition == 0 || partition > max_) return info;
+  const PartTree& t = left ? parts_[partition].tl : parts_[partition].tr;
+  info.start = t.start;
+  info.end = t.end;
+  info.root = t.root;
+  info.occupied = Occupied(t);
+  return info;
+}
+
+void PartitionChain::CheckInvariants() const {
+  uint64_t covered = 0;
+  Loc prev_end = 0;
+  for (uint64_t i = 1; i <= max_; ++i) {
+    for (const bool left : {true, false}) {
+      const PartTree& t = left ? parts_[i].tl : parts_[i].tr;
+      if (!t.allocated()) continue;
+      if (t.end < t.start) throw std::logic_error("inverted tree range");
+      const uint64_t span = t.end - t.start + 1;
+      if (span % options_.m != 0 || (span / options_.m) == 0 ||
+          ((span / options_.m) & (span / options_.m - 1)) != 0) {
+        throw std::logic_error("tree span not a power-of-two multiple of M");
+      }
+      if (t.start <= prev_end) {
+        throw std::logic_error("partition ranges out of ascending order");
+      }
+      prev_end = t.end;
+      // Stored root must equal the on-the-fly recomputation.
+      ads::EntryList entries = CollectEntries(t, nullptr);
+      std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
+      const uint64_t occ = Occupied(t);
+      if (occ > 0) {
+        Hash expect = ads::CanonicalRootDigest(entries, options_.fanout, nullptr);
+        if (expect != t.root) throw std::logic_error("stored SMB root stale");
+      }
+      covered += occ;
+      // Every occupied loc must locate back to this partition.
+      for (Loc loc = t.start; loc < t.start + occ; ++loc) {
+        if (LocatePartition(loc, nullptr) != static_cast<int>(i)) {
+          throw std::logic_error("LocatePartition disagrees with part_table");
+        }
+      }
+    }
+  }
+  if (covered + bulked_ != count_) {
+    throw std::logic_error("objects lost between partitions and P0");
+  }
+  // Locations below every partition must resolve to P0.
+  for (Loc loc = 1; loc <= count_ && loc <= 4 * options_.m; ++loc) {
+    bool in_partition = false;
+    for (uint64_t i = 1; i <= max_ && !in_partition; ++i) {
+      for (const bool left : {true, false}) {
+        const PartTree& t = left ? parts_[i].tl : parts_[i].tr;
+        if (t.allocated() && loc >= t.start && loc <= t.end) in_partition = true;
+      }
+    }
+    const int located = LocatePartition(loc, nullptr);
+    if (!in_partition && located != 0) {
+      throw std::logic_error("LocatePartition claims a partition for a P0 loc");
+    }
+  }
+}
+
+}  // namespace gem2::gem2tree

@@ -1,0 +1,151 @@
+/// \file partition_chain.h
+/// The exponential chain of structure-suppressed SMB-tree partitions that is
+/// the core of the GEM2-tree (paper Section V, Algorithms 1-4).
+///
+/// A chain owns the append-only key log (`key_storage`), the key->location
+/// map (`key_map`), the value-hash store (`value_storage`) and the partition
+/// index (`part_table`). Partition P_max receives new objects in SMB-trees of
+/// size M; full partitions merge gracefully downward into exponentially larger
+/// SMB-trees; once the largest partition reaches Smax its objects are
+/// bulk-inserted into the fully-structured MB-tree P0 (owned by the caller —
+/// the GEM2*-tree shares a single P0 across many chains).
+///
+/// One object serves both sides of the system: with a gas meter and a metered
+/// storage attached it *is* the smart-contract state machine (every storage
+/// word the algorithms touch is charged per Table I); with neither it is the
+/// service provider's mirror, which additionally materializes each partition
+/// tree lazily (as a canonical StaticTree) to answer range queries.
+#ifndef GEM2_GEM2_PARTITION_CHAIN_H_
+#define GEM2_GEM2_PARTITION_CHAIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ads/entry.h"
+#include "ads/query.h"
+#include "ads/static_tree.h"
+#include "chain/contract.h"
+#include "chain/storage.h"
+#include "common/types.h"
+#include "gas/meter.h"
+#include "gem2/options.h"
+#include "mbtree/mbtree.h"
+
+namespace gem2::gem2tree {
+
+class PartitionChain {
+ public:
+  /// `p0` receives bulk-inserted overflow (not owned). `storage` is the
+  /// contract storage to meter against (nullptr on the SP side);
+  /// `region_base` namespaces this chain's storage regions so several chains
+  /// (GEM2*-tree regions) can share one contract storage.
+  PartitionChain(Gem2Options options, mbtree::MbTree* p0,
+                 chain::MeteredStorage* storage, uint32_t region_base);
+
+  /// Algorithm 1: insert a fresh key.
+  void Insert(Key key, const Hash& value_hash, gas::Meter* meter);
+
+  /// Algorithm 3: update the value of an existing key (which may live in a
+  /// partition SMB-tree or have migrated into P0).
+  void Update(Key key, const Hash& value_hash, gas::Meter* meter);
+
+  /// Algorithm 4: partition index for a storage location (0 = P0). Charges
+  /// one sload (P_max's range) plus in-memory arithmetic when metered.
+  int LocatePartition(Loc loc, gas::Meter* meter) const;
+
+  bool ContainsKey(Key key) const { return loc_by_key_.count(key) != 0; }
+
+  /// Appends one DigestEntry per non-empty partition tree, labelled
+  /// "<prefix>P<i>.Tl" / "...Tr" (the part_table side of VO_chain).
+  void AppendDigests(const std::string& prefix,
+                     std::vector<chain::DigestEntry>* out) const;
+
+  /// Algorithm 5 (partition part): queries every non-empty partition tree.
+  void Query(Key lb, Key ub, const std::string& prefix,
+             std::vector<ads::TreeAnswer>* out) const;
+
+  uint64_t max_index() const { return max_; }
+  /// Total objects ever inserted through this chain (key_storage length).
+  uint64_t total_inserted() const { return count_; }
+  /// Objects currently indexed by partition SMB-trees (rest are in P0).
+  uint64_t partition_size() const;
+  /// Objects this chain has bulk-inserted into P0 so far.
+  uint64_t bulked_to_p0() const { return bulked_; }
+
+  const Gem2Options& options() const { return options_; }
+
+  /// Test introspection.
+  struct TreeInfo {
+    Loc start = 0;  // 0 = tree absent
+    Loc end = 0;
+    Hash root{};
+    uint64_t occupied = 0;
+  };
+  TreeInfo tree_info(uint64_t partition, bool left) const;
+
+  /// Structural self-check: contiguous ranges, power-of-two tree sizes,
+  /// on-the-fly roots matching stored roots, LocatePartition consistency.
+  void CheckInvariants() const;
+
+ private:
+  struct PartTree {
+    Loc start = 0;
+    Loc end = 0;
+    Hash root{};
+    mutable std::unique_ptr<ads::StaticTree> sp_cache;
+
+    bool allocated() const { return start != 0; }
+  };
+  struct Partition {
+    PartTree tl;
+    PartTree tr;
+  };
+
+  /// Number of occupied locations in a tree's range.
+  uint64_t Occupied(const PartTree& t) const;
+
+  /// Collects the (key, value_hash) entries in [t.start, min(t.end, count)],
+  /// charging one sload per object when metered.
+  ads::EntryList CollectEntries(const PartTree& t, gas::Meter* meter) const;
+
+  /// BuildSMBTree: recomputes `t`'s root on the fly and rewrites its
+  /// part_table hash slot.
+  void BuildTree(uint64_t partition, PartTree* t, gas::Meter* meter);
+
+  /// Algorithm 2. Returns whether the caller must increment `max`.
+  bool Merge(uint64_t i, gas::Meter* meter);
+
+  /// Zeroes a tree's part_table slots.
+  void EmptyTree(uint64_t partition, PartTree* t, gas::Meter* meter);
+
+  /// Bulk-inserts partition 1's objects into P0 (sorted run).
+  void BulkToP0(gas::Meter* meter);
+
+  // part_table storage plumbing (no-ops without attached storage).
+  void WriteRange(uint64_t partition, bool left, Loc start, Loc end,
+                  gas::Meter* meter);
+  void WriteRoot(uint64_t partition, bool left, const Hash& root,
+                 gas::Meter* meter);
+  void ReadRange(uint64_t partition, bool left, gas::Meter* meter) const;
+
+  const ads::StaticTree& SpTree(const PartTree& t) const;
+
+  Gem2Options options_;
+  mbtree::MbTree* p0_;
+  chain::MeteredStorage* storage_;
+  uint32_t region_base_;
+
+  uint64_t count_ = 0;   // key_storage length
+  uint64_t bulked_ = 0;  // objects migrated into P0
+  uint64_t max_ = 0;     // number of partitions
+  std::vector<Partition> parts_;  // 1-based; parts_[0] unused
+  std::vector<Key> key_by_loc_;   // key_storage mirror (loc-1 indexed)
+  std::unordered_map<Key, Loc> loc_by_key_;    // key_map mirror
+  std::unordered_map<Key, Hash> value_by_key_; // value_storage mirror
+};
+
+}  // namespace gem2::gem2tree
+
+#endif  // GEM2_GEM2_PARTITION_CHAIN_H_

@@ -1,0 +1,47 @@
+/// \file contract.h
+/// The baseline on-chain ADS of Section IV-A: a fully materialized Merkle
+/// B-tree maintained by the smart contract, gas-metered per the paper's
+/// MB-tree cost model. The root digest is the contract's VO_chain.
+#ifndef GEM2_MBTREE_CONTRACT_H_
+#define GEM2_MBTREE_CONTRACT_H_
+
+#include <string>
+#include <vector>
+
+#include "chain/contract.h"
+#include "gas/meter.h"
+#include "mbtree/mbtree.h"
+
+namespace gem2::mbtree {
+
+class MbTreeContract : public chain::Contract {
+ public:
+  explicit MbTreeContract(std::string name, int fanout = MbTree::kDefaultFanout)
+      : chain::Contract(std::move(name)), tree_(fanout) {}
+
+  /// Inserts a fresh object (key must be new).
+  void Insert(Key key, const Hash& value_hash, gas::Meter& meter) {
+    tree_.Insert(key, value_hash, &meter);
+  }
+
+  /// Updates an existing object's value hash.
+  void Update(Key key, const Hash& value_hash, gas::Meter& meter) {
+    if (!tree_.Update(key, value_hash, &meter)) {
+      throw std::invalid_argument("MbTreeContract::Update: unknown key");
+    }
+  }
+
+  std::vector<chain::DigestEntry> AuthenticatedDigests() const override {
+    return {{"mbtree.root", tree_.root_digest()}};
+  }
+
+  const MbTree& tree() const { return tree_; }
+  size_t size() const { return tree_.size(); }
+
+ private:
+  MbTree tree_;
+};
+
+}  // namespace gem2::mbtree
+
+#endif  // GEM2_MBTREE_CONTRACT_H_

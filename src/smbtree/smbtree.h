@@ -1,0 +1,91 @@
+/// \file smbtree.h
+/// The Suppressed Merkle B-tree baseline (paper Section IV-B).
+///
+/// On-chain (SmbTreeContract): objects are appended *unsorted* to contract
+/// storage and no tree node is materialized — only the root digest slot. On
+/// every insert or update the contract reloads all N object records, sorts
+/// them in memory, recomputes the canonical tree digest on the fly, and
+/// rewrites the root slot. Gas per insert therefore follows the paper's
+///   C = N*(Csload + log2(N)*Cmem) + hash costs + Csstore + Csupdate
+/// model. The (key, h(value)) record is accounted as one storage word per
+/// object, matching the paper's N*Csload rebuild term.
+///
+/// SP-side (SmbTreeMirror): the same data fully materialized as a canonical
+/// StaticTree (rebuilt lazily) to answer range queries with VOs.
+#ifndef GEM2_SMBTREE_SMBTREE_H_
+#define GEM2_SMBTREE_SMBTREE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ads/entry.h"
+#include "ads/static_tree.h"
+#include "ads/vo.h"
+#include "chain/contract.h"
+#include "gas/meter.h"
+
+namespace gem2::smbtree {
+
+class SmbTreeContract : public chain::Contract {
+ public:
+  explicit SmbTreeContract(std::string name, int fanout = 4);
+
+  /// Appends a fresh object and recomputes the root on the fly.
+  void Insert(Key key, const Hash& value_hash, gas::Meter& meter);
+
+  /// Replaces an existing object's value hash and recomputes the root.
+  void Update(Key key, const Hash& value_hash, gas::Meter& meter);
+
+  std::vector<chain::DigestEntry> AuthenticatedDigests() const override;
+
+  Hash root_digest() const { return root_; }
+  size_t size() const { return log_.size(); }
+  int fanout() const { return fanout_; }
+
+  /// Objects in insertion order (unmetered; used by tests and SP bootstrap).
+  const ads::EntryList& log() const { return log_; }
+
+  /// Bench/test helper: bulk-seeds the contract with `entries` (storage is
+  /// written, the root rebuilt once) without metering, so per-insert gas can
+  /// be sampled at a target database size in O(N) instead of O(N^2).
+  void SeedUnmetered(const ads::EntryList& entries);
+
+ private:
+  /// Loads every record (1 sload each), sorts in memory, folds the canonical
+  /// digest, and rewrites the root slot.
+  void RebuildRoot(gas::Meter& meter);
+
+  int fanout_;
+  ads::EntryList log_;                       // insertion-ordered records
+  std::unordered_map<Key, size_t> index_of_; // key -> log_ position
+  Hash root_;
+};
+
+/// The SP's materialized twin of an SMB-tree: sorted entries + lazy canonical
+/// tree for authenticated range queries.
+class SmbTreeMirror {
+ public:
+  explicit SmbTreeMirror(int fanout = 4);
+
+  void Insert(Key key, const Hash& value_hash);
+  void Update(Key key, const Hash& value_hash);
+
+  size_t size() const { return entries_.size(); }
+  Hash root_digest() const;
+
+  /// Range query over the materialized tree.
+  ads::TreeVo RangeQuery(Key lb, Key ub, ads::EntryList* result) const;
+
+ private:
+  const ads::StaticTree& Tree() const;
+
+  int fanout_;
+  ads::EntryList entries_;  // kept sorted by key
+  mutable std::unique_ptr<ads::StaticTree> cache_;
+};
+
+}  // namespace gem2::smbtree
+
+#endif  // GEM2_SMBTREE_SMBTREE_H_

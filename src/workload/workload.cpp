@@ -1,0 +1,171 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gem2::workload {
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+constexpr char kAlphabet[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta), zetan_(Zeta(n, theta)) {
+  if (n_ < 2) throw std::invalid_argument("zipfian needs at least 2 items");
+  if (theta_ <= 0.0 || theta_ >= 1.0) {
+    throw std::invalid_argument("zipfian constant must be in (0, 1)");
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - Zeta(2, theta_) / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t rank = static_cast<uint64_t>(v);
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+double ZipfianGenerator::Mass(uint64_t i) const {
+  return 1.0 / std::pow(static_cast<double>(i + 1), theta_) / zetan_;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(options.zipf_buckets, options.zipf_constant) {
+  if (options_.domain_min >= options_.domain_max) {
+    throw std::invalid_argument("empty key domain");
+  }
+}
+
+const std::vector<double>& WorkloadGenerator::Cumulative() const {
+  if (cumulative_.empty()) {
+    cumulative_.resize(options_.zipf_buckets);
+    double acc = 0;
+    for (uint64_t b = 0; b < options_.zipf_buckets; ++b) {
+      acc += zipf_.Mass(b);
+      cumulative_[b] = acc;
+    }
+    // Normalize the tail to exactly 1 (guards against rounding).
+    for (double& c : cumulative_) c /= acc;
+  }
+  return cumulative_;
+}
+
+Key WorkloadGenerator::SampleAnyKey() {
+  // Width of the domain minus one; avoids overflow for wide (but not full
+  // 2^64) domains, which the constructor already guarantees.
+  const uint64_t span_m1 = static_cast<uint64_t>(options_.domain_max) -
+                           static_cast<uint64_t>(options_.domain_min);
+  if (options_.distribution == KeyDistribution::kUniform) {
+    return options_.domain_min + static_cast<Key>(rng_.Uniform(0, span_m1));
+  }
+  const uint64_t bucket = zipf_.Next(rng_);
+  const uint64_t width =
+      std::max<uint64_t>(1, span_m1 / options_.zipf_buckets + 1);
+  const Key base = options_.domain_min + static_cast<Key>(bucket * width);
+  return base + static_cast<Key>(rng_.Uniform(0, width - 1));
+}
+
+Key WorkloadGenerator::SampleFreshKey() {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Key k = SampleAnyKey();
+    if (used_.insert(k).second) return k;
+  }
+  // Dense domain fallback: probe forward from a random key.
+  Key k = SampleAnyKey();
+  while (!used_.insert(k).second) {
+    k = (k < options_.domain_max) ? k + 1 : options_.domain_min;
+  }
+  return k;
+}
+
+std::string WorkloadGenerator::RandomValue() {
+  std::string v;
+  v.reserve(options_.value_size);
+  for (size_t i = 0; i < options_.value_size; ++i) {
+    v.push_back(kAlphabet[rng_.Uniform(0, sizeof(kAlphabet) - 2)]);
+  }
+  return v;
+}
+
+Operation WorkloadGenerator::Next() {
+  Operation op;
+  if (!inserted_.empty() && rng_.Chance(options_.update_ratio)) {
+    op.type = Operation::Type::kUpdate;
+    op.object.key = inserted_[rng_.Uniform(0, inserted_.size() - 1)];
+  } else {
+    op.type = Operation::Type::kInsert;
+    op.object.key = SampleFreshKey();
+    inserted_.push_back(op.object.key);
+  }
+  op.object.value = RandomValue();
+  return op;
+}
+
+std::vector<Operation> WorkloadGenerator::Batch(size_t n) {
+  std::vector<Operation> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) ops.push_back(Next());
+  return ops;
+}
+
+Key WorkloadGenerator::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t span_m1 = static_cast<uint64_t>(options_.domain_max) -
+                           static_cast<uint64_t>(options_.domain_min);
+  if (options_.distribution == KeyDistribution::kUniform) {
+    return options_.domain_min + static_cast<Key>(q * static_cast<double>(span_m1));
+  }
+  const std::vector<double>& cum = Cumulative();
+  const auto it = std::lower_bound(cum.begin(), cum.end(), q);
+  const uint64_t bucket =
+      it == cum.end() ? options_.zipf_buckets - 1
+                      : static_cast<uint64_t>(it - cum.begin());
+  const double prev = bucket == 0 ? 0.0 : cum[bucket - 1];
+  const double mass = std::max(1e-12, cum[bucket] - prev);
+  const double frac = std::clamp((q - prev) / mass, 0.0, 1.0);
+  const uint64_t width =
+      std::max<uint64_t>(1, span_m1 / options_.zipf_buckets + 1);
+  return options_.domain_min +
+         static_cast<Key>((static_cast<double>(bucket) + frac) *
+                          static_cast<double>(width));
+}
+
+RangeQuerySpec WorkloadGenerator::NextQuery(double selectivity) {
+  selectivity = std::clamp(selectivity, 0.0, 1.0);
+  const double start = rng_.NextDouble() * (1.0 - selectivity);
+  RangeQuerySpec spec;
+  spec.lb = Quantile(start);
+  spec.ub = Quantile(start + selectivity);
+  if (spec.ub < spec.lb) std::swap(spec.lb, spec.ub);
+  return spec;
+}
+
+std::vector<Key> WorkloadGenerator::SplitPoints(size_t num_regions) const {
+  std::vector<Key> splits;
+  if (num_regions <= 1) return splits;
+  splits.reserve(num_regions - 1);
+  for (size_t j = 1; j < num_regions; ++j) {
+    const Key k = Quantile(static_cast<double>(j) / static_cast<double>(num_regions));
+    if (splits.empty() || k > splits.back()) splits.push_back(k);
+  }
+  return splits;
+}
+
+}  // namespace gem2::workload

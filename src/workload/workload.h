@@ -1,0 +1,113 @@
+/// \file workload.h
+/// YCSB-style workload generation (paper Section VII-A): synthetic update
+/// streams with uniform or zipfian(0.8) search keys, configurable
+/// insert/update mixes, 100-byte values, and range queries with controlled
+/// selectivity. Everything is deterministic given the seed.
+#ifndef GEM2_WORKLOAD_WORKLOAD_H_
+#define GEM2_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace gem2::workload {
+
+enum class KeyDistribution { kUniform, kZipfian };
+
+struct WorkloadOptions {
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  /// Zipfian skew (YCSB default for skewed runs; the paper uses 0.8).
+  double zipf_constant = 0.8;
+  /// Number of buckets the key domain is carved into for the zipfian draw.
+  uint64_t zipf_buckets = 1 << 16;
+  /// Key domain [domain_min, domain_max], inclusive.
+  Key domain_min = 0;
+  Key domain_max = 1'000'000'000;
+  /// Fraction of operations that update an existing key (rest insert).
+  double update_ratio = 0.0;
+  /// Payload size in bytes (paper: 100-byte values).
+  size_t value_size = 100;
+  uint64_t seed = 42;
+};
+
+/// An operation in a data-owner stream.
+struct Operation {
+  enum class Type { kInsert, kUpdate };
+  Type type = Type::kInsert;
+  Object object;
+};
+
+/// A range query [lb, ub].
+struct RangeQuerySpec {
+  Key lb = 0;
+  Key ub = 0;
+};
+
+/// YCSB-style zipfian rank generator over [0, n) with skew theta (Gray et
+/// al.'s method, as used by YCSB's ZipfianGenerator).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng) const;
+  uint64_t n() const { return n_; }
+
+  /// Probability mass of rank i (for quantile computations).
+  double Mass(uint64_t i) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadOptions options = {});
+
+  /// Draws the next operation: an insert of a fresh key, or (with probability
+  /// update_ratio, once keys exist) an update of a previously inserted key.
+  Operation Next();
+  std::vector<Operation> Batch(size_t n);
+
+  /// Draws a range covering ~`selectivity` of the key-distribution's mass,
+  /// uniformly positioned (paper Figs. 9-10 use 1%..10%).
+  RangeQuerySpec NextQuery(double selectivity);
+
+  /// Upper-level split points for a GEM2*-tree with `num_regions` regions:
+  /// quantiles of the configured key distribution (paper Section VI-A).
+  std::vector<Key> SplitPoints(size_t num_regions) const;
+
+  const std::vector<Key>& inserted_keys() const { return inserted_; }
+  const WorkloadOptions& options() const { return options_; }
+
+  /// Switches the insert/update mix mid-stream (e.g. preload with inserts,
+  /// then drive a mixed phase against the same key population).
+  void set_update_ratio(double ratio) { options_.update_ratio = ratio; }
+
+ private:
+  Key SampleFreshKey();
+  Key SampleAnyKey();
+  /// Key at cumulative probability q of the configured distribution.
+  Key Quantile(double q) const;
+  std::string RandomValue();
+
+  WorkloadOptions options_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  std::vector<Key> inserted_;
+  std::unordered_set<Key> used_;
+  /// Cumulative bucket masses (zipfian only), lazily built.
+  mutable std::vector<double> cumulative_;
+
+  const std::vector<double>& Cumulative() const;
+};
+
+}  // namespace gem2::workload
+
+#endif  // GEM2_WORKLOAD_WORKLOAD_H_

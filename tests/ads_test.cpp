@@ -1,0 +1,347 @@
+// ADS common-layer tests: canonical static trees, VO structure/serialization,
+// and the single-tree verifier's soundness and completeness checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "ads/static_tree.h"
+#include "ads/verify.h"
+#include "ads/vo.h"
+#include "crypto/digest.h"
+
+namespace gem2::ads {
+namespace {
+
+EntryList MakeEntries(size_t n, Key stride = 10, Key base = 0) {
+  EntryList entries;
+  for (size_t i = 0; i < n; ++i) {
+    Key k = base + static_cast<Key>(i) * stride;
+    entries.push_back({k, crypto::ValueHash("value-" + std::to_string(k))});
+  }
+  return entries;
+}
+
+std::vector<Object> ObjectsFor(const EntryList& result) {
+  std::vector<Object> objects;
+  for (const Entry& e : result) {
+    objects.push_back({e.key, "value-" + std::to_string(e.key)});
+  }
+  return objects;
+}
+
+// --- StaticTree ---------------------------------------------------------------
+
+TEST(StaticTree, EmptyTree) {
+  StaticTree tree({}, 4);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.root_digest(), crypto::EmptyTreeDigest());
+  EntryList result;
+  TreeVo vo = tree.RangeQuery(0, 100, &result);
+  EXPECT_TRUE(vo.empty_tree);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(StaticTree, RejectsBadInput) {
+  EXPECT_THROW(StaticTree(MakeEntries(4), 1), std::invalid_argument);
+  EntryList unsorted = {{5, {}}, {3, {}}};
+  EXPECT_THROW(StaticTree(unsorted, 4), std::invalid_argument);
+  EntryList dup = {{5, {}}, {5, {}}};
+  EXPECT_THROW(StaticTree(dup, 4), std::invalid_argument);
+}
+
+TEST(StaticTree, BoundariesAndSize) {
+  StaticTree tree(MakeEntries(10, 7, 3), 4);
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.lo(), 3);
+  EXPECT_EQ(tree.hi(), 3 + 9 * 7);
+}
+
+class StaticTreeParam
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(StaticTreeParam, CanonicalDigestMatchesMaterializedTree) {
+  auto [n, fanout] = GetParam();
+  EntryList entries = MakeEntries(n);
+  StaticTree tree(entries, fanout);
+  // The suppressed on-the-fly computation must agree bit-for-bit.
+  EXPECT_EQ(CanonicalRootDigest(entries, fanout), tree.root_digest());
+  // ... and with a meter attached (same digest, gas charged).
+  gas::Meter meter(gas::kEthereumSchedule, 1ull << 60);
+  EXPECT_EQ(CanonicalRootDigest(entries, fanout, &meter), tree.root_digest());
+  if (n > 0) {
+    EXPECT_GT(meter.used(), 0u);
+  }
+}
+
+TEST_P(StaticTreeParam, QueriesVerifyAgainstRoot) {
+  auto [n, fanout] = GetParam();
+  if (n == 0) GTEST_SKIP();
+  EntryList entries = MakeEntries(n);
+  StaticTree tree(entries, fanout);
+  const Key max_key = entries.back().key;
+  const std::pair<Key, Key> ranges[] = {
+      {0, max_key}, {-5, -1}, {max_key + 1, max_key + 100},
+      {max_key / 3, 2 * max_key / 3}, {15, 15}, {0, 0}};
+  for (auto [lb, ub] : ranges) {
+    EntryList result;
+    TreeVo vo = tree.RangeQuery(lb, ub, &result);
+    EntryList expect;
+    for (const Entry& e : entries) {
+      if (e.key >= lb && e.key <= ub) expect.push_back(e);
+    }
+    EXPECT_EQ(result, expect);
+    auto outcome = VerifyTreeVo(lb, ub, vo, tree.root_digest(), ObjectsFor(result));
+    EXPECT_TRUE(outcome.ok) << outcome.error << " n=" << n << " f=" << fanout
+                            << " [" << lb << "," << ub << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFanouts, StaticTreeParam,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 16, 17, 64, 100, 333),
+                       ::testing::Values(2, 3, 4, 8)));
+
+TEST(StaticTree, DigestDependsOnEveryEntry) {
+  EntryList entries = MakeEntries(20);
+  Hash base = CanonicalRootDigest(entries, 4);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EntryList copy = entries;
+    copy[i].value_hash = crypto::ValueHash("tampered");
+    EXPECT_NE(CanonicalRootDigest(copy, 4), base) << i;
+  }
+}
+
+TEST(StaticTree, MeteredHashChargesMatchComputation) {
+  // Entry digests: 40 bytes each; per node: content (32*children) + wrap (48).
+  EntryList entries = MakeEntries(16);
+  gas::Meter meter(gas::kEthereumSchedule, 1ull << 60);
+  CanonicalRootDigest(entries, 4, &meter);
+  // 16 entries -> 4 leaves -> 1 root: 16 entry hashes + 5 content + 5 wrap.
+  EXPECT_EQ(meter.op_counts().hash_calls, 16u + 5u + 5u);
+}
+
+// --- VO serialization ----------------------------------------------------------
+
+TEST(Vo, SerializationRoundTrips) {
+  StaticTree tree(MakeEntries(100), 4);
+  EntryList result;
+  TreeVo vo = tree.RangeQuery(100, 500, &result);
+
+  Bytes wire = SerializeTreeVo(vo);
+  EXPECT_EQ(wire.size(), VoSizeBytes(vo));
+  auto parsed = ParseTreeVo(wire);
+  ASSERT_TRUE(parsed.has_value());
+  // Round-tripped VO verifies identically.
+  auto outcome =
+      VerifyTreeVo(100, 500, *parsed, tree.root_digest(), ObjectsFor(result));
+  EXPECT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(SerializeTreeVo(*parsed), wire);
+}
+
+TEST(Vo, EmptyVoRoundTrips) {
+  TreeVo vo;
+  vo.empty_tree = true;
+  Bytes wire = SerializeTreeVo(vo);
+  EXPECT_EQ(wire.size(), 1u);
+  auto parsed = ParseTreeVo(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty_tree);
+}
+
+TEST(Vo, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParseTreeVo({}).has_value());
+  EXPECT_FALSE(ParseTreeVo({9}).has_value());           // unknown header
+  EXPECT_FALSE(ParseTreeVo({1}).has_value());           // missing root
+  EXPECT_FALSE(ParseTreeVo({1, 4, 0}).has_value());     // truncated node count
+  EXPECT_FALSE(ParseTreeVo({1, 1, 1, 2}).has_value());  // truncated key
+  EXPECT_FALSE(ParseTreeVo({0, 0}).has_value());        // trailing bytes
+
+  // Valid VO with trailing garbage must be rejected.
+  StaticTree tree(MakeEntries(10), 4);
+  EntryList result;
+  Bytes wire = SerializeTreeVo(tree.RangeQuery(0, 50, &result));
+  wire.push_back(0);
+  EXPECT_FALSE(ParseTreeVo(wire).has_value());
+}
+
+TEST(Vo, CloneIsDeep) {
+  StaticTree tree(MakeEntries(50), 4);
+  EntryList result;
+  TreeVo vo = tree.RangeQuery(100, 300, &result);
+  TreeVo copy = CloneVo(vo);
+  EXPECT_EQ(SerializeTreeVo(copy), SerializeTreeVo(vo));
+  // Mutating the copy leaves the original intact.
+  auto* node = std::get_if<VoNodePtr>(&*copy.root);
+  ASSERT_NE(node, nullptr);
+  (*node)->children.clear();
+  EXPECT_NE(SerializeTreeVo(copy), SerializeTreeVo(vo));
+}
+
+TEST(Vo, SizeAccountingExact) {
+  // Single-leaf tree over {0, 10, 20, 30}; wire sizes are fully predictable:
+  // header 1; node tag+count 3; result entry 9; boundary entry 41; pruned 49.
+  StaticTree tree(MakeEntries(4), 4);
+  EntryList result;
+  TreeVo all_results = tree.RangeQuery(0, 30, &result);
+  EXPECT_EQ(VoSizeBytes(all_results), 1u + 3u + 4u * 9u);
+
+  EntryList mixed_result;
+  TreeVo mixed = tree.RangeQuery(10, 20, &mixed_result);
+  EXPECT_EQ(VoSizeBytes(mixed), 1u + 3u + 2u * 9u + 2u * 41u);
+
+  EntryList no_result;
+  TreeVo disjoint = tree.RangeQuery(100, 200, &no_result);
+  EXPECT_EQ(VoSizeBytes(disjoint), 1u + 49u);
+}
+
+// --- Verifier adversarial cases ------------------------------------------------
+
+class VerifierAttackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    entries_ = MakeEntries(64);
+    tree_ = std::make_unique<StaticTree>(entries_, 4);
+    vo_ = tree_->RangeQuery(kLb, kUb, &result_);
+    objects_ = ObjectsFor(result_);
+    ASSERT_TRUE(VerifyTreeVo(kLb, kUb, vo_, tree_->root_digest(), objects_).ok);
+  }
+
+  static constexpr Key kLb = 200;
+  static constexpr Key kUb = 400;
+  EntryList entries_;
+  std::unique_ptr<StaticTree> tree_;
+  TreeVo vo_;
+  EntryList result_;
+  std::vector<Object> objects_;
+};
+
+TEST_F(VerifierAttackTest, RejectsWrongRoot) {
+  Hash wrong = crypto::ValueHash("wrong");
+  EXPECT_FALSE(VerifyTreeVo(kLb, kUb, vo_, wrong, objects_).ok);
+}
+
+TEST_F(VerifierAttackTest, RejectsEmptyClaimForNonEmptyTree) {
+  TreeVo empty;
+  empty.empty_tree = true;
+  EXPECT_FALSE(VerifyTreeVo(kLb, kUb, empty, tree_->root_digest(), {}).ok);
+}
+
+TEST_F(VerifierAttackTest, RejectsSwappedChildren) {
+  TreeVo bad = CloneVo(vo_);
+  auto* root = std::get_if<VoNodePtr>(&*bad.root);
+  ASSERT_NE(root, nullptr);
+  ASSERT_GE((*root)->children.size(), 2u);
+  std::swap((*root)->children[0], (*root)->children[1]);
+  EXPECT_FALSE(VerifyTreeVo(kLb, kUb, bad, tree_->root_digest(), objects_).ok);
+}
+
+TEST_F(VerifierAttackTest, RejectsPrunedSubtreeOverlappingRange) {
+  // Replace the expanded root with a pruned claim covering the whole tree —
+  // even with the correct content hash, pruning an overlapping range must be
+  // rejected (it would hide results).
+  TreeVo bad = CloneVo(vo_);
+  // Obtain the root's true (lo, hi, content hash) via a disjoint query, where
+  // the SP legitimately prunes the whole tree.
+  EntryList unused;
+  TreeVo pruned_vo = tree_->RangeQuery(100'000, 200'000, &unused);
+  const auto* pruned = std::get_if<VoPruned>(&*pruned_vo.root);
+  ASSERT_NE(pruned, nullptr);
+  bad.root = *pruned;
+  EXPECT_FALSE(VerifyTreeVo(kLb, kUb, bad, tree_->root_digest(), {}).ok);
+}
+
+TEST_F(VerifierAttackTest, RejectsBoundaryEntryMarkedAsResult) {
+  // Flip a boundary entry into a "result" without shipping the object.
+  TreeVo bad = CloneVo(vo_);
+  bool flipped = false;
+  std::function<void(VoChild&)> walk = [&](VoChild& child) {
+    if (auto* e = std::get_if<VoEntry>(&child)) {
+      if (!e->is_result && !flipped) {
+        e->is_result = true;
+        flipped = true;
+      }
+    } else if (auto* n = std::get_if<VoNodePtr>(&child)) {
+      for (VoChild& c : (*n)->children) walk(c);
+    }
+  };
+  walk(*bad.root);
+  ASSERT_TRUE(flipped);
+  EXPECT_FALSE(VerifyTreeVo(kLb, kUb, bad, tree_->root_digest(), objects_).ok);
+}
+
+TEST_F(VerifierAttackTest, RejectsResultEntryDemotedToBoundary) {
+  // Hide a result by re-marking its VO entry as a boundary with the correct
+  // hash — completeness check must catch the in-range non-result entry.
+  TreeVo bad = CloneVo(vo_);
+  bool flipped = false;
+  std::function<void(VoChild&)> walk = [&](VoChild& child) {
+    if (auto* e = std::get_if<VoEntry>(&child)) {
+      if (e->is_result && !flipped) {
+        e->is_result = false;
+        e->value_hash = crypto::ValueHash("value-" + std::to_string(e->key));
+        flipped = true;
+      }
+    } else if (auto* n = std::get_if<VoNodePtr>(&child)) {
+      for (VoChild& c : (*n)->children) walk(c);
+    }
+  };
+  walk(*bad.root);
+  ASSERT_TRUE(flipped);
+  std::vector<Object> fewer = objects_;
+  fewer.erase(fewer.begin());
+  EXPECT_FALSE(VerifyTreeVo(kLb, kUb, bad, tree_->root_digest(), fewer).ok);
+}
+
+TEST_F(VerifierAttackTest, RejectsForgedPrunedBoundaries) {
+  // Shift a pruned subtree's claimed range away from the query: the digest
+  // reconstruction must fail because boundaries are bound into the digest.
+  TreeVo bad = CloneVo(vo_);
+  bool forged = false;
+  std::function<void(VoChild&)> walk = [&](VoChild& child) {
+    if (auto* p = std::get_if<VoPruned>(&child)) {
+      if (!forged) {
+        p->lo += 1;
+        forged = true;
+      }
+    } else if (auto* n = std::get_if<VoNodePtr>(&child)) {
+      for (VoChild& c : (*n)->children) walk(c);
+    }
+  };
+  walk(*bad.root);
+  ASSERT_TRUE(forged);
+  EXPECT_FALSE(VerifyTreeVo(kLb, kUb, bad, tree_->root_digest(), objects_).ok);
+}
+
+TEST_F(VerifierAttackTest, RejectsDuplicateResultKeys) {
+  std::vector<Object> dup = objects_;
+  dup.push_back(dup[0]);
+  EXPECT_FALSE(VerifyTreeVo(kLb, kUb, vo_, tree_->root_digest(), dup).ok);
+}
+
+TEST_F(VerifierAttackTest, RejectsExtraUnprovenObjects) {
+  std::vector<Object> extra = objects_;
+  extra.push_back({kUb + 5, "unproven"});
+  EXPECT_FALSE(VerifyTreeVo(kLb, kUb, vo_, tree_->root_digest(), extra).ok);
+}
+
+TEST_F(VerifierAttackTest, RejectsInvalidQueryRange) {
+  EXPECT_FALSE(VerifyTreeVo(10, 5, vo_, tree_->root_digest(), objects_).ok);
+}
+
+TEST_F(VerifierAttackTest, RejectsBareEntryRoot) {
+  TreeVo bad;
+  bad.root = VoEntry{kLb, crypto::ValueHash("x"), false};
+  EXPECT_FALSE(VerifyTreeVo(kLb, kUb, bad, tree_->root_digest(), {}).ok);
+}
+
+TEST(Verifier, AcceptsEmptyTreeWithEmptyDigest) {
+  TreeVo vo;
+  vo.empty_tree = true;
+  EXPECT_TRUE(VerifyTreeVo(0, 10, vo, crypto::EmptyTreeDigest(), {}).ok);
+  EXPECT_FALSE(VerifyTreeVo(0, 10, vo, crypto::ValueHash("x"), {}).ok);
+}
+
+}  // namespace
+}  // namespace gem2::ads

@@ -1,0 +1,260 @@
+// Chain substrate tests: metered storage semantics and journaling, block
+// structure, PoW, validation, the execution environment's transaction
+// handling (including out-of-gas rollback), and authenticated state proofs.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "chain/contract.h"
+#include "chain/environment.h"
+#include "chain/storage.h"
+#include "crypto/digest.h"
+
+namespace gem2::chain {
+namespace {
+
+// --- MeteredStorage ----------------------------------------------------------
+
+TEST(Storage, LoadOfEmptySlotChargesAndReturnsZero) {
+  MeteredStorage storage;
+  gas::Meter meter;
+  EXPECT_EQ(storage.Load({1, 7}, meter), kZeroWord);
+  EXPECT_EQ(meter.op_counts().sload, 1u);
+}
+
+TEST(Storage, StoreChargesSstoreThenSupdate) {
+  MeteredStorage storage;
+  gas::Meter meter;
+  storage.Store({1, 0}, WordFromUint64(5), meter);
+  EXPECT_EQ(meter.op_counts().sstore, 1u);
+  EXPECT_EQ(meter.op_counts().supdate, 0u);
+  storage.Store({1, 0}, WordFromUint64(6), meter);
+  EXPECT_EQ(meter.op_counts().supdate, 1u);
+  EXPECT_EQ(Uint64FromWord(storage.Peek({1, 0})), 6u);
+}
+
+TEST(Storage, ZeroStoreClearsSlot) {
+  MeteredStorage storage;
+  gas::Meter meter;
+  storage.Store({1, 0}, WordFromUint64(5), meter);
+  EXPECT_TRUE(storage.Contains({1, 0}));
+  storage.Store({1, 0}, kZeroWord, meter);
+  EXPECT_FALSE(storage.Contains({1, 0}));
+  // Re-storing is an sstore again (slot is empty).
+  storage.Store({1, 0}, WordFromUint64(7), meter);
+  EXPECT_EQ(meter.op_counts().sstore, 2u);
+}
+
+TEST(Storage, RegionsAreIndependent) {
+  MeteredStorage storage;
+  gas::Meter meter;
+  storage.Store({1, 42}, WordFromUint64(1), meter);
+  storage.Store({2, 42}, WordFromUint64(2), meter);
+  EXPECT_EQ(Uint64FromWord(storage.Peek({1, 42})), 1u);
+  EXPECT_EQ(Uint64FromWord(storage.Peek({2, 42})), 2u);
+  EXPECT_EQ(storage.NumSlots(), 2u);
+}
+
+TEST(Storage, RollbackRestoresPriorState) {
+  MeteredStorage storage;
+  gas::Meter meter;
+  storage.Store({1, 0}, WordFromUint64(1), meter);
+
+  storage.BeginTx();
+  storage.Store({1, 0}, WordFromUint64(99), meter);   // overwrite
+  storage.Store({1, 1}, WordFromUint64(2), meter);    // create
+  storage.Store({1, 0}, kZeroWord, meter);            // clear
+  storage.RollbackTx();
+
+  EXPECT_EQ(Uint64FromWord(storage.Peek({1, 0})), 1u);
+  EXPECT_FALSE(storage.Contains({1, 1}));
+}
+
+TEST(Storage, CommitKeepsChanges) {
+  MeteredStorage storage;
+  gas::Meter meter;
+  storage.BeginTx();
+  storage.Store({1, 0}, WordFromUint64(11), meter);
+  storage.CommitTx();
+  EXPECT_EQ(Uint64FromWord(storage.Peek({1, 0})), 11u);
+}
+
+TEST(Storage, TransactionBracketingErrors) {
+  MeteredStorage storage;
+  EXPECT_THROW(storage.CommitTx(), std::logic_error);
+  EXPECT_THROW(storage.RollbackTx(), std::logic_error);
+  storage.BeginTx();
+  EXPECT_THROW(storage.BeginTx(), std::logic_error);
+  storage.CommitTx();
+}
+
+// --- Blockchain -------------------------------------------------------------
+
+TEST(Pow, LeadingZeroBits) {
+  Hash h{};
+  EXPECT_TRUE(SatisfiesPow(h, 0));
+  EXPECT_TRUE(SatisfiesPow(h, 256));
+  h[0] = 0x01;  // 7 leading zero bits
+  EXPECT_TRUE(SatisfiesPow(h, 7));
+  EXPECT_FALSE(SatisfiesPow(h, 8));
+  h[0] = 0x80;
+  EXPECT_FALSE(SatisfiesPow(h, 1));
+}
+
+TEST(Blockchain, GenesisAndAppend) {
+  Blockchain chain(0);
+  EXPECT_EQ(chain.height(), 0u);
+  Transaction tx;
+  tx.contract = "ads";
+  tx.method = "insert";
+  chain.Append({tx}, crypto::EmptyTreeDigest(), 1);
+  EXPECT_EQ(chain.height(), 1u);
+  EXPECT_EQ(chain.latest().transactions.size(), 1u);
+  std::string error;
+  EXPECT_TRUE(chain.Validate(&error)) << error;
+}
+
+TEST(Blockchain, MiningSatisfiesDifficulty) {
+  Blockchain chain(10);
+  chain.Append({}, crypto::EmptyTreeDigest(), 1);
+  for (const Block& b : chain.blocks()) {
+    EXPECT_TRUE(SatisfiesPow(b.header.Digest(), 10));
+  }
+  std::string error;
+  EXPECT_TRUE(chain.Validate(&error)) << error;
+}
+
+class TamperedChainTest : public ::testing::Test {
+ protected:
+  Blockchain MakeChain() {
+    Blockchain chain(4);
+    for (int i = 0; i < 3; ++i) {
+      Transaction tx;
+      tx.seq = static_cast<uint64_t>(i);
+      tx.contract = "ads";
+      chain.Append({tx}, crypto::EmptyTreeDigest(), static_cast<uint64_t>(i));
+    }
+    return chain;
+  }
+};
+
+TEST_F(TamperedChainTest, DetectsTamperedTransaction) {
+  Blockchain chain = MakeChain();
+  const_cast<Block&>(chain.blocks()[2]).transactions[0].method = "evil";
+  EXPECT_FALSE(chain.Validate());
+}
+
+TEST_F(TamperedChainTest, DetectsRewrittenStateRoot) {
+  Blockchain chain = MakeChain();
+  const_cast<Block&>(chain.blocks()[1]).header.state_root = Hash{};
+  // Changing the header invalidates the next block's prev_hash (and likely
+  // the PoW).
+  EXPECT_FALSE(chain.Validate());
+}
+
+TEST_F(TamperedChainTest, DetectsForgedNonce) {
+  Blockchain chain = MakeChain();
+  const_cast<Block&>(chain.blocks()[3]).header.nonce += 1;
+  EXPECT_FALSE(chain.Validate());
+}
+
+// --- Environment --------------------------------------------------------------
+
+/// Minimal contract for environment tests: one counter slot.
+class CounterContract : public Contract {
+ public:
+  CounterContract() : Contract("counter") {}
+
+  void Add(uint64_t amount, gas::Meter& meter) {
+    uint64_t v = storage().LoadUint({1, 0}, meter);
+    storage().StoreUint({1, 0}, v + amount, meter);
+  }
+
+  void Explode(gas::Meter& meter) {
+    for (uint64_t i = 0; i < 1'000'000; ++i) storage().StoreUint({2, i}, 1, meter);
+  }
+
+  std::vector<DigestEntry> AuthenticatedDigests() const override {
+    Hash h{};
+    h[31] = static_cast<uint8_t>(storage().Peek({1, 0})[31]);
+    return {{"counter", h}};
+  }
+};
+
+TEST(Environment, ExecuteMetersAndRecords) {
+  Environment env;
+  CounterContract contract;
+  env.Register(&contract);
+  TxReceipt r = env.Execute(contract, "add",
+                            [&](gas::Meter& m) { contract.Add(5, m); });
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.gas_used, 200u + 20'000u);  // sload + sstore
+  r = env.Execute(contract, "add", [&](gas::Meter& m) { contract.Add(2, m); });
+  EXPECT_EQ(r.gas_used, 200u + 5'000u);  // sload + supdate
+  EXPECT_EQ(Uint64FromWord(contract.storage().Peek({1, 0})), 7u);
+  EXPECT_EQ(env.num_transactions(), 2u);
+  EXPECT_EQ(env.total_gas_used(), 25'400u);
+}
+
+TEST(Environment, OutOfGasRollsBackAndReports) {
+  EnvironmentOptions options;
+  options.gas_limit = 100'000;
+  Environment env(options);
+  CounterContract contract;
+  env.Register(&contract);
+  env.Execute(contract, "add", [&](gas::Meter& m) { contract.Add(1, m); });
+
+  TxReceipt r =
+      env.Execute(contract, "explode", [&](gas::Meter& m) { contract.Explode(m); });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of gas"), std::string::npos);
+  // The exploded writes were rolled back; the counter survives.
+  EXPECT_EQ(Uint64FromWord(contract.storage().Peek({1, 0})), 1u);
+  EXPECT_FALSE(contract.storage().Contains({2, 0}));
+}
+
+TEST(Environment, AuthenticatedStateProofsVerify) {
+  Environment env;
+  CounterContract contract;
+  env.Register(&contract);
+  env.Execute(contract, "add", [&](gas::Meter& m) { contract.Add(3, m); });
+
+  AuthenticatedState state = env.ReadAuthenticatedState("counter");
+  ASSERT_EQ(state.digests.size(), 1u);
+  EXPECT_TRUE(Environment::VerifyAuthenticatedState(state));
+
+  // Tampering with the digest breaks the proof.
+  AuthenticatedState bad = state;
+  bad.digests[0].entry.digest[0] ^= 0xff;
+  EXPECT_FALSE(Environment::VerifyAuthenticatedState(bad));
+
+  // Tampering with the label breaks the proof too.
+  AuthenticatedState bad2 = state;
+  bad2.digests[0].entry.label = "other";
+  EXPECT_FALSE(Environment::VerifyAuthenticatedState(bad2));
+}
+
+TEST(Environment, BlocksSealEveryKTransactions) {
+  EnvironmentOptions options;
+  options.txs_per_block = 2;
+  Environment env(options);
+  CounterContract contract;
+  env.Register(&contract);
+  for (int i = 0; i < 5; ++i) {
+    env.Execute(contract, "add", [&](gas::Meter& m) { contract.Add(1, m); });
+  }
+  EXPECT_EQ(env.blockchain().height(), 2u);  // 4 sealed, 1 pending
+  env.SealBlock();
+  EXPECT_EQ(env.blockchain().height(), 3u);
+}
+
+TEST(Environment, RejectsDuplicateAndUnknownContracts) {
+  Environment env;
+  CounterContract contract;
+  env.Register(&contract);
+  CounterContract dup;
+  EXPECT_THROW(env.Register(&dup), std::invalid_argument);
+  EXPECT_THROW(env.ReadAuthenticatedState("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gem2::chain

@@ -1,0 +1,163 @@
+// Tests for the crypto substrate: Keccak-256 vectors, incremental hashing,
+// the node-digest scheme, and the binary Merkle tree with inclusion proofs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+#include "crypto/keccak.h"
+#include "crypto/merkle.h"
+
+namespace gem2::crypto {
+namespace {
+
+TEST(Keccak, KnownVectorEmpty) {
+  // Ethereum's Keccak-256 of the empty string.
+  EXPECT_EQ(ToHex(Keccak256(std::string(""))),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak, KnownVectorAbc) {
+  EXPECT_EQ(ToHex(Keccak256(std::string("abc"))),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak, KnownVectorLongerThanRate) {
+  // A message longer than the 136-byte rate exercises multi-block absorbing.
+  std::string msg(200, 'a');
+  Hash digest = Keccak256(msg);
+  // Self-consistency with incremental absorption in awkward chunk sizes.
+  Keccak256Hasher h;
+  h.Update(msg.substr(0, 1));
+  h.Update(msg.substr(1, 135));
+  h.Update(msg.substr(136));
+  EXPECT_EQ(h.Finalize(), digest);
+}
+
+TEST(Keccak, IncrementalMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<uint8_t>(i * 7));
+  Hash one_shot = Keccak256(data);
+  Keccak256Hasher h;
+  for (size_t i = 0; i < data.size(); i += 17) {
+    size_t n = std::min<size_t>(17, data.size() - i);
+    h.Update(data.data() + i, n);
+  }
+  EXPECT_EQ(h.Finalize(), one_shot);
+  EXPECT_EQ(h.absorbed_bytes(), data.size());
+}
+
+TEST(Keccak, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Keccak256(std::string("a")), Keccak256(std::string("b")));
+  EXPECT_NE(Keccak256(std::string("")), Keccak256(std::string("\0", 1)));
+}
+
+TEST(Digest, EntryDigestBindsKeyAndValue) {
+  Hash v1 = ValueHash("value-1");
+  Hash v2 = ValueHash("value-2");
+  EXPECT_NE(EntryDigest(1, v1), EntryDigest(2, v1));
+  EXPECT_NE(EntryDigest(1, v1), EntryDigest(1, v2));
+}
+
+TEST(Digest, WrapDigestBindsBoundaries) {
+  Hash content = ValueHash("content");
+  EXPECT_NE(WrapDigest(1, 9, content), WrapDigest(1, 10, content));
+  EXPECT_NE(WrapDigest(1, 9, content), WrapDigest(2, 9, content));
+  EXPECT_NE(WrapDigest(1, 9, content), WrapDigest(1, 9, ValueHash("other")));
+}
+
+TEST(Digest, DigestByteCountsMatchActualHashing) {
+  // The gas model charges Chash by byte count; the helpers must report the
+  // sizes the real computation absorbs.
+  Keccak256Hasher h;
+  h.UpdateKey(7);
+  h.Update(ValueHash("x"));
+  EXPECT_EQ(h.absorbed_bytes(), EntryDigestBytes());
+
+  Keccak256Hasher h2;
+  h2.UpdateKey(1);
+  h2.UpdateKey(2);
+  h2.Update(ValueHash("x"));
+  EXPECT_EQ(h2.absorbed_bytes(), WrapDigestBytes());
+
+  EXPECT_EQ(ContentDigestBytes(4), 4u * 32u);
+}
+
+TEST(Digest, EmptyTreeDigestStable) {
+  EXPECT_EQ(EmptyTreeDigest(), EmptyTreeDigest());
+  EXPECT_NE(EmptyTreeDigest(), Hash{});
+}
+
+class MerkleTreeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleTreeTest, AllProofsVerify) {
+  const size_t n = GetParam();
+  std::vector<Hash> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Keccak256(std::string("leaf-") + std::to_string(i)));
+  }
+  BinaryMerkleTree tree(leaves);
+  EXPECT_EQ(tree.num_leaves(), n);
+  for (size_t i = 0; i < n; ++i) {
+    MerkleProof proof = tree.Prove(i);
+    EXPECT_EQ(BinaryMerkleTree::RootFromProof(leaves[i], proof), tree.root())
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleTreeTest, TamperedLeafFailsProof) {
+  const size_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  std::vector<Hash> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Keccak256(std::string("leaf-") + std::to_string(i)));
+  }
+  BinaryMerkleTree tree(leaves);
+  MerkleProof proof = tree.Prove(0);
+  Hash forged = Keccak256(std::string("forged"));
+  EXPECT_NE(BinaryMerkleTree::RootFromProof(forged, proof), tree.root());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleTreeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 33,
+                                           64, 100, 255));
+
+TEST(MerkleTree, EmptyTreeHasCanonicalDigest) {
+  BinaryMerkleTree tree({});
+  EXPECT_EQ(tree.root(), EmptyTreeDigest());
+}
+
+TEST(MerkleTree, RootChangesWithAnyLeaf) {
+  std::vector<Hash> leaves;
+  for (int i = 0; i < 9; ++i) {
+    leaves.push_back(Keccak256(std::to_string(i)));
+  }
+  Hash original = BinaryMerkleTree::RootOf(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto copy = leaves;
+    copy[i] = Keccak256(std::string("tampered"));
+    EXPECT_NE(BinaryMerkleTree::RootOf(copy), original) << "leaf " << i;
+  }
+}
+
+TEST(Bytes, WordRoundTrips) {
+  for (uint64_t v : {0ull, 1ull, 255ull, 256ull, 0xffffffffffffffffull}) {
+    EXPECT_EQ(Uint64FromWord(WordFromUint64(v)), v);
+  }
+  for (Key k : {Key{0}, Key{-1}, Key{42}, kKeyMin, kKeyMax}) {
+    EXPECT_EQ(KeyFromWord(WordFromKey(k)), k);
+  }
+}
+
+TEST(Bytes, HexFormatting) {
+  Hash h{};
+  h[0] = 0xab;
+  h[1] = 0x01;
+  EXPECT_EQ(ToHex(h).substr(0, 4), "ab01");
+  EXPECT_EQ(HexAbbrev(h, 2), "ab01..");
+}
+
+}  // namespace
+}  // namespace gem2::crypto

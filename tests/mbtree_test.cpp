@@ -1,0 +1,296 @@
+// Merkle B+-tree tests: structure, digests, gas model, bulk insertion, and
+// authenticated range queries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "ads/verify.h"
+#include "crypto/digest.h"
+#include "gas/meter.h"
+#include "mbtree/mbtree.h"
+
+namespace gem2::mbtree {
+namespace {
+
+Hash Vh(Key k) { return crypto::ValueHash("value-" + std::to_string(k)); }
+
+std::vector<Key> ShuffledKeys(size_t n, uint64_t seed, Key stride = 3) {
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(static_cast<Key>(i) * stride + 1);
+  std::mt19937_64 rng(seed);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  return keys;
+}
+
+std::vector<Object> ObjectsFor(const ads::EntryList& entries) {
+  std::vector<Object> objects;
+  for (const ads::Entry& e : entries) {
+    objects.push_back({e.key, "value-" + std::to_string(e.key)});
+  }
+  return objects;
+}
+
+TEST(MbTree, EmptyTree) {
+  MbTree tree(4);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.root_digest(), crypto::EmptyTreeDigest());
+  EXPECT_FALSE(tree.Contains(1));
+  tree.CheckInvariants();
+}
+
+TEST(MbTree, SingleInsert) {
+  MbTree tree(4);
+  tree.Insert(10, Vh(10));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Contains(10));
+  EXPECT_EQ(tree.lo(), 10);
+  EXPECT_EQ(tree.hi(), 10);
+  tree.CheckInvariants();
+}
+
+TEST(MbTree, DuplicateInsertThrows) {
+  MbTree tree(4);
+  tree.Insert(10, Vh(10));
+  EXPECT_THROW(tree.Insert(10, Vh(10)), std::invalid_argument);
+}
+
+TEST(MbTree, UpdateMissingKeyReturnsFalse) {
+  MbTree tree(4);
+  tree.Insert(10, Vh(10));
+  EXPECT_FALSE(tree.Update(11, Vh(11)));
+}
+
+TEST(MbTree, UpdateChangesRoot) {
+  MbTree tree(4);
+  for (Key k : ShuffledKeys(50, 7)) tree.Insert(k, Vh(k));
+  Hash before = tree.root_digest();
+  ASSERT_TRUE(tree.Update(1, crypto::ValueHash("new-value")));
+  EXPECT_NE(tree.root_digest(), before);
+  tree.CheckInvariants();
+}
+
+TEST(MbTree, InsertionOrderIndependentDigest) {
+  // Same key set, different insertion orders, same entries -> possibly
+  // different shapes but identical sorted contents.
+  MbTree a(4);
+  MbTree b(4);
+  for (Key k : ShuffledKeys(200, 1)) a.Insert(k, Vh(k));
+  for (Key k : ShuffledKeys(200, 2)) b.Insert(k, Vh(k));
+  EXPECT_EQ(a.AllEntries(), b.AllEntries());
+}
+
+class MbTreeSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MbTreeSizes, InvariantsAndOrderAfterRandomInserts) {
+  const size_t n = GetParam();
+  MbTree tree(4);
+  for (Key k : ShuffledKeys(n, n)) tree.Insert(k, Vh(k));
+  EXPECT_EQ(tree.size(), n);
+  tree.CheckInvariants();
+  ads::EntryList all = tree.AllEntries();
+  ASSERT_EQ(all.size(), n);
+  for (size_t i = 1; i < all.size(); ++i) EXPECT_LT(all[i - 1].key, all[i].key);
+}
+
+TEST_P(MbTreeSizes, RangeQueriesVerify) {
+  const size_t n = GetParam();
+  MbTree tree(4);
+  for (Key k : ShuffledKeys(n, n + 1)) tree.Insert(k, Vh(k));
+  const Hash root = tree.root_digest();
+
+  const std::pair<Key, Key> ranges[] = {
+      {0, 10}, {1, 1}, {5, 50}, {-100, -1}, {0, 1'000'000}, {17, 18}};
+  for (auto [lb, ub] : ranges) {
+    ads::EntryList result;
+    ads::TreeVo vo = tree.RangeQuery(lb, ub, &result);
+    // Result must equal the brute-force filter.
+    ads::EntryList expect;
+    for (const ads::Entry& e : tree.AllEntries()) {
+      if (e.key >= lb && e.key <= ub) expect.push_back(e);
+    }
+    EXPECT_EQ(result, expect);
+    auto outcome = ads::VerifyTreeVo(lb, ub, vo, root, ObjectsFor(result));
+    EXPECT_TRUE(outcome.ok) << outcome.error << " range [" << lb << "," << ub
+                            << "] n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MbTreeSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16, 17, 64, 100,
+                                           257, 1000));
+
+class MbTreeFanouts : public ::testing::TestWithParam<int> {};
+
+TEST_P(MbTreeFanouts, WorksAcrossFanouts) {
+  const int fanout = GetParam();
+  MbTree tree(fanout);
+  for (Key k : ShuffledKeys(300, fanout)) tree.Insert(k, Vh(k));
+  tree.CheckInvariants();
+  ads::EntryList result;
+  ads::TreeVo vo = tree.RangeQuery(10, 200, &result);
+  auto outcome =
+      ads::VerifyTreeVo(10, 200, vo, tree.root_digest(), ObjectsFor(result));
+  EXPECT_TRUE(outcome.ok) << outcome.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, MbTreeFanouts,
+                         ::testing::Values(3, 4, 5, 8, 16, 32));
+
+TEST(MbTree, BulkInsertMatchesSingleInserts) {
+  MbTree singles(4);
+  MbTree bulk(4);
+  std::vector<Key> keys = ShuffledKeys(500, 99);
+  // Preload both with the same prefix.
+  for (size_t i = 0; i < 100; ++i) singles.Insert(keys[i], Vh(keys[i]));
+  for (size_t i = 0; i < 100; ++i) bulk.Insert(keys[i], Vh(keys[i]));
+  // Remaining keys: one at a time vs one sorted batch.
+  ads::EntryList run;
+  for (size_t i = 100; i < keys.size(); ++i) {
+    singles.Insert(keys[i], Vh(keys[i]));
+    run.push_back({keys[i], Vh(keys[i])});
+  }
+  std::sort(run.begin(), run.end(), ads::EntryKeyLess);
+  bulk.BulkInsert(run);
+  bulk.CheckInvariants();
+  EXPECT_EQ(bulk.AllEntries(), singles.AllEntries());
+  EXPECT_EQ(bulk.size(), singles.size());
+}
+
+TEST(MbTree, BulkInsertRejectsUnsortedRun) {
+  MbTree tree(4);
+  ads::EntryList run = {{5, Vh(5)}, {3, Vh(3)}};
+  EXPECT_THROW(tree.BulkInsert(run), std::invalid_argument);
+}
+
+// --- Gas model -------------------------------------------------------------
+
+TEST(MbTreeGas, InsertFollowsPaperFormula) {
+  // For an insert at depth d, the paper's model charges
+  //   d * (2 sstore + 2 supdate + (2F+1) sload) + 1 sstore   (+ hashes)
+  // with extra per-node charges when splits create siblings.
+  MbTree tree(4);
+  for (Key k : ShuffledKeys(1000, 5)) tree.Insert(k, Vh(k));
+
+  gas::Meter meter(gas::kEthereumSchedule, 1'000'000'000);
+  tree.Insert(3'000'000, Vh(1), &meter);
+  const auto& ops = meter.op_counts();
+  const size_t d = tree.height();
+  // At least the path is charged; splits may add a handful of nodes.
+  EXPECT_GE(ops.sstore, 2 * d + 1);
+  EXPECT_LE(ops.sstore, 2 * (d + 4) + 1);
+  EXPECT_GE(ops.supdate, 2 * d);
+  EXPECT_GE(ops.sload, (2 * 4 + 1) * d);
+  EXPECT_GT(ops.hash_calls, 0u);
+}
+
+TEST(MbTreeGas, UpdateCheaperThanInsert) {
+  MbTree tree(4);
+  for (Key k : ShuffledKeys(2000, 6)) tree.Insert(k, Vh(k));
+
+  gas::Meter insert_meter(gas::kEthereumSchedule, 1'000'000'000);
+  tree.Insert(9'000'001, Vh(2), &insert_meter);
+  gas::Meter update_meter(gas::kEthereumSchedule, 1'000'000'000);
+  ASSERT_TRUE(tree.Update(1, crypto::ValueHash("nv"), &update_meter));
+
+  // Updates rewrite hashes in place: no sstores at all, and much less gas.
+  EXPECT_EQ(update_meter.op_counts().sstore, 0u);
+  EXPECT_LT(update_meter.used(), insert_meter.used() / 3);
+}
+
+TEST(MbTreeGas, BulkInsertSharesAncestorUpdates) {
+  // Inserting a contiguous sorted run in bulk must be cheaper than the same
+  // inserts one at a time (the paper's Cbshare saving).
+  std::vector<Key> base = ShuffledKeys(2000, 8);
+  ads::EntryList run;
+  for (Key k = 1'000'000; k < 1'000'256; ++k) run.push_back({k, Vh(k)});
+
+  MbTree singles(4);
+  for (Key k : base) singles.Insert(k, Vh(k));
+  gas::Meter singles_meter(gas::kEthereumSchedule, 100'000'000'000ull);
+  for (const ads::Entry& e : run) singles.Insert(e.key, e.value_hash, &singles_meter);
+
+  MbTree bulk(4);
+  for (Key k : base) bulk.Insert(k, Vh(k));
+  gas::Meter bulk_meter(gas::kEthereumSchedule, 100'000'000'000ull);
+  bulk.BulkInsert(run, &bulk_meter);
+
+  EXPECT_LT(bulk_meter.used(), singles_meter.used() / 2);
+  EXPECT_EQ(bulk.AllEntries(), singles.AllEntries());
+}
+
+TEST(MbTreeGas, InsertGasGrowsLogarithmically) {
+  // Gas at N and at N^2 should differ by roughly 2x (depth doubling), far
+  // from linear growth.
+  auto gas_at = [](size_t n) {
+    MbTree tree(4);
+    for (Key k : ShuffledKeys(n, n)) tree.Insert(k, Vh(k));
+    gas::Meter meter(gas::kEthereumSchedule, 1'000'000'000);
+    tree.Insert(-5, Vh(3), &meter);
+    return meter.used();
+  };
+  const uint64_t g_small = gas_at(100);
+  const uint64_t g_big = gas_at(10000);
+  EXPECT_LT(g_big, 3 * g_small);
+}
+
+// --- Adversarial VO checks ---------------------------------------------------
+
+TEST(MbTreeVerify, DetectsTamperedValue) {
+  MbTree tree(4);
+  for (Key k : ShuffledKeys(100, 11)) tree.Insert(k, Vh(k));
+  ads::EntryList result;
+  ads::TreeVo vo = tree.RangeQuery(10, 100, &result);
+  std::vector<Object> objects = ObjectsFor(result);
+  ASSERT_FALSE(objects.empty());
+  objects[0].value = "tampered";
+  auto outcome = ads::VerifyTreeVo(10, 100, vo, tree.root_digest(), objects);
+  EXPECT_FALSE(outcome.ok);
+}
+
+TEST(MbTreeVerify, DetectsDroppedResult) {
+  MbTree tree(4);
+  for (Key k : ShuffledKeys(100, 12)) tree.Insert(k, Vh(k));
+  ads::EntryList result;
+  ads::TreeVo vo = tree.RangeQuery(10, 100, &result);
+  std::vector<Object> objects = ObjectsFor(result);
+  ASSERT_GT(objects.size(), 1u);
+  objects.pop_back();
+  auto outcome = ads::VerifyTreeVo(10, 100, vo, tree.root_digest(), objects);
+  EXPECT_FALSE(outcome.ok);
+}
+
+TEST(MbTreeVerify, DetectsInjectedResult) {
+  MbTree tree(4);
+  for (Key k : ShuffledKeys(100, 13)) tree.Insert(k, Vh(k));
+  ads::EntryList result;
+  ads::TreeVo vo = tree.RangeQuery(10, 100, &result);
+  std::vector<Object> objects = ObjectsFor(result);
+  objects.push_back({55'555, "injected"});
+  auto outcome = ads::VerifyTreeVo(10, 100, vo, tree.root_digest(), objects);
+  EXPECT_FALSE(outcome.ok);
+}
+
+TEST(MbTreeVerify, DetectsStaleRoot) {
+  // After an update, a response built from the *current* tree must not verify
+  // against the pre-update digest: freshness comes from the blockchain always
+  // serving the latest root.
+  MbTree tree(4);
+  for (Key k : ShuffledKeys(100, 14)) tree.Insert(k, Vh(k));
+  Hash stale_root = tree.root_digest();
+  ASSERT_TRUE(tree.Update(1, crypto::ValueHash("nv")));
+
+  ads::EntryList result;
+  ads::TreeVo vo = tree.RangeQuery(0, 50, &result);
+  std::vector<Object> objects;
+  for (const ads::Entry& e : result) {
+    objects.push_back({e.key, e.key == 1 ? "nv" : "value-" + std::to_string(e.key)});
+  }
+  EXPECT_FALSE(ads::VerifyTreeVo(0, 50, vo, stale_root, objects).ok);
+  EXPECT_TRUE(ads::VerifyTreeVo(0, 50, vo, tree.root_digest(), objects).ok);
+}
+
+}  // namespace
+}  // namespace gem2::mbtree

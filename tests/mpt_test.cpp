@@ -1,0 +1,216 @@
+// RLP and Merkle Patricia Trie tests: yellow-paper vectors for RLP, the
+// canonical empty-trie root, order-independent roots, inclusion proofs, and
+// adversarial proof rejection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "crypto/mpt.h"
+#include "crypto/rlp.h"
+
+namespace gem2::crypto {
+namespace {
+
+Bytes Str(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// --- RLP ------------------------------------------------------------------------
+
+TEST(Rlp, YellowPaperVectors) {
+  // "dog" -> [0x83, 'd', 'o', 'g']
+  EXPECT_EQ(rlp::EncodeString(Str("dog")), (Bytes{0x83, 'd', 'o', 'g'}));
+  // empty string -> 0x80
+  EXPECT_EQ(rlp::EncodeString({}), (Bytes{0x80}));
+  // single byte < 0x80 encodes as itself
+  EXPECT_EQ(rlp::EncodeString({0x0f}), (Bytes{0x0f}));
+  // 0x80 must be escaped
+  EXPECT_EQ(rlp::EncodeString({0x80}), (Bytes{0x81, 0x80}));
+  // ["cat", "dog"] -> 0xc8 0x83 c a t 0x83 d o g
+  auto list = rlp::Item::List(
+      {rlp::Item::String(Str("cat")), rlp::Item::String(Str("dog"))});
+  EXPECT_EQ(rlp::Encode(list),
+            (Bytes{0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'}));
+  // empty list -> 0xc0
+  EXPECT_EQ(rlp::Encode(rlp::Item::List({})), (Bytes{0xc0}));
+  // Lorem ipsum (56 bytes): long-string form 0xb8 0x38 ...
+  std::string lorem = "Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+  Bytes enc = rlp::EncodeString(Str(lorem));
+  EXPECT_EQ(enc[0], 0xb8);
+  EXPECT_EQ(enc[1], lorem.size());
+}
+
+TEST(Rlp, RoundTrips) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random nested structure of depth <= 3.
+    std::function<rlp::Item(int)> gen = [&](int depth) {
+      if (depth == 0 || rng() % 2 == 0) {
+        Bytes s(rng() % 70);
+        for (auto& b : s) b = static_cast<uint8_t>(rng());
+        return rlp::Item::String(std::move(s));
+      }
+      std::vector<rlp::Item> items;
+      const size_t n = rng() % 5;
+      for (size_t i = 0; i < n; ++i) items.push_back(gen(depth - 1));
+      return rlp::Item::List(std::move(items));
+    };
+    rlp::Item item = gen(3);
+    auto decoded = rlp::Decode(rlp::Encode(item));
+    ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+    EXPECT_EQ(*decoded, item);
+  }
+}
+
+TEST(Rlp, RejectsNonCanonicalInput) {
+  EXPECT_FALSE(rlp::Decode({}).has_value());
+  EXPECT_FALSE(rlp::Decode({0x81, 0x05}).has_value());  // 0x05 must be bare
+  EXPECT_FALSE(rlp::Decode({0xb8, 0x01, 0xaa}).has_value());  // long form for 1 byte
+  EXPECT_FALSE(rlp::Decode({0x83, 'a', 'b'}).has_value());    // truncated
+  EXPECT_FALSE(rlp::Decode({0x80, 0x00}).has_value());        // trailing bytes
+  EXPECT_FALSE(rlp::Decode({0xc2, 0x83, 'a'}).has_value());   // bad nested item
+}
+
+// --- MPT ------------------------------------------------------------------------
+
+TEST(Mpt, EmptyRootMatchesEthereum) {
+  PatriciaTrie trie;
+  // keccak(rlp("")) — Ethereum's famous empty-trie root.
+  Bytes root(trie.RootHash().begin(), trie.RootHash().end());
+  EXPECT_EQ(ToHex(trie.RootHash()),
+            "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421");
+}
+
+TEST(Mpt, PutGetOverwrite) {
+  PatriciaTrie trie;
+  trie.Put(Str("do"), Str("verb"));
+  trie.Put(Str("dog"), Str("puppy"));
+  trie.Put(Str("doge"), Str("coin"));
+  trie.Put(Str("horse"), Str("stallion"));
+  EXPECT_EQ(trie.size(), 4u);
+  EXPECT_EQ(trie.Get(Str("dog")), Str("puppy"));
+  EXPECT_EQ(trie.Get(Str("do")), Str("verb"));
+  EXPECT_EQ(trie.Get(Str("horse")), Str("stallion"));
+  EXPECT_FALSE(trie.Get(Str("dogs")).has_value());
+  EXPECT_FALSE(trie.Get(Str("d")).has_value());
+
+  Hash before = trie.RootHash();
+  trie.Put(Str("dog"), Str("cat"));
+  EXPECT_EQ(trie.size(), 4u);  // overwrite, not insert
+  EXPECT_EQ(trie.Get(Str("dog")), Str("cat"));
+  EXPECT_NE(trie.RootHash(), before);
+}
+
+TEST(Mpt, RootIsInsertionOrderIndependent) {
+  // Distinct keys with dense shared prefixes (exercises branch/extension
+  // splits); the final root must not depend on insertion order.
+  std::map<Bytes, Bytes> model;
+  std::mt19937_64 rng(5);
+  while (model.size() < 300) {
+    Bytes key(1 + rng() % 8);
+    for (auto& b : key) b = static_cast<uint8_t>(rng() % 16);  // dense prefixes
+    model.emplace(key, Str("v" + std::to_string(model.size())));
+  }
+  std::vector<std::pair<Bytes, Bytes>> kv(model.begin(), model.end());
+  PatriciaTrie forward;
+  for (const auto& [k, v] : kv) forward.Put(k, v);
+  std::shuffle(kv.begin(), kv.end(), rng);
+  PatriciaTrie shuffled;
+  for (const auto& [k, v] : kv) shuffled.Put(k, v);
+  EXPECT_EQ(forward.RootHash(), shuffled.RootHash());
+}
+
+TEST(Mpt, EmptyValueRejected) {
+  PatriciaTrie trie;
+  EXPECT_THROW(trie.Put(Str("k"), {}), std::invalid_argument);
+}
+
+class MptProofTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MptProofTest, AllProofsVerify) {
+  const size_t n = GetParam();
+  PatriciaTrie trie;
+  std::map<Bytes, Bytes> model;
+  std::mt19937_64 rng(n);
+  for (size_t i = 0; i < n; ++i) {
+    Bytes key(1 + rng() % 6);
+    for (auto& b : key) b = static_cast<uint8_t>(rng() % 8);
+    Bytes value = Str("value-" + std::to_string(i));
+    trie.Put(key, value);
+    model[key] = value;
+  }
+  const Hash root = trie.RootHash();
+  for (const auto& [key, value] : model) {
+    PatriciaTrie::Proof proof = trie.Prove(key);
+    EXPECT_TRUE(PatriciaTrie::VerifyProof(root, key, value, proof));
+    // Wrong value fails.
+    EXPECT_FALSE(PatriciaTrie::VerifyProof(root, key, Str("forged"), proof));
+    // Wrong root fails.
+    Hash bad_root = root;
+    bad_root[0] ^= 1;
+    EXPECT_FALSE(PatriciaTrie::VerifyProof(bad_root, key, value, proof));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MptProofTest,
+                         ::testing::Values(1, 2, 3, 5, 16, 64, 200));
+
+TEST(MptProof, AbsentKeyThrows) {
+  PatriciaTrie trie;
+  trie.Put(Str("alpha"), Str("1"));
+  EXPECT_THROW(trie.Prove(Str("beta")), std::out_of_range);
+  EXPECT_THROW(trie.Prove(Str("alp")), std::out_of_range);
+  EXPECT_THROW(trie.Prove(Str("alphabet")), std::out_of_range);
+}
+
+TEST(MptProof, ProofForOneKeyDoesNotProveAnother) {
+  PatriciaTrie trie;
+  trie.Put(Str("aaa"), Str("1"));
+  trie.Put(Str("aab"), Str("2"));
+  const Hash root = trie.RootHash();
+  PatriciaTrie::Proof proof = trie.Prove(Str("aaa"));
+  EXPECT_TRUE(PatriciaTrie::VerifyProof(root, Str("aaa"), Str("1"), proof));
+  EXPECT_FALSE(PatriciaTrie::VerifyProof(root, Str("aab"), Str("2"), proof));
+  EXPECT_FALSE(PatriciaTrie::VerifyProof(root, Str("aab"), Str("1"), proof));
+}
+
+TEST(MptProof, TamperedProofNodesRejected) {
+  PatriciaTrie trie;
+  for (int i = 0; i < 50; ++i) {
+    trie.Put(Str("key-" + std::to_string(i)), Str("value-" + std::to_string(i)));
+  }
+  const Hash root = trie.RootHash();
+  const Bytes key = Str("key-17");
+  const Bytes value = Str("value-17");
+  PatriciaTrie::Proof proof = trie.Prove(key);
+  ASSERT_TRUE(PatriciaTrie::VerifyProof(root, key, value, proof));
+
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    PatriciaTrie::Proof bad = proof;
+    Bytes& node = bad[rng() % bad.size()];
+    node[rng() % node.size()] ^= static_cast<uint8_t>(1 + rng() % 255);
+    EXPECT_FALSE(PatriciaTrie::VerifyProof(root, key, value, bad))
+        << "trial " << trial;
+  }
+  // Truncated and padded proofs fail too.
+  PatriciaTrie::Proof short_proof(proof.begin(), proof.end() - 1);
+  EXPECT_FALSE(PatriciaTrie::VerifyProof(root, key, value, short_proof));
+  PatriciaTrie::Proof long_proof = proof;
+  long_proof.push_back(proof.back());
+  EXPECT_FALSE(PatriciaTrie::VerifyProof(root, key, value, long_proof));
+}
+
+TEST(Mpt, DifferentContentsDifferentRoots) {
+  PatriciaTrie a;
+  PatriciaTrie b;
+  a.Put(Str("k1"), Str("v1"));
+  b.Put(Str("k1"), Str("v2"));
+  EXPECT_NE(a.RootHash(), b.RootHash());
+  PatriciaTrie c;
+  c.Put(Str("k2"), Str("v1"));
+  EXPECT_NE(a.RootHash(), c.RootHash());
+}
+
+}  // namespace
+}  // namespace gem2::crypto

@@ -1,0 +1,114 @@
+// SP -> client wire protocol tests: responses round-trip through bytes with
+// identical verification outcomes; corrupted images never verify.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/authenticated_db.h"
+#include "core/wire.h"
+
+namespace gem2::core {
+namespace {
+
+std::unique_ptr<AuthenticatedDb> MakeDb(AdsKind kind) {
+  DbOptions options;
+  options.kind = kind;
+  options.gem2.m = 2;
+  options.gem2.smax = 16;
+  if (kind == AdsKind::kGem2Star) options.split_points = {100, 200};
+  auto db = std::make_unique<AuthenticatedDb>(options);
+  for (Key k = 1; k <= 60; ++k) db->Insert({k * 5, "value-" + std::to_string(k)});
+  return db;
+}
+
+class WireTest : public ::testing::TestWithParam<AdsKind> {};
+
+TEST_P(WireTest, RoundTripsAndVerifies) {
+  auto db = MakeDb(GetParam());
+  QueryResponse response = db->Query(40, 220);
+  Bytes wire = SerializeResponse(response);
+
+  auto parsed = ParseResponse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->lb, response.lb);
+  EXPECT_EQ(parsed->ub, response.ub);
+  EXPECT_EQ(parsed->trees.size(), response.trees.size());
+  EXPECT_EQ(parsed->upper_splits, response.upper_splits);
+
+  VerifiedResult direct = db->Verify(response);
+  VerifiedResult via_wire = db->VerifyFor(40, 220, *parsed);
+  ASSERT_TRUE(direct.ok) << direct.error;
+  ASSERT_TRUE(via_wire.ok) << via_wire.error;
+  EXPECT_EQ(via_wire.objects, direct.objects);
+  EXPECT_EQ(SerializeResponse(*parsed), wire);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WireTest,
+                         ::testing::Values(AdsKind::kMbTree, AdsKind::kSmbTree,
+                                           AdsKind::kLsm, AdsKind::kGem2,
+                                           AdsKind::kGem2Star),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case AdsKind::kMbTree:
+                               return "MbTree";
+                             case AdsKind::kSmbTree:
+                               return "SmbTree";
+                             case AdsKind::kLsm:
+                               return "Lsm";
+                             case AdsKind::kGem2:
+                               return "Gem2";
+                             case AdsKind::kGem2Star:
+                               return "Gem2Star";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(Wire, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseResponse({}).has_value());
+  EXPECT_FALSE(ParseResponse({7}).has_value());
+  auto db = MakeDb(AdsKind::kGem2);
+  Bytes wire = SerializeResponse(db->Query(0, 1000));
+  Bytes truncated(wire.begin(), wire.begin() + wire.size() / 3);
+  EXPECT_FALSE(ParseResponse(truncated).has_value());
+  Bytes padded = wire;
+  padded.push_back(1);
+  EXPECT_FALSE(ParseResponse(padded).has_value());
+}
+
+TEST(Wire, CorruptedImagesNeverVerify) {
+  auto db = MakeDb(AdsKind::kGem2);
+  QueryResponse response = db->Query(0, 1000);
+  ASSERT_TRUE(db->Verify(response).ok);
+  Bytes wire = SerializeResponse(response);
+
+  std::mt19937_64 rng(77);
+  int parsed_count = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    Bytes bad = wire;
+    bad[rng() % bad.size()] ^= static_cast<uint8_t>(1 + rng() % 255);
+    if (bad == wire) continue;
+    auto parsed = ParseResponse(bad);
+    if (!parsed.has_value()) continue;
+    ++parsed_count;
+    // Anything that still parses must fail verification against the range
+    // the client actually issued — unless the flip only touched redundant
+    // framing, in which case the canonical re-serialization must equal the
+    // original (nothing changed).
+    VerifiedResult vr = db->VerifyFor(0, 1000, *parsed);
+    if (vr.ok) {
+      EXPECT_EQ(SerializeResponse(*parsed), wire) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(parsed_count, 0);
+}
+
+TEST(Wire, SizeTracksVoAccounting) {
+  auto db = MakeDb(AdsKind::kGem2);
+  QueryResponse response = db->Query(50, 150);
+  // The wire image contains the proof bytes plus the raw payloads and
+  // framing; it must dominate the accounted VO size.
+  EXPECT_GE(SerializeResponse(response).size(), VoSpBytes(response));
+}
+
+}  // namespace
+}  // namespace gem2::core

@@ -1,0 +1,161 @@
+// Workload generator tests: zipfian statistics, determinism, key uniqueness,
+// op mixes, quantiles, selectivity-controlled queries, and split points.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/workload.h"
+
+namespace gem2::workload {
+namespace {
+
+TEST(Zipfian, RankZeroIsMostFrequent) {
+  ZipfianGenerator zipf(1000, 0.8);
+  Rng rng(1);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[zipf.Next(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], 50'000 / 100);  // rank 0 has mass >> uniform
+  // Tail ranks are rare.
+  int tail = 0;
+  for (const auto& [rank, c] : counts) {
+    if (rank > 900) tail += c;
+  }
+  EXPECT_LT(tail, 50'000 / 20);
+}
+
+TEST(Zipfian, MassSumsToOne) {
+  ZipfianGenerator zipf(512, 0.8);
+  double total = 0;
+  for (uint64_t i = 0; i < 512; ++i) total += zipf.Mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(zipf.Mass(0), zipf.Mass(1));
+  EXPECT_GT(zipf.Mass(1), zipf.Mass(511));
+}
+
+TEST(Zipfian, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfianGenerator(1, 0.8), std::invalid_argument);
+  EXPECT_THROW(ZipfianGenerator(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfianGenerator(10, 1.0), std::invalid_argument);
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  WorkloadOptions options;
+  options.seed = 123;
+  WorkloadGenerator a(options);
+  WorkloadGenerator b(options);
+  for (int i = 0; i < 100; ++i) {
+    Operation oa = a.Next();
+    Operation ob = b.Next();
+    EXPECT_EQ(oa.object.key, ob.object.key);
+    EXPECT_EQ(oa.object.value, ob.object.value);
+  }
+}
+
+TEST(Workload, InsertedKeysAreUnique) {
+  WorkloadOptions options;
+  options.domain_max = 5'000;  // force collisions in sampling
+  WorkloadGenerator gen(options);
+  std::set<Key> seen;
+  for (int i = 0; i < 3000; ++i) {
+    Operation op = gen.Next();
+    ASSERT_EQ(op.type, Operation::Type::kInsert);
+    EXPECT_TRUE(seen.insert(op.object.key).second);
+    EXPECT_GE(op.object.key, options.domain_min);
+    EXPECT_LE(op.object.key, options.domain_max);
+  }
+}
+
+TEST(Workload, UpdateRatioApproximatelyHonored) {
+  WorkloadOptions options;
+  options.update_ratio = 0.3;
+  WorkloadGenerator gen(options);
+  int updates = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (gen.Next().type == Operation::Type::kUpdate) ++updates;
+  }
+  EXPECT_NEAR(static_cast<double>(updates) / 5000.0, 0.3, 0.03);
+}
+
+TEST(Workload, UpdatesTargetExistingKeys) {
+  WorkloadOptions options;
+  options.update_ratio = 0.5;
+  WorkloadGenerator gen(options);
+  std::set<Key> inserted;
+  for (int i = 0; i < 2000; ++i) {
+    Operation op = gen.Next();
+    if (op.type == Operation::Type::kInsert) {
+      inserted.insert(op.object.key);
+    } else {
+      EXPECT_TRUE(inserted.count(op.object.key));
+    }
+  }
+}
+
+TEST(Workload, ValuesHaveConfiguredSize) {
+  WorkloadOptions options;
+  options.value_size = 100;  // the paper's payload size
+  WorkloadGenerator gen(options);
+  EXPECT_EQ(gen.Next().object.value.size(), 100u);
+}
+
+TEST(Workload, SplitPointsAscendingAndQuantileLike) {
+  WorkloadOptions options;
+  WorkloadGenerator gen(options);
+  std::vector<Key> splits = gen.SplitPoints(100);
+  ASSERT_EQ(splits.size(), 99u);
+  for (size_t i = 1; i < splits.size(); ++i) EXPECT_LT(splits[i - 1], splits[i]);
+  // Uniform distribution: split points are near equally spaced.
+  const double span = static_cast<double>(options.domain_max - options.domain_min);
+  EXPECT_NEAR(static_cast<double>(splits[49]), span / 2.0, span * 0.02);
+}
+
+TEST(Workload, ZipfianSplitPointsFrontLoaded) {
+  WorkloadOptions options;
+  options.distribution = KeyDistribution::kZipfian;
+  WorkloadGenerator gen(options);
+  std::vector<Key> splits = gen.SplitPoints(10);
+  ASSERT_GE(splits.size(), 2u);
+  // Skewed mass near the low keys: the median split sits far below the
+  // domain midpoint.
+  EXPECT_LT(splits[splits.size() / 2], options.domain_max / 4);
+}
+
+class SelectivityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectivityTest, QueriesCoverRequestedMass) {
+  const double selectivity = GetParam();
+  for (KeyDistribution dist :
+       {KeyDistribution::kUniform, KeyDistribution::kZipfian}) {
+    WorkloadOptions options;
+    options.distribution = dist;
+    options.seed = 9;
+    WorkloadGenerator gen(options);
+    // Materialize a large sample of keys, then check queries hit roughly
+    // selectivity * sample.
+    std::vector<Key> keys;
+    for (int i = 0; i < 20'000; ++i) keys.push_back(gen.Next().object.key);
+    std::sort(keys.begin(), keys.end());
+
+    double total_fraction = 0;
+    const int kQueries = 40;
+    for (int q = 0; q < kQueries; ++q) {
+      RangeQuerySpec spec = gen.NextQuery(selectivity);
+      ASSERT_LE(spec.lb, spec.ub);
+      auto lo = std::lower_bound(keys.begin(), keys.end(), spec.lb);
+      auto hi = std::upper_bound(keys.begin(), keys.end(), spec.ub);
+      total_fraction +=
+          static_cast<double>(hi - lo) / static_cast<double>(keys.size());
+    }
+    const double avg = total_fraction / kQueries;
+    EXPECT_NEAR(avg, selectivity, selectivity * 0.5 + 0.005)
+        << "dist=" << static_cast<int>(dist);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, SelectivityTest,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.10));
+
+}  // namespace
+}  // namespace gem2::workload
