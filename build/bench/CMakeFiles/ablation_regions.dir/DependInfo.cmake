@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_regions.cpp" "bench/CMakeFiles/ablation_regions.dir/ablation_regions.cpp.o" "gcc" "bench/CMakeFiles/ablation_regions.dir/ablation_regions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gem2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gem2_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/smbtree/CMakeFiles/gem2_smbtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/gem2_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gem2star/CMakeFiles/gem2_gem2star.dir/DependInfo.cmake"
+  "/root/repo/build/src/gem2/CMakeFiles/gem2_gem2.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbtree/CMakeFiles/gem2_mbtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/ads/CMakeFiles/gem2_ads.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/gem2_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gem2_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/gem2_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gem2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

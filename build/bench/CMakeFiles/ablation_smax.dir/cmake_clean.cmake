@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smax.dir/ablation_smax.cpp.o"
+  "CMakeFiles/ablation_smax.dir/ablation_smax.cpp.o.d"
+  "ablation_smax"
+  "ablation_smax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

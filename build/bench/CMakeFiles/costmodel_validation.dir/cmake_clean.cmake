@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costmodel_validation.dir/costmodel_validation.cpp.o"
+  "CMakeFiles/costmodel_validation.dir/costmodel_validation.cpp.o.d"
+  "costmodel_validation"
+  "costmodel_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costmodel_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

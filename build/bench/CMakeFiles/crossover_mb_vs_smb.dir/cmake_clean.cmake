@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossover_mb_vs_smb.dir/crossover_mb_vs_smb.cpp.o"
+  "CMakeFiles/crossover_mb_vs_smb.dir/crossover_mb_vs_smb.cpp.o.d"
+  "crossover_mb_vs_smb"
+  "crossover_mb_vs_smb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover_mb_vs_smb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

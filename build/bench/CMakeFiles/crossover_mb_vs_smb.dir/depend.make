@@ -1,0 +1,2 @@
+# Empty dependencies file for crossover_mb_vs_smb.
+# This may be replaced when dependencies are built.

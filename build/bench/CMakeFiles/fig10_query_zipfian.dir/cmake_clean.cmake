@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_query_zipfian.dir/fig10_query_zipfian.cpp.o"
+  "CMakeFiles/fig10_query_zipfian.dir/fig10_query_zipfian.cpp.o.d"
+  "fig10_query_zipfian"
+  "fig10_query_zipfian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_query_zipfian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

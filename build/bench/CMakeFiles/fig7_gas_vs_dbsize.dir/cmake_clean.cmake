@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gas_vs_dbsize.dir/fig7_gas_vs_dbsize.cpp.o"
+  "CMakeFiles/fig7_gas_vs_dbsize.dir/fig7_gas_vs_dbsize.cpp.o.d"
+  "fig7_gas_vs_dbsize"
+  "fig7_gas_vs_dbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gas_vs_dbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

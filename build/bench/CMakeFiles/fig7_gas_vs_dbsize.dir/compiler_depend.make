@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_gas_vs_dbsize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_gas_vs_update_ratio.dir/fig8_gas_vs_update_ratio.cpp.o"
+  "CMakeFiles/fig8_gas_vs_update_ratio.dir/fig8_gas_vs_update_ratio.cpp.o.d"
+  "fig8_gas_vs_update_ratio"
+  "fig8_gas_vs_update_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_gas_vs_update_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_gas_vs_update_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_query_uniform.dir/fig9_query_uniform.cpp.o"
+  "CMakeFiles/fig9_query_uniform.dir/fig9_query_uniform.cpp.o.d"
+  "fig9_query_uniform"
+  "fig9_query_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_query_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

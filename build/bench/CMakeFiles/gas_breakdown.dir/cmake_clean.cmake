@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_breakdown.dir/gas_breakdown.cpp.o"
+  "CMakeFiles/gas_breakdown.dir/gas_breakdown.cpp.o.d"
+  "gas_breakdown"
+  "gas_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaslimit_feasibility.dir/gaslimit_feasibility.cpp.o"
+  "CMakeFiles/gaslimit_feasibility.dir/gaslimit_feasibility.cpp.o.d"
+  "gaslimit_feasibility"
+  "gaslimit_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaslimit_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

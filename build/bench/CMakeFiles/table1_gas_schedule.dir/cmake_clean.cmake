@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_gas_schedule.dir/table1_gas_schedule.cpp.o"
+  "CMakeFiles/table1_gas_schedule.dir/table1_gas_schedule.cpp.o.d"
+  "table1_gas_schedule"
+  "table1_gas_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_gas_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vochain_size.dir/vochain_size.cpp.o"
+  "CMakeFiles/vochain_size.dir/vochain_size.cpp.o.d"
+  "vochain_size"
+  "vochain_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vochain_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

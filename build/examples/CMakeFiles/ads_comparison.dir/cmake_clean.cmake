@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_comparison.dir/ads_comparison.cpp.o"
+  "CMakeFiles/ads_comparison.dir/ads_comparison.cpp.o.d"
+  "ads_comparison"
+  "ads_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

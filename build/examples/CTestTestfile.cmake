@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;gem2_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_iot_telemetry "/root/repo/build/examples/iot_telemetry")
+set_tests_properties(example_iot_telemetry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;gem2_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tamper_detection "/root/repo/build/examples/tamper_detection")
+set_tests_properties(example_tamper_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;gem2_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ads_comparison "/root/repo/build/examples/ads_comparison")
+set_tests_properties(example_ads_comparison PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;gem2_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_supply_chain "/root/repo/build/examples/supply_chain")
+set_tests_properties(example_supply_chain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;gem2_example;/root/repo/examples/CMakeLists.txt;0;")

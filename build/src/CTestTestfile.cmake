@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("gas")
+subdirs("chain")
+subdirs("ads")
+subdirs("mbtree")
+subdirs("smbtree")
+subdirs("lsm")
+subdirs("gem2")
+subdirs("gem2star")
+subdirs("workload")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ads/static_tree.cpp" "src/ads/CMakeFiles/gem2_ads.dir/static_tree.cpp.o" "gcc" "src/ads/CMakeFiles/gem2_ads.dir/static_tree.cpp.o.d"
+  "/root/repo/src/ads/verify.cpp" "src/ads/CMakeFiles/gem2_ads.dir/verify.cpp.o" "gcc" "src/ads/CMakeFiles/gem2_ads.dir/verify.cpp.o.d"
+  "/root/repo/src/ads/vo.cpp" "src/ads/CMakeFiles/gem2_ads.dir/vo.cpp.o" "gcc" "src/ads/CMakeFiles/gem2_ads.dir/vo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gem2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gem2_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/gem2_gas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

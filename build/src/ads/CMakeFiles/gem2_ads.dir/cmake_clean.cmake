@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_ads.dir/static_tree.cpp.o"
+  "CMakeFiles/gem2_ads.dir/static_tree.cpp.o.d"
+  "CMakeFiles/gem2_ads.dir/verify.cpp.o"
+  "CMakeFiles/gem2_ads.dir/verify.cpp.o.d"
+  "CMakeFiles/gem2_ads.dir/vo.cpp.o"
+  "CMakeFiles/gem2_ads.dir/vo.cpp.o.d"
+  "libgem2_ads.a"
+  "libgem2_ads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_ads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/blockchain.cpp" "src/chain/CMakeFiles/gem2_chain.dir/blockchain.cpp.o" "gcc" "src/chain/CMakeFiles/gem2_chain.dir/blockchain.cpp.o.d"
+  "/root/repo/src/chain/codec.cpp" "src/chain/CMakeFiles/gem2_chain.dir/codec.cpp.o" "gcc" "src/chain/CMakeFiles/gem2_chain.dir/codec.cpp.o.d"
+  "/root/repo/src/chain/environment.cpp" "src/chain/CMakeFiles/gem2_chain.dir/environment.cpp.o" "gcc" "src/chain/CMakeFiles/gem2_chain.dir/environment.cpp.o.d"
+  "/root/repo/src/chain/light_client.cpp" "src/chain/CMakeFiles/gem2_chain.dir/light_client.cpp.o" "gcc" "src/chain/CMakeFiles/gem2_chain.dir/light_client.cpp.o.d"
+  "/root/repo/src/chain/storage.cpp" "src/chain/CMakeFiles/gem2_chain.dir/storage.cpp.o" "gcc" "src/chain/CMakeFiles/gem2_chain.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gem2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gem2_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/gem2_gas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

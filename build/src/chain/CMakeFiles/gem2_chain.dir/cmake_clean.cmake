@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/gem2_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/gem2_chain.dir/codec.cpp.o"
+  "CMakeFiles/gem2_chain.dir/codec.cpp.o.d"
+  "CMakeFiles/gem2_chain.dir/environment.cpp.o"
+  "CMakeFiles/gem2_chain.dir/environment.cpp.o.d"
+  "CMakeFiles/gem2_chain.dir/light_client.cpp.o"
+  "CMakeFiles/gem2_chain.dir/light_client.cpp.o.d"
+  "CMakeFiles/gem2_chain.dir/storage.cpp.o"
+  "CMakeFiles/gem2_chain.dir/storage.cpp.o.d"
+  "libgem2_chain.a"
+  "libgem2_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_common.dir/bytes.cpp.o"
+  "CMakeFiles/gem2_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/gem2_common.dir/random.cpp.o"
+  "CMakeFiles/gem2_common.dir/random.cpp.o.d"
+  "libgem2_common.a"
+  "libgem2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_core.dir/aggregates.cpp.o"
+  "CMakeFiles/gem2_core.dir/aggregates.cpp.o.d"
+  "CMakeFiles/gem2_core.dir/authenticated_db.cpp.o"
+  "CMakeFiles/gem2_core.dir/authenticated_db.cpp.o.d"
+  "CMakeFiles/gem2_core.dir/journal.cpp.o"
+  "CMakeFiles/gem2_core.dir/journal.cpp.o.d"
+  "CMakeFiles/gem2_core.dir/wire.cpp.o"
+  "CMakeFiles/gem2_core.dir/wire.cpp.o.d"
+  "libgem2_core.a"
+  "libgem2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

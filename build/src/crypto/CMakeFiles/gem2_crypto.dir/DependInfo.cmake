@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/digest.cpp" "src/crypto/CMakeFiles/gem2_crypto.dir/digest.cpp.o" "gcc" "src/crypto/CMakeFiles/gem2_crypto.dir/digest.cpp.o.d"
+  "/root/repo/src/crypto/keccak.cpp" "src/crypto/CMakeFiles/gem2_crypto.dir/keccak.cpp.o" "gcc" "src/crypto/CMakeFiles/gem2_crypto.dir/keccak.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/gem2_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/gem2_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/mpt.cpp" "src/crypto/CMakeFiles/gem2_crypto.dir/mpt.cpp.o" "gcc" "src/crypto/CMakeFiles/gem2_crypto.dir/mpt.cpp.o.d"
+  "/root/repo/src/crypto/rlp.cpp" "src/crypto/CMakeFiles/gem2_crypto.dir/rlp.cpp.o" "gcc" "src/crypto/CMakeFiles/gem2_crypto.dir/rlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gem2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

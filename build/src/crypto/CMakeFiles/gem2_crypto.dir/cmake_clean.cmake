@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_crypto.dir/digest.cpp.o"
+  "CMakeFiles/gem2_crypto.dir/digest.cpp.o.d"
+  "CMakeFiles/gem2_crypto.dir/keccak.cpp.o"
+  "CMakeFiles/gem2_crypto.dir/keccak.cpp.o.d"
+  "CMakeFiles/gem2_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/gem2_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/gem2_crypto.dir/mpt.cpp.o"
+  "CMakeFiles/gem2_crypto.dir/mpt.cpp.o.d"
+  "CMakeFiles/gem2_crypto.dir/rlp.cpp.o"
+  "CMakeFiles/gem2_crypto.dir/rlp.cpp.o.d"
+  "libgem2_crypto.a"
+  "libgem2_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

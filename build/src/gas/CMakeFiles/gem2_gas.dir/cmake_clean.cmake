@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_gas.dir/meter.cpp.o"
+  "CMakeFiles/gem2_gas.dir/meter.cpp.o.d"
+  "libgem2_gas.a"
+  "libgem2_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

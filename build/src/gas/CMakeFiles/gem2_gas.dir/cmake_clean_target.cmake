@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgem2_gas.a"
+)

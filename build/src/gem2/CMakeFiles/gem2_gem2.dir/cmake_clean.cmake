@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_gem2.dir/partition_chain.cpp.o"
+  "CMakeFiles/gem2_gem2.dir/partition_chain.cpp.o.d"
+  "libgem2_gem2.a"
+  "libgem2_gem2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_gem2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgem2_gem2.a"
+)

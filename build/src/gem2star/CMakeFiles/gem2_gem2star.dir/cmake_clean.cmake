@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_gem2star.dir/gem2star.cpp.o"
+  "CMakeFiles/gem2_gem2star.dir/gem2star.cpp.o.d"
+  "libgem2_gem2star.a"
+  "libgem2_gem2star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_gem2star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

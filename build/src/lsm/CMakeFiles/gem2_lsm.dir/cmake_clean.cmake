@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_lsm.dir/lsm.cpp.o"
+  "CMakeFiles/gem2_lsm.dir/lsm.cpp.o.d"
+  "libgem2_lsm.a"
+  "libgem2_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_mbtree.dir/mbtree.cpp.o"
+  "CMakeFiles/gem2_mbtree.dir/mbtree.cpp.o.d"
+  "libgem2_mbtree.a"
+  "libgem2_mbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_mbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_smbtree.dir/smbtree.cpp.o"
+  "CMakeFiles/gem2_smbtree.dir/smbtree.cpp.o.d"
+  "libgem2_smbtree.a"
+  "libgem2_smbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_smbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

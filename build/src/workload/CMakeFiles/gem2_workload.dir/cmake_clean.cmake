@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_workload.dir/workload.cpp.o"
+  "CMakeFiles/gem2_workload.dir/workload.cpp.o.d"
+  "libgem2_workload.a"
+  "libgem2_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_test.dir/ads_test.cpp.o"
+  "CMakeFiles/ads_test.dir/ads_test.cpp.o.d"
+  "ads_test"
+  "ads_test.pdb"
+  "ads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

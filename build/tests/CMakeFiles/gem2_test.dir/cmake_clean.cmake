@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2_test.dir/gem2_test.cpp.o"
+  "CMakeFiles/gem2_test.dir/gem2_test.cpp.o.d"
+  "gem2_test"
+  "gem2_test.pdb"
+  "gem2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

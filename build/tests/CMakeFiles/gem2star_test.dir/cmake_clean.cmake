@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gem2star_test.dir/gem2star_test.cpp.o"
+  "CMakeFiles/gem2star_test.dir/gem2star_test.cpp.o.d"
+  "gem2star_test"
+  "gem2star_test.pdb"
+  "gem2star_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gem2star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/light_client_test.dir/light_client_test.cpp.o"
+  "CMakeFiles/light_client_test.dir/light_client_test.cpp.o.d"
+  "light_client_test"
+  "light_client_test.pdb"
+  "light_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/light_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtree_test.dir/mbtree_test.cpp.o"
+  "CMakeFiles/mbtree_test.dir/mbtree_test.cpp.o.d"
+  "mbtree_test"
+  "mbtree_test.pdb"
+  "mbtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpt_state_test.dir/mpt_state_test.cpp.o"
+  "CMakeFiles/mpt_state_test.dir/mpt_state_test.cpp.o.d"
+  "mpt_state_test"
+  "mpt_state_test.pdb"
+  "mpt_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpt_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smbtree_test.dir/smbtree_test.cpp.o"
+  "CMakeFiles/smbtree_test.dir/smbtree_test.cpp.o.d"
+  "smbtree_test"
+  "smbtree_test.pdb"
+  "smbtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smbtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/mpt_test[1]_include.cmake")
+include("/root/repo/build/tests/mpt_state_test[1]_include.cmake")
+include("/root/repo/build/tests/gas_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/ads_test[1]_include.cmake")
+include("/root/repo/build/tests/mbtree_test[1]_include.cmake")
+include("/root/repo/build/tests/smbtree_test[1]_include.cmake")
+include("/root/repo/build/tests/lsm_test[1]_include.cmake")
+include("/root/repo/build/tests/gem2_test[1]_include.cmake")
+include("/root/repo/build/tests/gem2star_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/deletion_test[1]_include.cmake")
+include("/root/repo/build/tests/light_client_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_property_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregates_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
