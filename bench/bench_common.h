@@ -10,11 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "core/authenticated_db.h"
+#include "telemetry/exporters.h"
 #include "workload/workload.h"
 
 namespace gem2::bench {
@@ -82,6 +84,53 @@ inline std::unique_ptr<AuthenticatedDb> BuildDb(AdsKind kind, KeyDistribution di
   }
   if (gen_out != nullptr) *gen_out = std::move(gen);
   return db;
+}
+
+/// Accumulates one benchmark data point (receipts + wall clock) and reports
+/// it to the global telemetry::BenchReporter. Create it at the top of a
+/// benchmark body, Count() every receipt, and Finish() once done; the main()
+/// then calls EmitBenchJson() to write BENCH_<bench>.json files.
+class BenchRun {
+ public:
+  BenchRun(std::string bench, std::string name, std::string ads, std::string dist,
+           uint64_t dataset_size)
+      : start_(std::chrono::steady_clock::now()) {
+    record_.bench = std::move(bench);
+    record_.name = std::move(name);
+    record_.ads = std::move(ads);
+    record_.dist = std::move(dist);
+    record_.dataset_size = dataset_size;
+  }
+
+  void Count(const chain::TxReceipt& receipt) {
+    ++record_.ops;
+    record_.gas_total += static_cast<double>(receipt.gas_used);
+    record_.breakdown += receipt.breakdown;
+  }
+
+  void Extra(const std::string& key, double value) { record_.extra[key] = value; }
+
+  void Finish() {
+    record_.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    record_.gas_mean =
+        record_.ops > 0 ? record_.gas_total / static_cast<double>(record_.ops) : 0;
+    telemetry::BenchReporter::Global().Record(record_);
+  }
+
+ private:
+  telemetry::BenchRecord record_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes every recorded data point to BENCH_<bench>.json (under
+/// $GEM2_BENCH_JSON_DIR or the working directory) and says where they went.
+/// Call after benchmark::RunSpecifiedBenchmarks().
+inline void EmitBenchJson() {
+  for (const std::string& path : telemetry::BenchReporter::Global().WriteFiles()) {
+    printf("bench-json: %s\n", path.c_str());
+  }
 }
 
 }  // namespace gem2::bench

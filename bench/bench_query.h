@@ -14,14 +14,17 @@
 #ifndef GEM2_BENCH_BENCH_QUERY_H_
 #define GEM2_BENCH_BENCH_QUERY_H_
 
+#include <cctype>
 #include <chrono>
 
 #include "bench_common.h"
 
 namespace gem2::bench {
 
-inline void QueryPerformance(benchmark::State& state, AdsKind kind,
-                             KeyDistribution dist, double selectivity) {
+inline void QueryPerformance(benchmark::State& state, const std::string& bench,
+                             const std::string& name, const char* ads,
+                             AdsKind kind, KeyDistribution dist,
+                             double selectivity) {
   const uint64_t n = EnvScale("GEM2_QUERY_N", 50'000);
   const uint64_t queries = EnvScale("GEM2_QUERY_COUNT", 50);
 
@@ -61,6 +64,16 @@ inline void QueryPerformance(benchmark::State& state, AdsKind kind,
   }
 
   const double q = static_cast<double>(queries);
+  // Query/verify burn no gas; the record carries the figure's metrics in
+  // `extra` (per-query averages) instead of the gas columns.
+  BenchRun run(bench, name, ads, DistName(dist), n);
+  run.Extra("selectivity", selectivity);
+  run.Extra("queries", q);
+  run.Extra("sp_ms_per_query", sp_seconds * 1000.0 / q);
+  run.Extra("client_ms_per_query", client_seconds * 1000.0 / q);
+  run.Extra("vo_sp_kb_per_query", static_cast<double>(vo_sp_bytes) / q / 1024.0);
+  run.Extra("results_per_query", static_cast<double>(results) / q);
+  run.Finish();
   state.counters["sp_ms_per_query"] = benchmark::Counter(sp_seconds * 1000.0 / q);
   state.counters["client_ms_per_query"] =
       benchmark::Counter(client_seconds * 1000.0 / q);
@@ -71,6 +84,8 @@ inline void QueryPerformance(benchmark::State& state, AdsKind kind,
 }
 
 inline void RegisterQueryBenchmarks(const char* figure, KeyDistribution dist) {
+  std::string bench(figure);
+  for (char& c : bench) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   const struct {
     AdsKind kind;
     const char* name;
@@ -87,8 +102,8 @@ inline void RegisterQueryBenchmarks(const char* figure, KeyDistribution dist) {
                          "/selectivity:" + std::to_string(sel).substr(0, 4);
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [kind = k.kind, dist, sel](benchmark::State& s) {
-            QueryPerformance(s, kind, dist, sel);
+          [bench, name, ads = k.name, kind = k.kind, dist, sel](benchmark::State& s) {
+            QueryPerformance(s, bench, name, ads, kind, dist, sel);
           })
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);

@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
                                        gem2::workload::KeyDistribution::kZipfian);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  gem2::bench::EmitBenchJson();
   benchmark::Shutdown();
   return 0;
 }

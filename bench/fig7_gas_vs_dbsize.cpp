@@ -16,18 +16,23 @@
 namespace gem2::bench {
 namespace {
 
-void GasVsDbSize(benchmark::State& state, AdsKind kind, KeyDistribution dist,
+void GasVsDbSize(benchmark::State& state, const std::string& name,
+                 const char* ads, AdsKind kind, KeyDistribution dist,
                  uint64_t n) {
   uint64_t total_gas = 0;
   uint64_t ops = 0;
+  BenchRun run("fig7", name, ads, DistName(dist), n);
   for (auto _ : state) {
     WorkloadGenerator gen(MakeWorkload(dist));
     AuthenticatedDb db(MakeDbOptions(kind, gen));
     for (uint64_t i = 0; i < n; ++i) {
-      total_gas += db.Insert(gen.Next().object).gas_used;
+      chain::TxReceipt r = db.Insert(gen.Next().object);
+      run.Count(r);
+      total_gas += r.gas_used;
       ++ops;
     }
   }
+  run.Finish();
   state.counters["gas_per_op"] =
       benchmark::Counter(static_cast<double>(total_gas) / static_cast<double>(ops));
   state.counters["total_gas"] = benchmark::Counter(static_cast<double>(total_gas));
@@ -56,8 +61,8 @@ void RegisterAll() {
                            "/N:" + std::to_string(n);
         benchmark::RegisterBenchmark(
             name.c_str(),
-            [kind = k.kind, dist, n](benchmark::State& s) {
-              GasVsDbSize(s, kind, dist, n);
+            [name, ads = k.name, kind = k.kind, dist, n](benchmark::State& s) {
+              GasVsDbSize(s, name, ads, kind, dist, n);
             })
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
@@ -73,6 +78,7 @@ int main(int argc, char** argv) {
   gem2::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  gem2::bench::EmitBenchJson();
   benchmark::Shutdown();
   return 0;
 }

@@ -13,26 +13,33 @@
 namespace gem2::bench {
 namespace {
 
-void GasVsUpdateRatio(benchmark::State& state, AdsKind kind, KeyDistribution dist,
+void GasVsUpdateRatio(benchmark::State& state, const std::string& name,
+                      const char* ads, AdsKind kind, KeyDistribution dist,
                       double update_ratio) {
   const uint64_t preload = EnvScale("GEM2_FIG8_PRELOAD", 10'000);
   const uint64_t ops = EnvScale("GEM2_FIG8_OPS", 10'000);
 
   uint64_t total_gas = 0;
+  BenchRun run("fig8", name, ads, DistName(dist), preload);
+  run.Extra("update_ratio", update_ratio);
   for (auto _ : state) {
     WorkloadGenerator gen(MakeWorkload(dist));
     AuthenticatedDb db(MakeDbOptions(kind, gen));
     for (uint64_t i = 0; i < preload; ++i) db.Insert(gen.Next().object);
 
-    // Mixed phase over the same key population.
+    // Mixed phase over the same key population. Only this phase is the
+    // figure's data point; the preload receipts are not counted.
     gen.set_update_ratio(update_ratio);
     for (uint64_t i = 0; i < ops; ++i) {
       Operation op = gen.Next();
-      total_gas += (op.type == Operation::Type::kUpdate ? db.Update(op.object)
-                                                        : db.Insert(op.object))
-                       .gas_used;
+      chain::TxReceipt r = op.type == Operation::Type::kUpdate
+                               ? db.Update(op.object)
+                               : db.Insert(op.object);
+      run.Count(r);
+      total_gas += r.gas_used;
     }
   }
+  run.Finish();
   state.counters["gas_per_op"] =
       benchmark::Counter(static_cast<double>(total_gas) / static_cast<double>(ops));
 }
@@ -54,8 +61,8 @@ void RegisterAll() {
                            "/update_ratio:" + std::to_string(ratio).substr(0, 4);
         benchmark::RegisterBenchmark(
             name.c_str(),
-            [kind = k.kind, dist, ratio](benchmark::State& s) {
-              GasVsUpdateRatio(s, kind, dist, ratio);
+            [name, ads = k.name, kind = k.kind, dist, ratio](benchmark::State& s) {
+              GasVsUpdateRatio(s, name, ads, kind, dist, ratio);
             })
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
@@ -71,6 +78,7 @@ int main(int argc, char** argv) {
   gem2::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  gem2::bench::EmitBenchJson();
   benchmark::Shutdown();
   return 0;
 }

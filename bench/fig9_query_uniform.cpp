@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
                                        gem2::workload::KeyDistribution::kUniform);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  gem2::bench::EmitBenchJson();
   benchmark::Shutdown();
   return 0;
 }

@@ -1,8 +1,11 @@
 #include "chain/environment.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "crypto/keccak.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
 
 namespace gem2::chain {
 
@@ -27,23 +30,49 @@ TxReceipt Environment::Execute(Contract& contract, const std::string& method,
   tx.contract = contract.name();
   tx.method = method;
 
+  // Telemetry: the transaction is the root span; every phase span opened by
+  // the contract code nests under it and attributes gas against `meter`.
+  telemetry::Tracer& tracer = telemetry::Tracer::Global();
+  const bool traced = telemetry::kCompiledIn && tracer.enabled();
+  const bool capture = traced && options_.capture_tx_trace;
+  std::optional<telemetry::ScopedMeter> scoped_meter;
+  std::optional<telemetry::MeterMetricsObserver> observer;
+  if (traced) {
+    scoped_meter.emplace(&meter);
+    observer.emplace();
+    meter.set_observer(&*observer);
+    if (capture) tracer.BeginTxCapture();
+  }
+
   contract.storage().BeginTx();
-  try {
-    if (options_.tx_base_fee > 0) meter.ChargeIntrinsic(options_.tx_base_fee);
-    body(meter);
-    contract.storage().CommitTx();
-  } catch (const gas::OutOfGasError& e) {
-    contract.storage().RollbackTx();
-    receipt.ok = false;
-    receipt.error = e.what();
-  } catch (...) {
-    contract.storage().RollbackTx();
-    throw;
+  {
+    std::optional<telemetry::Span> root_span;
+    if (traced) root_span.emplace("tx." + method);
+    try {
+      if (options_.tx_base_fee > 0) meter.ChargeIntrinsic(options_.tx_base_fee);
+      body(meter);
+      contract.storage().CommitTx();
+    } catch (const gas::OutOfGasError& e) {
+      contract.storage().RollbackTx();
+      receipt.ok = false;
+      receipt.error = e.what();
+    } catch (...) {
+      contract.storage().RollbackTx();
+      throw;
+    }
   }
 
   receipt.gas_used = meter.used();
   receipt.breakdown = meter.breakdown();
   receipt.op_counts = meter.op_counts();
+  if (traced) {
+    meter.set_observer(nullptr);
+    if (capture) receipt.trace = tracer.EndTxCapture();
+    auto& metrics = telemetry::MetricsRegistry::Global();
+    metrics.counter("tx.count").Add(1);
+    if (!receipt.ok) metrics.counter("tx.failed").Add(1);
+    metrics.histogram("tx.gas").Observe(receipt.gas_used);
+  }
   tx.gas_used = receipt.gas_used;
   tx.ok = receipt.ok;
   tx.error = receipt.error;
@@ -82,8 +111,30 @@ Hash Environment::ComputeStateRoot() const {
 
 void Environment::SealBlock() {
   if (pending_.empty()) return;
-  blockchain_.Append(std::move(pending_), ComputeStateRoot(), clock_++);
-  pending_.clear();
+  telemetry::Tracer& tracer = telemetry::Tracer::Global();
+  const bool traced = telemetry::kCompiledIn && tracer.enabled();
+  const uint64_t t0 = traced ? telemetry::Tracer::NowNs() : 0;
+  const size_t num_txs = pending_.size();
+  {
+    std::optional<telemetry::Span> span;
+    if (traced) span.emplace("block.seal");
+    blockchain_.Append(std::move(pending_), ComputeStateRoot(), clock_++);
+    pending_.clear();
+  }
+  if (traced) {
+    const uint64_t seal_ns = telemetry::Tracer::NowNs() - t0;
+    auto& metrics = telemetry::MetricsRegistry::Global();
+    metrics.counter("block.count").Add(1);
+    metrics.histogram("block.seal_ns").Observe(seal_ns);
+    metrics.gauge("block.height").Set(static_cast<int64_t>(blockchain_.height()));
+    tracer.EmitInstant(telemetry::InstantEvent{
+        "block.seal",
+        0,
+        0,
+        {{"height", static_cast<double>(blockchain_.height())},
+         {"txs", static_cast<double>(num_txs)},
+         {"seal_ms", static_cast<double>(seal_ns) / 1e6}}});
+  }
 }
 
 Hash Environment::StateLeaf(const std::string& contract, const DigestEntry& entry) {

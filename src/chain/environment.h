@@ -17,6 +17,7 @@
 #include "crypto/mpt.h"
 #include "gas/meter.h"
 #include "gas/schedule.h"
+#include "telemetry/telemetry.h"
 
 namespace gem2::chain {
 
@@ -40,6 +41,9 @@ struct EnvironmentOptions {
   /// to 0 for parity with the paper's per-operation accounting; batching
   /// experiments enable it.
   gas::Gas tx_base_fee = 0;
+  /// When true (and the telemetry tracer has at least one sink), every
+  /// receipt carries the transaction's span tree in `TxReceipt::trace`.
+  bool capture_tx_trace = false;
 };
 
 /// Outcome of one contract invocation.
@@ -49,6 +53,11 @@ struct TxReceipt {
   gas::GasBreakdown breakdown;
   gas::OpCounts op_counts;
   std::string error;
+  /// Span tree of this transaction (empty unless
+  /// EnvironmentOptions::capture_tx_trace and telemetry are active). Spans
+  /// appear in close order (children before their parent); the last record
+  /// is the root "tx.<method>" span whose gas equals `gas_used`.
+  std::vector<telemetry::SpanRecord> trace;
 };
 
 /// Authenticated digest together with its state-root inclusion proof.

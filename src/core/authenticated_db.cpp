@@ -7,6 +7,8 @@
 #include "ads/verify.h"
 #include "core/tombstone.h"
 #include "crypto/digest.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace gem2::core {
 namespace {
@@ -283,6 +285,7 @@ bool AuthenticatedDb::Contains(Key key) const {
 }
 
 QueryResponse AuthenticatedDb::Query(Key lb, Key ub) const {
+  TELEMETRY_SPAN("sp.query");
   QueryResponse response;
   response.lb = lb;
   response.ub = ub;
@@ -327,6 +330,14 @@ QueryResponse AuthenticatedDb::Query(Key lb, Key ub) const {
     set.objects = ToObjects(a.result, sp_values_);
     set.vo = std::move(a.vo);
     response.trees.push_back(std::move(set));
+  }
+  if (telemetry::kCompiledIn && telemetry::Tracer::Global().enabled()) {
+    auto& metrics = telemetry::MetricsRegistry::Global();
+    metrics.counter("query.count").Add(1);
+    metrics.histogram("query.vo_sp_bytes").Observe(VoSpBytes(response));
+    uint64_t objects = 0;
+    for (const TreeResultSet& t : response.trees) objects += t.objects.size();
+    metrics.histogram("query.result_objects").Observe(objects);
   }
   return response;
 }
@@ -444,13 +455,21 @@ VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
 }
 
 VerifiedResult AuthenticatedDb::Verify(const QueryResponse& response) {
+  TELEMETRY_SPAN("client.verify");
   chain::AuthenticatedState state = env_.ReadAuthenticatedState(kContractName);
   // SPV-style client: follow headers (PoW + linkage) and anchor VO_chain at
   // the tip, instead of revalidating the whole chain per query.
   light_client_->Sync(env_.blockchain());
   std::string error;
   const bool chain_valid = light_client_->VerifyStateAtTip(state, &error);
-  return VerifyResponse(state, chain_valid, options_.kind, response);
+  VerifiedResult result = VerifyResponse(state, chain_valid, options_.kind, response);
+  if (telemetry::kCompiledIn && telemetry::Tracer::Global().enabled()) {
+    auto& metrics = telemetry::MetricsRegistry::Global();
+    metrics.counter("verify.count").Add(1);
+    if (!result.ok) metrics.counter("verify.failed").Add(1);
+    metrics.histogram("verify.vo_chain_bytes").Observe(result.vo_chain_bytes);
+  }
+  return result;
 }
 
 VerifiedResult AuthenticatedDb::VerifyFor(Key lb, Key ub,

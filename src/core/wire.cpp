@@ -18,12 +18,16 @@ struct Reader {
   bool failed = false;
 
   bool Need(size_t n) {
-    if (pos + n > data.size()) {
+    // Compare against the remaining byte count; `pos + n` could wrap for a
+    // corrupted length prefix near SIZE_MAX.
+    if (n > data.size() - pos) {
       failed = true;
       return false;
     }
     return true;
   }
+
+  size_t Remaining() const { return data.size() - pos; }
 
   uint8_t Byte() {
     if (!Need(1)) return 0;
@@ -91,20 +95,26 @@ std::optional<QueryResponse> ParseResponse(const Bytes& data) {
   QueryResponse response;
   response.lb = static_cast<Key>(r.U64());
   response.ub = static_cast<Key>(r.U64());
+  // Every count below is bounded by the bytes actually present before any
+  // reserve(): a flipped length-prefix byte must fail parsing, not request a
+  // multi-gigabyte allocation (std::bad_alloc would escape the parser).
   const uint64_t num_splits = r.U64();
-  if (r.failed || num_splits > (1ull << 24)) return std::nullopt;
+  if (r.failed || num_splits > r.Remaining() / 8) return std::nullopt;
   response.upper_splits.reserve(num_splits);
   for (uint64_t i = 0; i < num_splits; ++i) {
     response.upper_splits.push_back(static_cast<Key>(r.U64()));
   }
   const uint64_t num_trees = r.U64();
-  if (r.failed || num_trees > (1ull << 24)) return std::nullopt;
+  // A serialized tree is at least 24 bytes: label length, object count, VO
+  // blob length.
+  if (r.failed || num_trees > r.Remaining() / 24) return std::nullopt;
   response.trees.reserve(num_trees);
   for (uint64_t t = 0; t < num_trees; ++t) {
     TreeResultSet tree;
     tree.label = r.ReadString();
     const uint64_t num_objects = r.U64();
-    if (r.failed || num_objects > (1ull << 32)) return std::nullopt;
+    // A serialized object is at least 16 bytes: key plus value length.
+    if (r.failed || num_objects > r.Remaining() / 16) return std::nullopt;
     tree.objects.reserve(num_objects);
     for (uint64_t i = 0; i < num_objects; ++i) {
       Object obj;

@@ -4,39 +4,58 @@
 
 namespace gem2::gas {
 
+const char* GasCategoryName(GasCategory category) {
+  switch (category) {
+    case GasCategory::kSload: return "sload";
+    case GasCategory::kSstore: return "sstore";
+    case GasCategory::kSupdate: return "supdate";
+    case GasCategory::kMem: return "mem";
+    case GasCategory::kHash: return "hash";
+    case GasCategory::kIntrinsic: return "intrinsic";
+  }
+  return "unknown";
+}
+
 void Meter::ChargeIntrinsic(Gas amount) {
   breakdown_.intrinsic += amount;
+  Notify(GasCategory::kIntrinsic, amount);
   CheckLimit();
 }
 
 void Meter::ChargeSload(uint64_t words) {
   breakdown_.sload += schedule_.sload * words;
   ops_.sload += words;
+  Notify(GasCategory::kSload, schedule_.sload * words);
   CheckLimit();
 }
 
 void Meter::ChargeSstore(uint64_t words) {
   breakdown_.sstore += schedule_.sstore * words;
   ops_.sstore += words;
+  Notify(GasCategory::kSstore, schedule_.sstore * words);
   CheckLimit();
 }
 
 void Meter::ChargeSupdate(uint64_t words) {
   breakdown_.supdate += schedule_.supdate * words;
   ops_.supdate += words;
+  Notify(GasCategory::kSupdate, schedule_.supdate * words);
   CheckLimit();
 }
 
 void Meter::ChargeMem(uint64_t words) {
   breakdown_.mem += schedule_.mem * words;
   ops_.mem_words += words;
+  Notify(GasCategory::kMem, schedule_.mem * words);
   CheckLimit();
 }
 
 void Meter::ChargeHash(uint64_t bytes) {
-  breakdown_.hash += schedule_.HashCost(bytes);
+  const Gas cost = schedule_.HashCost(bytes);
+  breakdown_.hash += cost;
   ops_.hash_calls += 1;
   ops_.hash_bytes += bytes;
+  Notify(GasCategory::kHash, cost);
   CheckLimit();
 }
 
@@ -53,7 +72,7 @@ void Meter::Reset() {
 }
 
 void Meter::CheckLimit() {
-  if (used() > limit_) throw OutOfGasError(used(), limit_);
+  if (used() > limit_) throw OutOfGasError(used(), limit_, breakdown_, ops_);
 }
 
 }  // namespace gem2::gas

@@ -14,23 +14,6 @@
 
 namespace gem2::gas {
 
-/// Thrown when cumulative gas exceeds the transaction gas limit.
-class OutOfGasError : public std::runtime_error {
- public:
-  OutOfGasError(Gas used, Gas limit)
-      : std::runtime_error("out of gas: used " + std::to_string(used) +
-                           " > limit " + std::to_string(limit)),
-        used_(used),
-        limit_(limit) {}
-
-  Gas used() const { return used_; }
-  Gas limit() const { return limit_; }
-
- private:
-  Gas used_;
-  Gas limit_;
-};
-
 /// Per-category gas breakdown, for cost-model validation and benchmarking.
 struct GasBreakdown {
   Gas sload = 0;
@@ -52,6 +35,20 @@ struct GasBreakdown {
     intrinsic += o.intrinsic;
     return *this;
   }
+
+  /// Componentwise difference; callers must guarantee o <= *this per
+  /// category (true for snapshots of one monotonically growing meter).
+  GasBreakdown& operator-=(const GasBreakdown& o) {
+    sload -= o.sload;
+    sstore -= o.sstore;
+    supdate -= o.supdate;
+    mem -= o.mem;
+    hash -= o.hash;
+    intrinsic -= o.intrinsic;
+    return *this;
+  }
+
+  friend bool operator==(const GasBreakdown& a, const GasBreakdown& b) = default;
 };
 
 /// Counts of metered operations (not gas), useful for analytic validation.
@@ -62,6 +59,52 @@ struct OpCounts {
   uint64_t mem_words = 0;
   uint64_t hash_calls = 0;
   uint64_t hash_bytes = 0;
+
+  friend bool operator==(const OpCounts& a, const OpCounts& b) = default;
+};
+
+/// Thrown when cumulative gas exceeds the transaction gas limit. Carries the
+/// partial per-category breakdown and op counts at the moment of abort, so
+/// failure receipts can still explain where the gas went.
+class OutOfGasError : public std::runtime_error {
+ public:
+  OutOfGasError(Gas used, Gas limit, GasBreakdown breakdown = {},
+                OpCounts op_counts = {})
+      : std::runtime_error("out of gas: used " + std::to_string(used) +
+                           " > limit " + std::to_string(limit)),
+        used_(used),
+        limit_(limit),
+        breakdown_(breakdown),
+        op_counts_(op_counts) {}
+
+  Gas used() const { return used_; }
+  Gas limit() const { return limit_; }
+  const GasBreakdown& breakdown() const { return breakdown_; }
+  const OpCounts& op_counts() const { return op_counts_; }
+
+ private:
+  Gas used_;
+  Gas limit_;
+  GasBreakdown breakdown_;
+  OpCounts op_counts_;
+};
+
+/// The metered resource categories, in GasBreakdown field order.
+enum class GasCategory { kSload, kSstore, kSupdate, kMem, kHash, kIntrinsic };
+inline constexpr int kNumGasCategories = 6;
+const char* GasCategoryName(GasCategory category);
+
+class Meter;
+
+/// Observer hook: the telemetry layer attaches one of these to watch every
+/// charge without the gas library depending on telemetry. Callbacks run
+/// synchronously on the charging thread, after the meter's accounting has
+/// been updated and before the limit check (so an out-of-gas charge is still
+/// observed). Observers must not charge the meter.
+class MeterObserver {
+ public:
+  virtual ~MeterObserver() = default;
+  virtual void OnCharge(const Meter& meter, GasCategory category, Gas delta) = 0;
 };
 
 /// Accumulates gas against a schedule and a limit.
@@ -92,13 +135,22 @@ class Meter {
   /// Zeroes accumulated gas (start of a new transaction).
   void Reset();
 
+  /// Attaches (or detaches, with nullptr) a charge observer. Non-owning; the
+  /// observer must outlive the meter or be detached first.
+  void set_observer(MeterObserver* observer) { observer_ = observer; }
+  MeterObserver* observer() const { return observer_; }
+
  private:
   void CheckLimit();
+  void Notify(GasCategory category, Gas delta) {
+    if (observer_ != nullptr) observer_->OnCharge(*this, category, delta);
+  }
 
   Schedule schedule_;
   Gas limit_;
   GasBreakdown breakdown_;
   OpCounts ops_;
+  MeterObserver* observer_ = nullptr;
 };
 
 }  // namespace gem2::gas

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/digest.h"
+#include "telemetry/telemetry.h"
 
 namespace gem2::gem2tree {
 namespace {
@@ -113,6 +114,7 @@ void PartitionChain::ReadRange(uint64_t partition, bool left,
 }
 
 void PartitionChain::BuildTree(uint64_t partition, PartTree* t, gas::Meter* meter) {
+  TELEMETRY_SPAN("gem2.build_tree");
   ads::EntryList entries = CollectEntries(*t, meter);
   if (meter != nullptr) meter->ChargeSortCost(entries.size());
   std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
@@ -130,6 +132,7 @@ void PartitionChain::EmptyTree(uint64_t partition, PartTree* t, gas::Meter* mete
 }
 
 void PartitionChain::BulkToP0(gas::Meter* meter) {
+  TELEMETRY_SPAN("gem2.bulk_to_p0");
   Partition& p1 = parts_[1];
   ads::EntryList entries = CollectEntries(p1.tl, meter);
   ads::EntryList right = CollectEntries(p1.tr, meter);
@@ -141,6 +144,7 @@ void PartitionChain::BulkToP0(gas::Meter* meter) {
 }
 
 bool PartitionChain::Merge(uint64_t i, gas::Meter* meter) {
+  TELEMETRY_SPAN("gem2.merge");
   Partition& p = parts_[i];
   if (i == 1) {
     const uint64_t length = Occupied(p.tl) + Occupied(p.tr);
@@ -186,6 +190,7 @@ bool PartitionChain::Merge(uint64_t i, gas::Meter* meter) {
 }
 
 void PartitionChain::Insert(Key key, const Hash& value_hash, gas::Meter* meter) {
+  TELEMETRY_SPAN("gem2.insert");
   if (loc_by_key_.count(key) != 0) {
     throw std::invalid_argument("PartitionChain::Insert: key already present");
   }
@@ -278,6 +283,7 @@ int PartitionChain::LocatePartition(Loc loc, gas::Meter* meter) const {
 }
 
 void PartitionChain::Update(Key key, const Hash& value_hash, gas::Meter* meter) {
+  TELEMETRY_SPAN("gem2.update");
   auto it = loc_by_key_.find(key);
   if (it == loc_by_key_.end()) {
     throw std::invalid_argument("PartitionChain::Update: unknown key");

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "crypto/keccak.h"
+#include "telemetry/telemetry.h"
 
 namespace gem2::gem2star {
 namespace {
@@ -45,6 +46,7 @@ Gem2StarEngine::Gem2StarEngine(Gem2Options options, std::vector<Key> split_point
 }
 
 size_t Gem2StarEngine::RegionOf(Key key, gas::Meter* meter) const {
+  TELEMETRY_SPAN("gem2star.locate_region");
   if (meter != nullptr && !split_points_.empty()) {
     // Binary search over the stored split points: one sload per probe.
     meter->ChargeSload(64 - static_cast<uint64_t>(
@@ -55,10 +57,12 @@ size_t Gem2StarEngine::RegionOf(Key key, gas::Meter* meter) const {
 }
 
 void Gem2StarEngine::Insert(Key key, const Hash& value_hash, gas::Meter* meter) {
+  TELEMETRY_SPAN("gem2star.insert");
   chains_[RegionOf(key, meter)]->Insert(key, value_hash, meter);
 }
 
 void Gem2StarEngine::Update(Key key, const Hash& value_hash, gas::Meter* meter) {
+  TELEMETRY_SPAN("gem2star.update");
   chains_[RegionOf(key, meter)]->Update(key, value_hash, meter);
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "crypto/digest.h"
+#include "telemetry/telemetry.h"
 
 namespace gem2::lsm {
 namespace {
@@ -44,6 +45,7 @@ LsmTreeContract::LsmTreeContract(std::string name, LsmOptions options)
 }
 
 void LsmTreeContract::RefreshRoot(size_t i, gas::Meter& meter) {
+  TELEMETRY_SPAN("lsm.refresh_root");
   Level& level = levels_[i];
   // Load the level's records to recompute its digest.
   for (size_t j = 0; j < level.entries.size(); ++j) {
@@ -54,6 +56,7 @@ void LsmTreeContract::RefreshRoot(size_t i, gas::Meter& meter) {
 }
 
 void LsmTreeContract::Insert(Key key, const Hash& value_hash, gas::Meter& meter) {
+  TELEMETRY_SPAN("lsm.insert");
   if (level_of_.count(key) != 0) {
     throw std::invalid_argument("LsmTreeContract::Insert: key already present");
   }
@@ -80,6 +83,7 @@ void LsmTreeContract::Insert(Key key, const Hash& value_hash, gas::Meter& meter)
 }
 
 void LsmTreeContract::MergeDown(size_t i, gas::Meter& meter) {
+  TELEMETRY_SPAN("lsm.merge_down");
   if (i + 1 >= levels_.size()) {
     levels_.push_back({{}, crypto::EmptyTreeDigest()});
   }
@@ -114,6 +118,7 @@ void LsmTreeContract::MergeDown(size_t i, gas::Meter& meter) {
 }
 
 void LsmTreeContract::Update(Key key, const Hash& value_hash, gas::Meter& meter) {
+  TELEMETRY_SPAN("lsm.update");
   auto it = level_of_.find(key);
   if (it == level_of_.end()) {
     throw std::invalid_argument("LsmTreeContract::Update: unknown key");

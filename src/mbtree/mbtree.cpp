@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/digest.h"
+#include "telemetry/telemetry.h"
 
 namespace gem2::mbtree {
 namespace {
@@ -212,11 +213,13 @@ void MbTree::RefreshDirty(Node* node, gas::Meter* meter, ChargeMode mode) {
 }
 
 void MbTree::Insert(Key key, const Hash& value_hash, gas::Meter* meter) {
+  TELEMETRY_SPAN("mbtree.insert");
   InsertStructural(key, value_hash, meter);
   RefreshDirty(root_.get(), meter, ChargeMode::kInsert);
 }
 
 bool MbTree::Update(Key key, const Hash& value_hash, gas::Meter* meter) {
+  TELEMETRY_SPAN("mbtree.update");
   if (root_ == nullptr) return false;
   std::vector<Node*> path;
   Node* leaf = DescendToLeaf(key, &path);
@@ -231,6 +234,7 @@ bool MbTree::Update(Key key, const Hash& value_hash, gas::Meter* meter) {
 }
 
 void MbTree::BulkInsert(const ads::EntryList& sorted_entries, gas::Meter* meter) {
+  TELEMETRY_SPAN("mbtree.bulk_insert");
   for (size_t i = 1; i < sorted_entries.size(); ++i) {
     if (sorted_entries[i - 1].key >= sorted_entries[i].key) {
       throw std::invalid_argument("BulkInsert run must be sorted and duplicate-free");

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/digest.h"
+#include "telemetry/telemetry.h"
 
 namespace gem2::smbtree {
 
@@ -21,6 +22,7 @@ SmbTreeContract::SmbTreeContract(std::string name, int fanout)
       root_(crypto::EmptyTreeDigest()) {}
 
 void SmbTreeContract::Insert(Key key, const Hash& value_hash, gas::Meter& meter) {
+  TELEMETRY_SPAN("smbtree.insert");
   if (index_of_.count(key) != 0) {
     throw std::invalid_argument("SmbTreeContract::Insert: key already present");
   }
@@ -33,6 +35,7 @@ void SmbTreeContract::Insert(Key key, const Hash& value_hash, gas::Meter& meter)
 }
 
 void SmbTreeContract::Update(Key key, const Hash& value_hash, gas::Meter& meter) {
+  TELEMETRY_SPAN("smbtree.update");
   auto it = index_of_.find(key);
   if (it == index_of_.end()) {
     throw std::invalid_argument("SmbTreeContract::Update: unknown key");
@@ -44,6 +47,7 @@ void SmbTreeContract::Update(Key key, const Hash& value_hash, gas::Meter& meter)
 }
 
 void SmbTreeContract::RebuildRoot(gas::Meter& meter) {
+  TELEMETRY_SPAN("smbtree.rebuild_root");
   // Load every object record from storage (1 sload each).
   ads::EntryList entries;
   entries.reserve(log_.size());

@@ -1,0 +1,285 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gem2::telemetry {
+namespace {
+
+void DumpTo(const JsonValue& v, std::string* out);
+
+void DumpString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  *out += JsonEscape(s);
+  out->push_back('"');
+}
+
+void DumpNumber(double d, std::string* out) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", std::isfinite(d) ? d : 0.0);
+  *out += buf;
+}
+
+void DumpTo(const JsonValue& v, std::string* out) { *out += v.Dump(); }
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 128;
+
+  void SkipWs() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return std::nullopt;
+      char esc = text[pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // UTF-8 encode the BMP code point (surrogates pass through as-is;
+          // the validator does not need round-trip fidelity there).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const size_t start = pos;
+    if (Consume('-')) {
+    }
+    if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      return std::nullopt;
+    }
+    if (text[pos] == '0') {
+      ++pos;
+    } else {
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return std::nullopt;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return std::nullopt;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    double d = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data() + start, text.data() + pos, d);
+    if (ec != std::errc() || ptr != text.data() + pos) return std::nullopt;
+    return JsonValue(d);
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    if (++depth > kMaxDepth) return std::nullopt;
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth};
+    SkipWs();
+    if (pos >= text.size()) return std::nullopt;
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      JsonObject obj;
+      SkipWs();
+      if (Consume('}')) return JsonValue(std::move(obj));
+      while (true) {
+        SkipWs();
+        auto key = ParseString();
+        if (!key) return std::nullopt;
+        SkipWs();
+        if (!Consume(':')) return std::nullopt;
+        auto value = ParseValue();
+        if (!value) return std::nullopt;
+        obj.emplace_back(std::move(*key), std::move(*value));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume('}')) return JsonValue(std::move(obj));
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      JsonArray arr;
+      SkipWs();
+      if (Consume(']')) return JsonValue(std::move(arr));
+      while (true) {
+        auto value = ParseValue();
+        if (!value) return std::nullopt;
+        arr.push_back(std::move(*value));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume(']')) return JsonValue(std::move(arr));
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s) return std::nullopt;
+      return JsonValue(std::move(*s));
+    }
+    if (Literal("true")) return JsonValue(true);
+    if (Literal("false")) return JsonValue(false);
+    if (Literal("null")) return JsonValue(nullptr);
+    return ParseNumber();
+  }
+};
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out = "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out = *b ? "true" : "false";
+  } else if (const auto* u = std::get_if<uint64_t>(&value_)) {
+    out = std::to_string(*u);
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    DumpNumber(*d, &out);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    DumpString(*s, &out);
+  } else if (const auto* arr = std::get_if<JsonArray>(&value_)) {
+    out.push_back('[');
+    for (size_t i = 0; i < arr->size(); ++i) {
+      if (i > 0) out.push_back(',');
+      DumpTo((*arr)[i], &out);
+    }
+    out.push_back(']');
+  } else {
+    const JsonObject& obj = std::get<JsonObject>(value_);
+    out.push_back('{');
+    for (size_t i = 0; i < obj.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      DumpString(obj[i].first, &out);
+      out.push_back(':');
+      DumpTo(obj[i].second, &out);
+    }
+    out.push_back('}');
+  }
+  return out;
+}
+
+std::optional<JsonValue> JsonParse(std::string_view text) {
+  Parser parser{text};
+  auto value = parser.ParseValue();
+  if (!value) return std::nullopt;
+  parser.SkipWs();
+  if (parser.pos != text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace gem2::telemetry

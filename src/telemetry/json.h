@@ -1,0 +1,84 @@
+/// \file json.h
+/// Minimal JSON value: enough to write the telemetry exports (Chrome trace,
+/// BENCH_*.json) and to re-parse/validate them without external dependencies.
+/// Numbers are stored as doubles on parse; writing supports unsigned 64-bit
+/// integers losslessly.
+#ifndef GEM2_TELEMETRY_JSON_H_
+#define GEM2_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace gem2::telemetry {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// Insertion-ordered object (deterministic output).
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<uint64_t>(i < 0 ? 0 : i)) {
+    if (i < 0) value_ = static_cast<double>(i);
+  }
+  JsonValue(uint64_t u) : value_(u) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<uint64_t>(value_);
+  }
+
+  JsonArray& array() { return std::get<JsonArray>(value_); }
+  const JsonArray& array() const { return std::get<JsonArray>(value_); }
+  JsonObject& object() { return std::get<JsonObject>(value_); }
+  const JsonObject& object() const { return std::get<JsonObject>(value_); }
+  const std::string& string() const { return std::get<std::string>(value_); }
+  double number() const {
+    if (const auto* u = std::get_if<uint64_t>(&value_)) {
+      return static_cast<double>(*u);
+    }
+    return std::get<double>(value_);
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Serializes to compact JSON (no insignificant whitespace).
+  std::string Dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, uint64_t, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+/// Escapes `s` as the *inside* of a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+/// Full-document parse; std::nullopt on any syntax error or trailing junk.
+std::optional<JsonValue> JsonParse(std::string_view text);
+
+/// True when `text` is one syntactically valid JSON document.
+inline bool JsonValid(std::string_view text) { return JsonParse(text).has_value(); }
+
+}  // namespace gem2::telemetry
+
+#endif  // GEM2_TELEMETRY_JSON_H_

@@ -1,0 +1,113 @@
+/// \file metrics.h
+/// Process-wide registry of named counters, gauges, and histograms.
+///
+/// Registration (first use of a name) takes a mutex; every subsequent
+/// increment is a plain atomic op on a stable object, so hot paths hold no
+/// locks. Snapshots are deterministic: metrics are reported sorted by name,
+/// and identical workloads produce identical snapshots.
+#ifndef GEM2_TELEMETRY_METRICS_H_
+#define GEM2_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gem2::telemetry {
+
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Power-of-two bucketed histogram: bucket i counts observations v with
+/// 2^(i-1) <= v < 2^i (bucket 0 counts v == 0). Tracks count/sum/min/max.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const;  // 0 when empty
+  uint64_t max() const;  // 0 when empty
+  uint64_t bucket(int i) const { return buckets_[i].load(std::memory_order_relaxed); }
+  double mean() const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;       // sorted by name
+  std::vector<std::pair<std::string, int64_t>> gauges;          // sorted by name
+  struct HistogramStats {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double mean = 0;
+  };
+  std::vector<HistogramStats> histograms;  // sorted by name
+
+  friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&);
+};
+
+bool operator==(const MetricsSnapshot::HistogramStats& a,
+                const MetricsSnapshot::HistogramStats& b);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  static MetricsRegistry& Global();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// The returned reference stays valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every metric (names stay registered).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace gem2::telemetry
+
+#endif  // GEM2_TELEMETRY_METRICS_H_

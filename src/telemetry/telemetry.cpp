@@ -1,0 +1,167 @@
+#include "telemetry/telemetry.h"
+
+#include <chrono>
+#include <mutex>
+
+namespace gem2::telemetry {
+namespace {
+
+/// Per-thread frame of an open span. Records everything the Span object
+/// itself does not carry, so Span stays two words wide.
+struct Frame {
+  uint64_t id = 0;
+  std::string name;
+  uint64_t start_ns = 0;
+  gas::GasBreakdown open_gas;
+  /// Sum of direct children's inclusive gas, accumulated as they close.
+  gas::Gas children_gas = 0;
+};
+
+struct ThreadState {
+  std::vector<Frame> stack;
+  gas::Meter* meter = nullptr;
+  bool capturing = false;
+  std::vector<SpanRecord> capture;
+};
+
+ThreadState& State() {
+  thread_local ThreadState state;
+  return state;
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::AddSink(std::shared_ptr<Sink> sink) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  auto next = std::make_shared<std::vector<std::shared_ptr<Sink>>>(*sinks_);
+  next->push_back(std::move(sink));
+  std::atomic_store_explicit(&sinks_,
+                             std::shared_ptr<const std::vector<std::shared_ptr<Sink>>>(
+                                 std::move(next)),
+                             std::memory_order_release);
+  sink_count_.store(static_cast<int>(sinks_->size()), std::memory_order_relaxed);
+}
+
+void Tracer::ClearSinks() {
+  std::shared_ptr<const std::vector<std::shared_ptr<Sink>>> old;
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    old = sinks_;
+    std::atomic_store_explicit(
+        &sinks_,
+        std::make_shared<const std::vector<std::shared_ptr<Sink>>>(),
+        std::memory_order_release);
+    sink_count_.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& sink : *old) sink->Flush();
+}
+
+gas::Meter* Tracer::SetActiveMeter(gas::Meter* meter) {
+  ThreadState& state = State();
+  gas::Meter* previous = state.meter;
+  state.meter = meter;
+  return previous;
+}
+
+void Tracer::RestoreMeter(gas::Meter* previous) { State().meter = previous; }
+
+gas::Meter* Tracer::active_meter() const { return State().meter; }
+
+void Tracer::BeginTxCapture() {
+  ThreadState& state = State();
+  state.capturing = true;
+  state.capture.clear();
+}
+
+std::vector<SpanRecord> Tracer::EndTxCapture() {
+  ThreadState& state = State();
+  state.capturing = false;
+  return std::move(state.capture);
+}
+
+void Tracer::EmitSpan(const SpanRecord& record) {
+  auto sinks = std::atomic_load_explicit(&sinks_, std::memory_order_acquire);
+  for (const auto& sink : *sinks) sink->OnSpan(record);
+  ThreadState& state = State();
+  if (state.capturing) state.capture.push_back(record);
+}
+
+void Tracer::EmitInstant(InstantEvent event) {
+  event.ts_ns = NowNs();
+  event.thread_id = ThreadId();
+  auto sinks = std::atomic_load_explicit(&sinks_, std::memory_order_acquire);
+  for (const auto& sink : *sinks) sink->OnInstant(event);
+}
+
+uint64_t Tracer::NowNs() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - origin)
+                                   .count());
+}
+
+uint64_t Tracer::ThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local const uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Span::Span(std::string_view name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  ThreadState& state = State();
+  Frame frame;
+  frame.id = tracer.next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  frame.name.assign(name.data(), name.size());
+  frame.start_ns = Tracer::NowNs();
+  if (state.meter != nullptr) frame.open_gas = state.meter->breakdown();
+  start_ns_ = frame.start_ns;
+  if (state.meter != nullptr) open_gas_ = state.meter->used();
+  state.stack.push_back(std::move(frame));
+}
+
+Span::~Span() {
+  if (!active_) return;
+  ThreadState& state = State();
+  if (state.stack.empty()) return;  // sinks cleared mid-span on another thread
+  Frame frame = std::move(state.stack.back());
+  state.stack.pop_back();
+
+  SpanRecord record;
+  record.id = frame.id;
+  record.parent_id = state.stack.empty() ? 0 : state.stack.back().id;
+  record.depth = static_cast<uint32_t>(state.stack.size());
+  record.thread_id = Tracer::ThreadId();
+  record.name = std::move(frame.name);
+  record.start_ns = frame.start_ns;
+  record.duration_ns = Tracer::NowNs() - frame.start_ns;
+  if (state.meter != nullptr) {
+    record.gas = state.meter->breakdown();
+    record.gas -= frame.open_gas;
+  }
+  record.self_gas = record.gas.total() - frame.children_gas;
+  if (!state.stack.empty()) {
+    state.stack.back().children_gas += record.gas.total();
+  }
+  Tracer::Global().EmitSpan(record);
+}
+
+gas::Gas Span::gas_so_far() const {
+  if (!active_) return 0;
+  const gas::Meter* meter = State().meter;
+  return meter != nullptr ? meter->used() - open_gas_ : 0;
+}
+
+}  // namespace gem2::telemetry

@@ -207,6 +207,11 @@ TEST(Environment, OutOfGasRollsBackAndReports) {
       env.Execute(contract, "explode", [&](gas::Meter& m) { contract.Explode(m); });
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("out of gas"), std::string::npos);
+  // Even a failed receipt explains where the gas went: the partial
+  // breakdown at the abort point, consistent with gas_used.
+  EXPECT_GT(r.gas_used, 0u);
+  EXPECT_EQ(r.breakdown.total(), r.gas_used);
+  EXPECT_GT(r.op_counts.sstore + r.op_counts.supdate + r.op_counts.sload, 0u);
   // The exploded writes were rolled back; the counter survives.
   EXPECT_EQ(Uint64FromWord(contract.storage().Peek({1, 0})), 1u);
   EXPECT_FALSE(contract.storage().Contains({2, 0}));

@@ -63,6 +63,27 @@ TEST(Meter, ThrowsPastLimit) {
   }
 }
 
+TEST(Meter, OutOfGasCarriesPartialBreakdown) {
+  Meter meter(kEthereumSchedule, 45'000);
+  meter.ChargeSstore(1);   // 20,000
+  meter.ChargeSupdate(1);  // 5,000
+  meter.ChargeSload(2);    // 400
+  try {
+    meter.ChargeSstore(2);  // 40,000 -> 65,400 > limit
+    FAIL() << "expected OutOfGasError";
+  } catch (const OutOfGasError& e) {
+    // The failure carries the full accounting at the moment of abort,
+    // including the charge that crossed the limit.
+    EXPECT_EQ(e.breakdown().sstore, 60'000u);
+    EXPECT_EQ(e.breakdown().supdate, 5'000u);
+    EXPECT_EQ(e.breakdown().sload, 400u);
+    EXPECT_EQ(e.breakdown().total(), e.used());
+    EXPECT_EQ(e.op_counts().sstore, 3u);
+    EXPECT_EQ(e.op_counts().supdate, 1u);
+    EXPECT_EQ(e.op_counts().sload, 2u);
+  }
+}
+
 TEST(Meter, ResetClearsEverything) {
   Meter meter;
   meter.ChargeSstore(2);
