@@ -73,7 +73,11 @@ struct Parser {
     return h;
   }
 
-  std::optional<VoChild> ParseChild() {
+  std::optional<VoChild> ParseChild(uint32_t depth) {
+    if (depth > kMaxVoDepth) {
+      failed = true;
+      return std::nullopt;
+    }
     uint8_t tag = Byte();
     if (failed) return std::nullopt;
     switch (tag) {
@@ -107,7 +111,7 @@ struct Parser {
         auto node = std::make_unique<VoNode>();
         node->children.reserve(n);
         for (uint16_t i = 0; i < n; ++i) {
-          auto c = ParseChild();
+          auto c = ParseChild(depth + 1);
           if (!c) return std::nullopt;
           node->children.push_back(std::move(*c));
         }
@@ -176,7 +180,7 @@ std::optional<TreeVo> ParseTreeVo(const Bytes& data) {
   }
   if (data[0] != 1) return std::nullopt;
   Parser parser{data, 1};
-  auto child = parser.ParseChild();
+  auto child = parser.ParseChild(0);
   if (!child || parser.failed || parser.pos != data.size()) return std::nullopt;
   vo.root = std::move(*child);
   return vo;

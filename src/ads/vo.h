@@ -66,9 +66,16 @@ TreeVo CloneVo(const TreeVo& vo);
 /// one tag byte per element plus a 2-byte child count per expanded node.
 uint64_t VoSizeBytes(const TreeVo& vo);
 
+/// Deepest node nesting ParseTreeVo accepts. Real trees are shallow (depth
+/// log_F(n)), but the codec parses adversarial bytes: without a cap, a wire
+/// image of nested node tags drives the recursive parser arbitrarily deep
+/// and can exhaust the stack before verification ever runs.
+inline constexpr uint32_t kMaxVoDepth = 512;
+
 /// Compact binary serialization (round-trips through ParseTreeVo).
 Bytes SerializeTreeVo(const TreeVo& vo);
-/// Parses a serialized VO; returns std::nullopt on malformed input.
+/// Parses a serialized VO; returns std::nullopt on malformed input (including
+/// nesting deeper than kMaxVoDepth).
 std::optional<TreeVo> ParseTreeVo(const Bytes& data);
 
 }  // namespace gem2::ads

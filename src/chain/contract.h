@@ -5,6 +5,7 @@
 #ifndef GEM2_CHAIN_CONTRACT_H_
 #define GEM2_CHAIN_CONTRACT_H_
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,9 +42,26 @@ class Contract {
   /// and served to clients (with inclusion proofs) as VO_chain.
   virtual std::vector<DigestEntry> AuthenticatedDigests() const = 0;
 
+  /// The digest view as of the last *committed* transaction. Normally this
+  /// is just AuthenticatedDigests(); after a failed transaction the
+  /// environment freezes it at the pre-transaction value, because a
+  /// contract's in-memory structures (unlike its metered storage) cannot be
+  /// rolled back — without the freeze an aborted transaction would leak into
+  /// the state root. A later successful transaction thaws the view.
+  std::vector<DigestEntry> CommittedDigests() const {
+    return frozen_digests_.has_value() ? *frozen_digests_
+                                       : AuthenticatedDigests();
+  }
+
+  void FreezeDigests(std::vector<DigestEntry> pre_tx) {
+    frozen_digests_ = std::move(pre_tx);
+  }
+  void ThawDigests() { frozen_digests_.reset(); }
+
  private:
   std::string name_;
   MeteredStorage storage_;
+  std::optional<std::vector<DigestEntry>> frozen_digests_;
 };
 
 }  // namespace gem2::chain

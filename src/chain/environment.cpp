@@ -44,6 +44,11 @@ TxReceipt Environment::Execute(Contract& contract, const std::string& method,
     if (capture) tracer.BeginTxCapture();
   }
 
+  // The contract's in-memory structures cannot be rolled back the way its
+  // metered storage can; snapshot the digest view so a failed transaction
+  // leaves the committed state (and hence the state root) untouched.
+  std::vector<DigestEntry> pre_tx_digests = contract.CommittedDigests();
+
   contract.storage().BeginTx();
   {
     std::optional<telemetry::Span> root_span;
@@ -52,12 +57,15 @@ TxReceipt Environment::Execute(Contract& contract, const std::string& method,
       if (options_.tx_base_fee > 0) meter.ChargeIntrinsic(options_.tx_base_fee);
       body(meter);
       contract.storage().CommitTx();
+      contract.ThawDigests();
     } catch (const gas::OutOfGasError& e) {
       contract.storage().RollbackTx();
+      contract.FreezeDigests(std::move(pre_tx_digests));
       receipt.ok = false;
       receipt.error = e.what();
     } catch (...) {
       contract.storage().RollbackTx();
+      contract.FreezeDigests(std::move(pre_tx_digests));
       throw;
     }
   }
@@ -94,7 +102,7 @@ Bytes Environment::StateKey(const std::string& contract, const std::string& labe
 crypto::PatriciaTrie Environment::BuildStateTrie() const {
   crypto::PatriciaTrie trie;
   for (const auto& [name, contract] : contracts_) {
-    for (const DigestEntry& entry : contract->AuthenticatedDigests()) {
+    for (const DigestEntry& entry : contract->CommittedDigests()) {
       trie.Put(StateKey(name, entry.label),
                Bytes(entry.digest.begin(), entry.digest.end()));
     }
@@ -150,7 +158,7 @@ Hash Environment::StateLeaf(const std::string& contract, const DigestEntry& entr
 std::vector<Hash> Environment::StateLeaves() const {
   std::vector<Hash> leaves;
   for (const auto& [name, contract] : contracts_) {
-    for (const DigestEntry& entry : contract->AuthenticatedDigests()) {
+    for (const DigestEntry& entry : contract->CommittedDigests()) {
       leaves.push_back(StateLeaf(name, entry));
     }
   }
@@ -178,7 +186,7 @@ AuthenticatedState Environment::ReadAuthenticatedState(const std::string& contra
 
   if (options_.state_commitment == StateCommitment::kPatriciaTrie) {
     crypto::PatriciaTrie trie = BuildStateTrie();
-    for (const DigestEntry& entry : it->second->AuthenticatedDigests()) {
+    for (const DigestEntry& entry : it->second->CommittedDigests()) {
       ProvenDigest pd;
       pd.entry = entry;
       pd.mpt_proof = trie.Prove(StateKey(contract_name, entry.label));
@@ -190,7 +198,7 @@ AuthenticatedState Environment::ReadAuthenticatedState(const std::string& contra
   crypto::BinaryMerkleTree tree(StateLeaves());
   size_t leaf_index = 0;
   for (const auto& [name, contract] : contracts_) {
-    for (const DigestEntry& entry : contract->AuthenticatedDigests()) {
+    for (const DigestEntry& entry : contract->CommittedDigests()) {
       if (name == contract_name) {
         ProvenDigest pd;
         pd.entry = entry;

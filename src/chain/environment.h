@@ -102,6 +102,12 @@ class Environment {
   /// Client-side check: header committed by the chain, proofs valid.
   static bool VerifyAuthenticatedState(const AuthenticatedState& state);
 
+  /// State root over the registered contracts' current digests — what the
+  /// next sealed block will commit. Unmetered introspection: the fault
+  /// harness compares it across an aborted transaction to prove the rollback
+  /// left no trace.
+  Hash CurrentStateRoot() const { return ComputeStateRoot(); }
+
   const Blockchain& blockchain() const { return blockchain_; }
   const EnvironmentOptions& options() const { return options_; }
   uint64_t total_gas_used() const { return total_gas_used_; }

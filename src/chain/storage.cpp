@@ -1,6 +1,9 @@
 #include "chain/storage.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "crypto/keccak.h"
 
 namespace gem2::chain {
 
@@ -36,6 +39,22 @@ uint64_t MeteredStorage::LoadUint(const Slot& slot, gas::Meter& meter) {
 
 void MeteredStorage::StoreUint(const Slot& slot, uint64_t value, gas::Meter& meter) {
   Store(slot, WordFromUint64(value), meter);
+}
+
+Hash MeteredStorage::Fingerprint() const {
+  std::vector<std::pair<Slot, Word>> live(slots_.begin(), slots_.end());
+  std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+    return a.first.region != b.first.region ? a.first.region < b.first.region
+                                            : a.first.index < b.first.index;
+  });
+  Bytes image;
+  image.reserve(live.size() * (4 + 8 + 32));
+  for (const auto& [slot, word] : live) {
+    AppendUint64(&image, (static_cast<uint64_t>(slot.region) << 32));
+    AppendUint64(&image, slot.index);
+    AppendHash(&image, word);
+  }
+  return crypto::Keccak256(image);
 }
 
 bool MeteredStorage::Contains(const Slot& slot) const {

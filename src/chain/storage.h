@@ -67,6 +67,11 @@ class MeteredStorage {
   Word Peek(const Slot& slot) const;
   size_t NumSlots() const { return slots_.size(); }
 
+  /// Keccak digest of the full live slot contents, in sorted slot order:
+  /// two storages hold identical words iff their fingerprints match. Used to
+  /// assert a rolled-back transaction left storage bit-identical.
+  Hash Fingerprint() const;
+
   /// Transaction bracketing (see file comment).
   void BeginTx();
   void CommitTx();

@@ -6,6 +6,7 @@
 
 #include "ads/verify.h"
 #include "core/tombstone.h"
+#include "core/wire.h"
 #include "crypto/digest.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
@@ -13,7 +14,7 @@
 namespace gem2::core {
 namespace {
 
-constexpr const char* kContractName = "ads";
+constexpr const char* kContractName = AuthenticatedDb::kContractName;
 
 /// Converts one tree's entry list to raw objects via the SP value store.
 std::vector<Object> ToObjects(
@@ -342,6 +343,22 @@ QueryResponse AuthenticatedDb::Query(Key lb, Key ub) const {
   return response;
 }
 
+QueryResponse CloneResponse(const QueryResponse& response) {
+  QueryResponse copy;
+  copy.lb = response.lb;
+  copy.ub = response.ub;
+  copy.upper_splits = response.upper_splits;
+  copy.trees.reserve(response.trees.size());
+  for (const TreeResultSet& tree : response.trees) {
+    TreeResultSet set;
+    set.label = tree.label;
+    set.objects = tree.objects;
+    set.vo = ads::CloneVo(tree.vo);
+    copy.trees.push_back(std::move(set));
+  }
+  return copy;
+}
+
 uint64_t VoSpBytes(const QueryResponse& response) {
   uint64_t total = 0;
   for (const TreeResultSet& t : response.trees) {
@@ -483,6 +500,17 @@ VerifiedResult AuthenticatedDb::VerifyFor(Key lb, Key ub,
   return Verify(response);
 }
 
+VerifiedResult AuthenticatedDb::VerifyWire(Key lb, Key ub, const Bytes& wire) {
+  std::optional<QueryResponse> parsed = ParseResponse(wire);
+  if (!parsed.has_value()) {
+    VerifiedResult out;
+    out.ok = false;
+    out.error = "malformed wire image";
+    return out;
+  }
+  return VerifyFor(lb, ub, *parsed);
+}
+
 VerifiedResult AuthenticatedDb::AuthenticatedRange(Key lb, Key ub) {
   return Verify(Query(lb, ub));
 }
@@ -511,7 +539,7 @@ std::unique_ptr<AuthenticatedDb> AuthenticatedDb::Replay(DbOptions options,
 }
 
 std::vector<chain::DigestEntry> AuthenticatedDb::ChainDigests() const {
-  return contract().AuthenticatedDigests();
+  return contract().CommittedDigests();
 }
 
 void AuthenticatedDb::CheckConsistency() const {

@@ -54,6 +54,10 @@ struct DbOptions {
 
 class AuthenticatedDb {
  public:
+  /// Name the ADS contract registers under in the environment (the label a
+  /// client passes to Environment::ReadAuthenticatedState).
+  static constexpr const char* kContractName = "ads";
+
   explicit AuthenticatedDb(DbOptions options = {});
   ~AuthenticatedDb();
 
@@ -104,6 +108,11 @@ class AuthenticatedDb {
   /// bound) is rejected outright. Use this whenever the response crossed a
   /// trust boundary (Algorithm 6's input is the client's own Q).
   VerifiedResult VerifyFor(Key lb, Key ub, const QueryResponse& response);
+
+  /// Parses a serialized response and runs VerifyFor on it: the single entry
+  /// point for bytes received over a network. Malformed images come back as a
+  /// failed result (error "malformed wire image"), never as an exception.
+  VerifiedResult VerifyWire(Key lb, Key ub, const Bytes& wire);
 
   /// Convenience: Query + Verify in one call.
   VerifiedResult AuthenticatedRange(Key lb, Key ub);

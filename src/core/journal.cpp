@@ -7,6 +7,14 @@ constexpr uint8_t kFormatVersion = 1;
 
 }  // namespace
 
+Journal Journal::Prefix(size_t n) const {
+  Journal prefix;
+  const size_t count = n < entries_.size() ? n : entries_.size();
+  prefix.entries_.assign(entries_.begin(),
+                         entries_.begin() + static_cast<long>(count));
+  return prefix;
+}
+
 Bytes Journal::Serialize() const {
   Bytes out;
   out.push_back(kFormatVersion);

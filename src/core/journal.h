@@ -38,6 +38,10 @@ class Journal {
   const std::vector<JournalEntry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
 
+  /// The first `n` entries (the whole journal when n >= size): what a crashed
+  /// SP finds in its durable log when the tail was lost with the process.
+  Journal Prefix(size_t n) const;
+
   Bytes Serialize() const;
   static std::optional<Journal> Parse(const Bytes& data);
 

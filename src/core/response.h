@@ -34,6 +34,10 @@ struct QueryResponse {
 /// tree framing — not the raw result payloads).
 uint64_t VoSpBytes(const QueryResponse& response);
 
+/// Deep copy (TreeVo is move-only, so QueryResponse is too; the fault
+/// mutators clone a response before altering it).
+QueryResponse CloneResponse(const QueryResponse& response);
+
 /// Outcome of full client-side verification (Algorithms 6 / 8).
 struct VerifiedResult {
   bool ok = false;

@@ -1,0 +1,100 @@
+#include "fault/adversary.h"
+
+#include <algorithm>
+
+#include "fault/fault.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace gem2::fault {
+namespace {
+
+void Count(const char* name, uint64_t delta = 1) {
+  if (telemetry::kCompiledIn) {
+    telemetry::MetricsRegistry::Global().counter(name).Add(delta);
+  }
+}
+
+}  // namespace
+
+AdversaryReport RunAdversarialSweep(core::AuthenticatedDb& db,
+                                    const AdversaryOptions& options) {
+  AdversaryReport report;
+  report.seed = options.seed;
+  Rng query_rng(DeriveSeed(options.seed, 0x71));
+  ResponseMutator mutator(DeriveSeed(options.seed, 0x4d));
+
+  for (int i = 0; i < options.mutations; ++i) {
+    // Fresh query each round so forgeries hit many response shapes (empty
+    // results, single tree, many trees, wide and narrow ranges).
+    const uint64_t span = static_cast<uint64_t>(options.domain_hi) -
+                          static_cast<uint64_t>(options.domain_lo);
+    Key lb = options.domain_lo + static_cast<Key>(query_rng.Uniform(0, span));
+    Key ub = options.domain_lo + static_cast<Key>(query_rng.Uniform(0, span));
+    if (ub < lb) std::swap(lb, ub);
+
+    const core::QueryResponse response = db.Query(lb, ub);
+    const Mutation mutation = mutator.Mutate(response);
+    ++report.attempted;
+    ++report.attempts_by_op[MutationOpName(mutation.op)];
+    Count("fault.mutation.attempted");
+
+    std::optional<core::QueryResponse> parsed = core::ParseResponse(mutation.wire);
+    if (!parsed.has_value()) {
+      ++report.rejected_parse;
+      Count("fault.mutation.rejected_parse");
+      continue;
+    }
+    core::VerifiedResult vr = db.VerifyFor(lb, ub, *parsed);
+    if (!vr.ok) {
+      ++report.rejected_verify;
+      Count("fault.mutation.rejected_verify");
+      continue;
+    }
+    // The client accepted. For blind byte flips this is legitimate only when
+    // the flip hit redundant framing and the canonical re-serialization is
+    // the unmutated image; anything else is a successful forgery.
+    if (mutation.byte_level &&
+        core::SerializeResponse(*parsed) == core::SerializeResponse(response)) {
+      ++report.canonical_noop;
+      Count("fault.mutation.canonical_noop");
+      continue;
+    }
+    report.forgeries.push_back("accepted " + MutationOpName(mutation.op) +
+                               " (seed " + std::to_string(options.seed) +
+                               ", round " + std::to_string(i) + ", range [" +
+                               std::to_string(lb) + ", " + std::to_string(ub) +
+                               "])");
+    Count("fault.mutation.forged");
+  }
+  return report;
+}
+
+bool StaleReplayRejected(core::AuthenticatedDb& db, Key lb, Key ub,
+                         int extra_inserts, uint64_t seed, std::string* why) {
+  const Bytes stale = core::SerializeResponse(db.Query(lb, ub));
+
+  // Advance the chain: fresh keys inside the queried range, so the stale
+  // response is both incomplete and anchored to superseded digests.
+  Rng rng(DeriveSeed(seed, 0x57));
+  const uint64_t span =
+      static_cast<uint64_t>(ub) - static_cast<uint64_t>(lb);
+  for (int i = 0; i < extra_inserts; ++i) {
+    Key key;
+    do {
+      key = lb + static_cast<Key>(rng.Uniform(0, span));
+    } while (db.Contains(key));
+    db.Insert({key, "post-capture-" + std::to_string(i)});
+  }
+
+  core::VerifiedResult vr = db.VerifyWire(lb, ub, stale);
+  if (why != nullptr) *why = vr.ok ? "stale response verified" : vr.error;
+  if (telemetry::kCompiledIn) {
+    telemetry::MetricsRegistry::Global()
+        .counter(vr.ok ? "fault.replay.accepted" : "fault.replay.rejected")
+        .Add(1);
+  }
+  return !vr.ok;
+}
+
+}  // namespace gem2::fault

@@ -1,0 +1,30 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+
+namespace gem2::fault {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t ResolveSeed(uint64_t fallback) {
+  const char* env = std::getenv("GEM2_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return static_cast<uint64_t>(parsed);
+}
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  return SplitMix64(seed ^ SplitMix64(stream));
+}
+
+}  // namespace gem2::fault

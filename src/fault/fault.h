@@ -1,0 +1,27 @@
+/// \file fault.h
+/// Seed plumbing for the deterministic fault-injection subsystem.
+///
+/// Every fault stream — adversarial response mutation, flaky-transport
+/// scheduling, crash points, gas-limit draws — is a pure function of one
+/// 64-bit seed, so any failure reproduces from the seed alone. Harnesses log
+/// the seed they ran with; setting GEM2_TEST_SEED replays it.
+#ifndef GEM2_FAULT_FAULT_H_
+#define GEM2_FAULT_FAULT_H_
+
+#include <cstdint>
+
+namespace gem2::fault {
+
+/// The seed a randomized harness should run with: the decimal value of the
+/// GEM2_TEST_SEED environment variable when set and parseable, otherwise
+/// `fallback`.
+uint64_t ResolveSeed(uint64_t fallback);
+
+/// Derives an independent sub-seed for stream `stream` of a harness seeded
+/// with `seed` (splitmix64 of the pair). Sub-streams (mutation draws, channel
+/// faults, workload keys) stay decorrelated but fully determined by `seed`.
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+
+}  // namespace gem2::fault
+
+#endif  // GEM2_FAULT_FAULT_H_

@@ -1,0 +1,247 @@
+#include "fault/mutator.h"
+
+#include <vector>
+
+#include "ads/vo.h"
+
+namespace gem2::fault {
+namespace {
+
+/// Mutable hash sites inside a VO: boundary-entry value hashes and
+/// pruned-subtree content hashes. Result entries carry no hash (the client
+/// recomputes those from the returned objects), so altering a result means
+/// altering the object itself — a different operator.
+void CollectHashSites(ads::VoChild& child, std::vector<Hash*>* sites) {
+  if (auto* entry = std::get_if<ads::VoEntry>(&child)) {
+    if (!entry->is_result) sites->push_back(&entry->value_hash);
+    return;
+  }
+  if (auto* pruned = std::get_if<ads::VoPruned>(&child)) {
+    sites->push_back(&pruned->content_hash);
+    return;
+  }
+  for (ads::VoChild& c : std::get<ads::VoNodePtr>(child)->children) {
+    CollectHashSites(c, sites);
+  }
+}
+
+std::vector<Hash*> HashSites(core::QueryResponse* response) {
+  std::vector<Hash*> sites;
+  for (core::TreeResultSet& tree : response->trees) {
+    if (tree.vo.root.has_value()) CollectHashSites(*tree.vo.root, &sites);
+  }
+  return sites;
+}
+
+/// Indices of trees that contribute at least one result object.
+std::vector<size_t> TreesWithObjects(const core::QueryResponse& response) {
+  std::vector<size_t> trees;
+  for (size_t i = 0; i < response.trees.size(); ++i) {
+    if (!response.trees[i].objects.empty()) trees.push_back(i);
+  }
+  return trees;
+}
+
+/// Wrap-around key shift (two's complement): keeps the forgery well-defined
+/// even at the extremes of the key domain (signed overflow is UB).
+Key ShiftKey(Key k, uint64_t delta, bool up) {
+  const uint64_t u = static_cast<uint64_t>(k);
+  return static_cast<Key>(up ? u + delta : u - delta);
+}
+
+Mutation Pack(MutationOp op, const core::QueryResponse& forged) {
+  Mutation m;
+  m.op = op;
+  m.wire = core::SerializeResponse(forged);
+  return m;
+}
+
+}  // namespace
+
+std::string MutationOpName(MutationOp op) {
+  switch (op) {
+    case MutationOp::kDropObject:
+      return "drop_object";
+    case MutationOp::kAlterObjectValue:
+      return "alter_object_value";
+    case MutationOp::kAlterObjectKey:
+      return "alter_object_key";
+    case MutationOp::kDuplicateObject:
+      return "duplicate_object";
+    case MutationOp::kSwapVoHashes:
+      return "swap_vo_hashes";
+    case MutationOp::kFlipVoHashBit:
+      return "flip_vo_hash_bit";
+    case MutationOp::kShiftRangeBounds:
+      return "shift_range_bounds";
+    case MutationOp::kDropTree:
+      return "drop_tree";
+    case MutationOp::kDuplicateTree:
+      return "duplicate_tree";
+    case MutationOp::kForgeUpperSplits:
+      return "forge_upper_splits";
+    case MutationOp::kCorruptWireBytes:
+      return "corrupt_wire_bytes";
+  }
+  return "unknown";
+}
+
+std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
+                                               const core::QueryResponse& response) {
+  switch (op) {
+    case MutationOp::kDropObject: {
+      std::vector<size_t> trees = TreesWithObjects(response);
+      if (trees.empty()) return std::nullopt;
+      core::QueryResponse forged = core::CloneResponse(response);
+      auto& objects = forged.trees[trees[rng_.Uniform(0, trees.size() - 1)]].objects;
+      objects.erase(objects.begin() +
+                    static_cast<long>(rng_.Uniform(0, objects.size() - 1)));
+      return Pack(op, forged);
+    }
+
+    case MutationOp::kAlterObjectValue: {
+      std::vector<size_t> trees = TreesWithObjects(response);
+      if (trees.empty()) return std::nullopt;
+      core::QueryResponse forged = core::CloneResponse(response);
+      auto& objects = forged.trees[trees[rng_.Uniform(0, trees.size() - 1)]].objects;
+      std::string& value = objects[rng_.Uniform(0, objects.size() - 1)].value;
+      if (value.empty()) {
+        value = "x";
+      } else {
+        value[rng_.Uniform(0, value.size() - 1)] ^=
+            static_cast<char>(rng_.Uniform(1, 255));
+      }
+      return Pack(op, forged);
+    }
+
+    case MutationOp::kAlterObjectKey: {
+      std::vector<size_t> trees = TreesWithObjects(response);
+      if (trees.empty()) return std::nullopt;
+      core::QueryResponse forged = core::CloneResponse(response);
+      auto& objects = forged.trees[trees[rng_.Uniform(0, trees.size() - 1)]].objects;
+      Object& obj = objects[rng_.Uniform(0, objects.size() - 1)];
+      obj.key = ShiftKey(obj.key, rng_.Uniform(1, 1000), rng_.Chance(0.5));
+      return Pack(op, forged);
+    }
+
+    case MutationOp::kDuplicateObject: {
+      std::vector<size_t> trees = TreesWithObjects(response);
+      if (trees.empty()) return std::nullopt;
+      core::QueryResponse forged = core::CloneResponse(response);
+      auto& objects = forged.trees[trees[rng_.Uniform(0, trees.size() - 1)]].objects;
+      objects.push_back(objects[rng_.Uniform(0, objects.size() - 1)]);
+      return Pack(op, forged);
+    }
+
+    case MutationOp::kSwapVoHashes: {
+      core::QueryResponse forged = core::CloneResponse(response);
+      std::vector<Hash*> sites = HashSites(&forged);
+      if (sites.size() < 2) return std::nullopt;
+      // Pick a random site, then a second one holding a *different* hash
+      // (swapping equal hashes would be a no-op forgery).
+      const size_t first = rng_.Uniform(0, sites.size() - 1);
+      std::vector<size_t> partners;
+      for (size_t i = 0; i < sites.size(); ++i) {
+        if (*sites[i] != *sites[first]) partners.push_back(i);
+      }
+      if (partners.empty()) return std::nullopt;
+      const size_t second = partners[rng_.Uniform(0, partners.size() - 1)];
+      std::swap(*sites[first], *sites[second]);
+      return Pack(op, forged);
+    }
+
+    case MutationOp::kFlipVoHashBit: {
+      core::QueryResponse forged = core::CloneResponse(response);
+      std::vector<Hash*> sites = HashSites(&forged);
+      if (sites.empty()) return std::nullopt;
+      Hash* site = sites[rng_.Uniform(0, sites.size() - 1)];
+      (*site)[rng_.Uniform(0, 31)] ^= static_cast<uint8_t>(1u << rng_.Uniform(0, 7));
+      return Pack(op, forged);
+    }
+
+    case MutationOp::kShiftRangeBounds: {
+      core::QueryResponse forged = core::CloneResponse(response);
+      const uint64_t delta = rng_.Uniform(1, 1'000'000);
+      switch (rng_.Uniform(0, 2)) {
+        case 0:
+          forged.lb = ShiftKey(forged.lb, delta, false);
+          break;
+        case 1:
+          forged.ub = ShiftKey(forged.ub, delta, true);
+          break;
+        default:
+          forged.lb = ShiftKey(forged.lb, delta, false);
+          forged.ub = ShiftKey(forged.ub, delta, true);
+          break;
+      }
+      return Pack(op, forged);
+    }
+
+    case MutationOp::kDropTree: {
+      if (response.trees.empty()) return std::nullopt;
+      core::QueryResponse forged = core::CloneResponse(response);
+      forged.trees.erase(forged.trees.begin() +
+                         static_cast<long>(rng_.Uniform(0, forged.trees.size() - 1)));
+      return Pack(op, forged);
+    }
+
+    case MutationOp::kDuplicateTree: {
+      if (response.trees.empty()) return std::nullopt;
+      core::QueryResponse forged = core::CloneResponse(response);
+      const core::TreeResultSet& source =
+          forged.trees[rng_.Uniform(0, forged.trees.size() - 1)];
+      core::TreeResultSet copy;
+      copy.label = source.label;
+      copy.objects = source.objects;
+      copy.vo = ads::CloneVo(source.vo);
+      forged.trees.push_back(std::move(copy));
+      return Pack(op, forged);
+    }
+
+    case MutationOp::kForgeUpperSplits: {
+      if (response.upper_splits.empty()) return std::nullopt;
+      core::QueryResponse forged = core::CloneResponse(response);
+      auto& splits = forged.upper_splits;
+      switch (rng_.Uniform(0, 2)) {
+        case 0: {  // shift one split point
+          Key& split = splits[rng_.Uniform(0, splits.size() - 1)];
+          split = ShiftKey(split, rng_.Uniform(1, 1000), true);
+          break;
+        }
+        case 1:  // withhold one split point
+          splits.erase(splits.begin() +
+                       static_cast<long>(rng_.Uniform(0, splits.size() - 1)));
+          break;
+        default:  // invent an extra region
+          splits.push_back(ShiftKey(splits.back(), rng_.Uniform(1, 1000), true));
+          break;
+      }
+      return Pack(op, forged);
+    }
+
+    case MutationOp::kCorruptWireBytes: {
+      Mutation m;
+      m.op = op;
+      m.byte_level = true;
+      m.wire = core::SerializeResponse(response);
+      const int flips = static_cast<int>(rng_.Uniform(1, 4));
+      for (int i = 0; i < flips; ++i) {
+        m.wire[rng_.Uniform(0, m.wire.size() - 1)] ^=
+            static_cast<uint8_t>(rng_.Uniform(1, 255));
+      }
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+Mutation ResponseMutator::Mutate(const core::QueryResponse& response) {
+  for (;;) {
+    const MutationOp op =
+        kAllMutationOps[rng_.Uniform(0, kAllMutationOps.size() - 1)];
+    std::optional<Mutation> m = Apply(op, response);
+    if (m.has_value()) return std::move(*m);
+  }
+}
+
+}  // namespace gem2::fault

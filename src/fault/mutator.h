@@ -1,0 +1,87 @@
+/// \file mutator.h
+/// The adversarial SP: structured mutation operators over a QueryResponse.
+///
+/// The paper's security argument (Section V-B) is that an untrusted SP cannot
+/// make a client accept a wrong or incomplete answer: every forgery must fail
+/// either the wire codec or client verification against the on-chain digests.
+/// This catalogue enumerates the forgeries a malicious SP could actually
+/// attempt — dropping or altering result objects, rewriting VO sibling
+/// hashes, shifting the claimed range, forging the GEM2* upper-level split
+/// points — plus blind byte-level corruption of the serialized image.
+///
+/// Every operator is semantic: applied to a well-formed response it produces
+/// a *different* answer (never a canonical no-op), so the harness can assert
+/// a strict 100% rejection rate for structured mutations. Byte-level
+/// corruption may hit redundant framing; the harness treats a flip whose
+/// parse re-serializes to the original image as benign.
+#ifndef GEM2_FAULT_MUTATOR_H_
+#define GEM2_FAULT_MUTATOR_H_
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "common/random.h"
+#include "core/response.h"
+#include "core/wire.h"
+
+namespace gem2::fault {
+
+enum class MutationOp : uint8_t {
+  kDropObject,        // withhold one result object (completeness attack)
+  kAlterObjectValue,  // tamper with a returned payload (soundness attack)
+  kAlterObjectKey,    // move a result to a different key
+  kDuplicateObject,   // inject an extra copy of a result
+  kSwapVoHashes,      // swap two sibling/boundary hashes inside the VOs
+  kFlipVoHashBit,     // flip one bit of a boundary or pruned-subtree hash
+  kShiftRangeBounds,  // claim a different query range than the client issued
+  kDropTree,          // withhold one tree's entire answer
+  kDuplicateTree,     // answer the same tree twice
+  kForgeUpperSplits,  // rewrite the GEM2* upper-level split points
+  kCorruptWireBytes,  // blind byte flips on the serialized image
+};
+
+inline constexpr std::array<MutationOp, 11> kAllMutationOps = {
+    MutationOp::kDropObject,       MutationOp::kAlterObjectValue,
+    MutationOp::kAlterObjectKey,   MutationOp::kDuplicateObject,
+    MutationOp::kSwapVoHashes,     MutationOp::kFlipVoHashBit,
+    MutationOp::kShiftRangeBounds, MutationOp::kDropTree,
+    MutationOp::kDuplicateTree,    MutationOp::kForgeUpperSplits,
+    MutationOp::kCorruptWireBytes,
+};
+
+std::string MutationOpName(MutationOp op);
+
+/// One applied mutation: the operator and the serialized forged image.
+struct Mutation {
+  MutationOp op = MutationOp::kCorruptWireBytes;
+  Bytes wire;
+  /// True for kCorruptWireBytes: the only operator whose output may decode
+  /// back to the canonical original (flip in redundant framing).
+  bool byte_level = false;
+};
+
+/// Deterministic forgery generator. All draws come from the constructor seed.
+class ResponseMutator {
+ public:
+  explicit ResponseMutator(uint64_t seed) : rng_(seed) {}
+
+  /// Applies `op` to `response`; std::nullopt when the operator does not
+  /// apply (e.g. kDropObject on an empty result set, kForgeUpperSplits on a
+  /// non-GEM2* response).
+  std::optional<Mutation> Apply(MutationOp op, const core::QueryResponse& response);
+
+  /// Applies one applicable operator chosen uniformly. Never fails on a
+  /// well-formed response: kShiftRangeBounds and kCorruptWireBytes always
+  /// apply.
+  Mutation Mutate(const core::QueryResponse& response);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace gem2::fault
+
+#endif  // GEM2_FAULT_MUTATOR_H_

@@ -1,0 +1,199 @@
+#include "fault/recovery.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "fault/fault.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace gem2::fault {
+namespace {
+
+constexpr Key kDomainHi = 1'000'000'000;
+
+void Count(const char* name) {
+  if (telemetry::kCompiledIn) {
+    telemetry::MetricsRegistry::Global().counter(name).Add(1);
+  }
+}
+
+Key FreshKey(const core::AuthenticatedDb& db, Rng& rng) {
+  Key key;
+  do {
+    key = static_cast<Key>(rng.Uniform(0, kDomainHi));
+  } while (db.Contains(key));
+  return key;
+}
+
+}  // namespace
+
+CrashReport CrashAndRecover(core::DbOptions options, uint64_t seed, size_t ops) {
+  CrashReport report;
+  report.seed = seed;
+  Rng rng(DeriveSeed(seed, 0xc4));
+  core::AuthenticatedDb reference(options);
+
+  // Mixed data-owner stream, with one batch transaction mid-stream so the
+  // journal covers every op kind the recovery path must replay.
+  std::vector<Key> live;
+  const size_t batch_at = ops / 2;
+  for (size_t i = 0; i < ops; ++i) {
+    if (i == batch_at) {
+      std::vector<Object> batch;
+      for (int j = 0; j < 16; ++j) {
+        Key key;
+        bool taken;
+        do {
+          key = static_cast<Key>(rng.Uniform(0, kDomainHi));
+          taken = reference.Contains(key);
+          for (const Object& b : batch) taken = taken || b.key == key;
+        } while (taken);
+        batch.push_back({key, "batch-" + std::to_string(j)});
+      }
+      reference.InsertBatch(batch);
+      for (const Object& b : batch) live.push_back(b.key);
+      continue;
+    }
+    const double dice = rng.NextDouble();
+    if (dice < 0.60 || live.empty()) {
+      const Key key = FreshKey(reference, rng);
+      reference.Insert({key, "v" + std::to_string(i)});
+      live.push_back(key);
+    } else if (dice < 0.85) {
+      const Key key = live[rng.Uniform(0, live.size() - 1)];
+      reference.Update({key, "u" + std::to_string(i)});
+    } else {
+      const size_t at = rng.Uniform(0, live.size() - 1);
+      reference.Delete(live[at]);
+      live.erase(live.begin() + static_cast<long>(at));
+    }
+  }
+  report.total_ops = reference.journal().size();
+
+  // Crash: the SP process is gone; all that survives is the durable journal,
+  // shipped as bytes to a fresh machine.
+  const Bytes artifact = reference.journal().Serialize();
+  std::optional<core::Journal> parsed = core::Journal::Parse(artifact);
+  if (!parsed.has_value()) {
+    report.error = "durable journal failed to parse";
+    Count("fault.recovery.failed");
+    return report;
+  }
+  report.replayed = parsed->size();
+
+  std::unique_ptr<core::AuthenticatedDb> rebuilt;
+  try {
+    rebuilt = core::AuthenticatedDb::Replay(options, *parsed);
+  } catch (const std::exception& e) {
+    report.error = std::string("replay aborted: ") + e.what();
+    Count("fault.recovery.failed");
+    return report;
+  }
+
+  report.digests_match = rebuilt->ChainDigests() == reference.ChainDigests();
+  report.state_root_match = rebuilt->environment().CurrentStateRoot() ==
+                            reference.environment().CurrentStateRoot();
+
+  core::VerifiedResult vr = rebuilt->AuthenticatedRange(0, kDomainHi);
+  report.query_ok = vr.ok;
+  if (!vr.ok) report.error = "post-recovery query failed: " + vr.error;
+
+  // The rebuilt SP must be live, not just consistent: accept new operations
+  // and keep serving verified answers.
+  const Key resumed_key = FreshKey(*rebuilt, rng);
+  const bool accepted = rebuilt->Insert({resumed_key, "resumed"}).ok;
+  core::VerifiedResult after = rebuilt->AuthenticatedRange(0, kDomainHi);
+  report.resumed = accepted && after.ok &&
+                   after.objects.size() == vr.objects.size() + 1;
+
+  Count(report.digests_match && report.state_root_match && report.query_ok &&
+                report.resumed
+            ? "fault.recovery.ok"
+            : "fault.recovery.failed");
+  return report;
+}
+
+core::VerifiedResult CrossVerifyAgainst(core::AuthenticatedDb& reference,
+                                        const core::AuthenticatedDb& sp,
+                                        Key lb, Key ub) {
+  chain::AuthenticatedState state = reference.environment().ReadAuthenticatedState(
+      core::AuthenticatedDb::kContractName);
+  std::string error;
+  const bool chain_valid = reference.environment().blockchain().Validate(&error);
+  return core::VerifyResponse(state, chain_valid, reference.options().kind,
+                              sp.Query(lb, ub));
+}
+
+GasSweepReport GasLimitSweep(core::DbOptions base, uint64_t seed, int draws) {
+  GasSweepReport report;
+  report.seed = seed;
+  Rng rng(DeriveSeed(seed, 0x6a));
+
+  for (int d = 0; d < draws; ++d) {
+    core::DbOptions options = base;
+    // Log-uniform limit across three decades: some draws starve a single
+    // insert, some fit singles but not the batch, some fit everything.
+    const double lg = std::log(1e5) + rng.NextDouble() * (std::log(2e8) - std::log(1e5));
+    options.env.gas_limit = static_cast<gas::Gas>(std::exp(lg));
+    core::AuthenticatedDb db(options);
+    ++report.draws;
+
+    bool aborted = false;
+    auto attempt = [&](auto&& run) {
+      const Hash root_before = db.environment().CurrentStateRoot();
+      const std::vector<chain::DigestEntry> digests_before = db.ChainDigests();
+      const chain::TxReceipt receipt = run();
+      if (receipt.ok) return true;
+      aborted = true;
+      // The whole point: an out-of-gas abort must be indistinguishable, at
+      // the state-commitment level, from the transaction never running: the
+      // committed digests and the state root derived from them are exactly
+      // their pre-transaction values, and the database is poisoned (its
+      // in-memory ADS mirrors are indeterminate, so it must refuse further
+      // mutations).
+      std::string trace;
+      if (db.environment().CurrentStateRoot() != root_before) trace += " state-root";
+      if (db.ChainDigests() != digests_before) trace += " digests";
+      if (!db.poisoned()) trace += " not-poisoned";
+      if (!trace.empty()) {
+        report.state_preserved = false;
+        if (report.error.empty()) {
+          report.error = "OOG rollback left a trace (" + trace + "; seed " +
+                         std::to_string(seed) + ", draw " + std::to_string(d) +
+                         ", limit " + std::to_string(options.env.gas_limit) + ")";
+        }
+      }
+      return false;
+    };
+
+    const int singles = static_cast<int>(4 + rng.Uniform(0, 8));
+    for (int i = 0; i < singles && !aborted; ++i) {
+      attempt([&] {
+        return db.Insert({static_cast<Key>(d) * 1'000'000 + i,
+                          std::string(rng.Uniform(40, 160), 'v')});
+      });
+    }
+    if (!aborted) {
+      std::vector<Object> batch;
+      const int batch_size = static_cast<int>(32 + rng.Uniform(0, 96));
+      for (int i = 0; i < batch_size; ++i) {
+        batch.push_back({static_cast<Key>(d) * 1'000'000 + 1000 + i,
+                         std::string(rng.Uniform(40, 160), 'b')});
+      }
+      if (attempt([&] { return db.InsertBatch(batch); })) ++report.committed;
+    }
+    if (aborted) ++report.aborted;
+
+    if (telemetry::kCompiledIn) {
+      auto& metrics = telemetry::MetricsRegistry::Global();
+      metrics.histogram("fault.gas_sweep.limit").Observe(options.env.gas_limit);
+      metrics.counter(aborted ? "fault.gas_sweep.aborted"
+                              : "fault.gas_sweep.committed").Add(1);
+    }
+  }
+  return report;
+}
+
+}  // namespace gem2::fault

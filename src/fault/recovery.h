@@ -1,0 +1,67 @@
+/// \file recovery.h
+/// Crash-recovery harnesses: SP rebuild by journal replay, cross-instance
+/// client detection of a stale (partially recovered) SP, and a randomized
+/// gas-limit sweep proving out-of-gas rollback is exact.
+#ifndef GEM2_FAULT_RECOVERY_H_
+#define GEM2_FAULT_RECOVERY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/authenticated_db.h"
+
+namespace gem2::fault {
+
+struct CrashReport {
+  uint64_t seed = 0;
+  size_t total_ops = 0;  // data-owner operations before the crash
+  /// Journal entries that survived in the durable log (== total_ops here:
+  /// the journal is written post-commit, so a crash loses process state,
+  /// not committed entries — see RecoverFromPrefix for the lost-tail case).
+  size_t replayed = 0;
+  bool digests_match = false;     // rebuilt tree digests == on-chain, bit-for-bit
+  bool state_root_match = false;  // environment state roots agree
+  bool query_ok = false;          // a verified query succeeds post-recovery
+  bool resumed = false;           // the rebuilt instance accepts new ops
+  std::string error;
+};
+
+/// Drives `ops` seeded data-owner operations (mixed inserts/updates/deletes,
+/// plus one mid-stream batch) against a reference instance, crashes the SP,
+/// ships the serialized journal, rebuilds a fresh instance by replay, and
+/// checks the rebuilt digests bit-for-bit against the reference's on-chain
+/// commitment. On success the rebuilt instance also serves a verified query
+/// and accepts further operations.
+CrashReport CrashAndRecover(core::DbOptions options, uint64_t seed, size_t ops);
+
+/// Rebuilds an SP from only the first `keep` journal entries (a crash that
+/// lost the tail of the durable log) and answers `lb..ub` from it. Returns
+/// the result of verifying that answer against `reference`'s chain — the
+/// client's trust anchor. A truncated recovery must fail this check unless
+/// the lost tail didn't touch the queried digests.
+core::VerifiedResult CrossVerifyAgainst(core::AuthenticatedDb& reference,
+                                        const core::AuthenticatedDb& sp,
+                                        Key lb, Key ub);
+
+struct GasSweepReport {
+  uint64_t seed = 0;
+  int draws = 0;
+  int aborted = 0;    // draws whose transaction ran out of gas
+  int committed = 0;  // draws whose transaction fit the drawn limit
+  /// True while every aborted draw left the state root and tree digests
+  /// identical to never having run the transaction.
+  bool state_preserved = true;
+  std::string error;
+
+  friend bool operator==(const GasSweepReport&, const GasSweepReport&) = default;
+};
+
+/// Randomized gas-limit sweep: per draw, builds a database with a gas limit
+/// drawn log-uniformly, seeds it, then attempts a batch insert sized to
+/// straddle the limit. Aborted draws must leave the chain's state root and
+/// the contract digests exactly as they were before the transaction.
+GasSweepReport GasLimitSweep(core::DbOptions base, uint64_t seed, int draws);
+
+}  // namespace gem2::fault
+
+#endif  // GEM2_FAULT_RECOVERY_H_

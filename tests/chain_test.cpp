@@ -87,6 +87,29 @@ TEST(Storage, TransactionBracketingErrors) {
   storage.CommitTx();
 }
 
+TEST(Storage, FingerprintIsOrderIndependentAndRollbackStable) {
+  MeteredStorage a;
+  MeteredStorage b;
+  gas::Meter meter;
+  a.Store({1, 0}, WordFromUint64(1), meter);
+  a.Store({2, 9}, WordFromUint64(2), meter);
+  b.Store({2, 9}, WordFromUint64(2), meter);
+  b.Store({1, 0}, WordFromUint64(1), meter);
+  // The fingerprint commits to contents, not write history.
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  const Hash before = a.Fingerprint();
+  a.BeginTx();
+  a.Store({1, 0}, WordFromUint64(5), meter);
+  a.Store({4, 4}, WordFromUint64(6), meter);
+  EXPECT_NE(a.Fingerprint(), before);
+  a.RollbackTx();
+  EXPECT_EQ(a.Fingerprint(), before);
+
+  b.Store({1, 0}, kZeroWord, meter);  // clearing a slot changes the content
+  EXPECT_NE(b.Fingerprint(), before);
+}
+
 // --- Blockchain -------------------------------------------------------------
 
 TEST(Pow, LeadingZeroBits) {
@@ -173,6 +196,12 @@ class CounterContract : public Contract {
     for (uint64_t i = 0; i < 1'000'000; ++i) storage().StoreUint({2, i}, 1, meter);
   }
 
+  void StoreThenThrow(gas::Meter& meter) {
+    storage().StoreUint({1, 0}, 777, meter);
+    storage().StoreUint({3, 5}, 1, meter);
+    throw std::runtime_error("contract bug");
+  }
+
   std::vector<DigestEntry> AuthenticatedDigests() const override {
     Hash h{};
     h[31] = static_cast<uint8_t>(storage().Peek({1, 0})[31]);
@@ -215,6 +244,32 @@ TEST(Environment, OutOfGasRollsBackAndReports) {
   // The exploded writes were rolled back; the counter survives.
   EXPECT_EQ(Uint64FromWord(contract.storage().Peek({1, 0})), 1u);
   EXPECT_FALSE(contract.storage().Contains({2, 0}));
+}
+
+TEST(Environment, NonOogExceptionAlsoRollsBackStorage) {
+  // Out-of-gas is not special: ANY exception escaping a transaction body
+  // (a contract bug, a logic_error) must roll the storage back before it
+  // propagates, leaving state identical to never having run the tx.
+  Environment env;
+  CounterContract contract;
+  env.Register(&contract);
+  env.Execute(contract, "add", [&](gas::Meter& m) { contract.Add(9, m); });
+  const Hash fingerprint_before = contract.storage().Fingerprint();
+  const Hash root_before = env.CurrentStateRoot();
+
+  EXPECT_THROW(env.Execute(contract, "boom",
+                           [&](gas::Meter& m) { contract.StoreThenThrow(m); }),
+               std::runtime_error);
+
+  EXPECT_EQ(Uint64FromWord(contract.storage().Peek({1, 0})), 9u);
+  EXPECT_FALSE(contract.storage().Contains({3, 5}));
+  EXPECT_EQ(contract.storage().Fingerprint(), fingerprint_before);
+  EXPECT_EQ(env.CurrentStateRoot(), root_before);
+
+  // The environment stays usable afterwards.
+  TxReceipt r = env.Execute(contract, "add", [&](gas::Meter& m) { contract.Add(1, m); });
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(Uint64FromWord(contract.storage().Peek({1, 0})), 10u);
 }
 
 TEST(Environment, AuthenticatedStateProofsVerify) {

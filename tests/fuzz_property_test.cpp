@@ -14,6 +14,7 @@
 #include "crypto/digest.h"
 #include "gem2/engine.h"
 #include "mbtree/mbtree.h"
+#include "seed_util.h"
 
 namespace gem2 {
 namespace {
@@ -25,7 +26,8 @@ Hash Vh(const std::string& v) { return crypto::ValueHash(v); }
 class VoMutationFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(VoMutationFuzz, MutatedVosNeverVerify) {
-  std::mt19937_64 rng(GetParam());
+  testutil::SeedReporter seed(GetParam());
+  std::mt19937_64 rng(seed);
 
   // Random sorted entry set and a random query.
   ads::EntryList entries;
@@ -63,7 +65,7 @@ TEST_P(VoMutationFuzz, MutatedVosNeverVerify) {
     auto outcome =
         ads::VerifyTreeVo(lb, ub, *parsed, tree.root_digest(), objects);
     EXPECT_FALSE(outcome.ok)
-        << "mutated VO verified (seed " << GetParam() << " trial " << trial << ")";
+        << "mutated VO verified (seed " << seed.seed() << " trial " << trial << ")";
   }
   // The mutation space must actually exercise the verifier, not just the
   // parser.
@@ -78,7 +80,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, VoMutationFuzz,
 class MbTreeFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(MbTreeFuzz, AgreesWithMapModel) {
-  std::mt19937_64 rng(GetParam());
+  testutil::SeedReporter seed(GetParam());
+  std::mt19937_64 rng(seed);
   const int fanout = 3 + static_cast<int>(rng() % 6);
   mbtree::MbTree tree(fanout);
   std::map<Key, Hash> model;
@@ -138,7 +141,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MbTreeFuzz, ::testing::Values(11, 22, 33, 44, 55
 class Gem2StorageFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(Gem2StorageFuzz, MeteredStorageMatchesMirrors) {
-  std::mt19937_64 rng(GetParam());
+  testutil::SeedReporter seed(GetParam());
+  std::mt19937_64 rng(seed);
   gem2tree::Gem2Options options;
   options.m = 1 + rng() % 4;
   options.smax = options.m * (2 << (1 + rng() % 4));

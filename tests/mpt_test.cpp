@@ -76,7 +76,6 @@ TEST(Rlp, RejectsNonCanonicalInput) {
 TEST(Mpt, EmptyRootMatchesEthereum) {
   PatriciaTrie trie;
   // keccak(rlp("")) — Ethereum's famous empty-trie root.
-  Bytes root(trie.RootHash().begin(), trie.RootHash().end());
   EXPECT_EQ(ToHex(trie.RootHash()),
             "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421");
 }

@@ -1,0 +1,47 @@
+/// \file seed_util.h
+/// Seed plumbing for randomized tests: every such test resolves its seed
+/// through here (so GEM2_TEST_SEED overrides the compiled-in default) and
+/// prints a one-line reproduction recipe when the test fails.
+#ifndef GEM2_TESTS_SEED_UTIL_H_
+#define GEM2_TESTS_SEED_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "fault/fault.h"
+
+namespace gem2::testutil {
+
+/// Declare at the top of a randomized test body:
+///
+///   SeedReporter seed(1234);            // 1234 is the checked-in default
+///   Rng rng(seed);                      // or seed.seed()
+///
+/// If the test later fails for any reason, the destructor prints
+/// "reproduce with GEM2_TEST_SEED=<seed>" next to the gtest failure output.
+class SeedReporter {
+ public:
+  explicit SeedReporter(uint64_t fallback)
+      : seed_(fault::ResolveSeed(fallback)) {}
+
+  ~SeedReporter() {
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr, "[   SEED   ] reproduce with GEM2_TEST_SEED=%llu\n",
+                   static_cast<unsigned long long>(seed_));
+    }
+  }
+
+  SeedReporter(const SeedReporter&) = delete;
+  SeedReporter& operator=(const SeedReporter&) = delete;
+
+  uint64_t seed() const { return seed_; }
+  operator uint64_t() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace gem2::testutil
+
+#endif  // GEM2_TESTS_SEED_UTIL_H_

@@ -8,6 +8,7 @@
 #include <map>
 
 #include "core/authenticated_db.h"
+#include "seed_util.h"
 #include "workload/workload.h"
 
 namespace gem2::core {
@@ -27,11 +28,12 @@ TEST_P(SoakTest, PaperDefaultsLongStream) {
   const auto kind = std::get<0>(GetParam());
   const auto dist = std::get<1>(GetParam());
 
+  testutil::SeedReporter seed(2026);
   workload::WorkloadOptions wopts;
   wopts.distribution = dist;
   wopts.zipf_constant = 0.8;
   wopts.update_ratio = 0.15;
-  wopts.seed = 2026;
+  wopts.seed = seed;
   workload::WorkloadGenerator gen(wopts);
 
   DbOptions options;

@@ -4,6 +4,7 @@
 
 #include <random>
 
+#include "ads/vo.h"
 #include "core/authenticated_db.h"
 #include "core/wire.h"
 
@@ -62,6 +63,72 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, WireTest,
                            }
                            return "Unknown";
                          });
+
+TEST_P(WireTest, EmptyResultSetRoundTrips) {
+  // Keys live at 5..300; this range is past all of them: a completeness
+  // proof with zero results still has to cross the wire intact.
+  auto db = MakeDb(GetParam());
+  QueryResponse response = db->Query(600, 900);
+  Bytes wire = SerializeResponse(response);
+  auto parsed = ParseResponse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  VerifiedResult vr = db->VerifyFor(600, 900, *parsed);
+  ASSERT_TRUE(vr.ok) << vr.error;
+  EXPECT_TRUE(vr.objects.empty());
+  EXPECT_EQ(SerializeResponse(*parsed), wire);
+}
+
+TEST_P(WireTest, SingleEntryResultRoundTrips) {
+  auto db = MakeDb(GetParam());
+  QueryResponse response = db->Query(150, 150);  // exactly key 30*5
+  Bytes wire = SerializeResponse(response);
+  auto parsed = ParseResponse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  VerifiedResult vr = db->VerifyFor(150, 150, *parsed);
+  ASSERT_TRUE(vr.ok) << vr.error;
+  ASSERT_EQ(vr.objects.size(), 1u);
+  EXPECT_EQ(vr.objects[0].key, 150);
+  EXPECT_EQ(SerializeResponse(*parsed), wire);
+}
+
+TEST(Wire, EmptyDatabaseFullRangeRoundTrips) {
+  DbOptions options;
+  options.kind = AdsKind::kGem2;
+  AuthenticatedDb db(options);
+  QueryResponse response = db.Query(kKeyMin, kKeyMax);
+  Bytes wire = SerializeResponse(response);
+  auto parsed = ParseResponse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  VerifiedResult vr = db.VerifyFor(kKeyMin, kKeyMax, *parsed);
+  ASSERT_TRUE(vr.ok) << vr.error;
+  EXPECT_TRUE(vr.objects.empty());
+  EXPECT_EQ(SerializeResponse(*parsed), wire);
+}
+
+TEST(Wire, VoNestingAtTheCapParsesAndAboveIsRejected) {
+  // Hand-built wire image: `nodes` single-child node frames wrapped around
+  // one result entry. Real trees never nest anywhere near this deep, but the
+  // codec parses adversarial bytes and must bound its own recursion.
+  auto deep = [](uint32_t nodes) {
+    Bytes b;
+    b.push_back(1);  // TreeVo: root present
+    for (uint32_t i = 0; i < nodes; ++i) {
+      b.push_back(4);  // node tag
+      b.push_back(0);  // child count, big-endian 1
+      b.push_back(1);
+    }
+    b.push_back(1);  // result-entry tag
+    for (int i = 0; i < 8; ++i) b.push_back(0);  // key = 0
+    return b;
+  };
+
+  auto at_cap = ads::ParseTreeVo(deep(ads::kMaxVoDepth));
+  ASSERT_TRUE(at_cap.has_value());
+  EXPECT_EQ(ads::SerializeTreeVo(*at_cap), deep(ads::kMaxVoDepth));
+
+  EXPECT_FALSE(ads::ParseTreeVo(deep(ads::kMaxVoDepth + 1)).has_value());
+  EXPECT_FALSE(ads::ParseTreeVo(deep(ads::kMaxVoDepth + 100)).has_value());
+}
 
 TEST(Wire, RejectsMalformedInput) {
   EXPECT_FALSE(ParseResponse({}).has_value());
