@@ -1,0 +1,245 @@
+// Wall-clock benchmarks for the concurrent SP engine and the incremental
+// digest machinery (this repo's perf additions on top of the paper's gas
+// experiments):
+//   - Keccak kernel throughput (MB/s, ns per permutation);
+//   - parallel vs serial SP StaticTree bulk-load (speedup on the pool);
+//   - parallel QueryBatch vs serial Query throughput (ops/sec);
+//   - Keccak permutations per incremental update vs full rebuild.
+// Emits BENCH_throughput.json; the speedup / savings factors are the
+// acceptance numbers tracked in EXPERIMENTS.md.
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "ads/static_tree.h"
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "core/query_engine.h"
+#include "crypto/digest.h"
+#include "crypto/keccak.h"
+
+namespace gem2::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+ads::EntryList MakeEntries(uint64_t n, uint64_t seed) {
+  WorkloadGenerator gen(MakeWorkload(KeyDistribution::kUniform, seed));
+  ads::EntryList entries;
+  entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const Object obj = gen.Next().object;
+    entries.push_back({obj.key, crypto::ValueHash(obj.value)});
+  }
+  std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
+  return entries;
+}
+
+void KeccakKernel(benchmark::State& state) {
+  const uint64_t mib = EnvScale("GEM2_KECCAK_MIB", 8);
+  Bytes data(mib << 20);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i * 131);
+
+  double seconds = 0;
+  uint64_t permutations = 0;
+  for (auto _ : state) {
+    const uint64_t p0 = crypto::KeccakPermutationCount();
+    const auto t0 = Clock::now();
+    Hash digest = crypto::Keccak256(data);
+    const auto t1 = Clock::now();
+    benchmark::DoNotOptimize(digest);
+    seconds += Seconds(t0, t1);
+    permutations += crypto::KeccakPermutationCount() - p0;
+  }
+
+  const double mb = static_cast<double>(data.size()) / 1e6 *
+                    static_cast<double>(state.iterations());
+  BenchRun run("throughput", "Throughput/Keccak/kernel", "-", "-", data.size());
+  run.Extra("mb_per_s", mb / seconds);
+  run.Extra("ns_per_permutation",
+            seconds * 1e9 / static_cast<double>(permutations));
+  run.Finish();
+  state.counters["mb_per_s"] = benchmark::Counter(mb / seconds);
+}
+
+/// Serial vs pool-parallel StaticTree construction over the same sorted run.
+/// This is the SP's bulk-load path: every SMB-tree / partition materialization
+/// goes through this constructor.
+void BulkLoad(benchmark::State& state) {
+  const uint64_t n = EnvScale("GEM2_BULKLOAD_N", 200'000);
+  ads::EntryList entries = MakeEntries(n, 42);
+  common::ThreadPool& pool = common::ThreadPool::Global();
+
+  double serial_s = 0;
+  double parallel_s = 0;
+  for (auto _ : state) {
+    ads::EntryList serial_in = entries;
+    const auto t0 = Clock::now();
+    ads::StaticTree serial(std::move(serial_in), 4, nullptr);
+    const auto t1 = Clock::now();
+    ads::EntryList parallel_in = entries;
+    const auto t2 = Clock::now();
+    ads::StaticTree parallel(std::move(parallel_in), 4, &pool);
+    const auto t3 = Clock::now();
+    if (serial.root_digest() != parallel.root_digest()) {
+      state.SkipWithError("parallel bulk-load root diverged from serial");
+      return;
+    }
+    serial_s += Seconds(t0, t1);
+    parallel_s += Seconds(t2, t3);
+  }
+
+  BenchRun run("throughput", "Throughput/BulkLoad/StaticTree", "SMB-tree",
+               "uniform", n);
+  run.Extra("threads", static_cast<double>(pool.num_threads() + 1));
+  run.Extra("serial_ms", serial_s * 1000.0);
+  run.Extra("parallel_ms", parallel_s * 1000.0);
+  run.Extra("speedup", serial_s / parallel_s);
+  run.Finish();
+  state.counters["speedup"] = benchmark::Counter(serial_s / parallel_s);
+}
+
+/// Serial Query loop vs one QueryBatch over the same ranges and snapshot.
+void QueryThroughput(benchmark::State& state, const char* ads, AdsKind kind) {
+  const uint64_t n = EnvScale("GEM2_QUERY_N", 50'000);
+  const uint64_t queries = EnvScale("GEM2_BATCH_QUERIES", 200);
+
+  WorkloadGenerator gen(MakeWorkload(KeyDistribution::kUniform));
+  auto db = std::make_unique<AuthenticatedDb>(MakeDbOptions(kind, gen));
+  for (uint64_t i = 0; i < n; ++i) db->Insert(gen.Next().object);
+
+  core::SpQueryEngine engine(db.get());
+  std::vector<core::KeyRange> ranges;
+  ranges.reserve(queries);
+  for (uint64_t q = 0; q < queries; ++q) {
+    workload::RangeQuerySpec spec = gen.NextQuery(0.01);
+    ranges.emplace_back(spec.lb, spec.ub);
+  }
+  // Warm the SP caches so both sides measure query serving, not tree builds.
+  benchmark::DoNotOptimize(engine.Query(ranges[0].first, ranges[0].second));
+
+  double serial_s = 0;
+  double parallel_s = 0;
+  for (auto _ : state) {
+    const auto t0 = Clock::now();
+    for (const core::KeyRange& r : ranges) {
+      core::QueryResponse response = engine.Query(r.first, r.second);
+      benchmark::DoNotOptimize(response);
+    }
+    const auto t1 = Clock::now();
+    std::vector<core::QueryResponse> batch = engine.QueryBatch(ranges);
+    const auto t2 = Clock::now();
+    if (batch.size() != ranges.size()) {
+      state.SkipWithError("batch result count mismatch");
+      return;
+    }
+    serial_s += Seconds(t0, t1);
+    parallel_s += Seconds(t1, t2);
+  }
+
+  const double total =
+      static_cast<double>(queries) * static_cast<double>(state.iterations());
+  BenchRun run("throughput", std::string("Throughput/QueryBatch/") + ads, ads,
+               "uniform", n);
+  run.Extra("threads",
+            static_cast<double>(engine.pool().num_threads() + 1));
+  run.Extra("queries", static_cast<double>(queries));
+  run.Extra("serial_qps", total / serial_s);
+  run.Extra("parallel_qps", total / parallel_s);
+  run.Extra("speedup", serial_s / parallel_s);
+  run.Finish();
+  state.counters["serial_qps"] = benchmark::Counter(total / serial_s);
+  state.counters["parallel_qps"] = benchmark::Counter(total / parallel_s);
+  state.counters["speedup"] = benchmark::Counter(serial_s / parallel_s);
+}
+
+/// Keccak permutations per incremental UpdateValueHash vs a full rebuild of
+/// the same tree — the dirty-tracking acceptance number (target: >= 5x).
+void IncrementalDigest(benchmark::State& state) {
+  const uint64_t n = EnvScale("GEM2_INCR_N", 50'000);
+  const uint64_t updates = EnvScale("GEM2_INCR_UPDATES", 200);
+  ads::EntryList entries = MakeEntries(n, 7);
+
+  double rebuild_perms = 0;
+  double incr_perms = 0;
+  for (auto _ : state) {
+    ads::EntryList in = entries;
+    const uint64_t p0 = crypto::KeccakPermutationCount();
+    ads::StaticTree tree(std::move(in), 4);
+    const uint64_t p1 = crypto::KeccakPermutationCount();
+    Rng rng(1234);
+    for (uint64_t u = 0; u < updates; ++u) {
+      const Key key =
+          tree.entries()[rng.Uniform(0, tree.entries().size() - 1)].key;
+      Hash fresh = crypto::ValueHash("payload-" + std::to_string(u));
+      if (!tree.UpdateValueHash(key, fresh)) {
+        state.SkipWithError("incremental update missed an existing key");
+        return;
+      }
+    }
+    const uint64_t p2 = crypto::KeccakPermutationCount();
+    rebuild_perms += static_cast<double>(p1 - p0);
+    incr_perms += static_cast<double>(p2 - p1);
+  }
+
+  const double per_update =
+      incr_perms / static_cast<double>(updates) /
+      static_cast<double>(state.iterations());
+  const double per_rebuild =
+      rebuild_perms / static_cast<double>(state.iterations());
+  BenchRun run("throughput", "Throughput/IncrementalDigest/StaticTree",
+               "SMB-tree", "uniform", n);
+  run.Extra("rebuild_permutations", per_rebuild);
+  run.Extra("permutations_per_update", per_update);
+  run.Extra("savings_factor", per_rebuild / per_update);
+  run.Finish();
+  state.counters["permutations_per_update"] = benchmark::Counter(per_update);
+  state.counters["savings_factor"] =
+      benchmark::Counter(per_rebuild / per_update);
+}
+
+void RegisterAll() {
+  benchmark::RegisterBenchmark("Throughput/Keccak/kernel", KeccakKernel)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Throughput/BulkLoad/StaticTree", BulkLoad)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  const struct {
+    AdsKind kind;
+    const char* name;
+  } kinds[] = {
+      {AdsKind::kGem2, "GEM2-tree"},
+      {AdsKind::kGem2Star, "GEM2x-tree"},
+  };
+  for (const auto& k : kinds) {
+    std::string name = std::string("Throughput/QueryBatch/") + k.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [ads = k.name, kind = k.kind](benchmark::State& s) {
+          QueryThroughput(s, ads, kind);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("Throughput/IncrementalDigest/StaticTree",
+                               IncrementalDigest)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace gem2::bench
+
+int main(int argc, char** argv) {
+  gem2::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  gem2::bench::EmitBenchJson();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "ads/static_tree.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "crypto/digest.h"
 
 namespace gem2::ads {
@@ -11,9 +13,41 @@ bool Overlaps(Key a_lo, Key a_hi, Key b_lo, Key b_hi) {
   return a_lo <= b_hi && b_lo <= a_hi;
 }
 
+/// Node-count grain for parallel level construction: below this many nodes
+/// per level the submit overhead outweighs the hashing.
+constexpr size_t kParallelGrain = 64;
+
 }  // namespace
 
-StaticTree::StaticTree(EntryList entries, int fanout)
+void StaticTree::RecomputeLeaf(size_t index) {
+  Node& node = levels_[0][index];
+  node.lo = entries_[node.child_begin].key;
+  node.hi = entries_[node.child_begin + node.child_count - 1].key;
+  std::vector<Hash> digests;
+  digests.reserve(node.child_count);
+  for (size_t i = 0; i < node.child_count; ++i) {
+    const Entry& e = entries_[node.child_begin + i];
+    digests.push_back(crypto::EntryDigest(e.key, e.value_hash));
+  }
+  node.content = crypto::ContentDigest(digests);
+  node.digest = crypto::WrapDigest(node.lo, node.hi, node.content);
+}
+
+void StaticTree::RecomputeInternal(size_t level, size_t index) {
+  Node& node = levels_[level][index];
+  const std::vector<Node>& prev = levels_[level - 1];
+  node.lo = prev[node.child_begin].lo;
+  node.hi = prev[node.child_begin + node.child_count - 1].hi;
+  std::vector<Hash> digests;
+  digests.reserve(node.child_count);
+  for (size_t i = 0; i < node.child_count; ++i) {
+    digests.push_back(prev[node.child_begin + i].digest);
+  }
+  node.content = crypto::ContentDigest(digests);
+  node.digest = crypto::WrapDigest(node.lo, node.hi, node.content);
+}
+
+StaticTree::StaticTree(EntryList entries, int fanout, common::ThreadPool* pool)
     : entries_(std::move(entries)), fanout_(fanout) {
   if (fanout_ < 2) throw std::invalid_argument("fanout must be >= 2");
   for (size_t i = 1; i < entries_.size(); ++i) {
@@ -26,48 +60,65 @@ StaticTree::StaticTree(EntryList entries, int fanout)
     return;
   }
 
-  // Leaf level: chunks of `fanout_` entries.
-  std::vector<Node> leaves;
-  for (size_t begin = 0; begin < entries_.size(); begin += fanout_) {
-    size_t count = std::min<size_t>(fanout_, entries_.size() - begin);
-    Node node;
-    node.child_begin = begin;
-    node.child_count = count;
-    node.lo = entries_[begin].key;
-    node.hi = entries_[begin + count - 1].key;
-    std::vector<Hash> digests;
-    digests.reserve(count);
-    for (size_t i = 0; i < count; ++i) {
-      digests.push_back(
-          crypto::EntryDigest(entries_[begin + i].key, entries_[begin + i].value_hash));
-    }
-    node.content = crypto::ContentDigest(digests);
-    node.digest = crypto::WrapDigest(node.lo, node.hi, node.content);
-    leaves.push_back(node);
-  }
-  levels_.push_back(std::move(leaves));
-
-  // Internal levels: chunks of `fanout_` nodes.
-  while (levels_.back().size() > 1) {
-    const std::vector<Node>& prev = levels_.back();
-    std::vector<Node> next;
-    for (size_t begin = 0; begin < prev.size(); begin += fanout_) {
-      size_t count = std::min<size_t>(fanout_, prev.size() - begin);
+  // The level structure (chunk boundaries) is a pure function of
+  // (size, fanout), so we can lay out each level first and fill the digests
+  // either serially or with a ParallelFor over node indices — the bits are
+  // identical either way because every node only reads its own children.
+  const size_t f = static_cast<size_t>(fanout_);
+  auto layout = [f](size_t child_total) {
+    std::vector<Node> nodes;
+    nodes.reserve((child_total + f - 1) / f);
+    for (size_t begin = 0; begin < child_total; begin += f) {
       Node node;
       node.child_begin = begin;
-      node.child_count = count;
-      node.lo = prev[begin].lo;
-      node.hi = prev[begin + count - 1].hi;
-      std::vector<Hash> digests;
-      digests.reserve(count);
-      for (size_t i = 0; i < count; ++i) digests.push_back(prev[begin + i].digest);
-      node.content = crypto::ContentDigest(digests);
-      node.digest = crypto::WrapDigest(node.lo, node.hi, node.content);
-      next.push_back(node);
+      node.child_count = std::min(f, child_total - begin);
+      nodes.push_back(node);
     }
-    levels_.push_back(std::move(next));
+    return nodes;
+  };
+  auto fill = [this, pool](size_t level) {
+    const size_t n = levels_[level].size();
+    auto body = [this, level](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (level == 0) {
+          RecomputeLeaf(i);
+        } else {
+          RecomputeInternal(level, i);
+        }
+      }
+    };
+    if (pool != nullptr && n >= 2 * kParallelGrain) {
+      pool->ParallelFor(0, n, kParallelGrain, body);
+    } else {
+      body(0, n);
+    }
+  };
+
+  levels_.push_back(layout(entries_.size()));
+  fill(0);
+  while (levels_.back().size() > 1) {
+    levels_.push_back(layout(levels_.back().size()));
+    fill(levels_.size() - 1);
   }
   root_digest_ = levels_.back()[0].digest;
+}
+
+bool StaticTree::UpdateValueHash(Key key, const Hash& value_hash) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, Key k) { return e.key < k; });
+  if (it == entries_.end() || it->key != key) return false;
+  it->value_hash = value_hash;
+
+  size_t index = static_cast<size_t>(it - entries_.begin()) /
+                 static_cast<size_t>(fanout_);
+  RecomputeLeaf(index);
+  for (size_t level = 1; level < levels_.size(); ++level) {
+    index /= static_cast<size_t>(fanout_);
+    RecomputeInternal(level, index);
+  }
+  root_digest_ = levels_.back()[0].digest;
+  return true;
 }
 
 Key StaticTree::lo() const {

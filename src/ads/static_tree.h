@@ -19,12 +19,20 @@
 #include "common/types.h"
 #include "gas/meter.h"
 
+namespace gem2::common {
+class ThreadPool;
+}
+
 namespace gem2::ads {
 
 class StaticTree {
  public:
   /// `entries` must be sorted by key with unique keys; `fanout` >= 2.
-  StaticTree(EntryList entries, int fanout);
+  /// When `pool` is non-null each level's node digests are computed in
+  /// parallel (chunks are independent); the resulting tree is bit-identical
+  /// to the serial build because the level structure is deterministic.
+  /// Only unmetered (SP-side) callers may pass a pool.
+  StaticTree(EntryList entries, int fanout, common::ThreadPool* pool = nullptr);
 
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
@@ -40,6 +48,13 @@ class StaticTree {
   /// Range query: appends matches to `result` and returns the VO.
   TreeVo RangeQuery(Key lb, Key ub, EntryList* result) const;
 
+  /// Replaces the value hash of an existing key and rehashes only the
+  /// leaf-to-root path (O(fanout * log_F n) hash calls instead of the O(n)
+  /// full rebuild). Returns false (tree unchanged) when `key` is absent.
+  /// The updated tree is bit-identical to a fresh build over the modified
+  /// entry list — parallel_equivalence_test asserts this invariant.
+  bool UpdateValueHash(Key key, const Hash& value_hash);
+
   const EntryList& entries() const { return entries_; }
 
  private:
@@ -54,6 +69,10 @@ class StaticTree {
 
   VoChild QueryNode(size_t level, size_t index, Key lb, Key ub,
                     EntryList* result) const;
+  /// Recomputes lo/hi/content/digest of one leaf node from entries_.
+  void RecomputeLeaf(size_t index);
+  /// Same for an internal node at `level` >= 1 from the level below.
+  void RecomputeInternal(size_t level, size_t index);
 
   EntryList entries_;
   int fanout_;

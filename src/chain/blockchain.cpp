@@ -9,36 +9,32 @@
 namespace gem2::chain {
 
 Hash Transaction::Digest() const {
+  // Absorbed directly — the byte stream is identical to the old Bytes
+  // staging buffer, so digests are unchanged.
   crypto::Keccak256Hasher h;
-  Bytes b;
-  AppendUint64(&b, seq);
-  AppendUint64(&b, gas_used);
-  AppendUint64(&b, ok ? 1 : 0);
+  h.UpdateUint64(seq);
+  h.UpdateUint64(gas_used);
+  h.UpdateUint64(ok ? 1 : 0);
   // Length-prefix the variable fields: hashing bare concatenations would let
   // bytes migrate between fields without changing the digest.
-  AppendUint64(&b, contract.size());
-  AppendString(&b, contract);
-  AppendUint64(&b, method.size());
-  AppendString(&b, method);
-  AppendUint64(&b, error.size());
-  AppendString(&b, error);
-  h.Update(b);
+  h.UpdateUint64(contract.size());
+  h.Update(contract);
+  h.UpdateUint64(method.size());
+  h.Update(method);
+  h.UpdateUint64(error.size());
+  h.Update(error);
   return h.Finalize();
 }
 
 Hash BlockHeader::Digest() const {
   crypto::Keccak256Hasher h;
-  Bytes b;
-  AppendUint64(&b, height);
-  AppendUint64(&b, timestamp);
-  h.Update(b);
+  h.UpdateUint64(height);
+  h.UpdateUint64(timestamp);
   h.Update(prev_hash);
   h.Update(tx_root);
   h.Update(state_root);
-  Bytes tail;
-  AppendUint64(&tail, nonce);
-  AppendUint64(&tail, difficulty_bits);
-  h.Update(tail);
+  h.UpdateUint64(nonce);
+  h.UpdateUint64(difficulty_bits);
   return h.Finalize();
 }
 

@@ -13,7 +13,7 @@ void AppendVarString(Bytes* out, const std::string& s) {
 }
 
 struct Reader {
-  const Bytes& data;
+  std::span<const uint8_t> data;
   size_t pos = 0;
   bool failed = false;
 
@@ -94,6 +94,11 @@ Bytes SerializeChain(const Blockchain& chain) {
 }
 
 std::optional<Blockchain> ParseChain(const Bytes& data, std::string* error) {
+  return ParseChain(std::span<const uint8_t>(data.data(), data.size()), error);
+}
+
+std::optional<Blockchain> ParseChain(std::span<const uint8_t> data,
+                                     std::string* error) {
   auto fail = [&](const std::string& msg) -> std::optional<Blockchain> {
     if (error != nullptr) *error = msg;
     return std::nullopt;

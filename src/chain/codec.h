@@ -7,6 +7,7 @@
 #define GEM2_CHAIN_CODEC_H_
 
 #include <optional>
+#include <span>
 
 #include "chain/blockchain.h"
 #include "common/bytes.h"
@@ -18,7 +19,11 @@ Bytes SerializeChain(const Blockchain& chain);
 
 /// Parses a serialized chain and validates it structurally. Returns
 /// std::nullopt on malformed input or failed validation; `error` (optional)
-/// receives the reason.
+/// receives the reason. The span overload is the zero-copy entry point for
+/// buffers not already held as Bytes (mmap'd files, network frames); the
+/// Bytes overload forwards to it.
+std::optional<Blockchain> ParseChain(std::span<const uint8_t> data,
+                                     std::string* error = nullptr);
 std::optional<Blockchain> ParseChain(const Bytes& data, std::string* error = nullptr);
 
 /// Individual piece codecs (exposed for tests and wire protocols).

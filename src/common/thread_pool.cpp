@@ -1,0 +1,183 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+namespace gem2::common {
+namespace {
+
+/// Index of the calling thread within its pool, or SIZE_MAX for external
+/// threads. Thread-local so one process can host several pools; a thread
+/// only ever belongs to one.
+thread_local size_t tls_worker_index = SIZE_MAX;
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+size_t ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("GEM2_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed >= 1) return static_cast<size_t>(parsed) - 1;  // caller counts
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  wakeup_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  if (queues_.empty()) {
+    // No workers: degrade to immediate execution on the caller.
+    task();
+    return;
+  }
+  size_t target = tls_worker_pool == this ? tls_worker_index
+                                          : next_queue_.fetch_add(
+                                                1, std::memory_order_relaxed) %
+                                                queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // The empty critical section pairs with the predicate check inside
+  // wakeup_.wait(): without it a worker that just saw pending_ == 0 could go
+  // to sleep after this notify and miss the task forever.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  wakeup_.notify_one();
+}
+
+bool ThreadPool::PopTask(size_t preferred, Task* out) {
+  const size_t n = queues_.size();
+  if (n == 0) return false;
+  // Own deque back (LIFO), then steal round-robin from the front (FIFO).
+  if (preferred < n) {
+    Queue& own = *queues_[preferred];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      *out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  const size_t start = preferred < n ? preferred + 1 : 0;
+  for (size_t k = 0; k < n; ++k) {
+    Queue& victim = *queues_[(start + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      *out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  Task task;
+  const size_t preferred =
+      tls_worker_pool == this ? tls_worker_index : SIZE_MAX;
+  if (!PopTask(preferred, &task)) return false;
+  pending_.fetch_sub(1, std::memory_order_release);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_worker_index = index;
+  tls_worker_pool = this;
+  while (true) {
+    if (TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wakeup_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  if (grain < 1) grain = 1;
+  const size_t total = end - begin;
+  const size_t chunks = (total + grain - 1) / grain;
+
+  // One shared cursor hands out chunks; whoever grabs a chunk runs it. The
+  // caller participates, so a zero-worker pool is plain serial execution.
+  struct Shared {
+    std::atomic<size_t> cursor;
+    std::atomic<size_t> active_helpers{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr exception;
+    std::mutex exception_mutex;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->cursor.store(begin, std::memory_order_relaxed);
+
+  auto drain = [shared, end, grain, &body] {
+    while (true) {
+      const size_t chunk =
+          shared->cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk >= end || shared->failed.load(std::memory_order_acquire)) break;
+      try {
+        body(chunk, std::min(chunk + grain, end));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->exception_mutex);
+        if (!shared->exception) shared->exception = std::current_exception();
+        shared->failed.store(true, std::memory_order_release);
+        break;
+      }
+    }
+  };
+
+  const size_t helpers = std::min(num_threads(), chunks > 0 ? chunks - 1 : 0);
+  for (size_t i = 0; i < helpers; ++i) {
+    shared->active_helpers.fetch_add(1, std::memory_order_acq_rel);
+    // Helpers capture `shared` by value (not `body` by reference via drain's
+    // lifetime): the lambda below must outlive this stack frame only until
+    // active_helpers drops to zero, which the caller waits for.
+    Submit([shared, drain] {
+      drain();
+      shared->active_helpers.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+
+  drain();
+
+  // Wait for helpers, stealing other pool work instead of spinning so that
+  // nested ParallelFor calls from pool tasks cannot deadlock.
+  while (shared->active_helpers.load(std::memory_order_acquire) > 0) {
+    if (!TryRunOneTask()) std::this_thread::yield();
+  }
+  if (shared->exception) std::rethrow_exception(shared->exception);
+}
+
+}  // namespace gem2::common

@@ -157,6 +157,15 @@ AuthenticatedDb::AuthenticatedDb(DbOptions options)
 
 AuthenticatedDb::~AuthenticatedDb() = default;
 
+void AuthenticatedDb::SetSpThreadPool(common::ThreadPool* pool) {
+  if (impl_->mb_sp != nullptr) impl_->mb_sp->set_thread_pool(pool);
+  if (impl_->smb_sp != nullptr) impl_->smb_sp->set_thread_pool(pool);
+  if (impl_->gem2_sp != nullptr) impl_->gem2_sp->set_thread_pool(pool);
+  if (impl_->star_sp != nullptr) impl_->star_sp->set_thread_pool(pool);
+  // The LSM mirror keeps serial builds: its levels are small and its cost is
+  // merge-dominated, so a pool would add overhead without a win.
+}
+
 chain::Contract& AuthenticatedDb::contract() {
   switch (options_.kind) {
     case AdsKind::kMbTree:

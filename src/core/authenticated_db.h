@@ -35,6 +35,10 @@
 #include "mbtree/contract.h"
 #include "smbtree/smbtree.h"
 
+namespace gem2::common {
+class ThreadPool;
+}
+
 namespace gem2::core {
 
 enum class AdsKind { kMbTree, kSmbTree, kLsm, kGem2, kGem2Star };
@@ -94,6 +98,13 @@ class AuthenticatedDb {
   /// Runs the range query on the SP's materialized ADS, returning the result
   /// objects and VO_sp (Algorithms 5 / 7).
   QueryResponse Query(Key lb, Key ub) const;
+
+  /// Routes SP-side tree materializations through `pool` (parallel digest
+  /// computation; digests are bit-identical to serial builds). The metered
+  /// contract side never touches the pool. Pass nullptr to revert to serial.
+  /// Prefer driving concurrency through SpQueryEngine, which also provides
+  /// the locking that makes concurrent Query calls safe against writers.
+  void SetSpThreadPool(common::ThreadPool* pool);
 
   // --- Client interface ---------------------------------------------------
 

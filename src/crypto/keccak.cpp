@@ -1,5 +1,6 @@
 #include "crypto/keccak.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace gem2::crypto {
@@ -19,80 +20,163 @@ constexpr uint64_t kRoundConstants[kRounds] = {
     0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
 };
 
-// Rotation offsets, indexed [x][y] flattened as x + 5*y.
-constexpr int kRotc[25] = {
-    0,  1,  62, 28, 27,  //
-    36, 44, 6,  55, 20,  //
-    3,  10, 43, 25, 39,  //
-    41, 45, 15, 21, 8,   //
-    18, 2,  61, 56, 14,
-};
-
 inline uint64_t Rotl64(uint64_t v, int n) {
-  return n == 0 ? v : (v << n) | (v >> (64 - n));
+  return (v << n) | (v >> (64 - n));
 }
 
+/// Process-wide permutation counter; relaxed increments are negligible next
+/// to the ~100ns permutation itself and stay exact across threads.
+std::atomic<uint64_t> g_permutations{0};
+
+/// Keccak-f[1600], fully unrolled: the 25 lanes live in locals across all 24
+/// rounds, theta/rho/pi/chi are expanded with constant indices and rotation
+/// counts, so the state never round-trips through memory inside a round.
 void KeccakF1600(uint64_t a[25]) {
+  g_permutations.fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t a00 = a[0], a01 = a[1], a02 = a[2], a03 = a[3], a04 = a[4];
+  uint64_t a05 = a[5], a06 = a[6], a07 = a[7], a08 = a[8], a09 = a[9];
+  uint64_t a10 = a[10], a11 = a[11], a12 = a[12], a13 = a[13], a14 = a[14];
+  uint64_t a15 = a[15], a16 = a[16], a17 = a[17], a18 = a[18], a19 = a[19];
+  uint64_t a20 = a[20], a21 = a[21], a22 = a[22], a23 = a[23], a24 = a[24];
+
   for (int round = 0; round < kRounds; ++round) {
     // Theta.
-    uint64_t c[5], d[5];
-    for (int x = 0; x < 5; ++x) {
-      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
-    }
-    for (int x = 0; x < 5; ++x) {
-      d[x] = c[(x + 4) % 5] ^ Rotl64(c[(x + 1) % 5], 1);
-      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d[x];
-    }
-    // Rho + Pi.
-    uint64_t b[25];
-    for (int x = 0; x < 5; ++x) {
-      for (int y = 0; y < 5; ++y) {
-        // B[y, 2x+3y] = rotl(A[x, y], r[x, y])
-        b[y + 5 * ((2 * x + 3 * y) % 5)] = Rotl64(a[x + 5 * y], kRotc[x + 5 * y]);
-      }
-    }
-    // Chi.
-    for (int x = 0; x < 5; ++x) {
-      for (int y = 0; y < 5; ++y) {
-        a[x + 5 * y] = b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
-      }
-    }
-    // Iota.
-    a[0] ^= kRoundConstants[round];
+    const uint64_t c0 = a00 ^ a05 ^ a10 ^ a15 ^ a20;
+    const uint64_t c1 = a01 ^ a06 ^ a11 ^ a16 ^ a21;
+    const uint64_t c2 = a02 ^ a07 ^ a12 ^ a17 ^ a22;
+    const uint64_t c3 = a03 ^ a08 ^ a13 ^ a18 ^ a23;
+    const uint64_t c4 = a04 ^ a09 ^ a14 ^ a19 ^ a24;
+    const uint64_t d0 = c4 ^ Rotl64(c1, 1);
+    const uint64_t d1 = c0 ^ Rotl64(c2, 1);
+    const uint64_t d2 = c1 ^ Rotl64(c3, 1);
+    const uint64_t d3 = c2 ^ Rotl64(c4, 1);
+    const uint64_t d4 = c3 ^ Rotl64(c0, 1);
+    a00 ^= d0; a05 ^= d0; a10 ^= d0; a15 ^= d0; a20 ^= d0;
+    a01 ^= d1; a06 ^= d1; a11 ^= d1; a16 ^= d1; a21 ^= d1;
+    a02 ^= d2; a07 ^= d2; a12 ^= d2; a17 ^= d2; a22 ^= d2;
+    a03 ^= d3; a08 ^= d3; a13 ^= d3; a18 ^= d3; a23 ^= d3;
+    a04 ^= d4; a09 ^= d4; a14 ^= d4; a19 ^= d4; a24 ^= d4;
+
+    // Rho + Pi: b[y + 5*((2x+3y)%5)] = rotl(a[x+5y], r[x,y]).
+    const uint64_t b00 = a00;
+    const uint64_t b10 = Rotl64(a01, 1);
+    const uint64_t b20 = Rotl64(a02, 62);
+    const uint64_t b05 = Rotl64(a03, 28);
+    const uint64_t b15 = Rotl64(a04, 27);
+    const uint64_t b16 = Rotl64(a05, 36);
+    const uint64_t b01 = Rotl64(a06, 44);
+    const uint64_t b11 = Rotl64(a07, 6);
+    const uint64_t b21 = Rotl64(a08, 55);
+    const uint64_t b06 = Rotl64(a09, 20);
+    const uint64_t b07 = Rotl64(a10, 3);
+    const uint64_t b17 = Rotl64(a11, 10);
+    const uint64_t b02 = Rotl64(a12, 43);
+    const uint64_t b12 = Rotl64(a13, 25);
+    const uint64_t b22 = Rotl64(a14, 39);
+    const uint64_t b23 = Rotl64(a15, 41);
+    const uint64_t b08 = Rotl64(a16, 45);
+    const uint64_t b18 = Rotl64(a17, 15);
+    const uint64_t b03 = Rotl64(a18, 21);
+    const uint64_t b13 = Rotl64(a19, 8);
+    const uint64_t b14 = Rotl64(a20, 18);
+    const uint64_t b24 = Rotl64(a21, 2);
+    const uint64_t b09 = Rotl64(a22, 61);
+    const uint64_t b19 = Rotl64(a23, 56);
+    const uint64_t b04 = Rotl64(a24, 14);
+
+    // Chi + Iota.
+    a00 = b00 ^ (~b01 & b02) ^ kRoundConstants[round];
+    a01 = b01 ^ (~b02 & b03);
+    a02 = b02 ^ (~b03 & b04);
+    a03 = b03 ^ (~b04 & b00);
+    a04 = b04 ^ (~b00 & b01);
+    a05 = b05 ^ (~b06 & b07);
+    a06 = b06 ^ (~b07 & b08);
+    a07 = b07 ^ (~b08 & b09);
+    a08 = b08 ^ (~b09 & b05);
+    a09 = b09 ^ (~b05 & b06);
+    a10 = b10 ^ (~b11 & b12);
+    a11 = b11 ^ (~b12 & b13);
+    a12 = b12 ^ (~b13 & b14);
+    a13 = b13 ^ (~b14 & b10);
+    a14 = b14 ^ (~b10 & b11);
+    a15 = b15 ^ (~b16 & b17);
+    a16 = b16 ^ (~b17 & b18);
+    a17 = b17 ^ (~b18 & b19);
+    a18 = b18 ^ (~b19 & b15);
+    a19 = b19 ^ (~b15 & b16);
+    a20 = b20 ^ (~b21 & b22);
+    a21 = b21 ^ (~b22 & b23);
+    a22 = b22 ^ (~b23 & b24);
+    a23 = b23 ^ (~b24 & b20);
+    a24 = b24 ^ (~b20 & b21);
   }
+
+  a[0] = a00; a[1] = a01; a[2] = a02; a[3] = a03; a[4] = a04;
+  a[5] = a05; a[6] = a06; a[7] = a07; a[8] = a08; a[9] = a09;
+  a[10] = a10; a[11] = a11; a[12] = a12; a[13] = a13; a[14] = a14;
+  a[15] = a15; a[16] = a16; a[17] = a17; a[18] = a18; a[19] = a19;
+  a[20] = a20; a[21] = a21; a[22] = a22; a[23] = a23; a[24] = a24;
+}
+
+/// Little-endian lane load written as byte shifts (endian-portable; compilers
+/// fold it into a single load on little-endian targets).
+inline uint64_t LoadLane(const uint8_t* p) {
+  return static_cast<uint64_t>(p[0]) | static_cast<uint64_t>(p[1]) << 8 |
+         static_cast<uint64_t>(p[2]) << 16 | static_cast<uint64_t>(p[3]) << 24 |
+         static_cast<uint64_t>(p[4]) << 32 | static_cast<uint64_t>(p[5]) << 40 |
+         static_cast<uint64_t>(p[6]) << 48 | static_cast<uint64_t>(p[7]) << 56;
 }
 
 }  // namespace
+
+uint64_t KeccakPermutationCount() {
+  return g_permutations.load(std::memory_order_relaxed);
+}
 
 Keccak256Hasher::Keccak256Hasher() : buffer_len_(0), absorbed_(0), finalized_(false) {
   std::memset(state_, 0, sizeof(state_));
   std::memset(buffer_, 0, sizeof(buffer_));
 }
 
-void Keccak256Hasher::AbsorbBlock() {
+void Keccak256Hasher::AbsorbBlock(const uint8_t* block) {
   for (size_t i = 0; i < kRate / 8; ++i) {
-    uint64_t lane = 0;
-    for (int j = 0; j < 8; ++j) {
-      lane |= static_cast<uint64_t>(buffer_[8 * i + j]) << (8 * j);
-    }
-    state_[i] ^= lane;
+    state_[i] ^= LoadLane(block + 8 * i);
   }
   KeccakF1600(state_);
-  buffer_len_ = 0;
 }
 
 Keccak256Hasher& Keccak256Hasher::Update(const uint8_t* data, size_t len) {
   absorbed_ += len;
-  while (len > 0) {
+  // Top up a partially filled staging buffer first.
+  if (buffer_len_ > 0) {
     size_t take = kRate - buffer_len_;
     if (take > len) take = len;
     std::memcpy(buffer_ + buffer_len_, data, take);
     buffer_len_ += take;
     data += take;
     len -= take;
-    if (buffer_len_ == kRate) AbsorbBlock();
+    if (buffer_len_ == kRate) {
+      AbsorbBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  // Absorb whole blocks straight from the caller's memory (zero-copy).
+  while (len >= kRate) {
+    AbsorbBlock(data);
+    data += kRate;
+    len -= kRate;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, data, len);
+    buffer_len_ = len;
   }
   return *this;
+}
+
+Keccak256Hasher& Keccak256Hasher::Update(std::span<const uint8_t> data) {
+  return Update(data.data(), data.size());
 }
 
 Keccak256Hasher& Keccak256Hasher::Update(const Bytes& data) {
@@ -107,10 +191,19 @@ Keccak256Hasher& Keccak256Hasher::Update(const std::string& s) {
   return Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
 }
 
+Keccak256Hasher& Keccak256Hasher::UpdateUint64(uint64_t v) {
+  // Big-endian, identical to AppendUint64, without the heap allocation the
+  // Bytes round-trip used to make at every digest site.
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<uint8_t>((v >> (8 * (7 - i))) & 0xff);
+  }
+  return Update(buf, sizeof(buf));
+}
+
 Keccak256Hasher& Keccak256Hasher::UpdateKey(Key k) {
-  Bytes b;
-  AppendKey(&b, k);
-  return Update(b);
+  // Two's complement matches AppendKey's cast-through-uint64 encoding.
+  return UpdateUint64(static_cast<uint64_t>(k));
 }
 
 Hash Keccak256Hasher::Finalize() {
@@ -118,8 +211,8 @@ Hash Keccak256Hasher::Finalize() {
   std::memset(buffer_ + buffer_len_, 0, kRate - buffer_len_);
   buffer_[buffer_len_] = 0x01;
   buffer_[kRate - 1] |= 0x80;
-  buffer_len_ = kRate;
-  AbsorbBlock();
+  AbsorbBlock(buffer_);
+  buffer_len_ = 0;
   finalized_ = true;
 
   Hash out{};
@@ -135,6 +228,10 @@ Hash Keccak256(const uint8_t* data, size_t len) {
   Keccak256Hasher h;
   h.Update(data, len);
   return h.Finalize();
+}
+
+Hash Keccak256(std::span<const uint8_t> data) {
+  return Keccak256(data.data(), data.size());
 }
 
 Hash Keccak256(const Bytes& data) { return Keccak256(data.data(), data.size()); }

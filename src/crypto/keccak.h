@@ -2,21 +2,34 @@
 /// From-scratch Keccak-256 (the Ethereum variant of SHA-3, with the original
 /// 0x01 domain padding). This is the cryptographic hash `h(.)` used by every
 /// authenticated data structure in the library.
+///
+/// The permutation is fully unrolled with the 25 lanes held in locals, and
+/// the sponge absorbs rate-sized blocks directly from the caller's buffer
+/// (no staging memcpy); see docs/PERFORMANCE.md for the measured effect.
 #ifndef GEM2_CRYPTO_KECCAK_H_
 #define GEM2_CRYPTO_KECCAK_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "common/bytes.h"
 #include "common/types.h"
 
 namespace gem2::crypto {
 
-/// One-shot Keccak-256 of an arbitrary byte string.
+/// One-shot Keccak-256 of an arbitrary byte string. The span overload is the
+/// preferred zero-copy entry point; the others forward to it.
 Hash Keccak256(const uint8_t* data, size_t len);
+Hash Keccak256(std::span<const uint8_t> data);
 Hash Keccak256(const Bytes& data);
 Hash Keccak256(const std::string& data);
+
+/// Total number of Keccak-f[1600] permutation invocations performed by this
+/// process so far (monotonic, thread-safe). Benches and tests diff this
+/// counter around an operation to count the hash work it really did — the
+/// basis for the incremental-vs-rebuild digest accounting.
+uint64_t KeccakPermutationCount();
 
 /// Incremental Keccak-256 sponge. Absorb any number of chunks, then finalize.
 class Keccak256Hasher {
@@ -24,9 +37,13 @@ class Keccak256Hasher {
   Keccak256Hasher();
 
   Keccak256Hasher& Update(const uint8_t* data, size_t len);
+  Keccak256Hasher& Update(std::span<const uint8_t> data);
   Keccak256Hasher& Update(const Bytes& data);
   Keccak256Hasher& Update(const Hash& h);
   Keccak256Hasher& Update(const std::string& s);
+  /// Absorbs the big-endian 8-byte encoding of `v` (same bytes AppendUint64
+  /// emits) without routing through a heap-allocated Bytes.
+  Keccak256Hasher& UpdateUint64(uint64_t v);
   Keccak256Hasher& UpdateKey(Key k);
 
   /// Pads, squeezes, and returns the digest. The hasher must not be reused
@@ -38,7 +55,8 @@ class Keccak256Hasher {
   uint64_t absorbed_bytes() const { return absorbed_; }
 
  private:
-  void AbsorbBlock();
+  /// XORs one rate-sized block at `block` into the state and permutes.
+  void AbsorbBlock(const uint8_t* block);
 
   uint64_t state_[25];
   uint8_t buffer_[136];  // rate for Keccak-256 = 1088 bits

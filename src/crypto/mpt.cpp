@@ -102,7 +102,24 @@ struct PatriciaTrie::Node {
     throw std::logic_error("unreachable");
   }
 
-  Hash HashNode() const { return Keccak256(Encode()); }
+  /// Memoized node digest. A trie of n entries re-uses the hashes of every
+  /// untouched subtree, so RootHash() after an update costs O(depth) Keccak
+  /// permutations instead of O(n); Put invalidates exactly the nodes on the
+  /// insertion path. Bit-identical to the uncached hash by construction
+  /// (checked against a fresh trie in parallel_equivalence_test).
+  Hash HashNode() const {
+    if (!hash_valid_) {
+      cached_hash_ = Keccak256(Encode());
+      hash_valid_ = true;
+    }
+    return cached_hash_;
+  }
+
+  void InvalidateHash() { hash_valid_ = false; }
+
+ private:
+  mutable Hash cached_hash_{};
+  mutable bool hash_valid_ = false;
 };
 
 PatriciaTrie::PatriciaTrie() = default;
@@ -140,6 +157,10 @@ void PatriciaTrie::Put(const Bytes& key, const Bytes& value) {
         leaf->value = value;
         return leaf;
       }
+      // Every pre-existing node on the insertion path changes its encoding
+      // (directly or via a child hash), so drop its memoized digest here.
+      // Untouched siblings keep theirs — that is the whole point.
+      node->InvalidateHash();
 
       switch (node->kind) {
         case N::Kind::kLeaf: {

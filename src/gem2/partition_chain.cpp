@@ -85,7 +85,10 @@ void PartitionChain::WriteRange(uint64_t partition, bool left, Loc start, Loc en
   PartTree& t = left ? parts_[partition].tl : parts_[partition].tr;
   t.start = start;
   t.end = end;
-  t.sp_cache.reset();
+  {
+    std::lock_guard<std::mutex> lock(sp_mutex_);
+    t.sp_cache.reset();
+  }
   if (storage_ != nullptr && meter != nullptr) {
     const uint64_t idx = partition * 4 + (left ? 0 : 2);
     storage_->Store(chain::Slot{region_base_ + kRegionPartTable, idx},
@@ -118,9 +121,26 @@ void PartitionChain::BuildTree(uint64_t partition, PartTree* t, gas::Meter* mete
   ads::EntryList entries = CollectEntries(*t, meter);
   if (meter != nullptr) meter->ChargeSortCost(entries.size());
   std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
-  const Hash root = ads::CanonicalRootDigest(entries, options_.fanout, meter);
-  t->sp_cache.reset();
   const bool left = (t == &parts_[partition].tl);
+  if (meter == nullptr && storage_ == nullptr) {
+    // SP mirror: materialize the canonical tree once (optionally in parallel)
+    // and keep it as the query cache. Its root is bit-identical to
+    // CanonicalRootDigest over the same run — the core shape invariant.
+    auto tree =
+        std::make_unique<ads::StaticTree>(std::move(entries), options_.fanout, pool_);
+    const Hash root = tree->root_digest();
+    {
+      std::lock_guard<std::mutex> lock(sp_mutex_);
+      t->sp_cache = std::move(tree);
+    }
+    WriteRoot(partition, left, root, meter);
+    return;
+  }
+  const Hash root = ads::CanonicalRootDigest(entries, options_.fanout, meter);
+  {
+    std::lock_guard<std::mutex> lock(sp_mutex_);
+    t->sp_cache.reset();
+  }
   WriteRoot(partition, left, root, meter);
 }
 
@@ -128,7 +148,10 @@ void PartitionChain::EmptyTree(uint64_t partition, PartTree* t, gas::Meter* mete
   const bool left = (t == &parts_[partition].tl);
   WriteRange(partition, left, 0, 0, meter);
   WriteRoot(partition, left, Hash{}, meter);
-  t->sp_cache.reset();
+  {
+    std::lock_guard<std::mutex> lock(sp_mutex_);
+    t->sp_cache.reset();
+  }
 }
 
 void PartitionChain::BulkToP0(gas::Meter* meter) {
@@ -308,11 +331,19 @@ void PartitionChain::Update(Key key, const Hash& value_hash, gas::Meter* meter) 
   }
   Partition& part = parts_[static_cast<uint64_t>(p)];
   ReadRange(static_cast<uint64_t>(p), true, meter);
-  if (loc >= part.tl.start && loc <= part.tl.end) {
-    BuildTree(static_cast<uint64_t>(p), &part.tl, meter);
-  } else {
-    BuildTree(static_cast<uint64_t>(p), &part.tr, meter);
+  const bool left = loc >= part.tl.start && loc <= part.tl.end;
+  PartTree* t = left ? &part.tl : &part.tr;
+  if (meter == nullptr && storage_ == nullptr && t->sp_cache != nullptr) {
+    // SP mirror fast path: the partition tree is already materialized, so a
+    // value update only needs the leaf-to-root path rehashed — O(F log N)
+    // hashes instead of the full collect+sort+rebuild. Runs under the query
+    // engine's exclusive lock, so no reader observes the intermediate state.
+    if (t->sp_cache->UpdateValueHash(key, value_hash)) {
+      WriteRoot(static_cast<uint64_t>(p), left, t->sp_cache->root_digest(), meter);
+      return;
+    }
   }
+  BuildTree(static_cast<uint64_t>(p), t, meter);
 }
 
 void PartitionChain::AppendDigests(const std::string& prefix,
@@ -329,12 +360,21 @@ void PartitionChain::AppendDigests(const std::string& prefix,
 }
 
 const ads::StaticTree& PartitionChain::SpTree(const PartTree& t) const {
-  if (t.sp_cache == nullptr) {
-    ads::EntryList entries = CollectEntries(t, nullptr);
-    std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
-    t.sp_cache = std::make_unique<ads::StaticTree>(std::move(entries),
-                                                   options_.fanout);
+  {
+    std::lock_guard<std::mutex> lock(sp_mutex_);
+    if (t.sp_cache != nullptr) return *t.sp_cache;
   }
+  // Build outside the lock: the build may fan out onto the thread pool, and
+  // a pool thread waiting in ParallelFor steals arbitrary queued work — work
+  // that could itself call SpTree. Holding sp_mutex_ across the build would
+  // make that re-entry a self-deadlock. Racing builders produce bit-identical
+  // trees; the first to publish wins and the loser's copy is dropped.
+  ads::EntryList entries = CollectEntries(t, nullptr);
+  std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
+  auto fresh =
+      std::make_unique<ads::StaticTree>(std::move(entries), options_.fanout, pool_);
+  std::lock_guard<std::mutex> lock(sp_mutex_);
+  if (t.sp_cache == nullptr) t.sp_cache = std::move(fresh);
   return *t.sp_cache;
 }
 

@@ -19,6 +19,7 @@
 #define GEM2_GEM2_PARTITION_CHAIN_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -76,6 +77,11 @@ class PartitionChain {
 
   const Gem2Options& options() const { return options_; }
 
+  /// SP-side only: tree materializations use `pool` for parallel digest
+  /// computation. Never set on a metered (contract) chain — the metered code
+  /// path stays strictly single-threaded so gas charging is deterministic.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+
   /// Test introspection.
   struct TreeInfo {
     Loc start = 0;  // 0 = tree absent
@@ -130,12 +136,19 @@ class PartitionChain {
                  gas::Meter* meter);
   void ReadRange(uint64_t partition, bool left, gas::Meter* meter) const;
 
+  /// Lazily materializes a partition tree for SP queries. Thread-safe for
+  /// concurrent readers: the cache pointer is published under sp_mutex_, and
+  /// the (possibly pool-parallel) build happens outside the lock so pool
+  /// work-stealing can never re-enter a held mutex. Losing a materialization
+  /// race wastes one build but both trees are bit-identical.
   const ads::StaticTree& SpTree(const PartTree& t) const;
 
   Gem2Options options_;
   mbtree::MbTree* p0_;
   chain::MeteredStorage* storage_;
   uint32_t region_base_;
+  common::ThreadPool* pool_ = nullptr;
+  mutable std::mutex sp_mutex_;  // guards every PartTree::sp_cache pointer
 
   uint64_t count_ = 0;   // key_storage length
   uint64_t bulked_ = 0;  // objects migrated into P0

@@ -68,6 +68,12 @@ class Gem2StarEngine {
   const mbtree::MbTree& p0() const { return p0_; }
   const gem2tree::PartitionChain& region_chain(size_t r) const { return *chains_[r]; }
 
+  /// SP-side only (see PartitionChain::set_thread_pool).
+  void set_thread_pool(common::ThreadPool* pool) {
+    p0_.set_thread_pool(pool);
+    for (auto& chain : chains_) chain->set_thread_pool(pool);
+  }
+
   void CheckInvariants() const;
 
  private:

@@ -184,16 +184,25 @@ void LsmMirror::Update(Key key, const Hash& value_hash) {
   Level& level = levels_[it->second];
   const size_t pos = LowerBoundPos(level.entries, key);
   level.entries[pos].value_hash = value_hash;
-  level.cache.reset();
+  // A materialized level only needs its leaf-to-root path rehashed — value
+  // updates never change the level's entry set, so the tree shape is stable.
+  if (level.cache != nullptr && !level.cache->UpdateValueHash(key, value_hash)) {
+    level.cache.reset();
+  }
+}
+
+const ads::StaticTree& LsmMirror::MaterializedTree(size_t i) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return levels_[i].Tree(options_.fanout);
 }
 
 Hash LsmMirror::level_root(size_t i) const {
-  return levels_[i].Tree(options_.fanout).root_digest();
+  return MaterializedTree(i).root_digest();
 }
 
 ads::TreeVo LsmMirror::RangeQuery(size_t i, Key lb, Key ub,
                                   ads::EntryList* result) const {
-  return levels_[i].Tree(options_.fanout).RangeQuery(lb, ub, result);
+  return MaterializedTree(i).RangeQuery(lb, ub, result);
 }
 
 }  // namespace gem2::lsm

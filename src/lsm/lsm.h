@@ -25,6 +25,7 @@
 #define GEM2_LSM_LSM_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -104,11 +105,17 @@ class LsmMirror {
     const ads::StaticTree& Tree(int fanout) const;
   };
 
+  /// Lazy level materialization, serialized so concurrent query threads do
+  /// not race on the cache pointer (mutations run under the query engine's
+  /// exclusive lock and never overlap with readers).
+  const ads::StaticTree& MaterializedTree(size_t i) const;
+
   void MergeDown(size_t i);
 
   LsmOptions options_;
   std::vector<Level> levels_;
   std::unordered_map<Key, size_t> level_of_;
+  mutable std::mutex cache_mutex_;
   size_t size_ = 0;
 };
 

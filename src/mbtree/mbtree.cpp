@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "crypto/digest.h"
 #include "telemetry/telemetry.h"
 
@@ -243,7 +244,31 @@ void MbTree::BulkInsert(const ads::EntryList& sorted_entries, gas::Meter* meter)
   for (const ads::Entry& e : sorted_entries) {
     InsertStructural(e.key, e.value_hash, meter);
   }
-  if (root_ != nullptr) RefreshDirty(root_.get(), meter, ChargeMode::kInsert);
+  if (root_ == nullptr) return;
+  if (meter == nullptr && pool_ != nullptr && pool_->num_threads() > 0 &&
+      !root_->is_leaf && root_->digest == kStaleSentinel) {
+    // SP side: dirty subtrees two levels down are disjoint, so their digests
+    // can be refreshed concurrently; the serial pass below then finishes the
+    // (already clean-childed) top two levels. Digest bits are unchanged —
+    // every node still hashes exactly its own children.
+    std::vector<Node*> frontier;
+    GatherDirty(root_.get(), 2, &frontier);
+    pool_->ParallelFor(0, frontier.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        RefreshDirty(frontier[i], nullptr, ChargeMode::kInsert);
+      }
+    });
+  }
+  RefreshDirty(root_.get(), meter, ChargeMode::kInsert);
+}
+
+void MbTree::GatherDirty(Node* node, size_t depth, std::vector<Node*>* out) {
+  if (node->digest != kStaleSentinel) return;
+  if (depth == 0 || node->is_leaf) {
+    out->push_back(node);
+    return;
+  }
+  for (const auto& c : node->children) GatherDirty(c.get(), depth - 1, out);
 }
 
 ads::TreeVo MbTree::RangeQuery(Key lb, Key ub, ads::EntryList* result) const {

@@ -36,6 +36,10 @@
 #include "common/types.h"
 #include "gas/meter.h"
 
+namespace gem2::common {
+class ThreadPool;
+}
+
 namespace gem2::mbtree {
 
 class MbTree {
@@ -78,6 +82,11 @@ class MbTree {
   /// Structural self-check; throws std::logic_error on violation.
   void CheckInvariants() const;
 
+  /// SP-side only: unmetered BulkInsert refreshes disjoint dirty subtrees on
+  /// `pool` in parallel. Metered calls ignore the pool entirely, keeping the
+  /// contract's charge sequence single-threaded and deterministic.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+
  private:
   /// Which per-node maintenance charge RefreshNode applies (see file comment).
   enum class ChargeMode { kInsert, kUpdate };
@@ -114,6 +123,10 @@ class MbTree {
   /// Recomputes digests bottom-up, refreshing exactly the stale nodes.
   void RefreshDirty(Node* node, gas::Meter* meter, ChargeMode mode);
 
+  /// Collects the roots of dirty subtrees `depth` levels below `node`
+  /// (stopping early at leaves) — the disjoint units of parallel refresh.
+  static void GatherDirty(Node* node, size_t depth, std::vector<Node*>* out);
+
   ads::VoChild QueryNode(const Node* node, Key lb, Key ub,
                          ads::EntryList* result) const;
 
@@ -123,6 +136,7 @@ class MbTree {
   int fanout_;
   size_t size_ = 0;
   std::unique_ptr<Node> root_;
+  common::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace gem2::mbtree

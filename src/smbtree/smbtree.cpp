@@ -84,7 +84,8 @@ std::vector<chain::DigestEntry> SmbTreeContract::AuthenticatedDigests() const {
   return {{"smbtree.root", root_}};
 }
 
-SmbTreeMirror::SmbTreeMirror(int fanout) : fanout_(fanout) {}
+SmbTreeMirror::SmbTreeMirror(int fanout, common::ThreadPool* pool)
+    : fanout_(fanout), pool_(pool) {}
 
 void SmbTreeMirror::Insert(Key key, const Hash& value_hash) {
   auto pos = std::lower_bound(entries_.begin(), entries_.end(), key,
@@ -103,13 +104,22 @@ void SmbTreeMirror::Update(Key key, const Hash& value_hash) {
     throw std::invalid_argument("SmbTreeMirror::Update: unknown key");
   }
   pos->value_hash = value_hash;
-  cache_.reset();
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_ != nullptr && !cache_->UpdateValueHash(key, value_hash)) {
+    cache_.reset();  // key missing from the cached tree: rebuild lazily
+  }
 }
 
 const ads::StaticTree& SmbTreeMirror::Tree() const {
-  if (cache_ == nullptr) {
-    cache_ = std::make_unique<ads::StaticTree>(entries_, fanout_);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_ != nullptr) return *cache_;
   }
+  // Built outside the lock: a pool-parallel build must never run under a
+  // mutex that stolen pool work could re-acquire (see PartitionChain::SpTree).
+  auto fresh = std::make_unique<ads::StaticTree>(entries_, fanout_, pool_);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_ == nullptr) cache_ = std::move(fresh);
   return *cache_;
 }
 

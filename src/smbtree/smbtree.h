@@ -16,6 +16,7 @@
 #define GEM2_SMBTREE_SMBTREE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -67,9 +68,17 @@ class SmbTreeContract : public chain::Contract {
 /// tree for authenticated range queries.
 class SmbTreeMirror {
  public:
-  explicit SmbTreeMirror(int fanout = 4);
+  /// `pool`, when non-null, parallelizes the lazy tree materialization
+  /// (an SP-side optimization; the digests are bit-identical).
+  explicit SmbTreeMirror(int fanout = 4, common::ThreadPool* pool = nullptr);
+
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
 
   void Insert(Key key, const Hash& value_hash);
+
+  /// Value update. When the tree is already materialized this patches only
+  /// the leaf-to-root path (StaticTree::UpdateValueHash) instead of
+  /// discarding the cache and rebuilding all N nodes on the next query.
   void Update(Key key, const Hash& value_hash);
 
   size_t size() const { return entries_.size(); }
@@ -79,10 +88,16 @@ class SmbTreeMirror {
   ads::TreeVo RangeQuery(Key lb, Key ub, ads::EntryList* result) const;
 
  private:
+  /// Lazily materializes the canonical tree. Thread-safe: concurrent readers
+  /// (SP query threads holding the engine's shared lock) race only on the
+  /// first materialization, which cache_mutex_ serializes. Mutations happen
+  /// under the engine's exclusive lock and never run concurrently with this.
   const ads::StaticTree& Tree() const;
 
   int fanout_;
+  common::ThreadPool* pool_;
   ads::EntryList entries_;  // kept sorted by key
+  mutable std::mutex cache_mutex_;
   mutable std::unique_ptr<ads::StaticTree> cache_;
 };
 

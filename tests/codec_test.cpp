@@ -65,8 +65,8 @@ TEST(Codec, DetectsBitFlips) {
 }
 
 TEST(Codec, RejectsMalformedInput) {
-  EXPECT_FALSE(ParseChain({}).has_value());
-  EXPECT_FALSE(ParseChain({9, 9, 9}).has_value());
+  EXPECT_FALSE(ParseChain(Bytes{}).has_value());
+  EXPECT_FALSE(ParseChain(Bytes{9, 9, 9}).has_value());
   Bytes wire = SerializeChain(MakeChain(2));
   Bytes truncated(wire.begin(), wire.begin() + wire.size() / 2);
   EXPECT_FALSE(ParseChain(truncated).has_value());
