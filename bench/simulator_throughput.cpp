@@ -1,0 +1,140 @@
+// End-to-end chain-simulator throughput: the full insert pipeline (contract
+// execution -> gas metering -> ledger -> block sealing) measured in blocks/s
+// and txs/s, in two configurations:
+//   - fast:   the default simulator (incremental state commitment, pipelined
+//             sealing, arena-backed MPT, batched Keccak) — what every paper
+//             bench runs on;
+//   - compat: the pre-overhaul reference (from-scratch state roots, serial
+//             sealing), kept as EnvironmentOptions flags for equivalence
+//             testing and this comparison.
+// Gas and sealed chains are bit-identical between the two; only wall clock
+// differs. Also reported: how much commitment work the incremental path
+// avoids (entries updated vs scanned, full rebuilds), arena allocation
+// pressure, and Keccak permutations per transaction. Emits
+// BENCH_simulator.json; the nightly paper-scale CI job gates on blocks_per_s.
+#include <chrono>
+
+#include "bench_common.h"
+#include "common/arena.h"
+#include "crypto/keccak.h"
+
+namespace gem2::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SimResult {
+  double seconds = 0;
+  double blocks = 0;
+  double txs = 0;
+  double perms = 0;
+  chain::StateCommitStats commit;
+};
+
+SimResult RunOnce(BenchRun* run, bool fast, chain::StateCommitment mode,
+                  uint64_t n) {
+  WorkloadGenerator gen(MakeWorkload(KeyDistribution::kUniform));
+  DbOptions o = MakeDbOptions(AdsKind::kGem2, gen);
+  o.env.incremental_commitment = fast;
+  o.env.pipeline_sealing = fast;
+  o.env.state_commitment = mode;
+  AuthenticatedDb db(o);
+
+  const uint64_t perms0 = crypto::KeccakPermutationCount();
+  const auto t0 = Clock::now();
+  for (uint64_t i = 0; i < n; ++i) {
+    chain::TxReceipt r = db.Insert(gen.Next().object);
+    if (run != nullptr) run->Count(r);
+  }
+  db.environment().SealBlock();  // flush the partial tail block
+  const chain::Blockchain& chain = db.environment().blockchain();  // drains
+  const auto t1 = Clock::now();
+
+  SimResult res;
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.blocks = static_cast<double>(chain.height());
+  res.txs = static_cast<double>(db.environment().num_transactions());
+  res.perms = static_cast<double>(crypto::KeccakPermutationCount() - perms0);
+  res.commit = db.environment().commit_stats();
+  benchmark::DoNotOptimize(chain.latest().header.state_root);
+  return res;
+}
+
+void Simulator(benchmark::State& state, const std::string& name, bool fast,
+               chain::StateCommitment mode, uint64_t n) {
+  BenchRun run("simulator", name, "GEM2-tree", "uniform", n);
+  SimResult res;
+  const auto arena0 = common::Arena::GlobalStats();
+  for (auto _ : state) {
+    res = RunOnce(&run, fast, mode, n);
+  }
+  const auto arena1 = common::Arena::GlobalStats();
+
+  const double blocks_per_s = res.blocks / res.seconds;
+  const double txs_per_s = res.txs / res.seconds;
+  run.Extra("blocks_per_s", blocks_per_s);
+  run.Extra("txs_per_s", txs_per_s);
+  run.Extra("perms_per_tx", res.perms / res.txs);
+  // Incremental-commitment effectiveness: of the digest entries scanned at
+  // state-root time, how many actually had to be re-hashed into the
+  // persistent structure, and how often a from-scratch rebuild was forced.
+  run.Extra("commit_entries_seen", static_cast<double>(res.commit.entries_seen));
+  run.Extra("commit_entries_updated",
+            static_cast<double>(res.commit.entries_updated));
+  run.Extra("commit_full_rebuilds",
+            static_cast<double>(res.commit.full_rebuilds));
+  run.Extra("commit_root_computations",
+            static_cast<double>(res.commit.root_computations));
+  // Arena pressure over this run: objects that would each have been a heap
+  // allocation in the pointer-based MPT, amortized over block-reuse epochs.
+  run.Extra("arena_allocations",
+            static_cast<double>(arena1.allocations - arena0.allocations));
+  run.Extra("arena_heap_blocks",
+            static_cast<double>(arena1.blocks - arena0.blocks));
+  run.Extra("arena_epochs", static_cast<double>(arena1.epochs - arena0.epochs));
+  run.Finish();
+
+  state.counters["blocks_per_s"] = benchmark::Counter(blocks_per_s);
+  state.counters["txs_per_s"] = benchmark::Counter(txs_per_s);
+}
+
+void RegisterAll() {
+  const uint64_t n = EnvScale("GEM2_SIM_N", 50'000);
+  struct Config {
+    const char* tag;
+    bool fast;
+    chain::StateCommitment mode;
+  };
+  // merkle = positional binary tree (paper default); mpt = hex Patricia trie
+  // (the arena-backed path — its allocation counters only move here).
+  const Config configs[] = {
+      {"fast/merkle", true, chain::StateCommitment::kBinaryMerkle},
+      {"compat/merkle", false, chain::StateCommitment::kBinaryMerkle},
+      {"fast/mpt", true, chain::StateCommitment::kPatriciaTrie},
+      {"compat/mpt", false, chain::StateCommitment::kPatriciaTrie},
+  };
+  for (const Config& c : configs) {
+    std::string name =
+        std::string("Simulator/") + c.tag + "/N:" + std::to_string(n);
+    const bool fast = c.fast;
+    const chain::StateCommitment mode = c.mode;
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [name, fast, mode, n](benchmark::State& s) {
+                                   Simulator(s, name, fast, mode, n);
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace gem2::bench
+
+int main(int argc, char** argv) {
+  gem2::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  gem2::bench::EmitBenchJson();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "crypto/digest.h"
+#include "crypto/keccak_batch.h"
 
 namespace gem2::ads {
 namespace {
@@ -165,48 +167,151 @@ VoChild StaticTree::QueryNode(size_t level, size_t index, Key lb, Key ub,
   return VoChild(std::move(out));
 }
 
-Hash CanonicalRootDigest(std::span<const Entry> sorted, int fanout, gas::Meter* meter) {
+LeafDigestCache::Slot& LeafDigestCache::FindSlot(Key key) {
+  // Fibonacci hash spreads consecutive keys; table size is a power of two.
+  const size_t mask = slots_.size() - 1;
+  size_t i = (static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ull >> 17) & mask;
+  while (slots_[i].occupied && slots_[i].key != key) i = (i + 1) & mask;
+  return slots_[i];
+}
+
+void LeafDigestCache::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  for (Slot& s : old) {
+    if (s.occupied) FindSlot(s.key) = s;
+  }
+}
+
+void LeafDigestCache::Reserve(size_t additional) {
+  while ((used_ + additional) * 4 >= slots_.size() * 3) Grow();
+}
+
+void LeafDigestCache::GetBatch(std::span<const Entry> entries, Hash* out) {
+  Reserve(entries.size());
+  crypto::Keccak256Batcher batcher;
+  // Misses hash straight into their (rehash-stable) slots; the copies to
+  // `out` wait until the flush has made every queued digest valid.
+  std::vector<std::pair<const Hash*, Hash*>> pending;
+  uint8_t msg[40];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    Slot& slot = FindSlot(e.key);
+    if (slot.occupied && slot.value_hash == e.value_hash) {
+      ++hits_;
+      out[i] = slot.digest;
+      continue;
+    }
+    if (!slot.occupied) {
+      slot.occupied = true;
+      slot.key = e.key;
+      ++used_;
+    }
+    slot.value_hash = e.value_hash;
+    ++misses_;
+    crypto::EncodeEntryPreimage(e.key, e.value_hash, msg);
+    batcher.Add(msg, sizeof(msg), &slot.digest);
+    pending.push_back({&slot.digest, &out[i]});
+  }
+  batcher.Flush();
+  for (auto& [src, dst] : pending) *dst = *src;
+}
+
+const Hash& LeafDigestCache::Get(Key key, const Hash& value_hash) {
+  if (used_ * 4 >= slots_.size() * 3) Grow();
+  Slot& slot = FindSlot(key);
+  if (!slot.occupied || slot.value_hash != value_hash) {
+    if (!slot.occupied) {
+      slot.occupied = true;
+      slot.key = key;
+      ++used_;
+    }
+    slot.value_hash = value_hash;
+    slot.digest = crypto::EntryDigest(key, value_hash);
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return slot.digest;
+}
+
+Hash CanonicalRootDigest(std::span<const Entry> sorted, int fanout, gas::Meter* meter,
+                         LeafDigestCache* cache) {
   if (fanout < 2) throw std::invalid_argument("fanout must be >= 2");
   if (sorted.empty()) return crypto::EmptyTreeDigest();
 
-  struct Item {
-    Key lo;
-    Key hi;
-    Hash digest;
-  };
+  const size_t f = static_cast<size_t>(fanout);
+  const size_t n = sorted.size();
+  crypto::Keccak256Batcher batcher;
 
-  // Entry digests.
-  std::vector<Item> level;
-  level.reserve(sorted.size());
-  for (const Entry& e : sorted) {
-    if (meter != nullptr) meter->ChargeHash(crypto::EntryDigestBytes());
-    level.push_back({e.key, e.key, crypto::EntryDigest(e.key, e.value_hash)});
+  // Entry digests. Charges are issued first, in the same per-entry order the
+  // scalar loop used: Chash depends only on message sizes, never on digest
+  // values, so hoisting the hashes after the charges leaves the meter's
+  // charge sequence — and thus every out-of-gas abort point — bit-identical.
+  // The gas charge is unconditional; the cache only decides whether the
+  // Keccak actually runs.
+  if (meter != nullptr) {
+    for (size_t i = 0; i < n; ++i) meter->ChargeHash(crypto::EntryDigestBytes());
+  }
+  std::vector<Key> lo(n);
+  std::vector<Key> hi(n);
+  std::vector<Hash> digests(n);
+  for (size_t i = 0; i < n; ++i) {
+    lo[i] = sorted[i].key;
+    hi[i] = sorted[i].key;
+  }
+  if (cache != nullptr) {
+    cache->GetBatch(sorted, digests.data());
+  } else {
+    uint8_t msg[40];
+    for (size_t i = 0; i < n; ++i) {
+      crypto::EncodeEntryPreimage(sorted[i].key, sorted[i].value_hash, msg);
+      batcher.Add(msg, sizeof(msg), &digests[i]);
+    }
+    batcher.Flush();
   }
 
   // Fold fanout-sized chunks until a single root remains. At least one fold
   // always happens: entry digests must be wrapped into a leaf node digest.
+  // Per level: charge every chunk in the original content/wrap interleaved
+  // order, then batch all content digests, then all wrap digests. Hashes
+  // within a level are independent, so the two flushed passes produce the
+  // exact bits of the chunk-at-a-time loop.
   bool folded = false;
-  while (!folded || level.size() > 1) {
+  while (!folded || digests.size() > 1) {
     folded = true;
-    std::vector<Item> next;
-    next.reserve((level.size() + fanout - 1) / fanout);
-    for (size_t begin = 0; begin < level.size(); begin += fanout) {
-      size_t count = std::min<size_t>(fanout, level.size() - begin);
-      std::vector<Hash> digests;
-      digests.reserve(count);
-      for (size_t i = 0; i < count; ++i) digests.push_back(level[begin + i].digest);
-      if (meter != nullptr) {
-        meter->ChargeHash(crypto::ContentDigestBytes(count));
+    const size_t level_n = digests.size();
+    const size_t chunks = (level_n + f - 1) / f;
+    if (meter != nullptr) {
+      for (size_t begin = 0; begin < level_n; begin += f) {
+        meter->ChargeHash(crypto::ContentDigestBytes(std::min(f, level_n - begin)));
         meter->ChargeHash(crypto::WrapDigestBytes());
       }
-      Hash content = crypto::ContentDigest(digests);
-      Key lo = level[begin].lo;
-      Key hi = level[begin + count - 1].hi;
-      next.push_back({lo, hi, crypto::WrapDigest(lo, hi, content)});
     }
-    level = std::move(next);
+    std::vector<Hash> contents(chunks);
+    for (size_t c = 0, begin = 0; begin < level_n; ++c, begin += f) {
+      const size_t count = std::min(f, level_n - begin);
+      // The level's digests are contiguous, so the chunk is its own preimage.
+      batcher.Add(digests[begin].data(), 32 * count, &contents[c]);
+    }
+    batcher.Flush();
+    std::vector<Key> next_lo(chunks);
+    std::vector<Key> next_hi(chunks);
+    std::vector<Hash> next(chunks);
+    uint8_t msg[48];
+    for (size_t c = 0, begin = 0; begin < level_n; ++c, begin += f) {
+      const size_t count = std::min(f, level_n - begin);
+      next_lo[c] = lo[begin];
+      next_hi[c] = hi[begin + count - 1];
+      crypto::EncodeWrapPreimage(next_lo[c], next_hi[c], contents[c], msg);
+      batcher.Add(msg, sizeof(msg), &next[c]);
+    }
+    batcher.Flush();
+    lo = std::move(next_lo);
+    hi = std::move(next_hi);
+    digests = std::move(next);
   }
-  return level[0].digest;
+  return digests[0];
 }
 
 }  // namespace gem2::ads

@@ -11,6 +11,7 @@
 #ifndef GEM2_ADS_STATIC_TREE_H_
 #define GEM2_ADS_STATIC_TREE_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -81,13 +82,67 @@ class StaticTree {
   Hash root_digest_;
 };
 
+/// Memo for EntryDigest(key, value_hash) computations across repeated
+/// CanonicalRootDigest calls. In the GEM2 merge cascades the same entries are
+/// re-hashed every time their partition is rebuilt; since EntryDigest is a
+/// pure function of (key, value_hash), the simulator can reuse the digest —
+/// the *gas charge* for the hash is still applied in full by the caller, so
+/// metered results stay bit-identical with or without a cache.
+///
+/// Open-addressing with linear probing: Get sits on the hot fold path (one
+/// lookup per entry per rebuild) and a node-based map's pointer chase was
+/// measurably slower than the probe over this flat array.
+class LeafDigestCache {
+ public:
+  LeafDigestCache() : slots_(kInitialCapacity) {}
+
+  /// Digest for (key, value_hash); recomputed (and memoized) on a miss or
+  /// when the key's cached value hash differs.
+  const Hash& Get(Key key, const Hash& value_hash);
+
+  /// Batched Get over a sorted duplicate-free run: out[i] receives the entry
+  /// digest of entries[i]. Misses are hashed 8 at a time (keccak_batch.h);
+  /// hit/miss memoization is identical to per-entry Get. Gas, as with Get, is
+  /// the caller's concern.
+  void GetBatch(std::span<const Entry> entries, Hash* out);
+
+  size_t size() const { return used_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  static constexpr size_t kInitialCapacity = 1024;  // power of two
+
+  struct Slot {
+    Key key = 0;
+    bool occupied = false;
+    Hash value_hash{};
+    Hash digest{};
+  };
+
+  Slot& FindSlot(Key key);
+  void Grow();
+  /// Grows until `additional` more distinct keys fit without a rehash —
+  /// GetBatch queues digest writes into slots, so slots must not move while
+  /// a batch is pending.
+  void Reserve(size_t additional);
+
+  std::vector<Slot> slots_;
+  size_t used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
 /// Computes the StaticTree root digest of a sorted run without materializing
 /// the tree — this is what the smart contract executes when it rebuilds a
 /// suppressed SMB-tree. When `meter` is non-null, every hash invocation is
 /// charged (Chash = 30 + 6*words) exactly as the metered computation performs
-/// it. Sorting and storage loads are charged by the caller.
+/// it. Sorting and storage loads are charged by the caller. A non-null
+/// `cache` memoizes per-entry digests across calls (gas is unaffected; the
+/// charge is applied whether or not the Keccak actually runs).
 Hash CanonicalRootDigest(std::span<const Entry> sorted, int fanout,
-                         gas::Meter* meter = nullptr);
+                         gas::Meter* meter = nullptr,
+                         LeafDigestCache* cache = nullptr);
 
 }  // namespace gem2::ads
 

@@ -1,12 +1,44 @@
 #include "chain/blockchain.h"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/digest.h"
 #include "crypto/keccak.h"
+#include "crypto/keccak_batch.h"
 #include "crypto/merkle.h"
 
 namespace gem2::chain {
+namespace {
+
+void PutUint64Be(uint64_t v, uint8_t* out) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<uint8_t>((v >> (8 * (7 - i))) & 0xff);
+  }
+}
+
+/// Serializes the exact byte stream Transaction::Digest absorbs. Returns
+/// false (buffer untouched) when it would overflow `cap` — the caller then
+/// hashes the transaction scalar instead of batching it.
+bool SerializeTxPreimage(const Transaction& tx, uint8_t* out, size_t cap,
+                         size_t* len) {
+  const size_t total = 6 * 8 + tx.contract.size() + tx.method.size() + tx.error.size();
+  if (total > cap) return false;
+  uint8_t* p = out;
+  PutUint64Be(tx.seq, p); p += 8;
+  PutUint64Be(tx.gas_used, p); p += 8;
+  PutUint64Be(tx.ok ? 1 : 0, p); p += 8;
+  PutUint64Be(tx.contract.size(), p); p += 8;
+  std::memcpy(p, tx.contract.data(), tx.contract.size()); p += tx.contract.size();
+  PutUint64Be(tx.method.size(), p); p += 8;
+  std::memcpy(p, tx.method.data(), tx.method.size()); p += tx.method.size();
+  PutUint64Be(tx.error.size(), p); p += 8;
+  std::memcpy(p, tx.error.data(), tx.error.size()); p += tx.error.size();
+  *len = total;
+  return true;
+}
+
+}  // namespace
 
 Hash Transaction::Digest() const {
   // Absorbed directly — the byte stream is identical to the old Bytes
@@ -53,9 +85,21 @@ bool SatisfiesPow(const Hash& digest, uint32_t bits) {
 }
 
 Hash ComputeTxRoot(const std::vector<Transaction>& txs) {
-  std::vector<Hash> leaves;
-  leaves.reserve(txs.size());
-  for (const Transaction& tx : txs) leaves.push_back(tx.Digest());
+  // Leaf digests are independent, and a typical transaction record (short
+  // contract/method names, empty error) fits one sponge block, so they ride
+  // the 8-way batcher; oversized records fall back to the scalar Digest().
+  std::vector<Hash> leaves(txs.size());
+  crypto::Keccak256Batcher batcher;
+  uint8_t msg[crypto::Keccak256Batcher::kMaxMessageLen];
+  for (size_t i = 0; i < txs.size(); ++i) {
+    size_t len = 0;
+    if (SerializeTxPreimage(txs[i], msg, sizeof(msg), &len)) {
+      batcher.Add(msg, len, &leaves[i]);
+    } else {
+      leaves[i] = txs[i].Digest();
+    }
+  }
+  batcher.Flush();
   return crypto::BinaryMerkleTree::RootOf(leaves);
 }
 

@@ -1,0 +1,122 @@
+/// \file digest_ledger.h
+/// Incrementally-maintained committed-digest view of a contract.
+///
+/// Contracts originally recomputed their full digest list from the live ADS
+/// on every CommittedDigests() call, and the environment deep-copied that
+/// list before *every* transaction just in case it aborted. The ledger
+/// replaces both costs: the contract updates exactly the digest entries an
+/// operation touched (O(1) per touched tree instead of O(trees) per call),
+/// and abort handling becomes a first-touch undo journal replay — the same
+/// discipline MeteredStorage uses — instead of an up-front snapshot.
+///
+/// Entries are keyed by a caller-chosen `order` so Snapshot() reproduces the
+/// exact deterministic ordering AuthenticatedDigests() used to emit; the
+/// randomized equivalence suite asserts the two stay bit-identical across
+/// committed transactions.
+#ifndef GEM2_CHAIN_DIGEST_LEDGER_H_
+#define GEM2_CHAIN_DIGEST_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gem2::chain {
+
+struct DigestEntry;
+
+class DigestLedger {
+ public:
+  /// Inserts or overwrites the entry at `order`. A write that changes nothing
+  /// is a no-op (and journals nothing).
+  void Set(uint64_t order, std::string label, const Hash& digest) {
+    auto it = entries_.find(order);
+    if (it != entries_.end() && it->second.digest == digest &&
+        it->second.label == label) {
+      return;
+    }
+    RecordUndo(order, it);
+    if (it != entries_.end()) {
+      it->second.label = std::move(label);
+      it->second.digest = digest;
+    } else {
+      entries_.emplace(order, Slot{std::move(label), digest});
+    }
+  }
+
+  /// Removes the entry at `order` (no-op when absent).
+  void Erase(uint64_t order) {
+    auto it = entries_.find(order);
+    if (it == entries_.end()) return;
+    RecordUndo(order, it);
+    entries_.erase(it);
+  }
+
+  /// The committed digest list, in ascending `order`.
+  std::vector<DigestEntry> Snapshot() const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// Transaction bracketing, mirroring MeteredStorage: first-touch undo
+  /// records are replayed in reverse on rollback. Writes outside a bracket
+  /// apply immediately and permanently (bootstrap / unmetered seeding).
+  void BeginTx() {
+    if (in_tx_) throw std::logic_error("nested digest-ledger transaction");
+    in_tx_ = true;
+    undo_log_.clear();
+    ++epoch_;
+  }
+  void CommitTx() {
+    if (!in_tx_) throw std::logic_error("digest-ledger commit outside tx");
+    in_tx_ = false;
+    undo_log_.clear();
+  }
+  void RollbackTx() {
+    if (!in_tx_) throw std::logic_error("digest-ledger rollback outside tx");
+    in_tx_ = false;
+    for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+      if (it->second.has_value()) {
+        entries_[it->first] = std::move(*it->second);
+      } else {
+        entries_.erase(it->first);
+      }
+    }
+    undo_log_.clear();
+  }
+  bool in_tx() const { return in_tx_; }
+
+ private:
+  struct Slot {
+    std::string label;
+    Hash digest{};
+    uint64_t touch_epoch = 0;
+  };
+
+  void RecordUndo(uint64_t order, std::map<uint64_t, Slot>::iterator it) {
+    if (!in_tx_) return;
+    if (it != entries_.end()) {
+      if (it->second.touch_epoch == epoch_) return;  // already journaled
+      it->second.touch_epoch = epoch_;
+      undo_log_.emplace_back(order, it->second);
+    } else {
+      // First touch of an absent entry. A later Set+Erase+Set sequence in the
+      // same tx re-journals (absent again after Erase); duplicates are benign
+      // because the oldest record replays last.
+      undo_log_.emplace_back(order, std::nullopt);
+    }
+  }
+
+  std::map<uint64_t, Slot> entries_;
+  bool in_tx_ = false;
+  uint64_t epoch_ = 0;
+  std::vector<std::pair<uint64_t, std::optional<Slot>>> undo_log_;
+};
+
+}  // namespace gem2::chain
+
+#endif  // GEM2_CHAIN_DIGEST_LEDGER_H_

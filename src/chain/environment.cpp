@@ -1,16 +1,42 @@
 #include "chain/environment.h"
 
-#include <optional>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "crypto/keccak.h"
 #include "telemetry/exporters.h"
 #include "telemetry/metrics.h"
 
 namespace gem2::chain {
 
+namespace {
+
+bool EnvFlagSet(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
 Environment::Environment(EnvironmentOptions options)
-    : options_(options), blockchain_(options.difficulty_bits) {}
+    : options_(options),
+      blockchain_(options.difficulty_bits),
+      crosscheck_(EnvFlagSet("GEM2_STATE_CROSSCHECK")) {}
+
+Environment::~Environment() {
+  // A pipelined seal may still be in flight; land it so the task never
+  // outlives the members it references. Sealing errors are lost here (a
+  // destructor must not throw) — any caller who cares reads blockchain()
+  // before destruction and gets the rethrow there.
+  try {
+    DrainSeal();
+  } catch (...) {
+  }
+}
 
 void Environment::Register(Contract* contract) {
   if (contract == nullptr) throw std::invalid_argument("null contract");
@@ -44,12 +70,17 @@ TxReceipt Environment::Execute(Contract& contract, const std::string& method,
     if (capture) tracer.BeginTxCapture();
   }
 
-  // The contract's in-memory structures cannot be rolled back the way its
-  // metered storage can; snapshot the digest view so a failed transaction
-  // leaves the committed state (and hence the state root) untouched.
-  std::vector<DigestEntry> pre_tx_digests = contract.CommittedDigests();
+  // Ledger-backed contracts roll their digest view back transactionally, so
+  // the common (successful) path copies nothing. Legacy contracts keep the
+  // snapshot + freeze/thaw discipline: their in-memory structures cannot be
+  // rolled back, and without the freeze an aborted transaction would leak
+  // into the state root.
+  DigestLedger* ledger = contract.digest_ledger();
+  std::vector<DigestEntry> pre_tx_digests;
+  if (ledger == nullptr) pre_tx_digests = contract.CommittedDigests();
 
   contract.storage().BeginTx();
+  if (ledger != nullptr) ledger->BeginTx();
   {
     std::optional<telemetry::Span> root_span;
     if (traced) root_span.emplace("tx." + method);
@@ -57,15 +88,27 @@ TxReceipt Environment::Execute(Contract& contract, const std::string& method,
       if (options_.tx_base_fee > 0) meter.ChargeIntrinsic(options_.tx_base_fee);
       body(meter);
       contract.storage().CommitTx();
-      contract.ThawDigests();
+      if (ledger != nullptr) {
+        ledger->CommitTx();
+      } else {
+        contract.ThawDigests();
+      }
     } catch (const gas::OutOfGasError& e) {
       contract.storage().RollbackTx();
-      contract.FreezeDigests(std::move(pre_tx_digests));
+      if (ledger != nullptr) {
+        ledger->RollbackTx();
+      } else {
+        contract.FreezeDigests(std::move(pre_tx_digests));
+      }
       receipt.ok = false;
       receipt.error = e.what();
     } catch (...) {
       contract.storage().RollbackTx();
-      contract.FreezeDigests(std::move(pre_tx_digests));
+      if (ledger != nullptr) {
+        ledger->RollbackTx();
+      } else {
+        contract.FreezeDigests(std::move(pre_tx_digests));
+      }
       throw;
     }
   }
@@ -99,35 +142,228 @@ Bytes Environment::StateKey(const std::string& contract, const std::string& labe
   return key;
 }
 
-crypto::PatriciaTrie Environment::BuildStateTrie() const {
-  crypto::PatriciaTrie trie;
+std::vector<Environment::StateEntry> Environment::GatherStateEntries() const {
+  std::vector<StateEntry> entries;
   for (const auto& [name, contract] : contracts_) {
-    for (const DigestEntry& entry : contract->CommittedDigests()) {
-      trie.Put(StateKey(name, entry.label),
-               Bytes(entry.digest.begin(), entry.digest.end()));
+    for (DigestEntry& entry : contract->CommittedDigests()) {
+      entries.push_back({&name, std::move(entry.label), entry.digest});
     }
+  }
+  return entries;
+}
+
+Hash Environment::StateLeaf(const std::string& contract, const DigestEntry& entry) {
+  crypto::Keccak256Hasher h;
+  h.Update(contract);
+  h.Update(std::string(1, '\0'));
+  h.Update(entry.label);
+  h.Update(std::string(1, '\0'));
+  h.Update(entry.digest);
+  return h.Finalize();
+}
+
+Hash Environment::StateLeafOf(const StateEntry& e) {
+  crypto::Keccak256Hasher h;
+  h.Update(*e.contract);
+  h.Update(std::string(1, '\0'));
+  h.Update(e.label);
+  h.Update(std::string(1, '\0'));
+  h.Update(e.digest);
+  return h.Finalize();
+}
+
+crypto::PatriciaTrie Environment::TrieFromEntries(const std::vector<StateEntry>& cur) {
+  crypto::PatriciaTrie trie;
+  for (const StateEntry& e : cur) {
+    trie.Put(StateKey(*e.contract, e.label),
+             Bytes(e.digest.begin(), e.digest.end()));
   }
   return trie;
 }
 
-Hash Environment::ComputeStateRoot() const {
-  if (options_.state_commitment == StateCommitment::kPatriciaTrie) {
-    return BuildStateTrie().RootHash();
+std::vector<Hash> Environment::LeavesFromEntries(const std::vector<StateEntry>& cur) {
+  std::vector<Hash> leaves;
+  leaves.reserve(cur.size());
+  for (const StateEntry& e : cur) leaves.push_back(StateLeafOf(e));
+  return leaves;
+}
+
+Hash Environment::ComputeStateRootFrom(const std::vector<StateEntry>& cur) const {
+  ++commit_stats_.root_computations;
+  commit_stats_.entries_seen += cur.size();
+
+  const bool mpt = options_.state_commitment == StateCommitment::kPatriciaTrie;
+
+  if (!options_.incremental_commitment) {
+    ++commit_stats_.full_rebuilds;
+    commit_stats_.entries_updated += cur.size();
+    commit_valid_ = false;
+    if (mpt) return TrieFromEntries(cur).RootHash();
+    return crypto::BinaryMerkleTree::RootOf(LeavesFromEntries(cur));
   }
-  return crypto::BinaryMerkleTree::RootOf(StateLeaves());
+
+  Hash root{};
+  if (mpt) {
+    // The MPT has no delete, so a vanished label forces a rebuild. A label
+    // set is matched against what the persistent trie holds: every current
+    // key found + equal cardinality means no key disappeared, and only the
+    // digests that actually changed get re-inserted.
+    bool rebuild = !commit_valid_;
+    std::vector<std::pair<std::string, const StateEntry*>> changed;
+    if (!rebuild) {
+      size_t matched = 0;
+      for (const StateEntry& e : cur) {
+        Bytes key = StateKey(*e.contract, e.label);
+        std::string key_str(key.begin(), key.end());
+        auto it = trie_applied_.find(key_str);
+        if (it == trie_applied_.end()) {
+          changed.emplace_back(std::move(key_str), &e);
+        } else {
+          ++matched;
+          if (it->second != e.digest) changed.emplace_back(std::move(key_str), &e);
+        }
+      }
+      rebuild = matched != trie_applied_.size();
+    }
+    if (rebuild) {
+      state_trie_ = TrieFromEntries(cur);
+      trie_applied_.clear();
+      trie_applied_.reserve(cur.size());
+      for (const StateEntry& e : cur) {
+        Bytes key = StateKey(*e.contract, e.label);
+        trie_applied_.emplace(std::string(key.begin(), key.end()), e.digest);
+      }
+      ++commit_stats_.full_rebuilds;
+      commit_stats_.entries_updated += cur.size();
+    } else {
+      for (auto& [key_str, e] : changed) {
+        state_trie_.Put(
+            std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(key_str.data()), key_str.size()),
+            Bytes(e->digest.begin(), e->digest.end()));
+        trie_applied_[key_str] = e->digest;
+      }
+      commit_stats_.entries_updated += changed.size();
+    }
+    commit_valid_ = true;
+    root = state_trie_.RootHash();
+  } else {
+    // Binary-tree leaves are positional: any layout change (entry added,
+    // removed, relabeled, contract registered) rebuilds; a digest-only
+    // change patches one leaf in O(log n).
+    bool same_layout = commit_valid_ && cur.size() == last_entries_.size();
+    if (same_layout) {
+      for (size_t i = 0; i < cur.size(); ++i) {
+        // Contract pointers alias the contracts_ map keys, so pointer
+        // equality is name equality.
+        if (cur[i].contract != last_entries_[i].contract ||
+            cur[i].label != last_entries_[i].label) {
+          same_layout = false;
+          break;
+        }
+      }
+    }
+    if (!same_layout) {
+      if (cur.empty()) {
+        state_tree_.reset();
+      } else {
+        state_tree_.emplace(LeavesFromEntries(cur));
+      }
+      last_entries_ = cur;
+      ++commit_stats_.full_rebuilds;
+      commit_stats_.entries_updated += cur.size();
+    } else {
+      for (size_t i = 0; i < cur.size(); ++i) {
+        if (cur[i].digest != last_entries_[i].digest) {
+          state_tree_->UpdateLeaf(i, StateLeafOf(cur[i]));
+          last_entries_[i].digest = cur[i].digest;
+          ++commit_stats_.entries_updated;
+        }
+      }
+    }
+    commit_valid_ = true;
+    root = state_tree_.has_value() ? state_tree_->root()
+                                   : crypto::BinaryMerkleTree::RootOf({});
+  }
+
+  if (crosscheck_) {
+    const Hash reference =
+        mpt ? TrieFromEntries(cur).RootHash()
+            : crypto::BinaryMerkleTree::RootOf(LeavesFromEntries(cur));
+    if (reference != root) {
+      throw std::logic_error(
+          "GEM2_STATE_CROSSCHECK: incremental state root diverged from "
+          "from-scratch root");
+    }
+  }
+  return root;
+}
+
+Hash Environment::ComputeStateRoot() const {
+  DrainSeal();
+  return ComputeStateRootFrom(GatherStateEntries());
+}
+
+bool Environment::PipelineActive(bool traced) const {
+  return options_.pipeline_sealing && !traced &&
+         common::ThreadPool::DefaultThreads() >= 1;
+}
+
+void Environment::DrainSeal() const {
+  if (!seal_future_.valid()) return;
+  common::ThreadPool& pool = common::ThreadPool::Global();
+  // Help run queued work instead of sleeping: the seal task itself may still
+  // be sitting in a deque, and a pool starved by blocked waiters would
+  // deadlock.
+  while (seal_future_.wait_for(std::chrono::seconds(0)) !=
+         std::future_status::ready) {
+    if (!pool.TryRunOneTask()) {
+      seal_future_.wait_for(std::chrono::microseconds(50));
+    }
+  }
+  std::future<void> done = std::move(seal_future_);
+  done.get();  // rethrow the seal's exception, if any
 }
 
 void Environment::SealBlock() {
+  DrainSeal();
   if (pending_.empty()) return;
   telemetry::Tracer& tracer = telemetry::Tracer::Global();
   const bool traced = telemetry::kCompiledIn && tracer.enabled();
+
+  // Snapshot everything the seal depends on *now*, synchronously: the digest
+  // view, the timestamp, and the transaction batch. The deferred work (tx
+  // root, PoW, state-root hashing) is then a pure function of the snapshot,
+  // which is what keeps the pipelined chain byte-identical to a serial one.
+  std::vector<Transaction> txs = std::move(pending_);
+  pending_.clear();
+  const uint64_t timestamp = clock_++;
+
+  if (PipelineActive(traced)) {
+    auto state = std::make_shared<std::pair<std::vector<Transaction>,
+                                            std::vector<StateEntry>>>(
+        std::move(txs), GatherStateEntries());
+    auto done = std::make_shared<std::promise<void>>();
+    seal_future_ = done->get_future();
+    common::ThreadPool::Global().Submit([this, state, done, timestamp] {
+      try {
+        const Hash root = ComputeStateRootFrom(state->second);
+        blockchain_.Append(std::move(state->first), root, timestamp);
+        done->set_value();
+      } catch (...) {
+        done->set_exception(std::current_exception());
+      }
+    });
+    return;
+  }
+
   const uint64_t t0 = traced ? telemetry::Tracer::NowNs() : 0;
-  const size_t num_txs = pending_.size();
+  const size_t num_txs = txs.size();
   {
     std::optional<telemetry::Span> span;
     if (traced) span.emplace("block.seal");
-    blockchain_.Append(std::move(pending_), ComputeStateRoot(), clock_++);
-    pending_.clear();
+    blockchain_.Append(std::move(txs),
+                       ComputeStateRootFrom(GatherStateEntries()), timestamp);
   }
   if (traced) {
     const uint64_t seal_ns = telemetry::Tracer::NowNs() - t0;
@@ -143,26 +379,6 @@ void Environment::SealBlock() {
          {"txs", static_cast<double>(num_txs)},
          {"seal_ms", static_cast<double>(seal_ns) / 1e6}}});
   }
-}
-
-Hash Environment::StateLeaf(const std::string& contract, const DigestEntry& entry) {
-  crypto::Keccak256Hasher h;
-  h.Update(contract);
-  h.Update(std::string(1, '\0'));
-  h.Update(entry.label);
-  h.Update(std::string(1, '\0'));
-  h.Update(entry.digest);
-  return h.Finalize();
-}
-
-std::vector<Hash> Environment::StateLeaves() const {
-  std::vector<Hash> leaves;
-  for (const auto& [name, contract] : contracts_) {
-    for (const DigestEntry& entry : contract->CommittedDigests()) {
-      leaves.push_back(StateLeaf(name, entry));
-    }
-  }
-  return leaves;
 }
 
 AuthenticatedState Environment::ReadAuthenticatedState(const std::string& contract_name) {
@@ -184,8 +400,14 @@ AuthenticatedState Environment::ReadAuthenticatedState(const std::string& contra
   state.commitment = options_.state_commitment;
   state.header = blockchain_.latest().header;
 
+  // ComputeStateRoot() above left the persistent commitment synchronized
+  // with the current digest view, so proofs come straight from it; the
+  // compat mode (incremental_commitment = false) rebuilds locally.
   if (options_.state_commitment == StateCommitment::kPatriciaTrie) {
-    crypto::PatriciaTrie trie = BuildStateTrie();
+    crypto::PatriciaTrie local;
+    const bool cached = options_.incremental_commitment && commit_valid_;
+    if (!cached) local = TrieFromEntries(GatherStateEntries());
+    const crypto::PatriciaTrie& trie = cached ? state_trie_ : local;
     for (const DigestEntry& entry : it->second->CommittedDigests()) {
       ProvenDigest pd;
       pd.entry = entry;
@@ -195,18 +417,28 @@ AuthenticatedState Environment::ReadAuthenticatedState(const std::string& contra
     return state;
   }
 
-  crypto::BinaryMerkleTree tree(StateLeaves());
-  size_t leaf_index = 0;
-  for (const auto& [name, contract] : contracts_) {
-    for (const DigestEntry& entry : contract->CommittedDigests()) {
-      if (name == contract_name) {
-        ProvenDigest pd;
-        pd.entry = entry;
-        pd.proof = tree.Prove(leaf_index);
-        state.digests.push_back(std::move(pd));
-      }
-      ++leaf_index;
+  std::vector<StateEntry> gathered;
+  std::optional<crypto::BinaryMerkleTree> local_tree;
+  const std::vector<StateEntry>* entries = nullptr;
+  const crypto::BinaryMerkleTree* tree = nullptr;
+  if (options_.incremental_commitment && commit_valid_) {
+    entries = &last_entries_;
+    if (state_tree_.has_value()) tree = &*state_tree_;
+  } else {
+    gathered = GatherStateEntries();
+    entries = &gathered;
+    if (!gathered.empty()) {
+      local_tree.emplace(LeavesFromEntries(gathered));
+      tree = &*local_tree;
     }
+  }
+  for (size_t i = 0; i < entries->size(); ++i) {
+    const StateEntry& e = (*entries)[i];
+    if (*e.contract != contract_name) continue;
+    ProvenDigest pd;
+    pd.entry = {e.label, e.digest};
+    pd.proof = tree->Prove(i);
+    state.digests.push_back(std::move(pd));
   }
   return state;
 }

@@ -3,12 +3,26 @@
 /// invocation as one transaction (rolling back storage on out-of-gas), batches
 /// transactions into blocks, commits contract digests into the block state
 /// root, and serves authenticated state (VO_chain) with inclusion proofs.
+///
+/// Throughput machinery (all off-meter; gas is bit-identical either way, see
+/// docs/PERFORMANCE.md "Simulator fast path"):
+///   - the state commitment is maintained *incrementally*: one persistent
+///     trie / Merkle tree absorbs only the digest entries that changed since
+///     the last seal, instead of a from-scratch rebuild per block;
+///   - block sealing is *pipelined*: the transaction-root computation, PoW
+///     nonce search, and state-root hashing for block k run on the global
+///     ThreadPool while transactions for block k+1 execute.
+/// Set GEM2_STATE_CROSSCHECK=1 to re-derive every root from scratch and
+/// compare (debug mode for the incremental path).
 #ifndef GEM2_CHAIN_ENVIRONMENT_H_
 #define GEM2_CHAIN_ENVIRONMENT_H_
 
 #include <functional>
+#include <future>
 #include <map>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "chain/blockchain.h"
@@ -44,6 +58,15 @@ struct EnvironmentOptions {
   /// When true (and the telemetry tracer has at least one sink), every
   /// receipt carries the transaction's span tree in `TxReceipt::trace`.
   bool capture_tx_trace = false;
+  /// Maintain the state commitment incrementally (default). Off = rebuild
+  /// from scratch every time, the pre-overhaul behaviour; kept as a
+  /// reference mode for the equivalence suite and bench comparisons.
+  bool incremental_commitment = true;
+  /// Overlap block k's seal (tx root, PoW, state-root hashing) with block
+  /// k+1's transaction execution on the global ThreadPool. Automatically
+  /// disabled when the pool has no workers (GEM2_THREADS=1) or telemetry
+  /// tracing is active; the sealed chain is byte-identical either way.
+  bool pipeline_sealing = true;
 };
 
 /// Outcome of one contract invocation.
@@ -78,9 +101,22 @@ struct AuthenticatedState {
   BlockHeader header;
 };
 
+/// Counters for the incremental state commitment (bench introspection).
+struct StateCommitStats {
+  uint64_t root_computations = 0;  // total state-root requests
+  uint64_t full_rebuilds = 0;      // computed from scratch
+  uint64_t entries_seen = 0;       // digest entries scanned across requests
+  uint64_t entries_updated = 0;    // entries actually (re)hashed into the
+                                   // persistent structure
+};
+
 class Environment {
  public:
   explicit Environment(EnvironmentOptions options = {});
+  ~Environment();
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
 
   /// Registers a contract (non-owning; the caller keeps it alive).
   void Register(Contract* contract);
@@ -108,23 +144,50 @@ class Environment {
   /// left no trace.
   Hash CurrentStateRoot() const { return ComputeStateRoot(); }
 
-  const Blockchain& blockchain() const { return blockchain_; }
+  /// Blocks until any in-flight pipelined seal has landed, then returns the
+  /// chain. Every read goes through here so callers never observe a block
+  /// mid-seal.
+  const Blockchain& blockchain() const {
+    DrainSeal();
+    return blockchain_;
+  }
   const EnvironmentOptions& options() const { return options_; }
   uint64_t total_gas_used() const { return total_gas_used_; }
   uint64_t num_transactions() const { return next_seq_; }
+  const StateCommitStats& commit_stats() const { return commit_stats_; }
 
  private:
-  /// Leaf digests of the state MHT: one per (contract, digest entry), in
-  /// deterministic (contract name, entry order) order.
-  std::vector<Hash> StateLeaves() const;
-  static Hash StateLeaf(const std::string& contract, const DigestEntry& entry);
+  /// One gathered digest entry; `contract` points at the contracts_ map key
+  /// (stable for the environment's lifetime).
+  struct StateEntry {
+    const std::string* contract;
+    std::string label;
+    Hash digest{};
+  };
 
+  /// Digest view of every registered contract, in deterministic
+  /// (contract name, ledger/entry order) order. Cheap relative to hashing:
+  /// ledger-backed contracts answer without touching their ADS.
+  std::vector<StateEntry> GatherStateEntries() const;
+
+  static Hash StateLeaf(const std::string& contract, const DigestEntry& entry);
+  static Hash StateLeafOf(const StateEntry& e);
   /// MPT key for one digest entry (kPatriciaTrie mode).
   static Bytes StateKey(const std::string& contract, const std::string& label);
-  /// Builds the state MPT over every contract digest.
-  crypto::PatriciaTrie BuildStateTrie() const;
-  /// Root under the configured commitment mode.
+
+  static crypto::PatriciaTrie TrieFromEntries(const std::vector<StateEntry>& cur);
+  static std::vector<Hash> LeavesFromEntries(const std::vector<StateEntry>& cur);
+
+  /// Computes the root for `cur`, updating the persistent commitment caches.
+  /// Callers must hold the seal pipeline drained (or be the seal task).
+  Hash ComputeStateRootFrom(const std::vector<StateEntry>& cur) const;
+  /// Drains the pipeline, gathers, and computes.
   Hash ComputeStateRoot() const;
+
+  /// Blocks until the in-flight seal (if any) finishes, helping the pool
+  /// drain queues meanwhile; rethrows the seal's exception.
+  void DrainSeal() const;
+  bool PipelineActive(bool traced) const;
 
   EnvironmentOptions options_;
   Blockchain blockchain_;
@@ -133,6 +196,25 @@ class Environment {
   uint64_t next_seq_ = 0;
   uint64_t clock_ = 1;
   uint64_t total_gas_used_ = 0;
+  bool crosscheck_ = false;  // GEM2_STATE_CROSSCHECK
+
+  // --- incremental commitment caches (guarded by the seal pipeline: only
+  // the in-flight seal task or a drained caller touches them) --------------
+  mutable bool commit_valid_ = false;
+  // kPatriciaTrie: persistent trie + applied (key -> digest) map. The MPT
+  // supports no deletion, so a vanished label forces a rebuild; additions
+  // and digest changes apply in place.
+  mutable crypto::PatriciaTrie state_trie_;
+  mutable std::unordered_map<std::string, Hash> trie_applied_;
+  // kBinaryMerkle: persistent tree + the (contract, label, digest) layout it
+  // was built over. Leaves are positional, so any layout change rebuilds;
+  // digest-only changes patch via UpdateLeaf.
+  mutable std::optional<crypto::BinaryMerkleTree> state_tree_;
+  mutable std::vector<StateEntry> last_entries_;
+  mutable StateCommitStats commit_stats_;
+
+  // --- pipelined sealing ---------------------------------------------------
+  mutable std::future<void> seal_future_;
 };
 
 }  // namespace gem2::chain

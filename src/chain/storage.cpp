@@ -6,16 +6,74 @@
 #include "crypto/keccak.h"
 
 namespace gem2::chain {
+namespace {
+
+constexpr size_t kInitialCapacity = 64;
+
+}  // namespace
+
+MeteredStorage::Entry* MeteredStorage::Find(const Slot& slot, size_t* insert_pos) {
+  if (table_.empty()) return nullptr;
+  size_t idx = SlotHasher{}(slot) & mask_;
+  size_t tombstone = SIZE_MAX;
+  while (true) {
+    Entry& e = table_[idx];
+    if (e.state == kEmpty) {
+      if (insert_pos != nullptr) {
+        *insert_pos = tombstone != SIZE_MAX ? tombstone : idx;
+      }
+      return nullptr;
+    }
+    if (e.state == kLive && e.slot == slot) return &e;
+    if (e.state == kDead && tombstone == SIZE_MAX) tombstone = idx;
+    idx = (idx + 1) & mask_;
+  }
+}
+
+const MeteredStorage::Entry* MeteredStorage::Find(const Slot& slot) const {
+  return const_cast<MeteredStorage*>(this)->Find(slot, nullptr);
+}
+
+void MeteredStorage::Rehash(size_t min_capacity) {
+  size_t capacity = table_.empty() ? kInitialCapacity : table_.size();
+  // Grow only when live entries genuinely crowd the table; otherwise the
+  // rehash just purges tombstones at the same size.
+  while (capacity < min_capacity || live_ * 4 >= capacity * 3) capacity *= 2;
+  std::vector<Entry> old = std::move(table_);
+  table_.assign(capacity, Entry{});
+  mask_ = capacity - 1;
+  used_ = live_;
+  for (Entry& e : old) {
+    if (e.state != kLive) continue;  // dropping a tombstone forgets its
+                                     // touch_epoch; see undo_log_ comment
+    size_t idx = SlotHasher{}(e.slot) & mask_;
+    while (table_[idx].state != kEmpty) idx = (idx + 1) & mask_;
+    table_[idx] = std::move(e);
+  }
+}
+
+void MeteredStorage::RecordUndo(Entry* entry, bool occupied, const Slot& slot) {
+  if (!in_tx_) return;
+  if (entry != nullptr && entry->touch_epoch == epoch_) return;  // journaled
+  if (occupied) {
+    undo_log_.emplace_back(slot, entry->word);
+  } else {
+    undo_log_.emplace_back(slot, std::nullopt);
+  }
+  if (entry != nullptr) entry->touch_epoch = epoch_;
+}
 
 Word MeteredStorage::Load(const Slot& slot, gas::Meter& meter) {
   meter.ChargeSload();
-  auto it = slots_.find(slot);
-  return it == slots_.end() ? kZeroWord : it->second;
+  const Entry* e = Find(slot);
+  return e == nullptr ? kZeroWord : e->word;
 }
 
 void MeteredStorage::Store(const Slot& slot, const Word& value, gas::Meter& meter) {
-  auto it = slots_.find(slot);
-  const bool occupied = it != slots_.end();
+  if (table_.empty() || used_ * 4 >= table_.size() * 3) Rehash(kInitialCapacity);
+  size_t insert_pos = SIZE_MAX;
+  Entry* e = Find(slot, &insert_pos);
+  const bool occupied = e != nullptr;
   // Charge gas before mutating: an OutOfGasError must not corrupt state even
   // outside a transaction bracket.
   if (occupied) {
@@ -23,14 +81,25 @@ void MeteredStorage::Store(const Slot& slot, const Word& value, gas::Meter& mete
   } else {
     meter.ChargeSstore();
   }
-  RecordUndo(slot);
+  RecordUndo(e, occupied, slot);
   if (value == kZeroWord) {
-    if (occupied) slots_.erase(it);
-  } else if (occupied) {
-    it->second = value;
-  } else {
-    slots_.emplace(slot, value);
+    if (occupied) {
+      e->state = kDead;
+      --live_;
+    }
+    return;
   }
+  if (occupied) {
+    e->word = value;
+    return;
+  }
+  Entry& fresh = table_[insert_pos];
+  if (fresh.state == kEmpty) ++used_;
+  fresh.slot = slot;
+  fresh.word = value;
+  fresh.state = kLive;
+  fresh.touch_epoch = in_tx_ ? epoch_ : 0;
+  ++live_;
 }
 
 uint64_t MeteredStorage::LoadUint(const Slot& slot, gas::Meter& meter) {
@@ -42,7 +111,11 @@ void MeteredStorage::StoreUint(const Slot& slot, uint64_t value, gas::Meter& met
 }
 
 Hash MeteredStorage::Fingerprint() const {
-  std::vector<std::pair<Slot, Word>> live(slots_.begin(), slots_.end());
+  std::vector<std::pair<Slot, Word>> live;
+  live.reserve(live_);
+  for (const Entry& e : table_) {
+    if (e.state == kLive) live.emplace_back(e.slot, e.word);
+  }
   std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
     return a.first.region != b.first.region ? a.first.region < b.first.region
                                             : a.first.index < b.first.index;
@@ -58,53 +131,63 @@ Hash MeteredStorage::Fingerprint() const {
 }
 
 bool MeteredStorage::Contains(const Slot& slot) const {
-  return slots_.find(slot) != slots_.end();
+  return Find(slot) != nullptr;
 }
 
 Word MeteredStorage::Peek(const Slot& slot) const {
-  auto it = slots_.find(slot);
-  return it == slots_.end() ? kZeroWord : it->second;
+  const Entry* e = Find(slot);
+  return e == nullptr ? kZeroWord : e->word;
 }
 
 void MeteredStorage::BeginTx() {
   if (in_tx_) throw std::logic_error("nested transaction");
   in_tx_ = true;
   undo_log_.clear();
-  touched_.clear();
+  ++epoch_;
 }
 
 void MeteredStorage::CommitTx() {
   if (!in_tx_) throw std::logic_error("commit outside transaction");
   in_tx_ = false;
   undo_log_.clear();
-  touched_.clear();
+}
+
+void MeteredStorage::RestoreSlot(const Slot& slot, const std::optional<Word>& word) {
+  size_t insert_pos = SIZE_MAX;
+  Entry* e = Find(slot, &insert_pos);
+  if (!word.has_value()) {
+    if (e != nullptr) {
+      e->state = kDead;
+      --live_;
+    }
+    return;
+  }
+  if (e != nullptr) {
+    e->word = *word;
+    return;
+  }
+  if (table_.empty() || used_ * 4 >= table_.size() * 3) {
+    Rehash(kInitialCapacity);
+    Find(slot, &insert_pos);
+  }
+  Entry& fresh = table_[insert_pos];
+  if (fresh.state == kEmpty) ++used_;
+  fresh.slot = slot;
+  fresh.word = *word;
+  fresh.state = kLive;
+  fresh.touch_epoch = 0;
+  ++live_;
 }
 
 void MeteredStorage::RollbackTx() {
   if (!in_tx_) throw std::logic_error("rollback outside transaction");
-  // Apply undo entries in reverse; only first-touch entries exist.
-  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
-    if (it->second.has_value()) {
-      slots_[it->first] = *it->second;
-    } else {
-      slots_.erase(it->first);
-    }
-  }
   in_tx_ = false;
-  undo_log_.clear();
-  touched_.clear();
-}
-
-void MeteredStorage::RecordUndo(const Slot& slot) {
-  if (!in_tx_) return;
-  auto [it, inserted] = touched_.emplace(slot, true);
-  if (!inserted) return;
-  auto existing = slots_.find(slot);
-  if (existing == slots_.end()) {
-    undo_log_.emplace_back(slot, std::nullopt);
-  } else {
-    undo_log_.emplace_back(slot, existing->second);
+  // Apply undo entries in reverse; the oldest record for a slot replays last,
+  // so duplicates (see undo_log_ comment) cannot clobber the original value.
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    RestoreSlot(it->first, it->second);
   }
+  undo_log_.clear();
 }
 
 }  // namespace gem2::chain

@@ -11,12 +11,18 @@
 /// A transaction that runs out of gas must leave no trace, so the host brackets
 /// execution with BeginTx / CommitTx / RollbackTx and the storage keeps a
 /// first-touch undo log.
+///
+/// Layout: a single open-addressing (linear probing) table whose entry carries
+/// the word together with the per-tx journaling epoch, so the sload/sstore hot
+/// path costs exactly one probe sequence — the previous design paid two hash
+/// lookups per store (the slot map plus the touched-set used for first-touch
+/// undo detection).
 #ifndef GEM2_CHAIN_STORAGE_H_
 #define GEM2_CHAIN_STORAGE_H_
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -65,7 +71,7 @@ class MeteredStorage {
   /// Unmetered inspection (tests, SP mirroring, state commitment).
   bool Contains(const Slot& slot) const;
   Word Peek(const Slot& slot) const;
-  size_t NumSlots() const { return slots_.size(); }
+  size_t NumSlots() const { return live_; }
 
   /// Keccak digest of the full live slot contents, in sorted slot order:
   /// two storages hold identical words iff their fingerprints match. Used to
@@ -79,14 +85,45 @@ class MeteredStorage {
   bool in_tx() const { return in_tx_; }
 
  private:
-  void RecordUndo(const Slot& slot);
+  enum : uint8_t { kEmpty = 0, kLive = 1, kDead = 2 };
 
-  std::unordered_map<Slot, Word, SlotHasher> slots_;
+  /// One table bucket. `touch_epoch` replaces the old touched-set: an entry
+  /// whose epoch equals the current tx epoch has already been journaled, so
+  /// first-touch detection rides along with the lookup for free.
+  struct Entry {
+    Slot slot;
+    Word word{};
+    uint64_t touch_epoch = 0;
+    uint8_t state = kEmpty;
+  };
+
+  /// Probes for `slot`. Returns the live entry holding it, or nullptr. When
+  /// `insert_pos` is non-null it receives the bucket a fresh insert should
+  /// use (first tombstone on the probe path, else the terminating empty one).
+  Entry* Find(const Slot& slot, size_t* insert_pos);
+  const Entry* Find(const Slot& slot) const;
+
+  /// Grows (or compacts away tombstones) so one more insert fits.
+  void Rehash(size_t min_capacity);
+
+  /// Unmetered write used by RollbackTx to restore a journaled value.
+  void RestoreSlot(const Slot& slot, const std::optional<Word>& word);
+
+  void RecordUndo(Entry* entry, bool occupied, const Slot& slot);
+
+  std::vector<Entry> table_;  // power-of-two size; empty until first store
+  size_t mask_ = 0;
+  size_t live_ = 0;  // entries in state kLive
+  size_t used_ = 0;  // kLive + kDead (probe-chain occupancy)
   bool in_tx_ = false;
+  uint64_t epoch_ = 0;  // bumped by BeginTx; entry.touch_epoch == epoch_
+                        // means "already journaled in this tx"
   // First write to a slot within a tx records (slot, previous value or
-  // nullopt if the slot was empty).
+  // nullopt if the slot was empty). Replayed in reverse on rollback; a
+  // duplicate record for the same slot (possible when a rehash drops
+  // tombstone epochs mid-tx) is benign because the oldest record replays
+  // last and wins.
   std::vector<std::pair<Slot, std::optional<Word>>> undo_log_;
-  std::unordered_map<Slot, bool, SlotHasher> touched_;
 };
 
 }  // namespace gem2::chain

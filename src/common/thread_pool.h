@@ -63,6 +63,12 @@ class ThreadPool {
   /// Worker count Global() would use (reads GEM2_THREADS).
   static size_t DefaultThreads();
 
+  /// Runs one queued task if any is available (own deque first for pool
+  /// threads, then stealing). Returns false when every deque was empty.
+  /// Public so a caller blocked on pool-produced work (e.g. a pipelined
+  /// block seal) can help drain queues instead of sleeping.
+  bool TryRunOneTask();
+
  private:
   struct Queue {
     std::mutex mutex;
@@ -70,9 +76,6 @@ class ThreadPool {
   };
 
   void WorkerLoop(size_t index);
-  /// Runs one queued task if any is available (own deque first for pool
-  /// threads, then stealing). Returns false when every deque was empty.
-  bool TryRunOneTask();
   bool PopTask(size_t preferred, Task* out);
 
   std::vector<std::unique_ptr<Queue>> queues_;

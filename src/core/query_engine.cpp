@@ -1,0 +1,100 @@
+#include "core/query_engine.h"
+
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "core/wire.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace gem2::core {
+
+SpQueryEngine::SpQueryEngine(AuthenticatedDb* db, common::ThreadPool* pool)
+    : db_(db), pool_(pool != nullptr ? pool : &common::ThreadPool::Global()) {
+  db_->SetSpThreadPool(pool_);
+}
+
+SpQueryEngine::~SpQueryEngine() {
+  // Leave the db usable after the engine goes away, without a dangling pool.
+  db_->SetSpThreadPool(nullptr);
+}
+
+template <typename Fn>
+chain::TxReceipt SpQueryEngine::Write(const char* span_name, Fn&& fn) {
+  telemetry::Span span(span_name);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  chain::TxReceipt receipt = fn();
+  // Publish the new snapshot before readers can acquire the lock; acq_rel
+  // pairs with the acquire load in epoch().
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  telemetry::MetricsRegistry::Global().counter("sp_engine.writes").Add(1);
+  return receipt;
+}
+
+chain::TxReceipt SpQueryEngine::Insert(const Object& object) {
+  return Write("sp_engine.insert", [&] { return db_->Insert(object); });
+}
+
+chain::TxReceipt SpQueryEngine::Update(const Object& object) {
+  return Write("sp_engine.update", [&] { return db_->Update(object); });
+}
+
+chain::TxReceipt SpQueryEngine::Delete(Key key) {
+  return Write("sp_engine.delete", [&] { return db_->Delete(key); });
+}
+
+chain::TxReceipt SpQueryEngine::InsertBatch(const std::vector<Object>& objects) {
+  return Write("sp_engine.insert_batch", [&] { return db_->InsertBatch(objects); });
+}
+
+QueryResponse SpQueryEngine::Query(Key lb, Key ub) const {
+  TELEMETRY_SPAN("sp_engine.query");
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  QueryResponse response = db_->Query(lb, ub);
+  telemetry::MetricsRegistry::Global().counter("sp_engine.queries").Add(1);
+  return response;
+}
+
+std::vector<QueryResponse> SpQueryEngine::QueryBatch(
+    const std::vector<KeyRange>& ranges) const {
+  TELEMETRY_SPAN("sp_engine.query_batch");
+  std::vector<QueryResponse> results(ranges.size());
+  const uint64_t start_ns = telemetry::Tracer::NowNs();
+  {
+    // One shared-lock acquisition for the whole batch: every response
+    // answers from the same epoch, and writers cannot interleave mid-batch.
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    pool_->ParallelFor(0, ranges.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        results[i] = db_->Query(ranges[i].first, ranges[i].second);
+      }
+    });
+  }
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.counter("sp_engine.queries").Add(ranges.size());
+  metrics.counter("sp_engine.batches").Add(1);
+  const uint64_t elapsed_ns = telemetry::Tracer::NowNs() - start_ns;
+  if (elapsed_ns > 0 && !ranges.empty()) {
+    // Queries per second over the batch, as an integer gauge.
+    metrics.gauge("sp_engine.batch_qps")
+        .Set(static_cast<int64_t>(ranges.size() * 1000000000.0 /
+                                  static_cast<double>(elapsed_ns)));
+  }
+  return results;
+}
+
+Bytes SpQueryEngine::QueryWire(Key lb, Key ub) const {
+  TELEMETRY_SPAN("sp_engine.query_wire");
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return SerializeResponse(db_->Query(lb, ub));
+}
+
+VerifiedResult SpQueryEngine::VerifyFor(Key lb, Key ub,
+                                        const QueryResponse& response) {
+  TELEMETRY_SPAN("sp_engine.verify");
+  // Exclusive: verification advances the client's light-client head.
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return db_->VerifyFor(lb, ub, response);
+}
+
+}  // namespace gem2::core

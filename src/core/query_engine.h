@@ -1,0 +1,96 @@
+/// \file query_engine.h
+/// Concurrent service-provider query engine: many authenticated range
+/// queries execute in parallel against a consistent snapshot of the SP's
+/// ADS state, while data-owner writes serialize against them.
+///
+/// Concurrency model (see docs/PERFORMANCE.md):
+///   - a std::shared_mutex guards the wrapped AuthenticatedDb. Queries take
+///     it shared — any number run at once, each seeing the same committed
+///     root digests; Insert/Update/Delete take it exclusive;
+///   - every committed write advances an epoch counter. A response produced
+///     under shared lock is consistent as of one epoch: the VO it carries
+///     verifies against exactly the chain digests of that epoch;
+///   - QueryBatch fans a batch of ranges across the thread pool under ONE
+///     shared-lock acquisition, so the whole batch answers from a single
+///     snapshot — this is the SP's bulk-serving fast path;
+///   - on-chain (metered) execution stays single-threaded: the exclusive
+///     lock means the contract never runs concurrently with anything.
+#ifndef GEM2_CORE_QUERY_ENGINE_H_
+#define GEM2_CORE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "core/authenticated_db.h"
+
+namespace gem2::common {
+class ThreadPool;
+}
+
+namespace gem2::core {
+
+/// A half-open query workload item: the inclusive range [lb, ub].
+using KeyRange = std::pair<Key, Key>;
+
+class SpQueryEngine {
+ public:
+  /// Wraps `db` (not owned; must outlive the engine). `pool` is used for
+  /// QueryBatch fan-out and is also installed as the db's SP-side build pool;
+  /// nullptr selects ThreadPool::Global().
+  explicit SpQueryEngine(AuthenticatedDb* db,
+                         common::ThreadPool* pool = nullptr);
+  ~SpQueryEngine();
+
+  SpQueryEngine(const SpQueryEngine&) = delete;
+  SpQueryEngine& operator=(const SpQueryEngine&) = delete;
+
+  // --- Data-owner interface (exclusive lock) -----------------------------
+
+  chain::TxReceipt Insert(const Object& object);
+  chain::TxReceipt Update(const Object& object);
+  chain::TxReceipt Delete(Key key);
+  chain::TxReceipt InsertBatch(const std::vector<Object>& objects);
+
+  // --- Service-provider interface (shared lock) --------------------------
+
+  /// One authenticated range query against the current snapshot.
+  QueryResponse Query(Key lb, Key ub) const;
+
+  /// Answers every range in `ranges` from ONE consistent snapshot, fanning
+  /// the work across the pool. results[i] answers ranges[i]. Each response
+  /// is bit-identical (as wire bytes) to a serial Query of the same range at
+  /// the same epoch — parallel_equivalence_test asserts this.
+  std::vector<QueryResponse> QueryBatch(const std::vector<KeyRange>& ranges) const;
+
+  /// Query + wire serialization under one shared-lock acquisition.
+  Bytes QueryWire(Key lb, Key ub) const;
+
+  // --- Client interface (exclusive: verification advances the light client)
+
+  VerifiedResult VerifyFor(Key lb, Key ub, const QueryResponse& response);
+
+  // --- Introspection ------------------------------------------------------
+
+  /// Number of committed writes so far. Monotonic; two queries returning the
+  /// same epoch answered from the same snapshot.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  AuthenticatedDb& db() { return *db_; }
+  const AuthenticatedDb& db() const { return *db_; }
+  common::ThreadPool& pool() const { return *pool_; }
+
+ private:
+  template <typename Fn>
+  chain::TxReceipt Write(const char* span_name, Fn&& fn);
+
+  AuthenticatedDb* db_;
+  common::ThreadPool* pool_;
+  mutable std::shared_mutex mutex_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace gem2::core
+
+#endif  // GEM2_CORE_QUERY_ENGINE_H_

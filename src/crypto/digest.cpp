@@ -1,5 +1,7 @@
 #include "crypto/digest.h"
 
+#include <cstring>
+
 namespace gem2::crypto {
 
 Hash EntryDigest(Key key, const Hash& value_hash) {
@@ -29,6 +31,27 @@ Hash EmptyTreeDigest() {
 }
 
 Hash ValueHash(const std::string& value) { return Keccak256(value); }
+
+namespace {
+/// Big-endian two's complement, matching Keccak256Hasher::UpdateKey.
+inline void EncodeKeyBe(Key k, uint8_t* out) {
+  const uint64_t v = static_cast<uint64_t>(k);
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<uint8_t>((v >> (8 * (7 - i))) & 0xff);
+  }
+}
+}  // namespace
+
+void EncodeEntryPreimage(Key key, const Hash& value_hash, uint8_t out[40]) {
+  EncodeKeyBe(key, out);
+  std::memcpy(out + 8, value_hash.data(), value_hash.size());
+}
+
+void EncodeWrapPreimage(Key lo, Key hi, const Hash& content, uint8_t out[48]) {
+  EncodeKeyBe(lo, out);
+  EncodeKeyBe(hi, out + 8);
+  std::memcpy(out + 16, content.data(), content.size());
+}
 
 uint64_t EntryDigestBytes() { return 8 + 32; }
 

@@ -43,6 +43,14 @@ uint64_t EntryDigestBytes();
 uint64_t ContentDigestBytes(size_t num_children);
 uint64_t WrapDigestBytes();
 
+/// Exact preimages of EntryDigest / WrapDigest, for feeding independent
+/// digests to a Keccak256Batcher (keccak_batch.h). Keccak256(out, size) of
+/// the filled buffer equals the corresponding *Digest call bit-for-bit.
+/// (ContentDigest needs no encoder — its preimage is the concatenated child
+/// digests, already contiguous at every call site.)
+void EncodeEntryPreimage(Key key, const Hash& value_hash, uint8_t out[40]);
+void EncodeWrapPreimage(Key lo, Key hi, const Hash& content, uint8_t out[48]);
+
 }  // namespace gem2::crypto
 
 #endif  // GEM2_CRYPTO_DIGEST_H_

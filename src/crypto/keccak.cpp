@@ -135,6 +135,13 @@ uint64_t KeccakPermutationCount() {
   return g_permutations.load(std::memory_order_relaxed);
 }
 
+namespace internal {
+void Permute(uint64_t state[25]) { KeccakF1600(state); }
+void AddPermutations(uint64_t n) {
+  g_permutations.fetch_add(n, std::memory_order_relaxed);
+}
+}  // namespace internal
+
 Keccak256Hasher::Keccak256Hasher() : buffer_len_(0), absorbed_(0), finalized_(false) {
   std::memset(state_, 0, sizeof(state_));
   std::memset(buffer_, 0, sizeof(buffer_));

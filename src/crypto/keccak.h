@@ -28,8 +28,20 @@ Hash Keccak256(const std::string& data);
 /// Total number of Keccak-f[1600] permutation invocations performed by this
 /// process so far (monotonic, thread-safe). Benches and tests diff this
 /// counter around an operation to count the hash work it really did — the
-/// basis for the incremental-vs-rebuild digest accounting.
+/// basis for the incremental-vs-rebuild digest accounting. The count is
+/// *logical*: a multi-buffer SIMD pass over k states adds k, so the number is
+/// independent of batching width and always equals the scalar-execution count.
 uint64_t KeccakPermutationCount();
+
+namespace internal {
+/// Raw Keccak-f[1600] over a 25-lane state (adds 1 to the permutation
+/// counter). Exposed for the multi-buffer batcher's scalar fallback
+/// (keccak_batch.h); not a public hashing API.
+void Permute(uint64_t state[25]);
+/// Adds `n` logical permutations to the process counter — used by the SIMD
+/// kernel, which performs n block permutations per hardware pass.
+void AddPermutations(uint64_t n);
+}  // namespace internal
 
 /// Incremental Keccak-256 sponge. Absorb any number of chunks, then finalize.
 class Keccak256Hasher {

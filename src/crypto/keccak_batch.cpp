@@ -1,0 +1,221 @@
+#include "crypto/keccak_batch.h"
+
+#include <cstring>
+
+#include "crypto/keccak.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+// GCC's unmasked vprolq intrinsic expands through _mm512_undefined_epi32,
+// which trips -Wuninitialized inside the compiler's own header.
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#include <immintrin.h>
+#define GEM2_KECCAK_X8 1
+#else
+#define GEM2_KECCAK_X8 0
+#endif
+
+namespace gem2::crypto {
+namespace {
+
+constexpr int kRounds = 24;
+constexpr size_t kRate = 136;
+
+constexpr uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+inline uint64_t LoadLane(const uint8_t* p) {
+  return static_cast<uint64_t>(p[0]) | static_cast<uint64_t>(p[1]) << 8 |
+         static_cast<uint64_t>(p[2]) << 16 | static_cast<uint64_t>(p[3]) << 24 |
+         static_cast<uint64_t>(p[4]) << 32 | static_cast<uint64_t>(p[5]) << 40 |
+         static_cast<uint64_t>(p[6]) << 48 | static_cast<uint64_t>(p[7]) << 56;
+}
+
+inline void StoreLane(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+/// One scalar sponge per block; counts permutations via internal::Permute.
+void HashBlocksScalar(const uint8_t blocks[][kRate], size_t count,
+                      Hash* const* outs) {
+  for (size_t b = 0; b < count; ++b) {
+    uint64_t state[25] = {};
+    for (int w = 0; w < 17; ++w) state[w] = LoadLane(blocks[b] + 8 * w);
+    internal::Permute(state);
+    for (int w = 0; w < 4; ++w) StoreLane(outs[b]->data() + 8 * w, state[w]);
+  }
+}
+
+#if GEM2_KECCAK_X8
+
+bool CpuHasAvx512() {
+  static const bool ok = __builtin_cpu_supports("avx512f");
+  return ok;
+}
+
+/// Eight interleaved Keccak-f[1600] sponges: SIMD register s[w] holds Keccak
+/// lane w of all eight states, one per 64-bit element. The round structure
+/// mirrors the scalar KeccakF1600 exactly; rotates map to vprolq and the chi
+/// step a ^ (~b & c) is a single vpternlogq (truth-table immediate 0xD2).
+/// Compiled with a target attribute + runtime CPUID dispatch so the
+/// translation unit builds (and the binary runs) on any x86-64.
+__attribute__((target("avx512f"))) void HashBlocksX8(
+    const uint8_t blocks[][kRate], size_t count, Hash* const* outs) {
+#define GEM2_ROL(v, n) _mm512_rol_epi64((v), (n))
+#define GEM2_CHI(a, b, c) _mm512_ternarylogic_epi64((a), (b), (c), 0xD2)
+#define GEM2_XOR(a, b) _mm512_xor_si512((a), (b))
+  // Transpose the 17 message lanes across the 8 blocks. Slots beyond `count`
+  // hold stale bytes from earlier batches; their results are never read.
+  // Capacity lanes 17..24 start at zero, exactly like a fresh sponge.
+  __m512i s[25];
+  for (int w = 0; w < 17; ++w) {
+    alignas(64) uint64_t lane[8];
+    for (int b = 0; b < 8; ++b) lane[b] = LoadLane(blocks[b] + 8 * w);
+    s[w] = _mm512_load_si512(lane);
+  }
+  for (int w = 17; w < 25; ++w) s[w] = _mm512_setzero_si512();
+
+  __m512i a00 = s[0], a01 = s[1], a02 = s[2], a03 = s[3], a04 = s[4];
+  __m512i a05 = s[5], a06 = s[6], a07 = s[7], a08 = s[8], a09 = s[9];
+  __m512i a10 = s[10], a11 = s[11], a12 = s[12], a13 = s[13], a14 = s[14];
+  __m512i a15 = s[15], a16 = s[16], a17 = s[17], a18 = s[18], a19 = s[19];
+  __m512i a20 = s[20], a21 = s[21], a22 = s[22], a23 = s[23], a24 = s[24];
+
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta.
+    const __m512i c0 = GEM2_XOR(GEM2_XOR(GEM2_XOR(a00, a05), GEM2_XOR(a10, a15)), a20);
+    const __m512i c1 = GEM2_XOR(GEM2_XOR(GEM2_XOR(a01, a06), GEM2_XOR(a11, a16)), a21);
+    const __m512i c2 = GEM2_XOR(GEM2_XOR(GEM2_XOR(a02, a07), GEM2_XOR(a12, a17)), a22);
+    const __m512i c3 = GEM2_XOR(GEM2_XOR(GEM2_XOR(a03, a08), GEM2_XOR(a13, a18)), a23);
+    const __m512i c4 = GEM2_XOR(GEM2_XOR(GEM2_XOR(a04, a09), GEM2_XOR(a14, a19)), a24);
+    const __m512i d0 = GEM2_XOR(c4, GEM2_ROL(c1, 1));
+    const __m512i d1 = GEM2_XOR(c0, GEM2_ROL(c2, 1));
+    const __m512i d2 = GEM2_XOR(c1, GEM2_ROL(c3, 1));
+    const __m512i d3 = GEM2_XOR(c2, GEM2_ROL(c4, 1));
+    const __m512i d4 = GEM2_XOR(c3, GEM2_ROL(c0, 1));
+    a00 = GEM2_XOR(a00, d0); a05 = GEM2_XOR(a05, d0); a10 = GEM2_XOR(a10, d0);
+    a15 = GEM2_XOR(a15, d0); a20 = GEM2_XOR(a20, d0);
+    a01 = GEM2_XOR(a01, d1); a06 = GEM2_XOR(a06, d1); a11 = GEM2_XOR(a11, d1);
+    a16 = GEM2_XOR(a16, d1); a21 = GEM2_XOR(a21, d1);
+    a02 = GEM2_XOR(a02, d2); a07 = GEM2_XOR(a07, d2); a12 = GEM2_XOR(a12, d2);
+    a17 = GEM2_XOR(a17, d2); a22 = GEM2_XOR(a22, d2);
+    a03 = GEM2_XOR(a03, d3); a08 = GEM2_XOR(a08, d3); a13 = GEM2_XOR(a13, d3);
+    a18 = GEM2_XOR(a18, d3); a23 = GEM2_XOR(a23, d3);
+    a04 = GEM2_XOR(a04, d4); a09 = GEM2_XOR(a09, d4); a14 = GEM2_XOR(a14, d4);
+    a19 = GEM2_XOR(a19, d4); a24 = GEM2_XOR(a24, d4);
+
+    // Rho + Pi (same lane mapping and rotation counts as the scalar version).
+    const __m512i b00 = a00;
+    const __m512i b10 = GEM2_ROL(a01, 1);
+    const __m512i b20 = GEM2_ROL(a02, 62);
+    const __m512i b05 = GEM2_ROL(a03, 28);
+    const __m512i b15 = GEM2_ROL(a04, 27);
+    const __m512i b16 = GEM2_ROL(a05, 36);
+    const __m512i b01 = GEM2_ROL(a06, 44);
+    const __m512i b11 = GEM2_ROL(a07, 6);
+    const __m512i b21 = GEM2_ROL(a08, 55);
+    const __m512i b06 = GEM2_ROL(a09, 20);
+    const __m512i b07 = GEM2_ROL(a10, 3);
+    const __m512i b17 = GEM2_ROL(a11, 10);
+    const __m512i b02 = GEM2_ROL(a12, 43);
+    const __m512i b12 = GEM2_ROL(a13, 25);
+    const __m512i b22 = GEM2_ROL(a14, 39);
+    const __m512i b23 = GEM2_ROL(a15, 41);
+    const __m512i b08 = GEM2_ROL(a16, 45);
+    const __m512i b18 = GEM2_ROL(a17, 15);
+    const __m512i b03 = GEM2_ROL(a18, 21);
+    const __m512i b13 = GEM2_ROL(a19, 8);
+    const __m512i b14 = GEM2_ROL(a20, 18);
+    const __m512i b24 = GEM2_ROL(a21, 2);
+    const __m512i b09 = GEM2_ROL(a22, 61);
+    const __m512i b19 = GEM2_ROL(a23, 56);
+    const __m512i b04 = GEM2_ROL(a24, 14);
+
+    // Chi + Iota.
+    const __m512i rc = _mm512_set1_epi64(static_cast<long long>(kRoundConstants[round]));
+    a00 = GEM2_XOR(GEM2_CHI(b00, b01, b02), rc);
+    a01 = GEM2_CHI(b01, b02, b03);
+    a02 = GEM2_CHI(b02, b03, b04);
+    a03 = GEM2_CHI(b03, b04, b00);
+    a04 = GEM2_CHI(b04, b00, b01);
+    a05 = GEM2_CHI(b05, b06, b07);
+    a06 = GEM2_CHI(b06, b07, b08);
+    a07 = GEM2_CHI(b07, b08, b09);
+    a08 = GEM2_CHI(b08, b09, b05);
+    a09 = GEM2_CHI(b09, b05, b06);
+    a10 = GEM2_CHI(b10, b11, b12);
+    a11 = GEM2_CHI(b11, b12, b13);
+    a12 = GEM2_CHI(b12, b13, b14);
+    a13 = GEM2_CHI(b13, b14, b10);
+    a14 = GEM2_CHI(b14, b10, b11);
+    a15 = GEM2_CHI(b15, b16, b17);
+    a16 = GEM2_CHI(b16, b17, b18);
+    a17 = GEM2_CHI(b17, b18, b19);
+    a18 = GEM2_CHI(b18, b19, b15);
+    a19 = GEM2_CHI(b19, b15, b16);
+    a20 = GEM2_CHI(b20, b21, b22);
+    a21 = GEM2_CHI(b21, b22, b23);
+    a22 = GEM2_CHI(b22, b23, b24);
+    a23 = GEM2_CHI(b23, b24, b20);
+    a24 = GEM2_CHI(b24, b20, b21);
+  }
+
+  // Only lanes 0..3 (the 256-bit digest) need to come back out.
+  s[0] = a00; s[1] = a01; s[2] = a02; s[3] = a03;
+  for (int w = 0; w < 4; ++w) {
+    alignas(64) uint64_t lane[8];
+    _mm512_store_si512(lane, s[w]);
+    for (size_t b = 0; b < count; ++b) {
+      StoreLane(outs[b]->data() + 8 * w, lane[b]);
+    }
+  }
+#undef GEM2_ROL
+#undef GEM2_CHI
+#undef GEM2_XOR
+}
+
+#endif  // GEM2_KECCAK_X8
+
+}  // namespace
+
+void Keccak256Batcher::Add(const uint8_t* data, size_t len, Hash* out) {
+  if (len > kMaxMessageLen) {
+    // Multi-block message (e.g. content digest at fanout > 4): not batchable,
+    // hash it scalar right away.
+    *out = Keccak256(data, len);
+    return;
+  }
+  uint8_t* block = blocks_[count_];
+  std::memcpy(block, data, len);
+  std::memset(block + len, 0, kRate - len);
+  // Keccak (pre-SHA3) padding, identical to Keccak256Hasher::Finalize.
+  block[len] = 0x01;
+  block[kRate - 1] |= 0x80;
+  outs_[count_] = out;
+  if (++count_ == kLanes) Flush();
+}
+
+void Keccak256Batcher::Flush() {
+  if (count_ == 0) return;
+#if GEM2_KECCAK_X8
+  // A single 512-bit pass costs more than one scalar permutation but far less
+  // than two, so SIMD pays off for any batch of at least 2.
+  if (count_ >= 2 && CpuHasAvx512()) {
+    HashBlocksX8(blocks_, count_, outs_);
+    internal::AddPermutations(count_);
+    count_ = 0;
+    return;
+  }
+#endif
+  HashBlocksScalar(blocks_, count_, outs_);
+  count_ = 0;
+}
+
+}  // namespace gem2::crypto

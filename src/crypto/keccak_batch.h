@@ -1,0 +1,61 @@
+/// \file keccak_batch.h
+/// Multi-buffer Keccak-256 for independent single-block messages.
+///
+/// Nearly every digest in this library is a single sponge block: entry
+/// digests are 40 bytes, wrap digests 48, merkle pairs 64, content digests
+/// 32*fanout (128 at the default fanout of 4) — all under the 136-byte rate.
+/// Within one tree level those hashes are mutually independent, so eight of
+/// them can ride one AVX-512 pass over eight interleaved Keccak-f[1600]
+/// states instead of eight scalar permutations. The digests produced are
+/// bit-identical to scalar Keccak-256 and the process permutation counter
+/// still advances once per *message* (logical counting), so nothing observable
+/// changes except wall-clock time.
+///
+/// Gas accounting is untouched by design: callers charge Chash exactly where
+/// the scalar code charged it (charges are pure arithmetic on message sizes),
+/// then hand the actual hashing to the batcher. See CanonicalRootDigest for
+/// the charge-order-preserving pattern.
+#ifndef GEM2_CRYPTO_KECCAK_BATCH_H_
+#define GEM2_CRYPTO_KECCAK_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace gem2::crypto {
+
+/// Collects up to 8 padded message blocks and hashes them together. Usage:
+///
+///   Keccak256Batcher b;
+///   for (...) b.Add(msg, len, &out[i]);   // queues; may auto-flush at 8
+///   b.Flush();                            // outputs valid only after this
+///
+/// The `out` pointers must stay valid until the next Flush (reserve result
+/// vectors up front). Add copies the message immediately, so the input buffer
+/// may be reused between calls. Messages longer than kMaxMessageLen are
+/// hashed scalar on the spot (multi-block sponge), writing *out immediately —
+/// correct, just not batched. Not thread-safe; use one batcher per thread.
+class Keccak256Batcher {
+ public:
+  /// Longest message that still fits one rate-sized block after padding.
+  static constexpr size_t kMaxMessageLen = 135;
+
+  void Add(const uint8_t* data, size_t len, Hash* out);
+
+  /// Hashes all queued blocks (8-way AVX-512 when the CPU has it, scalar
+  /// otherwise) and writes every pending output. No-op when empty.
+  void Flush();
+
+ private:
+  static constexpr size_t kLanes = 8;
+  static constexpr size_t kRate = 136;
+
+  alignas(64) uint8_t blocks_[kLanes][kRate];
+  Hash* outs_[kLanes];
+  size_t count_ = 0;
+};
+
+}  // namespace gem2::crypto
+
+#endif  // GEM2_CRYPTO_KECCAK_BATCH_H_

@@ -1,9 +1,11 @@
 #include "crypto/merkle.h"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/digest.h"
 #include "crypto/keccak.h"
+#include "crypto/keccak_batch.h"
 
 namespace gem2::crypto {
 
@@ -78,7 +80,25 @@ void BinaryMerkleTree::UpdateLeaf(size_t index, const Hash& leaf) {
 }
 
 Hash BinaryMerkleTree::RootOf(const std::vector<Hash>& leaves) {
-  return BinaryMerkleTree(leaves).root();
+  // Root-only fold: skips the tree's level storage, and each level's pair
+  // hashes are independent so they go through the 8-way batcher. Shape is
+  // the constructor's exactly (odd tail promoted), bits identical.
+  if (leaves.empty()) return EmptyTreeDigest();
+  std::vector<Hash> cur = leaves;
+  Keccak256Batcher batcher;
+  uint8_t msg[64];
+  while (cur.size() > 1) {
+    std::vector<Hash> next((cur.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < cur.size(); i += 2) {
+      std::memcpy(msg, cur[i].data(), 32);
+      std::memcpy(msg + 32, cur[i + 1].data(), 32);
+      batcher.Add(msg, sizeof(msg), &next[i / 2]);
+    }
+    batcher.Flush();
+    if (cur.size() % 2 == 1) next.back() = cur.back();
+    cur = std::move(next);
+  }
+  return cur[0];
 }
 
 }  // namespace gem2::crypto

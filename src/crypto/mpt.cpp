@@ -11,7 +11,7 @@ namespace {
 
 using Nibbles = std::vector<uint8_t>;
 
-Nibbles ToNibbles(const Bytes& key) {
+Nibbles ToNibbles(std::span<const uint8_t> key) {
   Nibbles out;
   out.reserve(key.size() * 2);
   for (uint8_t b : key) {
@@ -73,8 +73,8 @@ struct PatriciaTrie::Node {
   Kind kind = Kind::kLeaf;
   Nibbles path;   // leaf / extension
   Bytes value;    // leaf value, or branch value slot
-  std::array<std::unique_ptr<Node>, 16> children;  // branch
-  std::unique_ptr<Node> next;                      // extension target
+  std::array<Node*, 16> children{};  // branch (arena-owned)
+  Node* next = nullptr;              // extension target (arena-owned)
 
   /// RLP encoding of this node (children referenced by hash).
   Bytes Encode() const {
@@ -91,7 +91,7 @@ struct PatriciaTrie::Node {
       case Kind::kBranch: {
         std::vector<Item> items;
         items.reserve(17);
-        for (const auto& child : children) {
+        for (const Node* child : children) {
           items.push_back(Item::String(
               child == nullptr ? Bytes{} : HashBytes(child->HashNode())));
         }
@@ -122,7 +122,7 @@ struct PatriciaTrie::Node {
   mutable bool hash_valid_ = false;
 };
 
-PatriciaTrie::PatriciaTrie() = default;
+PatriciaTrie::PatriciaTrie() : arena_(std::make_unique<common::Arena>()) {}
 PatriciaTrie::~PatriciaTrie() = default;
 PatriciaTrie::PatriciaTrie(PatriciaTrie&&) noexcept = default;
 PatriciaTrie& PatriciaTrie::operator=(PatriciaTrie&&) noexcept = default;
@@ -137,21 +137,22 @@ Hash PatriciaTrie::RootHash() const {
   return root_->HashNode();
 }
 
-void PatriciaTrie::Put(const Bytes& key, const Bytes& value) {
+void PatriciaTrie::Put(std::span<const uint8_t> key, const Bytes& value) {
   if (value.empty()) throw std::invalid_argument("MPT values must be non-empty");
+  if (arena_ == nullptr) arena_ = std::make_unique<common::Arena>();
   Nibbles nibbles = ToNibbles(key);
 
   // Recursive insert, written iteratively-by-recursion via a lambda.
   struct Inserter {
     const Nibbles& nibbles;
     const Bytes& value;
+    common::Arena* arena;
     bool replaced = false;
 
-    std::unique_ptr<PatriciaTrie::Node> Insert(
-        std::unique_ptr<PatriciaTrie::Node> node, size_t pos) {
+    PatriciaTrie::Node* Insert(PatriciaTrie::Node* node, size_t pos) {
       using N = PatriciaTrie::Node;
       if (node == nullptr) {
-        auto leaf = std::make_unique<N>();
+        N* leaf = arena->New<N>();
         leaf->kind = N::Kind::kLeaf;
         leaf->path.assign(nibbles.begin() + static_cast<long>(pos), nibbles.end());
         leaf->value = value;
@@ -172,78 +173,78 @@ void PatriciaTrie::Put(const Bytes& key, const Bytes& value) {
             return node;
           }
           // Split into a branch (optionally behind an extension).
-          auto branch = std::make_unique<N>();
+          N* branch = arena->New<N>();
           branch->kind = N::Kind::kBranch;
           // Existing leaf goes below the branch.
           if (node->path.size() == common) {
             branch->value = node->value;
           } else {
-            auto old_leaf = std::make_unique<N>();
+            N* old_leaf = arena->New<N>();
             old_leaf->kind = N::Kind::kLeaf;
             old_leaf->path.assign(node->path.begin() + static_cast<long>(common + 1),
                                   node->path.end());
             old_leaf->value = std::move(node->value);
-            branch->children[node->path[common]] = std::move(old_leaf);
+            branch->children[node->path[common]] = old_leaf;
           }
           // New value goes below the branch too.
           if (remaining == common) {
             branch->value = value;
           } else {
-            auto new_leaf = std::make_unique<N>();
+            N* new_leaf = arena->New<N>();
             new_leaf->kind = N::Kind::kLeaf;
             new_leaf->path.assign(nibbles.begin() + static_cast<long>(pos + common + 1),
                                   nibbles.end());
             new_leaf->value = value;
-            branch->children[nibbles[pos + common]] = std::move(new_leaf);
+            branch->children[nibbles[pos + common]] = new_leaf;
           }
           if (common == 0) return branch;
-          auto ext = std::make_unique<N>();
+          N* ext = arena->New<N>();
           ext->kind = N::Kind::kExtension;
           ext->path.assign(node->path.begin(),
                            node->path.begin() + static_cast<long>(common));
-          ext->next = std::move(branch);
+          ext->next = branch;
           return ext;
         }
 
         case N::Kind::kExtension: {
           const size_t common = CommonPrefix(nibbles, pos, node->path, 0);
           if (common == node->path.size()) {
-            node->next = Insert(std::move(node->next), pos + common);
+            node->next = Insert(node->next, pos + common);
             return node;
           }
           // Split the extension.
-          auto branch = std::make_unique<N>();
+          N* branch = arena->New<N>();
           branch->kind = N::Kind::kBranch;
           // Tail of the old extension.
-          std::unique_ptr<N> old_tail;
+          N* old_tail = nullptr;
           if (node->path.size() == common + 1) {
-            old_tail = std::move(node->next);
+            old_tail = node->next;
           } else {
-            auto tail_ext = std::make_unique<N>();
+            N* tail_ext = arena->New<N>();
             tail_ext->kind = N::Kind::kExtension;
             tail_ext->path.assign(node->path.begin() + static_cast<long>(common + 1),
                                   node->path.end());
-            tail_ext->next = std::move(node->next);
-            old_tail = std::move(tail_ext);
+            tail_ext->next = node->next;
+            old_tail = tail_ext;
           }
-          branch->children[node->path[common]] = std::move(old_tail);
+          branch->children[node->path[common]] = old_tail;
           // New entry.
           if (pos + common == nibbles.size()) {
             branch->value = value;
           } else {
-            auto new_leaf = std::make_unique<N>();
+            N* new_leaf = arena->New<N>();
             new_leaf->kind = N::Kind::kLeaf;
             new_leaf->path.assign(nibbles.begin() + static_cast<long>(pos + common + 1),
                                   nibbles.end());
             new_leaf->value = value;
-            branch->children[nibbles[pos + common]] = std::move(new_leaf);
+            branch->children[nibbles[pos + common]] = new_leaf;
           }
           if (common == 0) return branch;
-          auto ext = std::make_unique<N>();
+          N* ext = arena->New<N>();
           ext->kind = N::Kind::kExtension;
           ext->path.assign(node->path.begin(),
                            node->path.begin() + static_cast<long>(common));
-          ext->next = std::move(branch);
+          ext->next = branch;
           return ext;
         }
 
@@ -254,7 +255,7 @@ void PatriciaTrie::Put(const Bytes& key, const Bytes& value) {
             return node;
           }
           const uint8_t nib = nibbles[pos];
-          node->children[nib] = Insert(std::move(node->children[nib]), pos + 1);
+          node->children[nib] = Insert(node->children[nib], pos + 1);
           return node;
         }
       }
@@ -262,14 +263,14 @@ void PatriciaTrie::Put(const Bytes& key, const Bytes& value) {
     }
   };
 
-  Inserter inserter{nibbles, value};
-  root_ = inserter.Insert(std::move(root_), 0);
+  Inserter inserter{nibbles, value, arena_.get()};
+  root_ = inserter.Insert(root_, 0);
   if (!inserter.replaced) ++size_;
 }
 
-std::optional<Bytes> PatriciaTrie::Get(const Bytes& key) const {
+std::optional<Bytes> PatriciaTrie::Get(std::span<const uint8_t> key) const {
   const Nibbles nibbles = ToNibbles(key);
-  const Node* node = root_.get();
+  const Node* node = root_;
   size_t pos = 0;
   while (node != nullptr) {
     switch (node->kind) {
@@ -288,7 +289,7 @@ std::optional<Bytes> PatriciaTrie::Get(const Bytes& key) const {
           return std::nullopt;
         }
         pos += node->path.size();
-        node = node->next.get();
+        node = node->next;
         break;
       }
       case Node::Kind::kBranch: {
@@ -296,7 +297,7 @@ std::optional<Bytes> PatriciaTrie::Get(const Bytes& key) const {
           if (node->value.empty()) return std::nullopt;
           return node->value;
         }
-        node = node->children[nibbles[pos]].get();
+        node = node->children[nibbles[pos]];
         ++pos;
         break;
       }
@@ -305,10 +306,12 @@ std::optional<Bytes> PatriciaTrie::Get(const Bytes& key) const {
   return std::nullopt;
 }
 
-PatriciaTrie::Proof PatriciaTrie::Prove(const Bytes& key) const {
+PatriciaTrie::Proof PatriciaTrie::Prove(std::span<const uint8_t> key) const {
   Proof proof;
   const Nibbles nibbles = ToNibbles(key);
-  const Node* node = root_.get();
+  // Path length is bounded by one node per nibble plus the root.
+  proof.reserve(nibbles.size() + 1);
+  const Node* node = root_;
   size_t pos = 0;
   while (node != nullptr) {
     proof.push_back(node->Encode());
@@ -327,14 +330,14 @@ PatriciaTrie::Proof PatriciaTrie::Prove(const Bytes& key) const {
           throw std::out_of_range("MPT proof: key absent");
         }
         pos += node->path.size();
-        node = node->next.get();
+        node = node->next;
         break;
       case Node::Kind::kBranch:
         if (pos == nibbles.size()) {
           if (node->value.empty()) throw std::out_of_range("MPT proof: key absent");
           return proof;
         }
-        node = node->children[nibbles[pos]].get();
+        node = node->children[nibbles[pos]];
         ++pos;
         break;
     }
@@ -342,7 +345,7 @@ PatriciaTrie::Proof PatriciaTrie::Prove(const Bytes& key) const {
   throw std::out_of_range("MPT proof: key absent");
 }
 
-bool PatriciaTrie::VerifyProof(const Hash& root, const Bytes& key,
+bool PatriciaTrie::VerifyProof(const Hash& root, std::span<const uint8_t> key,
                                const Bytes& value, const Proof& proof) {
   if (proof.empty() || value.empty()) return false;
   const Nibbles nibbles = ToNibbles(key);

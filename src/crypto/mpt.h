@@ -10,13 +10,21 @@
 /// every child reference is a 32-byte hash. Proofs remain sound (each proof
 /// step is the full preimage of the hash the previous step committed to);
 /// only the encoding of very small tries differs from Geth's.
+///
+/// Nodes live in a per-trie bump arena (common/arena.h): building or growing
+/// a trie costs pointer bumps instead of one heap allocation per node, and
+/// teardown is a single arena sweep. Keys are accepted as std::span so
+/// callers holding raw buffers pay no temporary-vector copies.
 #ifndef GEM2_CRYPTO_MPT_H_
 #define GEM2_CRYPTO_MPT_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bytes.h"
 #include "common/types.h"
 
@@ -35,10 +43,10 @@ class PatriciaTrie {
 
   /// Inserts or overwrites `key` (any bytes) with `value` (must be
   /// non-empty; an empty value denotes absence in the MPT model).
-  void Put(const Bytes& key, const Bytes& value);
+  void Put(std::span<const uint8_t> key, const Bytes& value);
 
   /// Value stored at `key`, or nullopt.
-  std::optional<Bytes> Get(const Bytes& key) const;
+  std::optional<Bytes> Get(std::span<const uint8_t> key) const;
 
   size_t size() const { return size_; }
 
@@ -49,16 +57,23 @@ class PatriciaTrie {
   static Hash EmptyRoot();
 
   /// Inclusion proof for `key`; throws std::out_of_range if absent.
-  Proof Prove(const Bytes& key) const;
+  Proof Prove(std::span<const uint8_t> key) const;
 
   /// Verifies that `proof` shows key -> value under `root`.
-  static bool VerifyProof(const Hash& root, const Bytes& key, const Bytes& value,
-                          const Proof& proof);
+  static bool VerifyProof(const Hash& root, std::span<const uint8_t> key,
+                          const Bytes& value, const Proof& proof);
+
+  /// Node-allocation accounting for this trie's arena (bench introspection).
+  const common::Arena::Stats& arena_stats() const { return arena_->stats(); }
 
  private:
   struct Node;
 
-  std::unique_ptr<Node> root_;
+  /// Owns every node; nodes hold raw pointers into it. Replaced or abandoned
+  /// nodes (e.g. a leaf split into a branch) stay in the arena until the trie
+  /// is destroyed — a bounded O(1)-per-Put trade for allocation-free updates.
+  std::unique_ptr<common::Arena> arena_;
+  Node* root_ = nullptr;
   size_t size_ = 0;
 };
 

@@ -80,14 +80,23 @@ class Gem2Engine {
 class Gem2Contract : public chain::Contract {
  public:
   explicit Gem2Contract(std::string name, Gem2Options options = {})
-      : chain::Contract(std::move(name)), engine_(options, &storage(), 0) {}
+      : chain::Contract(std::move(name)), engine_(options, &storage(), 0) {
+    // Ledger-maintained committed digests: the partition chain mirrors every
+    // part_table root write (orders 3+ = base 1 + 2*partition), and P0 sits
+    // ahead of them at order 0 — reproducing Digests() order exactly.
+    chain::DigestLedger& ledger = EnableDigestLedger();
+    engine_.partition_chain().AttachLedger(&ledger, "", 1);
+    ledger.Set(0, "P0", engine_.p0().root_digest());
+  }
 
   void Insert(Key key, const Hash& value_hash, gas::Meter& meter) {
     engine_.Insert(key, value_hash, &meter);
+    digest_ledger()->Set(0, "P0", engine_.p0().root_digest());
   }
 
   void Update(Key key, const Hash& value_hash, gas::Meter& meter) {
     engine_.Update(key, value_hash, &meter);
+    digest_ledger()->Set(0, "P0", engine_.p0().root_digest());
   }
 
   std::vector<chain::DigestEntry> AuthenticatedDigests() const override {

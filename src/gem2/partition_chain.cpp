@@ -100,12 +100,34 @@ void PartitionChain::WriteRoot(uint64_t partition, bool left, const Hash& root,
                                gas::Meter* meter) {
   PartTree& t = left ? parts_[partition].tl : parts_[partition].tr;
   t.root = root;
+  t.root_dirty = false;
   if (storage_ != nullptr && meter != nullptr) {
     const uint64_t idx = partition * 4 + (left ? 1 : 3);
     const bool zero = root == Hash{};
     storage_->Store(chain::Slot{region_base_ + kRegionPartTable, idx},
                     zero ? chain::kZeroWord : HashWord(root), *meter);
   }
+  if (ledger_ != nullptr) {
+    // Every occupancy change funnels through a root write (BuildTree or
+    // EmptyTree), so evaluating the non-empty filter here keeps the ledger
+    // in lockstep with AppendDigests.
+    const uint64_t order = ledger_order_base_ + 2 * partition + (left ? 0 : 1);
+    if (Occupied(t) > 0) {
+      ledger_->Set(order,
+                   ledger_prefix_ + "P" + std::to_string(partition) +
+                       (left ? ".Tl" : ".Tr"),
+                   root);
+    } else {
+      ledger_->Erase(order);
+    }
+  }
+}
+
+void PartitionChain::AttachLedger(chain::DigestLedger* ledger,
+                                  std::string label_prefix, uint64_t order_base) {
+  ledger_ = ledger;
+  ledger_prefix_ = std::move(label_prefix);
+  ledger_order_base_ = order_base;
 }
 
 void PartitionChain::ReadRange(uint64_t partition, bool left,
@@ -118,25 +140,24 @@ void PartitionChain::ReadRange(uint64_t partition, bool left,
 
 void PartitionChain::BuildTree(uint64_t partition, PartTree* t, gas::Meter* meter) {
   TELEMETRY_SPAN("gem2.build_tree");
+  const bool left = (t == &parts_[partition].tl);
+  if (meter == nullptr && storage_ == nullptr) {
+    // SP mirror: defer everything. Rebuilding eagerly would make every
+    // insert O(n) (collect + sort + hash the whole tree); instead the stale
+    // query cache is dropped and the root marked dirty, to be derived by
+    // EnsureRoot / SpTree at the next observation point. The derived values
+    // are bit-identical to an eager build — both are pure functions of the
+    // tree's current sorted run.
+    std::lock_guard<std::mutex> lock(sp_mutex_);
+    t->sp_cache.reset();
+    t->root_dirty = true;
+    return;
+  }
   ads::EntryList entries = CollectEntries(*t, meter);
   if (meter != nullptr) meter->ChargeSortCost(entries.size());
   std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
-  const bool left = (t == &parts_[partition].tl);
-  if (meter == nullptr && storage_ == nullptr) {
-    // SP mirror: materialize the canonical tree once (optionally in parallel)
-    // and keep it as the query cache. Its root is bit-identical to
-    // CanonicalRootDigest over the same run — the core shape invariant.
-    auto tree =
-        std::make_unique<ads::StaticTree>(std::move(entries), options_.fanout, pool_);
-    const Hash root = tree->root_digest();
-    {
-      std::lock_guard<std::mutex> lock(sp_mutex_);
-      t->sp_cache = std::move(tree);
-    }
-    WriteRoot(partition, left, root, meter);
-    return;
-  }
-  const Hash root = ads::CanonicalRootDigest(entries, options_.fanout, meter);
+  const Hash root =
+      ads::CanonicalRootDigest(entries, options_.fanout, meter, &leaf_cache_);
   {
     std::lock_guard<std::mutex> lock(sp_mutex_);
     t->sp_cache.reset();
@@ -351,12 +372,32 @@ void PartitionChain::AppendDigests(const std::string& prefix,
   for (uint64_t i = 1; i <= max_; ++i) {
     const Partition& p = parts_[i];
     if (Occupied(p.tl) > 0) {
+      EnsureRoot(p.tl);
       out->push_back({prefix + "P" + std::to_string(i) + ".Tl", p.tl.root});
     }
     if (Occupied(p.tr) > 0) {
+      EnsureRoot(p.tr);
       out->push_back({prefix + "P" + std::to_string(i) + ".Tr", p.tr.root});
     }
   }
+}
+
+void PartitionChain::EnsureRoot(const PartTree& t) const {
+  std::lock_guard<std::mutex> lock(sp_mutex_);
+  if (!t.root_dirty) return;
+  if (t.sp_cache != nullptr) {
+    // A query already materialized the tree; its root is the canonical one.
+    t.root = t.sp_cache->root_digest();
+    t.root_dirty = false;
+    return;
+  }
+  // Serial canonical computation, deliberately without the pool: everything
+  // happens under sp_mutex_, and a pool fan-out from inside the lock could
+  // steal work that re-enters SpTree and self-deadlock.
+  ads::EntryList entries = CollectEntries(t, nullptr);
+  std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
+  t.root = ads::CanonicalRootDigest(entries, options_.fanout, nullptr);
+  t.root_dirty = false;
 }
 
 const ads::StaticTree& PartitionChain::SpTree(const PartTree& t) const {
@@ -398,6 +439,7 @@ PartitionChain::TreeInfo PartitionChain::tree_info(uint64_t partition,
   TreeInfo info;
   if (partition == 0 || partition > max_) return info;
   const PartTree& t = left ? parts_[partition].tl : parts_[partition].tr;
+  EnsureRoot(t);
   info.start = t.start;
   info.end = t.end;
   info.root = t.root;
@@ -427,6 +469,7 @@ void PartitionChain::CheckInvariants() const {
       std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
       const uint64_t occ = Occupied(t);
       if (occ > 0) {
+        EnsureRoot(t);
         Hash expect = ads::CanonicalRootDigest(entries, options_.fanout, nullptr);
         if (expect != t.root) throw std::logic_error("stored SMB root stale");
       }

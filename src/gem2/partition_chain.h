@@ -63,6 +63,15 @@ class PartitionChain {
   void AppendDigests(const std::string& prefix,
                      std::vector<chain::DigestEntry>* out) const;
 
+  /// Contract side only: mirrors every part_table root write into `ledger`
+  /// (not owned), so the environment can snapshot committed digests without
+  /// walking the ADS. Entry order is `order_base + 2*partition + (Tl ? 0:1)`,
+  /// which reproduces AppendDigests' ascending (partition, Tl, Tr) order;
+  /// labels are "<label_prefix>P<i>.Tl"/".Tr". A tree whose occupancy drops
+  /// to zero erases its entry, matching AppendDigests' non-empty filter.
+  void AttachLedger(chain::DigestLedger* ledger, std::string label_prefix,
+                    uint64_t order_base);
+
   /// Algorithm 5 (partition part): queries every non-empty partition tree.
   void Query(Key lb, Key ub, const std::string& prefix,
              std::vector<ads::TreeAnswer>* out) const;
@@ -99,7 +108,12 @@ class PartitionChain {
   struct PartTree {
     Loc start = 0;
     Loc end = 0;
-    Hash root{};
+    /// On the SP mirror the root is computed lazily: BuildTree only marks it
+    /// dirty, and EnsureRoot derives it at the first observation point
+    /// (digests, tree_info, invariant checks). Both fields are guarded by
+    /// sp_mutex_ on the read side; mutation paths are exclusive already.
+    mutable Hash root{};
+    mutable bool root_dirty = false;
     mutable std::unique_ptr<ads::StaticTree> sp_cache;
 
     bool allocated() const { return start != 0; }
@@ -143,12 +157,27 @@ class PartitionChain {
   /// race wastes one build but both trees are bit-identical.
   const ads::StaticTree& SpTree(const PartTree& t) const;
 
+  /// SP side: computes `t.root` if BuildTree deferred it. Serial canonical
+  /// computation held entirely under sp_mutex_ (no pool, so no re-entry);
+  /// reuses an already-materialized sp_cache root when available. A lazily
+  /// derived root is bit-identical to the eager one — it is a pure function
+  /// of the tree's current sorted run.
+  void EnsureRoot(const PartTree& t) const;
+
   Gem2Options options_;
   mbtree::MbTree* p0_;
   chain::MeteredStorage* storage_;
   uint32_t region_base_;
   common::ThreadPool* pool_ = nullptr;
   mutable std::mutex sp_mutex_;  // guards every PartTree::sp_cache pointer
+                                 // and lazy root/root_dirty reads
+
+  chain::DigestLedger* ledger_ = nullptr;  // contract side, optional
+  std::string ledger_prefix_;
+  uint64_t ledger_order_base_ = 0;
+  /// Memoizes metered EntryDigest hashes across merge cascades (gas charges
+  /// are unaffected; see ads::LeafDigestCache).
+  ads::LeafDigestCache leaf_cache_;
 
   uint64_t count_ = 0;   // key_storage length
   uint64_t bulked_ = 0;  // objects migrated into P0

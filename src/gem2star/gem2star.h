@@ -74,6 +74,16 @@ class Gem2StarEngine {
     for (auto& chain : chains_) chain->set_thread_pool(pool);
   }
 
+  /// Contract side only: routes every region chain's part_table root writes
+  /// into `ledger`. Region r gets order base 2 + (r << 32) so regions stay
+  /// in ascending order behind "upper" (0) and "P0" (1), matching Digests().
+  void AttachLedger(chain::DigestLedger* ledger) {
+    for (size_t r = 0; r < chains_.size(); ++r) {
+      chains_[r]->AttachLedger(ledger, "R" + std::to_string(r) + ".",
+                               2 + (static_cast<uint64_t>(r) << 32));
+    }
+  }
+
   void CheckInvariants() const;
 
  private:
@@ -90,14 +100,22 @@ class Gem2StarContract : public chain::Contract {
   Gem2StarContract(std::string name, Gem2Options options,
                    std::vector<Key> split_points)
       : chain::Contract(std::move(name)),
-        engine_(options, std::move(split_points), &storage()) {}
+        engine_(options, std::move(split_points), &storage()) {
+    chain::DigestLedger& ledger = EnableDigestLedger();
+    engine_.AttachLedger(&ledger);
+    // The split points are immutable, so "upper" is written exactly once.
+    ledger.Set(0, "upper", UpperLevelDigest(engine_.split_points()));
+    ledger.Set(1, "P0", engine_.p0().root_digest());
+  }
 
   void Insert(Key key, const Hash& value_hash, gas::Meter& meter) {
     engine_.Insert(key, value_hash, &meter);
+    digest_ledger()->Set(1, "P0", engine_.p0().root_digest());
   }
 
   void Update(Key key, const Hash& value_hash, gas::Meter& meter) {
     engine_.Update(key, value_hash, &meter);
+    digest_ledger()->Set(1, "P0", engine_.p0().root_digest());
   }
 
   std::vector<chain::DigestEntry> AuthenticatedDigests() const override {

@@ -42,6 +42,9 @@ size_t LowerBoundPos(const ads::EntryList& entries, Key key) {
 LsmTreeContract::LsmTreeContract(std::string name, LsmOptions options)
     : chain::Contract(std::move(name)), options_(options) {
   levels_.push_back({{}, crypto::EmptyTreeDigest()});
+  // Ledger-maintained committed digests: level i at order i, kept current by
+  // RefreshRoot (every level mutation funnels through it).
+  EnableDigestLedger().Set(0, "lsm.L0", levels_[0].root);
 }
 
 void LsmTreeContract::RefreshRoot(size_t i, gas::Meter& meter) {
@@ -51,8 +54,10 @@ void LsmTreeContract::RefreshRoot(size_t i, gas::Meter& meter) {
   for (size_t j = 0; j < level.entries.size(); ++j) {
     storage().Load(chain::Slot{kRegionLevelBase + static_cast<uint32_t>(i), j}, meter);
   }
-  level.root = ads::CanonicalRootDigest(level.entries, options_.fanout, &meter);
+  level.root =
+      ads::CanonicalRootDigest(level.entries, options_.fanout, &meter, &leaf_cache_);
   storage().Store(chain::Slot{kRegionRoots, i}, RootWord(level.root), meter);
+  digest_ledger()->Set(i, "lsm.L" + std::to_string(i), level.root);
 }
 
 void LsmTreeContract::Insert(Key key, const Hash& value_hash, gas::Meter& meter) {

@@ -78,6 +78,9 @@ class LsmTreeContract : public chain::Contract {
   std::vector<Level> levels_;
   std::unordered_map<Key, size_t> level_of_;  // key -> level index
   size_t size_ = 0;
+  /// Memoizes metered EntryDigest hashes across merge cascades (gas is
+  /// unaffected; see ads::LeafDigestCache).
+  ads::LeafDigestCache leaf_cache_;
 };
 
 /// SP-side materialized levels for authenticated queries.

@@ -17,11 +17,14 @@ namespace gem2::mbtree {
 class MbTreeContract : public chain::Contract {
  public:
   explicit MbTreeContract(std::string name, int fanout = MbTree::kDefaultFanout)
-      : chain::Contract(std::move(name)), tree_(fanout) {}
+      : chain::Contract(std::move(name)), tree_(fanout) {
+    EnableDigestLedger().Set(0, "mbtree.root", tree_.root_digest());
+  }
 
   /// Inserts a fresh object (key must be new).
   void Insert(Key key, const Hash& value_hash, gas::Meter& meter) {
     tree_.Insert(key, value_hash, &meter);
+    digest_ledger()->Set(0, "mbtree.root", tree_.root_digest());
   }
 
   /// Updates an existing object's value hash.
@@ -29,6 +32,7 @@ class MbTreeContract : public chain::Contract {
     if (!tree_.Update(key, value_hash, &meter)) {
       throw std::invalid_argument("MbTreeContract::Update: unknown key");
     }
+    digest_ledger()->Set(0, "mbtree.root", tree_.root_digest());
   }
 
   std::vector<chain::DigestEntry> AuthenticatedDigests() const override {

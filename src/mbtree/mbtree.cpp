@@ -37,6 +37,7 @@ size_t MbTree::height() const {
 
 Hash MbTree::root_digest() const {
   if (root_ == nullptr) return crypto::EmptyTreeDigest();
+  EnsureFresh();
   return root_->digest;
 }
 
@@ -106,8 +107,12 @@ void MbTree::RefreshNode(Node* node, gas::Meter* meter, ChargeMode mode) {
   if (node->is_leaf) {
     digests.reserve(node->entries.size());
     for (const ads::Entry& e : node->entries) {
-      if (meter != nullptr) meter->ChargeHash(crypto::EntryDigestBytes());
-      digests.push_back(crypto::EntryDigest(e.key, e.value_hash));
+      if (meter != nullptr) {
+        meter->ChargeHash(crypto::EntryDigestBytes());
+        digests.push_back(leaf_cache_.Get(e.key, e.value_hash));
+      } else {
+        digests.push_back(crypto::EntryDigest(e.key, e.value_hash));
+      }
     }
     node->lo = node->entries.front().key;
     node->hi = node->entries.back().key;
@@ -215,8 +220,11 @@ void MbTree::RefreshDirty(Node* node, gas::Meter* meter, ChargeMode mode) {
 
 void MbTree::Insert(Key key, const Hash& value_hash, gas::Meter* meter) {
   TELEMETRY_SPAN("mbtree.insert");
+  // A metered op must start from a fresh tree: otherwise RefreshDirty would
+  // bill this transaction for nodes staled by earlier unmetered mutations.
+  if (meter != nullptr) EnsureFresh();
   InsertStructural(key, value_hash, meter);
-  RefreshDirty(root_.get(), meter, ChargeMode::kInsert);
+  if (meter != nullptr) RefreshDirty(root_.get(), meter, ChargeMode::kInsert);
 }
 
 bool MbTree::Update(Key key, const Hash& value_hash, gas::Meter* meter) {
@@ -227,10 +235,11 @@ bool MbTree::Update(Key key, const Hash& value_hash, gas::Meter* meter) {
   auto pos = std::lower_bound(leaf->entries.begin(), leaf->entries.end(), key,
                               [](const ads::Entry& e, Key k) { return e.key < k; });
   if (pos == leaf->entries.end() || pos->key != key) return false;
+  if (meter != nullptr) EnsureFresh();
   pos->value_hash = value_hash;
   if (meter != nullptr) meter->ChargeSupdate(1);  // rewrite the leaf entry word
   for (Node* n : path) n->digest = kStaleSentinel;
-  RefreshDirty(root_.get(), meter, ChargeMode::kUpdate);
+  if (meter != nullptr) RefreshDirty(root_.get(), meter, ChargeMode::kUpdate);
   return true;
 }
 
@@ -241,34 +250,20 @@ void MbTree::BulkInsert(const ads::EntryList& sorted_entries, gas::Meter* meter)
       throw std::invalid_argument("BulkInsert run must be sorted and duplicate-free");
     }
   }
+  if (meter != nullptr) EnsureFresh();
   for (const ads::Entry& e : sorted_entries) {
     InsertStructural(e.key, e.value_hash, meter);
   }
   if (root_ == nullptr) return;
-  if (meter == nullptr && pool_ != nullptr && pool_->num_threads() > 0 &&
-      !root_->is_leaf && root_->digest == kStaleSentinel) {
-    // SP side: dirty subtrees two levels down are disjoint, so their digests
-    // can be refreshed concurrently; the serial pass below then finishes the
-    // (already clean-childed) top two levels. Digest bits are unchanged —
-    // every node still hashes exactly its own children.
-    std::vector<Node*> frontier;
-    GatherDirty(root_.get(), 2, &frontier);
-    pool_->ParallelFor(0, frontier.size(), 1, [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        RefreshDirty(frontier[i], nullptr, ChargeMode::kInsert);
-      }
-    });
-  }
-  RefreshDirty(root_.get(), meter, ChargeMode::kInsert);
+  if (meter != nullptr) RefreshDirty(root_.get(), meter, ChargeMode::kInsert);
 }
 
-void MbTree::GatherDirty(Node* node, size_t depth, std::vector<Node*>* out) {
-  if (node->digest != kStaleSentinel) return;
-  if (depth == 0 || node->is_leaf) {
-    out->push_back(node);
-    return;
-  }
-  for (const auto& c : node->children) GatherDirty(c.get(), depth - 1, out);
+void MbTree::EnsureFresh() const {
+  if (root_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(fresh_mutex_);
+  if (root_->digest != kStaleSentinel) return;
+  MbTree* self = const_cast<MbTree*>(this);
+  self->RefreshDirty(self->root_.get(), nullptr, ChargeMode::kInsert);
 }
 
 ads::TreeVo MbTree::RangeQuery(Key lb, Key ub, ads::EntryList* result) const {
@@ -277,6 +272,7 @@ ads::TreeVo MbTree::RangeQuery(Key lb, Key ub, ads::EntryList* result) const {
     vo.empty_tree = true;
     return vo;
   }
+  EnsureFresh();
   vo.root = QueryNode(root_.get(), lb, ub, result);
   return vo;
 }
@@ -372,6 +368,7 @@ void MbTree::CheckInvariants() const {
     if (size_ != 0) throw std::logic_error("size mismatch for empty tree");
     return;
   }
+  EnsureFresh();
   CheckNode(root_.get(), true, 1, height());
   if (AllEntries().size() != size_) throw std::logic_error("size mismatch");
 }

@@ -29,9 +29,11 @@
 #define GEM2_MBTREE_MBTREE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ads/entry.h"
+#include "ads/static_tree.h"
 #include "ads/vo.h"
 #include "common/types.h"
 #include "gas/meter.h"
@@ -82,9 +84,9 @@ class MbTree {
   /// Structural self-check; throws std::logic_error on violation.
   void CheckInvariants() const;
 
-  /// SP-side only: unmetered BulkInsert refreshes disjoint dirty subtrees on
-  /// `pool` in parallel. Metered calls ignore the pool entirely, keeping the
-  /// contract's charge sequence single-threaded and deterministic.
+  /// SP-side hint, kept for call-site compatibility. Unmetered digest
+  /// refreshes are deferred and materialized serially at the first digest
+  /// observation (see EnsureFresh); metered calls never touch the pool.
   void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
 
  private:
@@ -123,9 +125,14 @@ class MbTree {
   /// Recomputes digests bottom-up, refreshing exactly the stale nodes.
   void RefreshDirty(Node* node, gas::Meter* meter, ChargeMode mode);
 
-  /// Collects the roots of dirty subtrees `depth` levels below `node`
-  /// (stopping early at leaves) — the disjoint units of parallel refresh.
-  static void GatherDirty(Node* node, size_t depth, std::vector<Node*>* out);
+  /// Materializes digests deferred by unmetered mutations. Unmetered inserts
+  /// and bulks (the SP side) only mark paths stale; the fold runs once here,
+  /// at the first digest observation, so back-to-back bulks between reads
+  /// collapse into a single refresh of the union of their dirty nodes.
+  /// Serialized by fresh_mutex_ (concurrent SP readers race only on the
+  /// materialization); deliberately runs without the pool — stolen pool work
+  /// could re-enter this tree and deadlock (see PartitionChain::EnsureRoot).
+  void EnsureFresh() const;
 
   ads::VoChild QueryNode(const Node* node, Key lb, Key ub,
                          ads::EntryList* result) const;
@@ -137,6 +144,12 @@ class MbTree {
   size_t size_ = 0;
   std::unique_ptr<Node> root_;
   common::ThreadPool* pool_ = nullptr;
+  mutable std::mutex fresh_mutex_;
+  /// Memoizes metered EntryDigest hashes: a leaf refresh re-hashes all F
+  /// entries even when one changed. Consulted only on metered (single-
+  /// threaded) refreshes — unmetered SP refreshes may run on pool threads,
+  /// where a shared memo would race. Gas is unaffected.
+  ads::LeafDigestCache leaf_cache_;
 };
 
 }  // namespace gem2::mbtree

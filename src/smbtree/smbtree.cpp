@@ -19,7 +19,11 @@ constexpr uint32_t kRegionRoot = 2;     // index 0 -> root digest
 SmbTreeContract::SmbTreeContract(std::string name, int fanout)
     : chain::Contract(std::move(name)),
       fanout_(fanout),
-      root_(crypto::EmptyTreeDigest()) {}
+      root_(crypto::EmptyTreeDigest()) {
+  // Single-entry ledger, kept current by RebuildRoot (the funnel every
+  // mutation passes through).
+  EnableDigestLedger().Set(0, "smbtree.root", root_);
+}
 
 void SmbTreeContract::Insert(Key key, const Hash& value_hash, gas::Meter& meter) {
   TELEMETRY_SPAN("smbtree.insert");
@@ -60,11 +64,12 @@ void SmbTreeContract::RebuildRoot(gas::Meter& meter) {
   meter.ChargeSortCost(entries.size());
   std::sort(entries.begin(), entries.end(), ads::EntryKeyLess);
   // Fold the canonical tree digest, charging every hash.
-  root_ = ads::CanonicalRootDigest(entries, fanout_, &meter);
+  root_ = ads::CanonicalRootDigest(entries, fanout_, &meter, &leaf_cache_);
   // Rewrite the root slot (sstore the first time, supdate afterwards).
   Word w;
   std::copy(root_.begin(), root_.end(), w.begin());
   storage().Store(chain::Slot{kRegionRoot, 0}, w, meter);
+  digest_ledger()->Set(0, "smbtree.root", root_);
 }
 
 void SmbTreeContract::SeedUnmetered(const ads::EntryList& entries) {

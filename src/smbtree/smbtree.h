@@ -62,6 +62,9 @@ class SmbTreeContract : public chain::Contract {
   ads::EntryList log_;                       // insertion-ordered records
   std::unordered_map<Key, size_t> index_of_; // key -> log_ position
   Hash root_;
+  /// Memoizes metered EntryDigest hashes across the per-insert rebuilds (gas
+  /// is unaffected; see ads::LeafDigestCache).
+  ads::LeafDigestCache leaf_cache_;
 };
 
 /// The SP's materialized twin of an SMB-tree: sorted entries + lazy canonical
