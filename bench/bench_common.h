@@ -16,6 +16,8 @@
 #include <string>
 
 #include "core/authenticated_db.h"
+#include "core/range_store.h"
+#include "shard/sharded_db.h"
 #include "telemetry/exporters.h"
 #include "workload/workload.h"
 
@@ -84,6 +86,29 @@ inline std::unique_ptr<AuthenticatedDb> BuildDb(AdsKind kind, KeyDistribution di
   }
   if (gen_out != nullptr) *gen_out = std::move(gen);
   return db;
+}
+
+/// Builds a RangeStore preloaded with `n` fresh objects: `shards == 0` gives
+/// the single-contract AuthenticatedDb, `shards >= 1` a ShardedDb
+/// partitioned at the workload distribution's quantile bounds (so a one-shard
+/// sharded store measures the composite protocol's own overhead). Benchmarks
+/// drive the role-separated interface either way.
+inline std::unique_ptr<core::RangeStore> BuildStore(
+    AdsKind kind, KeyDistribution dist, uint64_t n, size_t shards,
+    WorkloadGenerator* gen_out = nullptr, size_t regions = 100) {
+  WorkloadGenerator gen(MakeWorkload(dist));
+  std::unique_ptr<core::RangeStore> store;
+  if (shards == 0) {
+    store = std::make_unique<AuthenticatedDb>(MakeDbOptions(kind, gen, regions));
+  } else {
+    shard::ShardOptions o;
+    o.base = MakeDbOptions(kind, gen, regions);
+    o.bounds = gen.ShardBounds(shards);
+    store = std::make_unique<shard::ShardedDb>(std::move(o));
+  }
+  for (uint64_t i = 0; i < n; ++i) store->Insert(gen.Next().object);
+  if (gen_out != nullptr) *gen_out = std::move(gen);
+  return store;
 }
 
 /// Accumulates one benchmark data point (receipts + wall clock) and reports

@@ -29,12 +29,14 @@ inline void QueryPerformance(benchmark::State& state, const std::string& bench,
   const uint64_t queries = EnvScale("GEM2_QUERY_COUNT", 50);
 
   WorkloadGenerator gen(MakeWorkload(dist));
-  auto db = std::make_unique<AuthenticatedDb>(MakeDbOptions(kind, gen));
-  for (uint64_t i = 0; i < n; ++i) db->Insert(gen.Next().object);
+  auto owned = std::make_unique<AuthenticatedDb>(MakeDbOptions(kind, gen));
+  core::RangeStore& db = *owned;
+  for (uint64_t i = 0; i < n; ++i) db.Insert(gen.Next().object);
 
-  // VO_chain is retrieved once; the client reuses it across queries.
-  chain::AuthenticatedState vo_chain =
-      db->environment().ReadAuthenticatedState("ads");
+  // VO_chain is retrieved once; the client reuses it across queries. Going
+  // through RangeStore keeps this loop backend-agnostic (a sharded store
+  // returns one state per shard contract).
+  std::vector<chain::AuthenticatedState> vo_chain = db.ReadChainState();
 
   double sp_seconds = 0;
   double client_seconds = 0;
@@ -46,10 +48,9 @@ inline void QueryPerformance(benchmark::State& state, const std::string& bench,
       workload::RangeQuerySpec spec = gen.NextQuery(selectivity);
 
       auto t0 = std::chrono::steady_clock::now();
-      core::QueryResponse response = db->Query(spec.lb, spec.ub);
+      core::QueryResponse response = db.Query(spec.lb, spec.ub);
       auto t1 = std::chrono::steady_clock::now();
-      core::VerifiedResult vr =
-          core::VerifyResponse(vo_chain, true, kind, response);
+      core::VerifiedResult vr = db.VerifyAgainst(vo_chain, response);
       auto t2 = std::chrono::steady_clock::now();
 
       if (!vr.ok) {

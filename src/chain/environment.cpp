@@ -443,6 +443,19 @@ AuthenticatedState Environment::ReadAuthenticatedState(const std::string& contra
   return state;
 }
 
+std::vector<AuthenticatedState> Environment::ReadAuthenticatedStates(
+    const std::vector<std::string>& contract_names) {
+  std::vector<AuthenticatedState> states;
+  states.reserve(contract_names.size());
+  // ReadAuthenticatedState is idempotent once the first call has sealed: no
+  // transaction runs in between, so the root cannot move and every state
+  // anchors at the same header.
+  for (const std::string& name : contract_names) {
+    states.push_back(ReadAuthenticatedState(name));
+  }
+  return states;
+}
+
 bool Environment::VerifyAuthenticatedState(const AuthenticatedState& state) {
   for (const ProvenDigest& pd : state.digests) {
     if (state.commitment == StateCommitment::kPatriciaTrie) {

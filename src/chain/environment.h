@@ -135,6 +135,13 @@ class Environment {
   /// contract state; then returns digests + proofs for `contract_name`.
   AuthenticatedState ReadAuthenticatedState(const std::string& contract_name);
 
+  /// Multi-contract read: one AuthenticatedState per name, all anchored at
+  /// the SAME sealed header (the first read seals; later reads observe an
+  /// unchanged root). This is what a sharded client retrieves to verify a
+  /// composite response — every shard digest under one state commitment.
+  std::vector<AuthenticatedState> ReadAuthenticatedStates(
+      const std::vector<std::string>& contract_names);
+
   /// Client-side check: header committed by the chain, proofs valid.
   static bool VerifyAuthenticatedState(const AuthenticatedState& state);
 

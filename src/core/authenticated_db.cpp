@@ -14,8 +14,6 @@
 namespace gem2::core {
 namespace {
 
-constexpr const char* kContractName = AuthenticatedDb::kContractName;
-
 /// Converts one tree's entry list to raw objects via the SP value store.
 std::vector<Object> ToObjects(
     const ads::EntryList& entries,
@@ -40,6 +38,30 @@ bool HasRegionPrefix(const std::string& label, size_t region) {
 }
 
 }  // namespace
+
+void DbOptions::Validate() const {
+  auto reject = [](const std::string& what) {
+    throw std::invalid_argument("DbOptions: " + what);
+  };
+  if (contract_name.empty()) reject("empty contract_name");
+  if (gem2.fanout < 2) reject("fanout must be at least 2");
+  if (gem2.m == 0) reject("GEM2 m (index-merge slots) must be positive");
+  if (gem2.smax == 0) reject("GEM2 smax (merge threshold) must be positive");
+  if (kind == AdsKind::kGem2Star) {
+    if (split_points.empty()) {
+      reject("GEM2*-tree requires upper-level split points (zero regions)");
+    }
+    for (size_t i = 1; i < split_points.size(); ++i) {
+      if (split_points[i] <= split_points[i - 1]) {
+        reject("split_points must be strictly ascending");
+      }
+    }
+  }
+  if (shared_env == nullptr) {
+    if (env.gas_limit == 0) reject("gas_limit of 0 cannot fund any transaction");
+    if (env.txs_per_block == 0) reject("txs_per_block must be positive");
+  }
+}
 
 std::string AdsKindName(AdsKind kind) {
   switch (kind) {
@@ -120,7 +142,15 @@ struct AuthenticatedDb::Impl {
 };
 
 AuthenticatedDb::AuthenticatedDb(DbOptions options)
-    : options_(std::move(options)), env_(options_.env), impl_(new Impl) {
+    : options_(std::move(options)), impl_(new Impl) {
+  options_.Validate();
+  if (options_.shared_env != nullptr) {
+    env_ = options_.shared_env;
+  } else {
+    owned_env_ = std::make_unique<chain::Environment>(options_.env);
+    env_ = owned_env_.get();
+  }
+  const std::string& kContractName = options_.contract_name;
   const int fanout = options_.gem2.fanout;
   switch (options_.kind) {
     case AdsKind::kMbTree:
@@ -150,20 +180,26 @@ AuthenticatedDb::AuthenticatedDb(DbOptions options)
           options_.gem2, options_.split_points);
       break;
   }
-  env_.Register(&contract());
+  if (options_.sp_pool != nullptr) ApplySpPool(options_.sp_pool);
+  env_->Register(&contract());
   light_client_ = std::make_unique<chain::LightClient>(
-      env_.blockchain().blocks().front().header);
+      env_->blockchain().blocks().front().header);
 }
 
 AuthenticatedDb::~AuthenticatedDb() = default;
 
-void AuthenticatedDb::SetSpThreadPool(common::ThreadPool* pool) {
+void AuthenticatedDb::ApplySpPool(common::ThreadPool* pool) {
+  if (pool == nullptr) pool = options_.sp_pool;
   if (impl_->mb_sp != nullptr) impl_->mb_sp->set_thread_pool(pool);
   if (impl_->smb_sp != nullptr) impl_->smb_sp->set_thread_pool(pool);
   if (impl_->gem2_sp != nullptr) impl_->gem2_sp->set_thread_pool(pool);
   if (impl_->star_sp != nullptr) impl_->star_sp->set_thread_pool(pool);
   // The LSM mirror keeps serial builds: its levels are small and its cost is
   // merge-dominated, so a pool would add overhead without a win.
+}
+
+void AuthenticatedDb::SetSpThreadPool(common::ThreadPool* pool) {
+  ApplySpPool(pool);
 }
 
 chain::Contract& AuthenticatedDb::contract() {
@@ -203,7 +239,7 @@ chain::TxReceipt AuthenticatedDb::Insert(const Object& object) {
   }
   const Hash vh = crypto::ValueHash(object.value);
   chain::TxReceipt receipt =
-      env_.Execute(contract(), revive ? "revive" : "insert", [&](gas::Meter& m) {
+      env_->Execute(contract(), revive ? "revive" : "insert", [&](gas::Meter& m) {
         impl_->ChainOp(options_.kind, /*insert=*/!revive, object.key, vh, m);
       });
   if (!receipt.ok) {
@@ -226,7 +262,7 @@ chain::TxReceipt AuthenticatedDb::Update(const Object& object) {
   }
   const Hash vh = crypto::ValueHash(object.value);
   chain::TxReceipt receipt =
-      env_.Execute(contract(), "update", [&](gas::Meter& m) {
+      env_->Execute(contract(), "update", [&](gas::Meter& m) {
         impl_->ChainOp(options_.kind, /*insert=*/false, object.key, vh, m);
       });
   if (!receipt.ok) {
@@ -247,7 +283,7 @@ chain::TxReceipt AuthenticatedDb::Delete(Key key) {
   }
   const Hash vh = crypto::ValueHash(TombstoneValue());
   chain::TxReceipt receipt =
-      env_.Execute(contract(), "delete", [&](gas::Meter& m) {
+      env_->Execute(contract(), "delete", [&](gas::Meter& m) {
         impl_->ChainOp(options_.kind, /*insert=*/false, key, vh, m);
       });
   if (!receipt.ok) {
@@ -272,7 +308,7 @@ chain::TxReceipt AuthenticatedDb::InsertBatch(const std::vector<Object>& objects
     }
   }
   chain::TxReceipt receipt =
-      env_.Execute(contract(), "insert_batch", [&](gas::Meter& m) {
+      env_->Execute(contract(), "insert_batch", [&](gas::Meter& m) {
         for (const Object& obj : objects) {
           impl_->ChainOp(options_.kind, /*insert=*/true, obj.key,
                          crypto::ValueHash(obj.value), m);
@@ -365,6 +401,10 @@ QueryResponse CloneResponse(const QueryResponse& response) {
     set.vo = ads::CloneVo(tree.vo);
     copy.trees.push_back(std::move(set));
   }
+  copy.slices.reserve(response.slices.size());
+  for (const ShardSlice& slice : response.slices) {
+    copy.slices.push_back({slice.shard, CloneResponse(slice.response)});
+  }
   return copy;
 }
 
@@ -374,6 +414,11 @@ uint64_t VoSpBytes(const QueryResponse& response) {
     total += t.label.size() + ads::VoSizeBytes(t.vo);
   }
   total += response.upper_splits.size() * sizeof(Key);
+  // Composite responses: each slice contributes its own sub-VO plus the
+  // shard tag that frames it on the wire.
+  for (const ShardSlice& slice : response.slices) {
+    total += sizeof(uint32_t) + VoSpBytes(slice.response);
+  }
   return total;
 }
 
@@ -395,6 +440,9 @@ VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
     return out;
   };
 
+  if (!response.slices.empty()) {
+    return fail("composite response for a single-contract store");
+  }
   if (!chain_valid) return fail("blockchain failed validation");
   if (!chain::Environment::VerifyAuthenticatedState(state)) {
     return fail("VO_chain inclusion proofs do not match the block state root");
@@ -482,10 +530,11 @@ VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
 
 VerifiedResult AuthenticatedDb::Verify(const QueryResponse& response) {
   TELEMETRY_SPAN("client.verify");
-  chain::AuthenticatedState state = env_.ReadAuthenticatedState(kContractName);
+  chain::AuthenticatedState state =
+      env_->ReadAuthenticatedState(options_.contract_name);
   // SPV-style client: follow headers (PoW + linkage) and anchor VO_chain at
   // the tip, instead of revalidating the whole chain per query.
-  light_client_->Sync(env_.blockchain());
+  light_client_->Sync(env_->blockchain());
   std::string error;
   const bool chain_valid = light_client_->VerifyStateAtTip(state, &error);
   VerifiedResult result = VerifyResponse(state, chain_valid, options_.kind, response);
@@ -509,19 +558,22 @@ VerifiedResult AuthenticatedDb::VerifyFor(Key lb, Key ub,
   return Verify(response);
 }
 
-VerifiedResult AuthenticatedDb::VerifyWire(Key lb, Key ub, const Bytes& wire) {
-  std::optional<QueryResponse> parsed = ParseResponse(wire);
-  if (!parsed.has_value()) {
-    VerifiedResult out;
-    out.ok = false;
-    out.error = "malformed wire image";
-    return out;
-  }
-  return VerifyFor(lb, ub, *parsed);
+std::vector<chain::AuthenticatedState> AuthenticatedDb::ReadChainState() {
+  std::vector<chain::AuthenticatedState> states;
+  states.push_back(env_->ReadAuthenticatedState(options_.contract_name));
+  return states;
 }
 
-VerifiedResult AuthenticatedDb::AuthenticatedRange(Key lb, Key ub) {
-  return Verify(Query(lb, ub));
+VerifiedResult AuthenticatedDb::VerifyAgainst(
+    const std::vector<chain::AuthenticatedState>& states,
+    const QueryResponse& response) const {
+  if (states.size() != 1 || states[0].contract != options_.contract_name) {
+    VerifiedResult out;
+    out.ok = false;
+    out.error = "chain state does not cover this store's contract";
+    return out;
+  }
+  return VerifyResponse(states[0], /*chain_valid=*/true, options_.kind, response);
 }
 
 std::unique_ptr<AuthenticatedDb> AuthenticatedDb::Replay(DbOptions options,

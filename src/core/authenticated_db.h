@@ -1,6 +1,6 @@
 /// \file authenticated_db.h
-/// The library's top-level public API: a hybrid-storage blockchain database
-/// with authenticated range queries (paper Fig. 1).
+/// The single-contract RangeStore backend: a hybrid-storage blockchain
+/// database with authenticated range queries (paper Fig. 1).
 ///
 /// An AuthenticatedDb wires together all four parties of the system model:
 ///   - the data owner, whose Insert/Update calls are sent both to the smart
@@ -14,7 +14,8 @@
 ///     against the on-chain digests (VO_chain).
 ///
 /// The ADS is selectable: the paper's GEM2-tree and GEM2*-tree, the MB-tree
-/// and SMB-tree baselines, and the LSM-tree comparator.
+/// and SMB-tree baselines, and the LSM-tree comparator. For the sharded
+/// multi-contract backend built on top of this class, see shard/sharded_db.h.
 #ifndef GEM2_CORE_AUTHENTICATED_DB_H_
 #define GEM2_CORE_AUTHENTICATED_DB_H_
 
@@ -27,6 +28,7 @@
 #include "chain/environment.h"
 #include "chain/light_client.h"
 #include "core/journal.h"
+#include "core/range_store.h"
 #include "core/response.h"
 #include "gem2/engine.h"
 #include "gem2/options.h"
@@ -54,16 +56,34 @@ struct DbOptions {
   std::vector<Key> split_points;
   lsm::LsmOptions lsm;
   chain::EnvironmentOptions env;
+  /// Name the ADS contract registers under in the environment (the label a
+  /// client passes to Environment::ReadAuthenticatedState). A sharded
+  /// deployment names each shard's contract distinctly ("shard0", ...).
+  std::string contract_name = "ads";
+  /// Host chain. nullptr (default): the db constructs and owns its own
+  /// Environment from `env`. Non-null: the db registers its contract in the
+  /// caller's environment (which must outlive the db) — this is how many
+  /// shard contracts share one state commitment; `env` is then ignored.
+  chain::Environment* shared_env = nullptr;
+  /// Thread pool for SP-side (unmetered) tree materializations; nullptr =
+  /// serial. Scoped overrides go through core::SpPoolScope.
+  common::ThreadPool* sp_pool = nullptr;
+
+  /// Rejects nonsensical configurations with std::invalid_argument before
+  /// any chain state exists: GEM2*-tree without split points, unsorted split
+  /// points, zero fanout/m/smax, a zero gas limit or block size.
+  void Validate() const;
 };
 
-class AuthenticatedDb {
+class AuthenticatedDb : public RangeStore {
  public:
-  /// Name the ADS contract registers under in the environment (the label a
-  /// client passes to Environment::ReadAuthenticatedState).
+  /// Default contract name (DbOptions::contract_name).
   static constexpr const char* kContractName = "ads";
 
+  /// Validates `options` (DbOptions::Validate) and builds the four-party
+  /// system. Throws std::invalid_argument on a bad configuration.
   explicit AuthenticatedDb(DbOptions options = {});
-  ~AuthenticatedDb();
+  ~AuthenticatedDb() override;
 
   AuthenticatedDb(const AuthenticatedDb&) = delete;
   AuthenticatedDb& operator=(const AuthenticatedDb&) = delete;
@@ -73,37 +93,36 @@ class AuthenticatedDb {
   /// Inserts a fresh object: one metered transaction on-chain plus the SP
   /// mirror update. Throws std::logic_error if a prior transaction ran out
   /// of gas (the contract is then unusable — see chain/storage.h).
-  chain::TxReceipt Insert(const Object& object);
+  chain::TxReceipt Insert(const Object& object) override;
 
   /// Updates an existing object's value.
-  chain::TxReceipt Update(const Object& object);
+  chain::TxReceipt Update(const Object& object) override;
 
   /// Deletes a key (paper Section V-B): the object is replaced by a dummy
   /// tombstone value on-chain and at the SP; the client filters tombstones
   /// from verified results. Re-inserting a deleted key revives it.
-  chain::TxReceipt Delete(Key key);
+  chain::TxReceipt Delete(Key key) override;
 
   /// Inserts many fresh objects in ONE transaction: a single intrinsic fee
   /// and one gasLimit budget (large batches can therefore abort where the
   /// same objects inserted one-by-one would not).
-  chain::TxReceipt InsertBatch(const std::vector<Object>& objects);
+  chain::TxReceipt InsertBatch(const std::vector<Object>& objects) override;
 
   /// True when the key is present and not deleted.
-  bool Contains(Key key) const;
+  bool Contains(Key key) const override;
   /// Live (non-deleted) objects.
-  uint64_t size() const { return size_; }
+  uint64_t size() const override { return size_; }
 
   // --- Service-provider interface ---------------------------------------
 
   /// Runs the range query on the SP's materialized ADS, returning the result
-  /// objects and VO_sp (Algorithms 5 / 7).
-  QueryResponse Query(Key lb, Key ub) const;
+  /// objects and VO_sp (Algorithms 5 / 7). Always a single response.
+  QueryResponse Query(Key lb, Key ub) const override;
 
-  /// Routes SP-side tree materializations through `pool` (parallel digest
-  /// computation; digests are bit-identical to serial builds). The metered
-  /// contract side never touches the pool. Pass nullptr to revert to serial.
-  /// Prefer driving concurrency through SpQueryEngine, which also provides
-  /// the locking that makes concurrent Query calls safe against writers.
+  /// Routes SP-side tree materializations through `pool`.
+  [[deprecated(
+      "supply the pool via DbOptions::sp_pool, or scope it with "
+      "core::SpPoolScope")]]
   void SetSpThreadPool(common::ThreadPool* pool);
 
   // --- Client interface ---------------------------------------------------
@@ -112,28 +131,34 @@ class AuthenticatedDb {
   /// from the blockchain (validating the chain, the state commitment, and
   /// the inclusion proofs), then checks every tree's soundness and
   /// completeness. Returns the verified, key-ordered result.
-  VerifiedResult Verify(const QueryResponse& response);
+  VerifiedResult Verify(const QueryResponse& response) override;
 
   /// As Verify, but pins the range the client actually asked for: a response
   /// claiming any other range (e.g. a tampered wire image widening the upper
   /// bound) is rejected outright. Use this whenever the response crossed a
   /// trust boundary (Algorithm 6's input is the client's own Q).
-  VerifiedResult VerifyFor(Key lb, Key ub, const QueryResponse& response);
+  VerifiedResult VerifyFor(Key lb, Key ub, const QueryResponse& response) override;
 
-  /// Parses a serialized response and runs VerifyFor on it: the single entry
-  /// point for bytes received over a network. Malformed images come back as a
-  /// failed result (error "malformed wire image"), never as an exception.
-  VerifiedResult VerifyWire(Key lb, Key ub, const Bytes& wire);
+  // --- Blockchain interface ------------------------------------------------
 
-  /// Convenience: Query + Verify in one call.
-  VerifiedResult AuthenticatedRange(Key lb, Key ub);
+  chain::Environment& environment() override { return *env_; }
+
+  /// VO_chain for this db's single contract (a one-element vector).
+  std::vector<chain::AuthenticatedState> ReadChainState() override;
+
+  /// Verification against already-retrieved chain state (header assumed
+  /// validated). Expects exactly one state, for this db's contract.
+  VerifiedResult VerifyAgainst(
+      const std::vector<chain::AuthenticatedState>& states,
+      const QueryResponse& response) const override;
 
   // --- Introspection -------------------------------------------------------
 
-  chain::Environment& environment() { return env_; }
   const DbOptions& options() const { return options_; }
   /// True once a transaction ran out of gas (db no longer usable).
-  bool poisoned() const { return poisoned_; }
+  bool poisoned() const override { return poisoned_; }
+
+  std::string BackendName() const override { return AdsKindName(options_.kind); }
 
   /// Digest labels the client would currently require for [lb, ub].
   std::vector<chain::DigestEntry> ChainDigests() const;
@@ -150,7 +175,13 @@ class AuthenticatedDb {
 
   /// Cross-checks contract and SP mirrors (tests): digests must agree and
   /// structural invariants must hold.
-  void CheckConsistency() const;
+  void CheckConsistency() const override;
+
+ protected:
+  /// Installs `pool` into the SP mirrors (parallel digest computation;
+  /// digests are bit-identical to serial builds). The metered contract side
+  /// never touches a pool. nullptr reverts to DbOptions::sp_pool.
+  void ApplySpPool(common::ThreadPool* pool) override;
 
  private:
   struct Impl;
@@ -162,7 +193,8 @@ class AuthenticatedDb {
   void ApplyToSp(bool insert, Key key, const std::string& value, const Hash& vh);
 
   DbOptions options_;
-  chain::Environment env_;
+  std::unique_ptr<chain::Environment> owned_env_;  // null when env is shared
+  chain::Environment* env_;                        // never null
   std::unique_ptr<Impl> impl_;
   std::unordered_map<Key, std::string> sp_values_;  // SP raw-object store
   std::unordered_set<Key> deleted_;                 // tombstoned keys
@@ -173,7 +205,9 @@ class AuthenticatedDb {
 };
 
 /// Client-side verification given an already-retrieved authenticated state.
-/// Exposed separately so tests can feed tampered states/responses.
+/// Exposed separately so tests can feed tampered states/responses. Rejects
+/// composite (sharded) responses: those verify through ShardedDb, which
+/// checks each slice with this function.
 VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
                               bool chain_valid, AdsKind kind,
                               const QueryResponse& response);

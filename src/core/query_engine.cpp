@@ -9,15 +9,14 @@
 
 namespace gem2::core {
 
-SpQueryEngine::SpQueryEngine(AuthenticatedDb* db, common::ThreadPool* pool)
+SpQueryEngine::SpQueryEngine(RangeStore* db, common::ThreadPool* pool)
     : db_(db), pool_(pool != nullptr ? pool : &common::ThreadPool::Global()) {
-  db_->SetSpThreadPool(pool_);
+  // Scoped install: the store builds SP-side trees on our pool while the
+  // engine exists, and reverts to its own configured pool afterwards.
+  pool_scope_.emplace(*db_, pool_);
 }
 
-SpQueryEngine::~SpQueryEngine() {
-  // Leave the db usable after the engine goes away, without a dangling pool.
-  db_->SetSpThreadPool(nullptr);
-}
+SpQueryEngine::~SpQueryEngine() = default;
 
 template <typename Fn>
 chain::TxReceipt SpQueryEngine::Write(const char* span_name, Fn&& fn) {

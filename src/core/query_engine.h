@@ -4,7 +4,7 @@
 /// ADS state, while data-owner writes serialize against them.
 ///
 /// Concurrency model (see docs/PERFORMANCE.md):
-///   - a std::shared_mutex guards the wrapped AuthenticatedDb. Queries take
+///   - a std::shared_mutex guards the wrapped RangeStore. Queries take
 ///     it shared — any number run at once, each seeing the same committed
 ///     root digests; Insert/Update/Delete take it exclusive;
 ///   - every committed write advances an epoch counter. A response produced
@@ -19,11 +19,12 @@
 #define GEM2_CORE_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <optional>
 #include <shared_mutex>
 #include <utility>
 #include <vector>
 
-#include "core/authenticated_db.h"
+#include "core/range_store.h"
 
 namespace gem2::common {
 class ThreadPool;
@@ -36,11 +37,12 @@ using KeyRange = std::pair<Key, Key>;
 
 class SpQueryEngine {
  public:
-  /// Wraps `db` (not owned; must outlive the engine). `pool` is used for
-  /// QueryBatch fan-out and is also installed as the db's SP-side build pool;
-  /// nullptr selects ThreadPool::Global().
-  explicit SpQueryEngine(AuthenticatedDb* db,
-                         common::ThreadPool* pool = nullptr);
+  /// Wraps any RangeStore backend — single-contract AuthenticatedDb or
+  /// sharded ShardedDb — `db` is not owned and must outlive the engine.
+  /// `pool` is used for QueryBatch fan-out and is also installed (scoped to
+  /// the engine's lifetime) as the store's SP-side build pool; nullptr
+  /// selects ThreadPool::Global().
+  explicit SpQueryEngine(RangeStore* db, common::ThreadPool* pool = nullptr);
   ~SpQueryEngine();
 
   SpQueryEngine(const SpQueryEngine&) = delete;
@@ -77,16 +79,18 @@ class SpQueryEngine {
   /// same epoch answered from the same snapshot.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  AuthenticatedDb& db() { return *db_; }
-  const AuthenticatedDb& db() const { return *db_; }
+  RangeStore& db() { return *db_; }
+  const RangeStore& db() const { return *db_; }
   common::ThreadPool& pool() const { return *pool_; }
 
  private:
   template <typename Fn>
   chain::TxReceipt Write(const char* span_name, Fn&& fn);
 
-  AuthenticatedDb* db_;
+  RangeStore* db_;
   common::ThreadPool* pool_;
+  /// Holds the pool installed in the store for the engine's lifetime.
+  std::optional<SpPoolScope> pool_scope_;
   mutable std::shared_mutex mutex_;
   std::atomic<uint64_t> epoch_{0};
 };

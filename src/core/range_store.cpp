@@ -1,0 +1,30 @@
+#include "core/range_store.h"
+
+#include "core/wire.h"
+
+namespace gem2::core {
+
+Bytes RangeStore::QueryWire(Key lb, Key ub) const {
+  return SerializeResponse(Query(lb, ub));
+}
+
+VerifiedResult RangeStore::Verify(const QueryResponse& response) {
+  return VerifyFor(response.lb, response.ub, response);
+}
+
+VerifiedResult RangeStore::VerifyWire(Key lb, Key ub, const Bytes& wire) {
+  std::optional<QueryResponse> parsed = ParseResponse(wire);
+  if (!parsed.has_value()) {
+    VerifiedResult out;
+    out.ok = false;
+    out.error = "malformed wire image";
+    return out;
+  }
+  return VerifyFor(lb, ub, *parsed);
+}
+
+VerifiedResult RangeStore::AuthenticatedRange(Key lb, Key ub) {
+  return VerifyFor(lb, ub, Query(lb, ub));
+}
+
+}  // namespace gem2::core

@@ -1,0 +1,157 @@
+/// \file range_store.h
+/// The library's role-separated public interface. A RangeStore is an
+/// authenticated key/value store serving verified range queries; the methods
+/// are grouped by the paper's four parties (Fig. 1), so call sites state
+/// which role they play and never need to know which backend they drive:
+///
+///   - data owner:  Insert / Update / Delete / InsertBatch
+///   - service provider (SP):  Query / QueryWire
+///   - client:  Verify / VerifyFor / VerifyWire
+///   - blockchain:  environment(), ReadChainState()
+///
+/// Implementations: core::AuthenticatedDb (one ADS contract, the paper's
+/// system model) and shard::ShardedDb (a range-partitioned keyspace over
+/// many ADS contracts with scatter-gather composite queries). Benches, the
+/// SpQueryEngine, the fault harnesses, and the examples all work against
+/// this interface.
+#ifndef GEM2_CORE_RANGE_STORE_H_
+#define GEM2_CORE_RANGE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "chain/environment.h"
+#include "core/response.h"
+
+namespace gem2::common {
+class ThreadPool;
+}
+
+namespace gem2::core {
+
+class SpPoolScope;
+
+class RangeStore {
+ public:
+  virtual ~RangeStore() = default;
+
+  // --- Data-owner facet ----------------------------------------------------
+
+  /// Inserts a fresh object: metered transaction(s) on-chain plus the SP
+  /// mirror update.
+  virtual chain::TxReceipt Insert(const Object& object) = 0;
+
+  /// Updates an existing object's value.
+  virtual chain::TxReceipt Update(const Object& object) = 0;
+
+  /// Deletes a key (tombstone semantics, paper Section V-B).
+  virtual chain::TxReceipt Delete(Key key) = 0;
+
+  /// Inserts many fresh objects under one gasLimit budget. A sharded backend
+  /// issues one transaction per owning shard; the returned receipt is the
+  /// last one (all must succeed or the store is poisoned).
+  virtual chain::TxReceipt InsertBatch(const std::vector<Object>& objects) = 0;
+
+  /// True when the key is present and not deleted.
+  virtual bool Contains(Key key) const = 0;
+  /// Live (non-deleted) objects.
+  virtual uint64_t size() const = 0;
+
+  // --- Service-provider facet ----------------------------------------------
+
+  /// Runs the range query against the SP's materialized ADS state, returning
+  /// result objects and VO_sp. Sharded backends return a composite response
+  /// (QueryResponse::slices) gathered from every overlapping shard.
+  virtual QueryResponse Query(Key lb, Key ub) const = 0;
+
+  /// Query + wire serialization: what the SP actually ships to a client.
+  virtual Bytes QueryWire(Key lb, Key ub) const;
+
+  // --- Client facet --------------------------------------------------------
+
+  /// Full client-side verification of a response against the on-chain
+  /// digests (retrieving VO_chain and syncing the light client). The range
+  /// verified is the one the response claims.
+  virtual VerifiedResult Verify(const QueryResponse& response);
+
+  /// As Verify, but pins the range the client actually asked for: a response
+  /// claiming any other range is rejected outright. Use this whenever the
+  /// response crossed a trust boundary.
+  virtual VerifiedResult VerifyFor(Key lb, Key ub, const QueryResponse& response) = 0;
+
+  /// Parses a serialized response and runs VerifyFor on it: the single entry
+  /// point for bytes received over a network. Malformed or unknown-version
+  /// images come back as a failed result ("malformed wire image"), never as
+  /// an exception.
+  virtual VerifiedResult VerifyWire(Key lb, Key ub, const Bytes& wire);
+
+  /// Convenience: Query + VerifyFor in one call.
+  VerifiedResult AuthenticatedRange(Key lb, Key ub);
+
+  // --- Blockchain facet ----------------------------------------------------
+
+  /// The chain hosting this store's contract(s).
+  virtual chain::Environment& environment() = 0;
+
+  /// VO_chain for every contract backing this store (one AuthenticatedState
+  /// per contract, all anchored at the same sealed header). Measurement
+  /// harnesses retrieve this once and verify many responses against it with
+  /// VerifyAgainst.
+  virtual std::vector<chain::AuthenticatedState> ReadChainState() = 0;
+
+  /// Client verification against already-retrieved chain state, with the
+  /// header(s) assumed validated by the caller (`chain_valid`). This is the
+  /// hot verification path of Figs. 9-10: no chain reads, pure CPU.
+  virtual VerifiedResult VerifyAgainst(
+      const std::vector<chain::AuthenticatedState>& states,
+      const QueryResponse& response) const = 0;
+
+  // --- Introspection -------------------------------------------------------
+
+  /// True once a transaction ran out of gas (store no longer usable).
+  virtual bool poisoned() const = 0;
+
+  /// Human-readable backend description, e.g. "GEM2-tree" or
+  /// "sharded(4)/GEM2-tree".
+  virtual std::string BackendName() const = 0;
+
+  /// Cross-checks contract and SP mirrors (tests): digests must agree and
+  /// structural invariants must hold.
+  virtual void CheckConsistency() const = 0;
+
+ protected:
+  /// Routes SP-side (unmetered) tree materializations through `pool`;
+  /// nullptr reverts to the construction-time DbOptions::sp_pool (or serial).
+  /// Reached through SpPoolScope or DbOptions::sp_pool — never called
+  /// directly by clients, so pool lifetime is always scoped.
+  virtual void ApplySpPool(common::ThreadPool* pool) = 0;
+
+  /// Lets a composite store (e.g. a sharded db) forward pool installation to
+  /// the stores it owns without widening their public API.
+  static void ApplySpPoolTo(RangeStore& store, common::ThreadPool* pool) {
+    store.ApplySpPool(pool);
+  }
+
+  friend class SpPoolScope;
+};
+
+/// RAII pool installation: routes a store's SP-side builds through `pool`
+/// for the scope's lifetime, then reverts to the store's configured pool.
+/// This replaces the deprecated raw-pointer AuthenticatedDb::SetSpThreadPool.
+class SpPoolScope {
+ public:
+  SpPoolScope(RangeStore& store, common::ThreadPool* pool) : store_(&store) {
+    store_->ApplySpPool(pool);
+  }
+  ~SpPoolScope() { store_->ApplySpPool(nullptr); }
+
+  SpPoolScope(const SpPoolScope&) = delete;
+  SpPoolScope& operator=(const SpPoolScope&) = delete;
+
+ private:
+  RangeStore* store_;
+};
+
+}  // namespace gem2::core
+
+#endif  // GEM2_CORE_RANGE_STORE_H_

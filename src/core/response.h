@@ -20,7 +20,18 @@ struct TreeResultSet {
   ads::TreeVo vo;
 };
 
+struct ShardSlice;
+
 /// VO_sp + R, as produced by ServiceProvider::Query.
+///
+/// Two shapes share this type, distinguished on the wire by a kind tag:
+///   - a *single* response (`slices` empty): one ADS answered [lb, ub] with
+///     its trees, exactly the paper's protocol;
+///   - a *composite* response (`slices` non-empty, `trees`/`upper_splits`
+///     empty): a sharded SP scattered [lb, ub] across the owning shard
+///     contracts and gathered one sub-response per shard. Each slice's
+///     sub-range abuts the next (seam completeness), which the client checks
+///     against its own partition bounds — see docs/SHARDING.md.
 struct QueryResponse {
   Key lb = 0;
   Key ub = 0;
@@ -28,6 +39,17 @@ struct QueryResponse {
   /// GEM2*-tree only: the upper-level split points, authenticated against
   /// VO_chain's "upper" digest (Algorithm 8 line 2).
   std::vector<Key> upper_splits;
+  /// Composite (sharded) responses only: per-shard sub-responses in ascending
+  /// shard order. Sub-responses are always single (no nesting).
+  std::vector<ShardSlice> slices;
+};
+
+/// One shard's contribution to a composite response: the shard index it
+/// claims to answer for, plus that shard's full single response over the
+/// clamped sub-range (response.lb/ub are the slice's bounds).
+struct ShardSlice {
+  uint32_t shard = 0;
+  QueryResponse response;
 };
 
 /// Serialized size of the VO_sp portion (boundary hashes, pruned subtrees,

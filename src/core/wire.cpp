@@ -5,7 +5,12 @@
 namespace gem2::core {
 namespace {
 
-constexpr uint8_t kFormatVersion = 1;
+// Image layout: [version][kind][body]. v1 had no kind byte; bumping the
+// version to 2 lets VerifyWire reject v1 (and future) images as malformed
+// instead of misparsing the kind byte as payload.
+constexpr uint8_t kFormatVersion = 2;
+constexpr uint8_t kKindSingle = 0;
+constexpr uint8_t kKindComposite = 1;
 
 void AppendVarString(Bytes* out, const std::string& s) {
   AppendUint64(out, s.size());
@@ -65,26 +70,89 @@ struct Reader {
   }
 };
 
+void SerializeSingleBody(Bytes* out, const QueryResponse& response) {
+  AppendKey(out, response.lb);
+  AppendKey(out, response.ub);
+  AppendUint64(out, response.upper_splits.size());
+  for (Key s : response.upper_splits) AppendKey(out, s);
+  AppendUint64(out, response.trees.size());
+  for (const TreeResultSet& tree : response.trees) {
+    AppendVarString(out, tree.label);
+    AppendUint64(out, tree.objects.size());
+    for (const Object& obj : tree.objects) {
+      AppendKey(out, obj.key);
+      AppendVarString(out, obj.value);
+    }
+    Bytes vo = ads::SerializeTreeVo(tree.vo);
+    AppendUint64(out, vo.size());
+    out->insert(out->end(), vo.begin(), vo.end());
+  }
+}
+
+bool ParseSingleBody(Reader& r, QueryResponse* response) {
+  response->lb = static_cast<Key>(r.U64());
+  response->ub = static_cast<Key>(r.U64());
+  // Every count below is bounded by the bytes actually present before any
+  // reserve(): a flipped length-prefix byte must fail parsing, not request a
+  // multi-gigabyte allocation (std::bad_alloc would escape the parser).
+  const uint64_t num_splits = r.U64();
+  if (r.failed || num_splits > r.Remaining() / 8) return false;
+  response->upper_splits.reserve(num_splits);
+  for (uint64_t i = 0; i < num_splits; ++i) {
+    response->upper_splits.push_back(static_cast<Key>(r.U64()));
+  }
+  const uint64_t num_trees = r.U64();
+  // A serialized tree is at least 24 bytes: label length, object count, VO
+  // blob length.
+  if (r.failed || num_trees > r.Remaining() / 24) return false;
+  response->trees.reserve(num_trees);
+  for (uint64_t t = 0; t < num_trees; ++t) {
+    TreeResultSet tree;
+    tree.label = r.ReadString();
+    const uint64_t num_objects = r.U64();
+    // A serialized object is at least 16 bytes: key plus value length.
+    if (r.failed || num_objects > r.Remaining() / 16) return false;
+    tree.objects.reserve(num_objects);
+    for (uint64_t i = 0; i < num_objects; ++i) {
+      Object obj;
+      obj.key = static_cast<Key>(r.U64());
+      obj.value = r.ReadString();
+      if (r.failed) return false;
+      tree.objects.push_back(std::move(obj));
+    }
+    Bytes vo_bytes = r.ReadBlob();
+    if (r.failed) return false;
+    auto vo = ads::ParseTreeVo(vo_bytes);
+    if (!vo.has_value()) return false;
+    tree.vo = std::move(*vo);
+    response->trees.push_back(std::move(tree));
+  }
+  return true;
+}
+
 }  // namespace
 
 Bytes SerializeResponse(const QueryResponse& response) {
   Bytes out;
   out.push_back(kFormatVersion);
+  if (response.slices.empty()) {
+    out.push_back(kKindSingle);
+    SerializeSingleBody(&out, response);
+    return out;
+  }
+  // Composite: the gathered range plus one length-prefixed full single image
+  // per shard slice. Embedding complete images (version + kind + body) keeps
+  // the slice codec identical to the standalone one, so sub-responses
+  // round-trip through the same parser the client uses for single responses.
+  out.push_back(kKindComposite);
   AppendKey(&out, response.lb);
   AppendKey(&out, response.ub);
-  AppendUint64(&out, response.upper_splits.size());
-  for (Key s : response.upper_splits) AppendKey(&out, s);
-  AppendUint64(&out, response.trees.size());
-  for (const TreeResultSet& tree : response.trees) {
-    AppendVarString(&out, tree.label);
-    AppendUint64(&out, tree.objects.size());
-    for (const Object& obj : tree.objects) {
-      AppendKey(&out, obj.key);
-      AppendVarString(&out, obj.value);
-    }
-    Bytes vo = ads::SerializeTreeVo(tree.vo);
-    AppendUint64(&out, vo.size());
-    out.insert(out.end(), vo.begin(), vo.end());
+  AppendUint64(&out, response.slices.size());
+  for (const ShardSlice& slice : response.slices) {
+    AppendUint64(&out, slice.shard);
+    Bytes inner = SerializeResponse(slice.response);
+    AppendUint64(&out, inner.size());
+    out.insert(out.end(), inner.begin(), inner.end());
   }
   return out;
 }
@@ -92,43 +160,34 @@ Bytes SerializeResponse(const QueryResponse& response) {
 std::optional<QueryResponse> ParseResponse(const Bytes& data) {
   Reader r{data};
   if (r.Byte() != kFormatVersion) return std::nullopt;
+  const uint8_t kind = r.Byte();
+  if (r.failed) return std::nullopt;
   QueryResponse response;
-  response.lb = static_cast<Key>(r.U64());
-  response.ub = static_cast<Key>(r.U64());
-  // Every count below is bounded by the bytes actually present before any
-  // reserve(): a flipped length-prefix byte must fail parsing, not request a
-  // multi-gigabyte allocation (std::bad_alloc would escape the parser).
-  const uint64_t num_splits = r.U64();
-  if (r.failed || num_splits > r.Remaining() / 8) return std::nullopt;
-  response.upper_splits.reserve(num_splits);
-  for (uint64_t i = 0; i < num_splits; ++i) {
-    response.upper_splits.push_back(static_cast<Key>(r.U64()));
-  }
-  const uint64_t num_trees = r.U64();
-  // A serialized tree is at least 24 bytes: label length, object count, VO
-  // blob length.
-  if (r.failed || num_trees > r.Remaining() / 24) return std::nullopt;
-  response.trees.reserve(num_trees);
-  for (uint64_t t = 0; t < num_trees; ++t) {
-    TreeResultSet tree;
-    tree.label = r.ReadString();
-    const uint64_t num_objects = r.U64();
-    // A serialized object is at least 16 bytes: key plus value length.
-    if (r.failed || num_objects > r.Remaining() / 16) return std::nullopt;
-    tree.objects.reserve(num_objects);
-    for (uint64_t i = 0; i < num_objects; ++i) {
-      Object obj;
-      obj.key = static_cast<Key>(r.U64());
-      obj.value = r.ReadString();
+  if (kind == kKindSingle) {
+    if (!ParseSingleBody(r, &response)) return std::nullopt;
+  } else if (kind == kKindComposite) {
+    response.lb = static_cast<Key>(r.U64());
+    response.ub = static_cast<Key>(r.U64());
+    const uint64_t num_slices = r.U64();
+    // A serialized slice is at least 50 bytes: shard index, image length, and
+    // a minimal embedded image (version, kind, lb, ub, two counts).
+    if (r.failed || num_slices > r.Remaining() / 50) return std::nullopt;
+    response.slices.reserve(num_slices);
+    for (uint64_t i = 0; i < num_slices; ++i) {
+      const uint64_t shard = r.U64();
+      if (r.failed || shard > UINT32_MAX) return std::nullopt;
+      Bytes inner = r.ReadBlob();
       if (r.failed) return std::nullopt;
-      tree.objects.push_back(std::move(obj));
+      auto sub = ParseResponse(inner);
+      // Slices must be single responses: composites never nest.
+      if (!sub.has_value() || !sub->slices.empty()) return std::nullopt;
+      ShardSlice slice;
+      slice.shard = static_cast<uint32_t>(shard);
+      slice.response = std::move(*sub);
+      response.slices.push_back(std::move(slice));
     }
-    Bytes vo_bytes = r.ReadBlob();
-    if (r.failed) return std::nullopt;
-    auto vo = ads::ParseTreeVo(vo_bytes);
-    if (!vo.has_value()) return std::nullopt;
-    tree.vo = std::move(*vo);
-    response.trees.push_back(std::move(tree));
+  } else {
+    return std::nullopt;
   }
   if (r.pos != data.size()) return std::nullopt;
   return response;

@@ -17,7 +17,7 @@ void Count(const char* name, uint64_t delta = 1) {
 
 }  // namespace
 
-AdversaryReport RunAdversarialSweep(core::AuthenticatedDb& db,
+AdversaryReport RunAdversarialSweep(core::RangeStore& db,
                                     const AdversaryOptions& options) {
   AdversaryReport report;
   report.seed = options.seed;
@@ -70,7 +70,7 @@ AdversaryReport RunAdversarialSweep(core::AuthenticatedDb& db,
   return report;
 }
 
-bool StaleReplayRejected(core::AuthenticatedDb& db, Key lb, Key ub,
+bool StaleReplayRejected(core::RangeStore& db, Key lb, Key ub,
                          int extra_inserts, uint64_t seed, std::string* why) {
   const Bytes stale = core::SerializeResponse(db.Query(lb, ub));
 

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "core/authenticated_db.h"
+#include "core/range_store.h"
 #include "fault/mutator.h"
 
 namespace gem2::fault {
@@ -47,14 +47,14 @@ struct AdversaryReport {
 /// Runs the sweep against `db` (which already holds data). Deterministic:
 /// identical (db state, options) pairs produce identical reports. Counters
 /// land in the telemetry registry under fault.mutation.*.
-AdversaryReport RunAdversarialSweep(core::AuthenticatedDb& db,
+AdversaryReport RunAdversarialSweep(core::RangeStore& db,
                                     const AdversaryOptions& options);
 
 /// Stale-response replay: serializes a response for [lb, ub], advances the
 /// chain by `extra_inserts` fresh in-range inserts (so the on-chain digests
 /// move past the captured response), then replays the stale image. Returns
 /// true when the client rejects it; `why` receives the rejection error.
-bool StaleReplayRejected(core::AuthenticatedDb& db, Key lb, Key ub,
+bool StaleReplayRejected(core::RangeStore& db, Key lb, Key ub,
                          int extra_inserts, uint64_t seed,
                          std::string* why = nullptr);
 

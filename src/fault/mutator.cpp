@@ -244,4 +244,111 @@ Mutation ResponseMutator::Mutate(const core::QueryResponse& response) {
   }
 }
 
+std::string CompositeMutationOpName(CompositeMutationOp op) {
+  switch (op) {
+    case CompositeMutationOp::kDropSlice:
+      return "drop_slice";
+    case CompositeMutationOp::kDuplicateSlice:
+      return "duplicate_slice";
+    case CompositeMutationOp::kSwapSlices:
+      return "swap_slices";
+    case CompositeMutationOp::kShiftSeam:
+      return "shift_seam";
+    case CompositeMutationOp::kMutateInnerSlice:
+      return "mutate_inner_slice";
+  }
+  return "unknown";
+}
+
+std::optional<CompositeMutation> ResponseMutator::ApplyComposite(
+    CompositeMutationOp op, const core::QueryResponse& response) {
+  if (response.slices.empty()) return std::nullopt;
+  auto pack = [&](core::QueryResponse&& forged) {
+    CompositeMutation m;
+    m.op = op;
+    m.wire = core::SerializeResponse(forged);
+    return m;
+  };
+  switch (op) {
+    case CompositeMutationOp::kDropSlice: {
+      core::QueryResponse forged = core::CloneResponse(response);
+      forged.slices.erase(
+          forged.slices.begin() +
+          static_cast<long>(rng_.Uniform(0, forged.slices.size() - 1)));
+      return pack(std::move(forged));
+    }
+
+    case CompositeMutationOp::kDuplicateSlice: {
+      core::QueryResponse forged = core::CloneResponse(response);
+      const size_t i = rng_.Uniform(0, forged.slices.size() - 1);
+      core::ShardSlice copy;
+      copy.shard = forged.slices[i].shard;
+      copy.response = core::CloneResponse(forged.slices[i].response);
+      forged.slices.insert(forged.slices.begin() + static_cast<long>(i),
+                           std::move(copy));
+      return pack(std::move(forged));
+    }
+
+    case CompositeMutationOp::kSwapSlices: {
+      if (response.slices.size() < 2) return std::nullopt;
+      core::QueryResponse forged = core::CloneResponse(response);
+      const size_t i = rng_.Uniform(0, forged.slices.size() - 2);
+      const size_t j = rng_.Uniform(i + 1, forged.slices.size() - 1);
+      std::swap(forged.slices[i], forged.slices[j]);
+      return pack(std::move(forged));
+    }
+
+    case CompositeMutationOp::kShiftSeam: {
+      // Move the boundary between two adjacent slices so they still abut,
+      // just at the wrong key: the classic boundary-drop attack a client
+      // without its own copy of the partition bounds would miss.
+      if (response.slices.size() < 2) return std::nullopt;
+      core::QueryResponse forged = core::CloneResponse(response);
+      const size_t seam = rng_.Uniform(1, forged.slices.size() - 1);
+      const uint64_t delta = rng_.Uniform(1, 1000);
+      const bool up = rng_.Chance(0.5);
+      core::QueryResponse& left = forged.slices[seam - 1].response;
+      core::QueryResponse& right = forged.slices[seam].response;
+      left.ub = ShiftKey(left.ub, delta, up);
+      right.lb = ShiftKey(right.lb, delta, up);
+      return pack(std::move(forged));
+    }
+
+    case CompositeMutationOp::kMutateInnerSlice: {
+      // Tamper inside ONE shard's sub-response with a semantic
+      // single-response operator (byte-level corruption would not embed as a
+      // parseable slice). kShiftRangeBounds always applies, so this loop
+      // terminates.
+      core::QueryResponse forged = core::CloneResponse(response);
+      const size_t i = rng_.Uniform(0, forged.slices.size() - 1);
+      for (;;) {
+        const MutationOp inner_op =
+            kAllMutationOps[rng_.Uniform(0, kAllMutationOps.size() - 1)];
+        if (inner_op == MutationOp::kCorruptWireBytes) continue;
+        std::optional<Mutation> inner =
+            Apply(inner_op, forged.slices[i].response);
+        if (!inner.has_value()) continue;
+        std::optional<core::QueryResponse> parsed =
+            core::ParseResponse(inner->wire);
+        if (!parsed.has_value()) continue;
+        forged.slices[i].response = std::move(*parsed);
+        CompositeMutation m = pack(std::move(forged));
+        m.inner = inner_op;
+        return m;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+CompositeMutation ResponseMutator::MutateComposite(
+    const core::QueryResponse& response) {
+  for (;;) {
+    const CompositeMutationOp op = kAllCompositeMutationOps[rng_.Uniform(
+        0, kAllCompositeMutationOps.size() - 1)];
+    std::optional<CompositeMutation> m = ApplyComposite(op, response);
+    if (m.has_value()) return std::move(*m);
+  }
+}
+
 }  // namespace gem2::fault

@@ -52,6 +52,27 @@ inline constexpr std::array<MutationOp, 11> kAllMutationOps = {
 
 std::string MutationOpName(MutationOp op);
 
+/// Forgeries specific to a sharded SP's composite response (see
+/// shard/sharded_db.h): attacks on the scatter plan itself, plus tampering
+/// inside a single shard's sub-response.
+enum class CompositeMutationOp : uint8_t {
+  kDropSlice,         // withhold one shard's entire sub-response
+  kDuplicateSlice,    // answer the same shard twice
+  kSwapSlices,        // reorder two slices (plan-order violation)
+  kShiftSeam,         // move a shard seam: neighbors still abut, but at the
+                      // wrong key — disagrees with the client's bounds
+  kMutateInnerSlice,  // apply a semantic single-response operator inside one
+                      // slice's sub-response
+};
+
+inline constexpr std::array<CompositeMutationOp, 5> kAllCompositeMutationOps = {
+    CompositeMutationOp::kDropSlice,  CompositeMutationOp::kDuplicateSlice,
+    CompositeMutationOp::kSwapSlices, CompositeMutationOp::kShiftSeam,
+    CompositeMutationOp::kMutateInnerSlice,
+};
+
+std::string CompositeMutationOpName(CompositeMutationOp op);
+
 /// One applied mutation: the operator and the serialized forged image.
 struct Mutation {
   MutationOp op = MutationOp::kCorruptWireBytes;
@@ -59,6 +80,15 @@ struct Mutation {
   /// True for kCorruptWireBytes: the only operator whose output may decode
   /// back to the canonical original (flip in redundant framing).
   bool byte_level = false;
+};
+
+/// One applied composite mutation. Always semantic (never byte-level), so
+/// the harness asserts strict 100% rejection.
+struct CompositeMutation {
+  CompositeMutationOp op = CompositeMutationOp::kDropSlice;
+  /// The single-response operator used when op == kMutateInnerSlice.
+  std::optional<MutationOp> inner;
+  Bytes wire;
 };
 
 /// Deterministic forgery generator. All draws come from the constructor seed.
@@ -75,6 +105,18 @@ class ResponseMutator {
   /// well-formed response: kShiftRangeBounds and kCorruptWireBytes always
   /// apply.
   Mutation Mutate(const core::QueryResponse& response);
+
+  /// Applies `op` to a composite (sharded) response; std::nullopt when the
+  /// operator does not apply (e.g. kSwapSlices with fewer than two slices).
+  /// Kept separate from Apply so existing seeded single-response draw
+  /// sequences are untouched.
+  std::optional<CompositeMutation> ApplyComposite(
+      CompositeMutationOp op, const core::QueryResponse& response);
+
+  /// Applies one applicable composite operator chosen uniformly. Never fails
+  /// on a well-formed composite with at least one slice: kDropSlice,
+  /// kDuplicateSlice, and kMutateInnerSlice always apply.
+  CompositeMutation MutateComposite(const core::QueryResponse& response);
 
   Rng& rng() { return rng_; }
 

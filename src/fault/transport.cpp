@@ -88,7 +88,7 @@ uint64_t RetryPolicy::BackoffUs(uint32_t attempt, Rng& rng) const {
   return std::min(capped, max_backoff_us + max_backoff_us / 2);
 }
 
-RetryingClient::RetryingClient(core::AuthenticatedDb& db, FlakyChannel& channel,
+RetryingClient::RetryingClient(core::RangeStore& db, FlakyChannel& channel,
                                RetryPolicy policy, uint64_t seed)
     : db_(db), channel_(channel), policy_(policy), rng_(seed) {}
 

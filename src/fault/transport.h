@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "common/random.h"
-#include "core/authenticated_db.h"
+#include "core/range_store.h"
 
 namespace gem2::fault {
 
@@ -102,13 +102,13 @@ struct ClientOutcome {
 /// registry (client.retry.*, transport.*).
 class RetryingClient {
  public:
-  RetryingClient(core::AuthenticatedDb& db, FlakyChannel& channel,
+  RetryingClient(core::RangeStore& db, FlakyChannel& channel,
                  RetryPolicy policy, uint64_t seed);
 
   ClientOutcome AuthenticatedRange(Key lb, Key ub);
 
  private:
-  core::AuthenticatedDb& db_;
+  core::RangeStore& db_;
   FlakyChannel& channel_;
   RetryPolicy policy_;
   Rng rng_;

@@ -108,6 +108,26 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// A counter family "prefix.0" ... "prefix.<n-1>": the registry lookup (mutex
+/// + string build) is paid once per index at construction, so per-index hot
+/// paths — e.g. one counter per shard — increment a cached atomic directly.
+class IndexedCounters {
+ public:
+  IndexedCounters(MetricsRegistry& registry, const std::string& prefix,
+                  size_t n) {
+    counters_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      counters_.push_back(&registry.counter(prefix + "." + std::to_string(i)));
+    }
+  }
+
+  Counter& at(size_t i) { return *counters_[i]; }
+  size_t size() const { return counters_.size(); }
+
+ private:
+  std::vector<Counter*> counters_;
+};
+
 }  // namespace gem2::telemetry
 
 #endif  // GEM2_TELEMETRY_METRICS_H_

@@ -157,6 +157,35 @@ RangeQuerySpec WorkloadGenerator::NextQuery(double selectivity) {
   return spec;
 }
 
+std::vector<Key> WorkloadGenerator::ShardBounds(size_t num_shards) const {
+  std::vector<Key> bounds;
+  if (num_shards <= 1) return bounds;
+  bounds.reserve(num_shards - 1);
+  bool quantiles_ok = true;
+  for (size_t j = 1; j < num_shards; ++j) {
+    const Key k =
+        Quantile(static_cast<double>(j) / static_cast<double>(num_shards));
+    if (k <= (bounds.empty() ? options_.domain_min : bounds.back()) ||
+        k > options_.domain_max) {
+      quantiles_ok = false;
+      break;
+    }
+    bounds.push_back(k);
+  }
+  if (quantiles_ok) return bounds;
+  // Extreme skew can collapse adjacent quantiles onto one key; unlike
+  // SplitPoints (which may return fewer points), a sharded deployment needs
+  // exactly num_shards - 1 bounds, so fall back to even domain splits.
+  bounds.clear();
+  const uint64_t span_m1 = static_cast<uint64_t>(options_.domain_max) -
+                           static_cast<uint64_t>(options_.domain_min);
+  const uint64_t step = std::max<uint64_t>(1, span_m1 / num_shards);
+  for (size_t j = 1; j < num_shards; ++j) {
+    bounds.push_back(options_.domain_min + static_cast<Key>(step * j));
+  }
+  return bounds;
+}
+
 std::vector<Key> WorkloadGenerator::SplitPoints(size_t num_regions) const {
   std::vector<Key> splits;
   if (num_regions <= 1) return splits;

@@ -83,6 +83,13 @@ class WorkloadGenerator {
   /// quantiles of the configured key distribution (paper Section VI-A).
   std::vector<Key> SplitPoints(size_t num_regions) const;
 
+  /// Partition bounds for a sharded keyspace: exactly `num_shards - 1`
+  /// strictly ascending keys inside the open domain, so shard i owns
+  /// [bounds[i-1], bounds[i] - 1] (see shard/sharded_db.h). Prefers the
+  /// distribution's quantiles (balancing load like SplitPoints); falls back
+  /// to evenly spaced domain splits when quantiles collapse under skew.
+  std::vector<Key> ShardBounds(size_t num_shards) const;
+
   const std::vector<Key>& inserted_keys() const { return inserted_; }
   const WorkloadOptions& options() const { return options_; }
 

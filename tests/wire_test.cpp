@@ -142,6 +142,86 @@ TEST(Wire, RejectsMalformedInput) {
   EXPECT_FALSE(ParseResponse(padded).has_value());
 }
 
+TEST(Wire, VersionAndKindTagsAreEnforced) {
+  auto db = MakeDb(AdsKind::kGem2);
+  Bytes wire = SerializeResponse(db->Query(0, 1000));
+  ASSERT_GE(wire.size(), 2u);
+  EXPECT_EQ(wire[0], 2);  // current format version
+  EXPECT_EQ(wire[1], 0);  // kind: single
+
+  // Unknown (older or future) versions fail parsing...
+  for (uint8_t v : {0, 1, 3, 255}) {
+    Bytes other = wire;
+    other[0] = v;
+    EXPECT_FALSE(ParseResponse(other).has_value()) << "version " << int(v);
+  }
+  // ...and so does an unknown response-kind tag.
+  for (uint8_t k : {2, 7, 255}) {
+    Bytes other = wire;
+    other[1] = k;
+    EXPECT_FALSE(ParseResponse(other).has_value()) << "kind " << int(k);
+  }
+  // VerifyWire surfaces both as a failed result, never an exception.
+  Bytes old_version = wire;
+  old_version[0] = 1;
+  VerifiedResult vr = db->VerifyWire(0, 1000, old_version);
+  EXPECT_FALSE(vr.ok);
+  EXPECT_EQ(vr.error, "malformed wire image");
+}
+
+TEST(Wire, CompositeRoundTripsAndRejectsTruncation) {
+  auto db = MakeDb(AdsKind::kGem2);
+  QueryResponse composite;
+  composite.lb = 40;
+  composite.ub = 220;
+  composite.slices.push_back({0, db->Query(40, 100)});
+  composite.slices.push_back({1, db->Query(101, 220)});
+
+  Bytes wire = SerializeResponse(composite);
+  ASSERT_GE(wire.size(), 2u);
+  EXPECT_EQ(wire[0], 2);
+  EXPECT_EQ(wire[1], 1);  // kind: composite
+
+  auto parsed = ParseResponse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->lb, composite.lb);
+  EXPECT_EQ(parsed->ub, composite.ub);
+  EXPECT_TRUE(parsed->trees.empty());
+  ASSERT_EQ(parsed->slices.size(), 2u);
+  EXPECT_EQ(parsed->slices[0].shard, 0u);
+  EXPECT_EQ(parsed->slices[1].shard, 1u);
+  EXPECT_EQ(parsed->slices[0].response.lb, 40);
+  EXPECT_EQ(parsed->slices[0].response.ub, 100);
+  EXPECT_EQ(parsed->slices[1].response.lb, 101);
+  EXPECT_EQ(parsed->slices[1].response.ub, 220);
+  EXPECT_EQ(SerializeResponse(*parsed), wire);
+
+  // Truncation anywhere must fail parsing, never crash or misparse.
+  for (size_t cut : {wire.size() - 1, wire.size() / 2, wire.size() / 4, size_t{3}}) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(ParseResponse(truncated).has_value()) << "cut at " << cut;
+  }
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(ParseResponse(padded).has_value());
+}
+
+TEST(Wire, NestedCompositeSlicesAreRejected) {
+  auto db = MakeDb(AdsKind::kGem2);
+  QueryResponse inner_composite;
+  inner_composite.lb = 0;
+  inner_composite.ub = 100;
+  inner_composite.slices.push_back({0, db->Query(0, 100)});
+
+  QueryResponse nested;
+  nested.lb = 0;
+  nested.ub = 100;
+  nested.slices.push_back({0, std::move(inner_composite)});
+  // The slice serializes as a composite image, which the parser refuses to
+  // embed: composites never nest.
+  EXPECT_FALSE(ParseResponse(SerializeResponse(nested)).has_value());
+}
+
 TEST(Wire, CorruptedImagesNeverVerify) {
   auto db = MakeDb(AdsKind::kGem2);
   QueryResponse response = db->Query(0, 1000);
