@@ -17,6 +17,7 @@
 
 #include "bench_common.h"
 #include "common/thread_pool.h"
+#include "telemetry/metrics.h"
 
 namespace gem2::bench {
 namespace {
@@ -48,12 +49,16 @@ void ShardScaling(benchmark::State& state, const std::string& name,
 
   double seconds = 0;
   uint64_t results = 0;
+  telemetry::Histogram latency;  // per-query ns, for exact quantiles
   for (auto _ : state) {
     for (uint64_t q = 0; q < queries; ++q) {
       workload::RangeQuerySpec spec = gen.NextQuery(selectivity);
       const auto t0 = Clock::now();
       core::QueryResponse response = store->Query(spec.lb, spec.ub);
       const auto t1 = Clock::now();
+      latency.Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
       seconds += std::chrono::duration<double>(t1 - t0).count();
       for (const auto& slice : response.slices)
         for (const auto& tree : slice.response.trees) results += tree.objects.size();
@@ -76,6 +81,10 @@ void ShardScaling(benchmark::State& state, const std::string& name,
   run.Extra("cores", static_cast<double>(std::thread::hardware_concurrency()));
   run.Extra("pool_threads",
             static_cast<double>(common::ThreadPool::Global().num_threads()));
+  const telemetry::QuantileSummary lat_q = latency.Quantiles();
+  run.Extra("query_p50_ns", lat_q.p50);
+  run.Extra("query_p99_ns", lat_q.p99);
+  run.Extra("query_p999_ns", lat_q.p999);
   if (shards >= 1 && g_qps_s1 > 0) run.Extra("speedup_vs_s1", qps / g_qps_s1);
   run.Finish();
 

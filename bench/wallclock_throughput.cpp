@@ -17,6 +17,7 @@
 #include "core/query_engine.h"
 #include "crypto/digest.h"
 #include "crypto/keccak.h"
+#include "telemetry/metrics.h"
 
 namespace gem2::bench {
 namespace {
@@ -110,9 +111,11 @@ void QueryThroughput(benchmark::State& state, const char* ads, AdsKind kind) {
 
   WorkloadGenerator gen(MakeWorkload(KeyDistribution::kUniform));
   auto db = std::make_unique<AuthenticatedDb>(MakeDbOptions(kind, gen));
-  for (uint64_t i = 0; i < n; ++i) db->Insert(gen.Next().object);
-
   core::SpQueryEngine engine(db.get());
+  // Ingest through the engine so its write-latency reservoir sees every op.
+  telemetry::MetricsRegistry::Global().histogram("sp_engine.write_ns").Reset();
+  for (uint64_t i = 0; i < n; ++i) engine.Insert(gen.Next().object);
+
   std::vector<core::KeyRange> ranges;
   ranges.reserve(queries);
   for (uint64_t q = 0; q < queries; ++q) {
@@ -121,6 +124,7 @@ void QueryThroughput(benchmark::State& state, const char* ads, AdsKind kind) {
   }
   // Warm the SP caches so both sides measure query serving, not tree builds.
   benchmark::DoNotOptimize(engine.Query(ranges[0].first, ranges[0].second));
+  telemetry::MetricsRegistry::Global().histogram("sp_engine.query_ns").Reset();
 
   double serial_s = 0;
   double parallel_s = 0;
@@ -151,6 +155,19 @@ void QueryThroughput(benchmark::State& state, const char* ads, AdsKind kind) {
   run.Extra("serial_qps", total / serial_s);
   run.Extra("parallel_qps", total / parallel_s);
   run.Extra("speedup", serial_s / parallel_s);
+  // Exact per-op latency quantiles, cut from the engine's fixed-memory
+  // reservoirs over the ops this run actually issued.
+  auto& registry = telemetry::MetricsRegistry::Global();
+  const telemetry::QuantileSummary query_q =
+      registry.histogram("sp_engine.query_ns").Quantiles();
+  run.Extra("query_p50_ns", query_q.p50);
+  run.Extra("query_p99_ns", query_q.p99);
+  run.Extra("query_p999_ns", query_q.p999);
+  const telemetry::QuantileSummary write_q =
+      registry.histogram("sp_engine.write_ns").Quantiles();
+  run.Extra("insert_p50_ns", write_q.p50);
+  run.Extra("insert_p99_ns", write_q.p99);
+  run.Extra("insert_p999_ns", write_q.p999);
   run.Finish();
   state.counters["serial_qps"] = benchmark::Counter(total / serial_s);
   state.counters["parallel_qps"] = benchmark::Counter(total / parallel_s);

@@ -188,7 +188,44 @@ std::vector<Hash> Environment::LeavesFromEntries(const std::vector<StateEntry>& 
   return leaves;
 }
 
+namespace {
+
+/// Mirrors the deltas one root computation adds to the per-environment
+/// StateCommitStats into the process-wide metrics registry, so the
+/// introspection surface sees commitment work without holding Environment
+/// references (multiple environments simply aggregate).
+class CommitStatsMirror {
+ public:
+  explicit CommitStatsMirror(const StateCommitStats& stats)
+      : stats_(stats), before_(stats) {}
+
+  ~CommitStatsMirror() {
+    if constexpr (telemetry::kCompiledIn) {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      static telemetry::Counter& roots =
+          registry.counter("chain.commit.root_computations");
+      static telemetry::Counter& rebuilds =
+          registry.counter("chain.commit.full_rebuilds");
+      static telemetry::Counter& seen =
+          registry.counter("chain.commit.entries_seen");
+      static telemetry::Counter& updated =
+          registry.counter("chain.commit.entries_updated");
+      roots.Add(stats_.root_computations - before_.root_computations);
+      rebuilds.Add(stats_.full_rebuilds - before_.full_rebuilds);
+      seen.Add(stats_.entries_seen - before_.entries_seen);
+      updated.Add(stats_.entries_updated - before_.entries_updated);
+    }
+  }
+
+ private:
+  const StateCommitStats& stats_;
+  StateCommitStats before_;
+};
+
+}  // namespace
+
 Hash Environment::ComputeStateRootFrom(const std::vector<StateEntry>& cur) const {
+  CommitStatsMirror mirror(commit_stats_);
   ++commit_stats_.root_computations;
   commit_stats_.entries_seen += cur.size();
 

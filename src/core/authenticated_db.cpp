@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "ads/verify.h"
+#include "core/introspect.h"
+#include "core/observe.h"
 #include "core/tombstone.h"
 #include "core/wire.h"
 #include "crypto/digest.h"
@@ -143,6 +145,9 @@ struct AuthenticatedDb::Impl {
 
 AuthenticatedDb::AuthenticatedDb(DbOptions options)
     : options_(std::move(options)), impl_(new Impl) {
+  // Any process that builds a store gets the full introspection surface
+  // (keccak/arena providers); registration is once-only and cheap.
+  RegisterCoreIntrospection();
   options_.Validate();
   if (options_.shared_env != nullptr) {
     env_ = options_.shared_env;
@@ -331,8 +336,13 @@ bool AuthenticatedDb::Contains(Key key) const {
 }
 
 QueryResponse AuthenticatedDb::Query(Key lb, Key ub) const {
-  TELEMETRY_SPAN("sp.query");
+  // Join the caller's trace (a sharded scatter, an engine batch) or start a
+  // fresh one: this identity rides on the response so the client's Verify*
+  // lands in the same trace.
+  telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
+  telemetry::Span span("sp.query");
   QueryResponse response;
+  response.trace = span.context();
   response.lb = lb;
   response.ub = ub;
 
@@ -405,6 +415,7 @@ QueryResponse CloneResponse(const QueryResponse& response) {
   for (const ShardSlice& slice : response.slices) {
     copy.slices.push_back({slice.shard, CloneResponse(slice.response)});
   }
+  copy.trace = response.trace;
   return copy;
 }
 
@@ -529,6 +540,13 @@ VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
 }
 
 VerifiedResult AuthenticatedDb::Verify(const QueryResponse& response) {
+  // Continue the trace the SP stamped on the response (falling back to the
+  // thread's current trace for hand-built responses), so the verify span and
+  // any rejection event share the query's identity.
+  telemetry::TraceScope trace_scope(response.trace.valid()
+                                        ? response.trace
+                                        : telemetry::CurrentTrace());
+  VerifyObservation observe;
   TELEMETRY_SPAN("client.verify");
   chain::AuthenticatedState state =
       env_->ReadAuthenticatedState(options_.contract_name);
@@ -544,18 +562,26 @@ VerifiedResult AuthenticatedDb::Verify(const QueryResponse& response) {
     if (!result.ok) metrics.counter("verify.failed").Add(1);
     metrics.histogram("verify.vo_chain_bytes").Observe(result.vo_chain_bytes);
   }
+  if (!result.ok) observe.RecordRejection(BackendName(), result.error);
   return result;
 }
 
 VerifiedResult AuthenticatedDb::VerifyFor(Key lb, Key ub,
                                           const QueryResponse& response) {
+  telemetry::TraceScope trace_scope(response.trace.valid()
+                                        ? response.trace
+                                        : telemetry::CurrentTrace());
+  VerifyObservation observe;
   if (response.lb != lb || response.ub != ub) {
     VerifiedResult out;
     out.ok = false;
     out.error = "response range does not match the issued query";
+    observe.RecordRejection(BackendName(), out.error);
     return out;
   }
-  return Verify(response);
+  VerifiedResult result = Verify(response);
+  if (!result.ok) observe.RecordRejection(BackendName(), result.error);
+  return result;
 }
 
 std::vector<chain::AuthenticatedState> AuthenticatedDb::ReadChainState() {
@@ -567,13 +593,21 @@ std::vector<chain::AuthenticatedState> AuthenticatedDb::ReadChainState() {
 VerifiedResult AuthenticatedDb::VerifyAgainst(
     const std::vector<chain::AuthenticatedState>& states,
     const QueryResponse& response) const {
+  telemetry::TraceScope trace_scope(response.trace.valid()
+                                        ? response.trace
+                                        : telemetry::CurrentTrace());
+  VerifyObservation observe;
   if (states.size() != 1 || states[0].contract != options_.contract_name) {
     VerifiedResult out;
     out.ok = false;
     out.error = "chain state does not cover this store's contract";
+    observe.RecordRejection(BackendName(), out.error);
     return out;
   }
-  return VerifyResponse(states[0], /*chain_valid=*/true, options_.kind, response);
+  VerifiedResult result =
+      VerifyResponse(states[0], /*chain_valid=*/true, options_.kind, response);
+  if (!result.ok) observe.RecordRejection(BackendName(), result.error);
+  return result;
 }
 
 std::unique_ptr<AuthenticatedDb> AuthenticatedDb::Replay(DbOptions options,

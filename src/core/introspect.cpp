@@ -1,0 +1,32 @@
+#include "core/introspect.h"
+
+#include <mutex>
+
+#include "common/arena.h"
+#include "crypto/keccak.h"
+#include "telemetry/introspect.h"
+
+namespace gem2::core {
+
+void RegisterCoreIntrospection() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& introspection = telemetry::Introspection::Global();
+    introspection.RegisterProvider("keccak", [] {
+      return telemetry::ProviderFacts{
+          {"permutations", crypto::KeccakPermutationCount()},
+      };
+    });
+    introspection.RegisterProvider("arena", [] {
+      const common::Arena::Stats& stats = common::Arena::GlobalStats();
+      return telemetry::ProviderFacts{
+          {"allocations", stats.allocations},
+          {"bytes", stats.bytes},
+          {"blocks", stats.blocks},
+          {"epochs", stats.epochs},
+      };
+    });
+  });
+}
+
+}  // namespace gem2::core

@@ -1,0 +1,30 @@
+#include "core/observe.h"
+
+#include "telemetry/event_log.h"
+#include "telemetry/trace.h"
+
+namespace gem2::core {
+namespace {
+
+thread_local int g_verify_depth = 0;
+
+}  // namespace
+
+VerifyObservation::VerifyObservation() : outermost_(g_verify_depth == 0) {
+  ++g_verify_depth;
+}
+
+VerifyObservation::~VerifyObservation() { --g_verify_depth; }
+
+void VerifyObservation::RecordRejection(std::string_view backend,
+                                        std::string_view reason) const {
+  if constexpr (!telemetry::kCompiledIn) return;
+  if (!outermost_) return;
+  telemetry::EventLog& log = telemetry::EventLog::Global();
+  if (!log.enabled()) return;
+  log.Emit(std::move(telemetry::Event("verify.reject")
+                         .Str("backend", backend)
+                         .Str("reason", reason)));
+}
+
+}  // namespace gem2::core

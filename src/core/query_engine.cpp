@@ -20,13 +20,17 @@ SpQueryEngine::~SpQueryEngine() = default;
 
 template <typename Fn>
 chain::TxReceipt SpQueryEngine::Write(const char* span_name, Fn&& fn) {
+  telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
   telemetry::Span span(span_name);
+  const uint64_t t0 = telemetry::Tracer::NowNs();
   std::unique_lock<std::shared_mutex> lock(mutex_);
   chain::TxReceipt receipt = fn();
   // Publish the new snapshot before readers can acquire the lock; acq_rel
   // pairs with the acquire load in epoch().
   epoch_.fetch_add(1, std::memory_order_acq_rel);
-  telemetry::MetricsRegistry::Global().counter("sp_engine.writes").Add(1);
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.counter("sp_engine.writes").Add(1);
+  metrics.histogram("sp_engine.write_ns").Observe(telemetry::Tracer::NowNs() - t0);
   return receipt;
 }
 
@@ -47,23 +51,33 @@ chain::TxReceipt SpQueryEngine::InsertBatch(const std::vector<Object>& objects) 
 }
 
 QueryResponse SpQueryEngine::Query(Key lb, Key ub) const {
+  telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
   TELEMETRY_SPAN("sp_engine.query");
+  const uint64_t t0 = telemetry::Tracer::NowNs();
   std::shared_lock<std::shared_mutex> lock(mutex_);
   QueryResponse response = db_->Query(lb, ub);
-  telemetry::MetricsRegistry::Global().counter("sp_engine.queries").Add(1);
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.counter("sp_engine.queries").Add(1);
+  metrics.histogram("sp_engine.query_ns").Observe(telemetry::Tracer::NowNs() - t0);
   return response;
 }
 
 std::vector<QueryResponse> SpQueryEngine::QueryBatch(
     const std::vector<KeyRange>& ranges) const {
-  TELEMETRY_SPAN("sp_engine.query_batch");
+  telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
+  telemetry::Span span("sp_engine.query_batch");
   std::vector<QueryResponse> results(ranges.size());
   const uint64_t start_ns = telemetry::Tracer::NowNs();
+  // Workers continue the batch span's trace, so every per-query sp.query
+  // span parents under sp_engine.query_batch exactly as the serial loop's
+  // would.
+  const telemetry::TraceContext batch_ctx = span.context();
   {
     // One shared-lock acquisition for the whole batch: every response
     // answers from the same epoch, and writers cannot interleave mid-batch.
     std::shared_lock<std::shared_mutex> lock(mutex_);
     pool_->ParallelFor(0, ranges.size(), 1, [&](size_t begin, size_t end) {
+      telemetry::TraceScope worker_scope(batch_ctx);
       for (size_t i = begin; i < end; ++i) {
         results[i] = db_->Query(ranges[i].first, ranges[i].second);
       }
@@ -73,6 +87,7 @@ std::vector<QueryResponse> SpQueryEngine::QueryBatch(
   metrics.counter("sp_engine.queries").Add(ranges.size());
   metrics.counter("sp_engine.batches").Add(1);
   const uint64_t elapsed_ns = telemetry::Tracer::NowNs() - start_ns;
+  metrics.histogram("sp_engine.batch_ns").Observe(elapsed_ns);
   if (elapsed_ns > 0 && !ranges.empty()) {
     // Queries per second over the batch, as an integer gauge.
     metrics.gauge("sp_engine.batch_qps")
@@ -83,17 +98,27 @@ std::vector<QueryResponse> SpQueryEngine::QueryBatch(
 }
 
 Bytes SpQueryEngine::QueryWire(Key lb, Key ub) const {
+  telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
   TELEMETRY_SPAN("sp_engine.query_wire");
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return SerializeResponse(db_->Query(lb, ub));
+  QueryResponse response = db_->Query(lb, ub);
+  return WrapTracedWire(response.trace, SerializeResponse(response));
 }
 
 VerifiedResult SpQueryEngine::VerifyFor(Key lb, Key ub,
                                         const QueryResponse& response) {
+  telemetry::TraceScope trace_scope(response.trace.valid()
+                                        ? response.trace
+                                        : telemetry::CurrentTrace());
   TELEMETRY_SPAN("sp_engine.verify");
+  const uint64_t t0 = telemetry::Tracer::NowNs();
   // Exclusive: verification advances the client's light-client head.
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  return db_->VerifyFor(lb, ub, response);
+  VerifiedResult result = db_->VerifyFor(lb, ub, response);
+  telemetry::MetricsRegistry::Global()
+      .histogram("sp_engine.verify_ns")
+      .Observe(telemetry::Tracer::NowNs() - t0);
+  return result;
 }
 
 }  // namespace gem2::core

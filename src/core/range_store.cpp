@@ -1,11 +1,17 @@
 #include "core/range_store.h"
 
+#include "core/observe.h"
 #include "core/wire.h"
+#include "telemetry/trace.h"
 
 namespace gem2::core {
 
 Bytes RangeStore::QueryWire(Key lb, Key ub) const {
-  return SerializeResponse(Query(lb, ub));
+  QueryResponse response = Query(lb, ub);
+  Bytes image = SerializeResponse(response);
+  // The trace context travels as a framed envelope *around* the image: the
+  // authenticated bytes inside stay identical to SerializeResponse output.
+  return WrapTracedWire(response.trace, image);
 }
 
 VerifiedResult RangeStore::Verify(const QueryResponse& response) {
@@ -13,14 +19,23 @@ VerifiedResult RangeStore::Verify(const QueryResponse& response) {
 }
 
 VerifiedResult RangeStore::VerifyWire(Key lb, Key ub, const Bytes& wire) {
-  std::optional<QueryResponse> parsed = ParseResponse(wire);
+  TracedWire traced = UnwrapTracedWire(wire);
+  telemetry::TraceScope trace_scope(traced.trace.valid()
+                                       ? traced.trace
+                                       : telemetry::CurrentTrace());
+  VerifyObservation observe;
+  std::optional<QueryResponse> parsed = ParseResponse(traced.image);
   if (!parsed.has_value()) {
     VerifiedResult out;
     out.ok = false;
     out.error = "malformed wire image";
+    observe.RecordRejection(BackendName(), out.error);
     return out;
   }
-  return VerifyFor(lb, ub, *parsed);
+  parsed->trace = traced.trace;
+  VerifiedResult result = VerifyFor(lb, ub, *parsed);
+  if (!result.ok) observe.RecordRejection(BackendName(), result.error);
+  return result;
 }
 
 VerifiedResult RangeStore::AuthenticatedRange(Key lb, Key ub) {

@@ -9,6 +9,7 @@
 
 #include "ads/vo.h"
 #include "common/types.h"
+#include "telemetry/trace.h"
 
 namespace gem2::core {
 
@@ -42,6 +43,12 @@ struct QueryResponse {
   /// Composite (sharded) responses only: per-shard sub-responses in ascending
   /// shard order. Sub-responses are always single (no nesting).
   std::vector<ShardSlice> slices;
+  /// Telemetry-only trace identity riding *alongside* the protocol: the SP
+  /// stamps its query span's context here so the client's Verify* joins the
+  /// same trace. Never serialized into the authenticated wire image (see
+  /// Wrap/UnwrapTracedWire for the framed envelope) and never verified —
+  /// gas and VO bytes are bit-identical whether or not it is set.
+  telemetry::TraceContext trace;
 };
 
 /// One shard's contribution to a composite response: the shard index it

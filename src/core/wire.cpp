@@ -1,5 +1,7 @@
 #include "core/wire.h"
 
+#include <algorithm>
+
 #include "ads/vo.h"
 
 namespace gem2::core {
@@ -191,6 +193,43 @@ std::optional<QueryResponse> ParseResponse(const Bytes& data) {
   }
   if (r.pos != data.size()) return std::nullopt;
   return response;
+}
+
+namespace {
+
+// Traced-wire envelope magic. A bare wire image starts with kFormatVersion
+// (currently 2), so the magic's first byte can never collide with one.
+constexpr uint8_t kTracedWireMagic[4] = {'G', 'T', 'W', '1'};
+constexpr size_t kTracedWireHeader = 4 + 3 * 8;
+
+}  // namespace
+
+Bytes WrapTracedWire(const telemetry::TraceContext& trace, const Bytes& image) {
+  if (!trace.valid()) return image;
+  Bytes out;
+  out.reserve(kTracedWireHeader + image.size());
+  out.insert(out.end(), kTracedWireMagic, kTracedWireMagic + 4);
+  AppendUint64(&out, trace.trace_hi);
+  AppendUint64(&out, trace.trace_lo);
+  AppendUint64(&out, trace.parent_span);
+  out.insert(out.end(), image.begin(), image.end());
+  return out;
+}
+
+TracedWire UnwrapTracedWire(const Bytes& data) {
+  TracedWire result;
+  if (data.size() < kTracedWireHeader ||
+      !std::equal(kTracedWireMagic, kTracedWireMagic + 4, data.begin())) {
+    result.image = data;
+    return result;
+  }
+  Reader r{data};
+  r.pos = 4;
+  result.trace.trace_hi = r.U64();
+  result.trace.trace_lo = r.U64();
+  result.trace.parent_span = r.U64();
+  result.image.assign(data.begin() + kTracedWireHeader, data.end());
+  return result;
 }
 
 }  // namespace gem2::core

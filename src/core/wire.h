@@ -22,6 +22,24 @@ Bytes SerializeResponse(const QueryResponse& response);
 /// image is rejected at verification (or here, if structurally invalid).
 std::optional<QueryResponse> ParseResponse(const Bytes& data);
 
+/// Frames `image` with a telemetry trace context: a fixed-size envelope
+/// [magic "GTW1"][trace_hi][trace_lo][parent_span] *around* the untouched
+/// wire image. The envelope is observability transport only — the image
+/// inside is byte-identical to SerializeResponse output, so VO sizes, gas,
+/// and fail-closed parsing are unaffected. An invalid context returns the
+/// image unframed.
+Bytes WrapTracedWire(const telemetry::TraceContext& trace, const Bytes& image);
+
+struct TracedWire {
+  telemetry::TraceContext trace;
+  Bytes image;
+};
+
+/// Splits an envelope produced by WrapTracedWire. Bytes without the envelope
+/// magic pass through unchanged with an empty context, so every consumer of
+/// bare wire images keeps working.
+TracedWire UnwrapTracedWire(const Bytes& data);
+
 }  // namespace gem2::core
 
 #endif  // GEM2_CORE_WIRE_H_

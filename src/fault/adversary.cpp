@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault.h"
+#include "telemetry/event_log.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 
@@ -39,12 +40,33 @@ AdversaryReport RunAdversarialSweep(core::RangeStore& db,
     ++report.attempts_by_op[MutationOpName(mutation.op)];
     Count("fault.mutation.attempted");
 
+    // Every audit event below — parse rejection here, verify rejection
+    // emitted inside the client's Verify path — carries the forgery's
+    // operator, seed, and round via the thread's annotation stack, plus the
+    // query's trace id via the installed trace scope.
+    telemetry::ScopedEventFields audit_fields(
+        {{"op", MutationOpName(mutation.op)},
+         {"seed", std::to_string(options.seed)},
+         {"round", std::to_string(i)}});
+    telemetry::TraceScope trace_scope(response.trace.valid()
+                                          ? response.trace
+                                          : telemetry::CurrentTrace());
+
     std::optional<core::QueryResponse> parsed = core::ParseResponse(mutation.wire);
     if (!parsed.has_value()) {
       ++report.rejected_parse;
       Count("fault.mutation.rejected_parse");
+      if (telemetry::EventLog::Global().enabled()) {
+        telemetry::EventLog::Global().Emit(
+            std::move(telemetry::Event("verify.reject")
+                          .Str("backend", db.BackendName())
+                          .Str("reason", "malformed wire image")));
+      }
       continue;
     }
+    // The trace context never survives the (bare) wire image — re-attach the
+    // original query's identity so the verify path logs under it.
+    parsed->trace = response.trace;
     core::VerifiedResult vr = db.VerifyFor(lb, ub, *parsed);
     if (!vr.ok) {
       ++report.rejected_verify;
@@ -66,13 +88,24 @@ AdversaryReport RunAdversarialSweep(core::RangeStore& db,
                                std::to_string(lb) + ", " + std::to_string(ub) +
                                "])");
     Count("fault.mutation.forged");
+    if (telemetry::EventLog::Global().enabled()) {
+      telemetry::EventLog::Global().Emit(
+          std::move(telemetry::Event("forgery.accepted")
+                        .Str("backend", db.BackendName())
+                        .Num("lb", static_cast<uint64_t>(lb))
+                        .Num("ub", static_cast<uint64_t>(ub))));
+    }
   }
   return report;
 }
 
 bool StaleReplayRejected(core::RangeStore& db, Key lb, Key ub,
                          int extra_inserts, uint64_t seed, std::string* why) {
-  const Bytes stale = core::SerializeResponse(db.Query(lb, ub));
+  // QueryWire keeps the capture's trace context framed around the image, so
+  // the replay's rejection event is attributable to the original query.
+  const Bytes stale = db.QueryWire(lb, ub);
+  telemetry::ScopedEventFields audit_fields(
+      {{"op", "stale_replay"}, {"seed", std::to_string(seed)}});
 
   // Advance the chain: fresh keys inside the queried range, so the stale
   // response is both incomplete and anchored to superseded digests.

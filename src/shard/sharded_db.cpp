@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/thread_pool.h"
+#include "core/observe.h"
 #include "telemetry/telemetry.h"
 
 namespace gem2::shard {
@@ -42,7 +43,9 @@ ShardedDb::ShardedDb(ShardOptions options)
       write_counters_(telemetry::MetricsRegistry::Global(), "shard.writes",
                       options_.num_shards()),
       slice_counters_(telemetry::MetricsRegistry::Global(), "shard.slices",
-                      options_.num_shards()) {
+                      options_.num_shards()),
+      slice_latency_(telemetry::MetricsRegistry::Global(), "shard.slice_ns",
+                     options_.num_shards()) {
   options_.Validate();
   env_ = std::make_unique<chain::Environment>(options_.base.env);
   const size_t shards = options_.num_shards();
@@ -133,16 +136,29 @@ std::vector<ShardedDb::SubRange> ShardedDb::ScatterPlan(Key lb, Key ub) const {
 }
 
 core::QueryResponse ShardedDb::Query(Key lb, Key ub) const {
-  TELEMETRY_SPAN("shard.query");
+  // Parent span of the scatter: every slice — answered inline or on a pool
+  // worker — continues this trace with the parent span id, so the span tree
+  // (one shard.query, `slices` sp.query children) is identical serial vs
+  // parallel.
+  telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
+  telemetry::Span span("shard.query");
   core::QueryResponse response;
   response.lb = lb;
   response.ub = ub;
+  response.trace = span.context();
   const std::vector<SubRange> plan = ScatterPlan(lb, ub);
   response.slices.resize(plan.size());
+  const telemetry::TraceContext slice_ctx = span.context();
+  const bool telemetry_on = TelemetryOn();
   auto answer = [&](size_t i) {
+    telemetry::TraceScope slice_scope(slice_ctx);
+    const uint64_t t0 = telemetry_on ? telemetry::Tracer::NowNs() : 0;
     response.slices[i].shard = static_cast<uint32_t>(plan[i].shard);
     response.slices[i].response =
         shards_[plan[i].shard]->Query(plan[i].lb, plan[i].ub);
+    if (telemetry_on) {
+      slice_latency_.at(plan[i].shard).Observe(telemetry::Tracer::NowNs() - t0);
+    }
   };
   if (scatter_pool_ != nullptr && plan.size() > 1) {
     scatter_pool_->ParallelFor(0, plan.size(), 1, [&](size_t b, size_t e) {
@@ -151,7 +167,7 @@ core::QueryResponse ShardedDb::Query(Key lb, Key ub) const {
   } else {
     for (size_t i = 0; i < plan.size(); ++i) answer(i);
   }
-  if (TelemetryOn()) {
+  if (telemetry_on) {
     for (const SubRange& sub : plan) slice_counters_.at(sub.shard).Add(1);
     telemetry::MetricsRegistry::Global()
         .histogram("shard.query_slices")
@@ -215,9 +231,16 @@ bool ShardedDb::MergeSlice(core::VerifiedResult* total, size_t shard,
 
 core::VerifiedResult ShardedDb::VerifyFor(Key lb, Key ub,
                                           const core::QueryResponse& response) {
+  telemetry::TraceScope trace_scope(response.trace.valid()
+                                        ? response.trace
+                                        : telemetry::CurrentTrace());
+  core::VerifyObservation observe;
   TELEMETRY_SPAN("shard.verify");
   std::vector<SubRange> plan;
-  if (auto failed = CheckPlan(lb, ub, response, &plan)) return *failed;
+  if (auto failed = CheckPlan(lb, ub, response, &plan)) {
+    observe.RecordRejection(BackendName(), failed->error);
+    return *failed;
+  }
   core::VerifiedResult total;
   total.ok = true;
   total.vo_sp_bytes = core::VoSpBytes(response);
@@ -227,6 +250,7 @@ core::VerifiedResult ShardedDb::VerifyFor(Key lb, Key ub,
     core::VerifiedResult slice_result = shards_[plan[i].shard]->VerifyFor(
         plan[i].lb, plan[i].ub, response.slices[i].response);
     if (!MergeSlice(&total, plan[i].shard, std::move(slice_result))) {
+      observe.RecordRejection(BackendName(), total.error);
       return total;
     }
   }
@@ -243,8 +267,13 @@ std::vector<chain::AuthenticatedState> ShardedDb::ReadChainState() {
 core::VerifiedResult ShardedDb::VerifyAgainst(
     const std::vector<chain::AuthenticatedState>& states,
     const core::QueryResponse& response) const {
+  telemetry::TraceScope trace_scope(response.trace.valid()
+                                        ? response.trace
+                                        : telemetry::CurrentTrace());
+  core::VerifyObservation observe;
   std::vector<SubRange> plan;
   if (auto failed = CheckPlan(response.lb, response.ub, response, &plan)) {
+    observe.RecordRejection(BackendName(), failed->error);
     return *failed;
   }
   std::unordered_map<std::string, const chain::AuthenticatedState*> by_contract;
@@ -259,12 +288,14 @@ core::VerifiedResult ShardedDb::VerifyAgainst(
       total.error = "chain state does not cover shard " +
                     std::to_string(plan[i].shard);
       total.objects.clear();
+      observe.RecordRejection(BackendName(), total.error);
       return total;
     }
     core::VerifiedResult slice_result =
         core::VerifyResponse(*it->second, /*chain_valid=*/true,
                              options_.base.kind, response.slices[i].response);
     if (!MergeSlice(&total, plan[i].shard, std::move(slice_result))) {
+      observe.RecordRejection(BackendName(), total.error);
       return total;
     }
   }

@@ -158,6 +158,10 @@ class ShardedDb : public core::RangeStore {
   /// Per-shard op/slice counters ("shard.writes.<i>", "shard.slices.<i>").
   mutable telemetry::IndexedCounters write_counters_;
   mutable telemetry::IndexedCounters slice_counters_;
+  /// Per-shard slice latency ("shard.slice_ns.<i>"), the hotness signal for
+  /// the ROADMAP's adaptive shard management: p50/p99/p999 per shard come
+  /// from its reservoir.
+  mutable telemetry::IndexedHistograms slice_latency_;
 };
 
 }  // namespace gem2::shard

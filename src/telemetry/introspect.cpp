@@ -1,0 +1,235 @@
+#include "telemetry/introspect.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "telemetry/json.h"
+
+namespace gem2::telemetry {
+
+Introspection& Introspection::Global() {
+  static Introspection* instance = new Introspection();
+  return *instance;
+}
+
+void Introspection::RegisterProvider(const std::string& name, ProviderFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [existing, existing_fn] : providers_) {
+    if (existing == name) {
+      existing_fn = std::move(fn);
+      return;
+    }
+  }
+  providers_.emplace_back(name, std::move(fn));
+}
+
+void Introspection::UnregisterProvider(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(providers_,
+                [&](const auto& entry) { return entry.first == name; });
+}
+
+ProviderFacts Introspection::Collect() const {
+  std::vector<std::pair<std::string, ProviderFn>> providers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    providers = providers_;
+  }
+  ProviderFacts facts;
+  for (const auto& [name, fn] : providers) {
+    for (auto& [key, value] : fn()) {
+      facts.emplace_back(name + "." + key, value);
+    }
+  }
+  std::sort(facts.begin(), facts.end());
+  return facts;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "gem2_";
+  for (char c : name) {
+    if (c == '.' || c == '-' || c == ' ' || c == '_') {
+      out += '_';
+    } else if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusExposition(const MetricsSnapshot& snapshot,
+                                 const ProviderFacts& facts) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + "_total " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string prom = PrometheusName(h.name);
+    out += "# TYPE " + prom + " summary\n";
+    out += prom + "{quantile=\"0.5\"} " + FormatDouble(h.quantiles.p50) + "\n";
+    out += prom + "{quantile=\"0.99\"} " + FormatDouble(h.quantiles.p99) + "\n";
+    out += prom + "{quantile=\"0.999\"} " + FormatDouble(h.quantiles.p999) + "\n";
+    out += prom + "_sum " + std::to_string(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+    out += prom + "_min " + std::to_string(h.min) + "\n";
+    out += prom + "_max " + std::to_string(h.max) + "\n";
+  }
+  for (const auto& [name, value] : facts) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+std::string PrometheusExposition() {
+  return PrometheusExposition(MetricsRegistry::Global().Snapshot(),
+                              Introspection::Global().Collect());
+}
+
+std::string IntrospectionJson() {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const ProviderFacts facts = Introspection::Global().Collect();
+
+  JsonObject counters, gauges, providers;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.emplace_back(name, JsonValue(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.emplace_back(
+        name, value >= 0 ? JsonValue(static_cast<uint64_t>(value))
+                         : JsonValue(static_cast<double>(value)));
+  }
+  JsonObject histograms;
+  for (const auto& h : snapshot.histograms) {
+    JsonObject entry;
+    entry.emplace_back("count", JsonValue(h.count));
+    entry.emplace_back("sum", JsonValue(h.sum));
+    entry.emplace_back("min", JsonValue(h.min));
+    entry.emplace_back("max", JsonValue(h.max));
+    entry.emplace_back("mean", JsonValue(h.mean));
+    entry.emplace_back("p50", JsonValue(h.quantiles.p50));
+    entry.emplace_back("p99", JsonValue(h.quantiles.p99));
+    entry.emplace_back("p999", JsonValue(h.quantiles.p999));
+    entry.emplace_back("samples", JsonValue(h.quantiles.samples));
+    histograms.emplace_back(h.name, JsonValue(std::move(entry)));
+  }
+  for (const auto& [name, value] : facts) {
+    providers.emplace_back(name, JsonValue(value));
+  }
+
+  JsonObject root;
+  root.emplace_back("counters", JsonValue(std::move(counters)));
+  root.emplace_back("gauges", JsonValue(std::move(gauges)));
+  root.emplace_back("histograms", JsonValue(std::move(histograms)));
+  root.emplace_back("providers", JsonValue(std::move(providers)));
+  return JsonValue(std::move(root)).Dump();
+}
+
+namespace {
+
+// SIGUSR1 machinery: the handler is async-signal-safe (one store to a
+// lock-free atomic); a detached watcher thread services the flag and does
+// the real work. The flag must be atomic, not volatile sig_atomic_t — the
+// handler and the watcher run on different threads.
+std::atomic<int> g_sigusr1_pending{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
+std::atomic<uint64_t> g_sigusr1_dumps{0};
+
+void SigUsr1Handler(int) {
+  g_sigusr1_pending.store(1, std::memory_order_relaxed);
+}
+
+void WriteExpositionTo(const char* path) {
+  const std::string text = PrometheusExposition();
+  if (path != nullptr && path[0] != '\0') {
+    if (std::FILE* f = std::fopen(path, "a"); f != nullptr) {
+      std::fprintf(f, "# gem2 introspection dump pid=%d\n", getpid());
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      return;
+    }
+  }
+  std::fprintf(stderr, "# gem2 introspection dump pid=%d\n%s", getpid(),
+               text.c_str());
+}
+
+void ExitDump() {
+  const char* path = std::getenv("GEM2_METRICS_DUMP");
+  if (path == nullptr || path[0] == '\0') return;
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  if (snap.counters.empty() && snap.gauges.empty() && snap.histograms.empty()) {
+    return;  // nothing registered in this process; keep shared dumps readable
+  }
+  WriteExpositionTo(path);
+}
+
+}  // namespace
+
+void InstallSigUsr1Dump() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa = {};
+    sa.sa_handler = SigUsr1Handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGUSR1, &sa, nullptr);
+    std::thread([] {
+      for (;;) {
+        if (g_sigusr1_pending.exchange(0, std::memory_order_relaxed) != 0) {
+          WriteExpositionTo(std::getenv("GEM2_INTROSPECT_PATH"));
+          g_sigusr1_dumps.fetch_add(1, std::memory_order_release);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }).detach();
+  });
+}
+
+uint64_t SigUsr1DumpCount() {
+  return g_sigusr1_dumps.load(std::memory_order_acquire);
+}
+
+void ArmProcessDumpHooksFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* dump = std::getenv("GEM2_METRICS_DUMP");
+        dump != nullptr && dump[0] != '\0') {
+      std::atexit(ExitDump);
+    }
+    if (const char* sig = std::getenv("GEM2_INTROSPECT_SIGUSR1");
+        sig != nullptr && sig[0] == '1') {
+      InstallSigUsr1Dump();
+    }
+  });
+}
+
+}  // namespace gem2::telemetry

@@ -1,8 +1,30 @@
 #include "telemetry/metrics.h"
 
+#include "telemetry/introspect.h"
+
+#include <algorithm>
 #include <bit>
+#include <cstdio>
+#include <thread>
 
 namespace gem2::telemetry {
+namespace {
+
+/// Per-thread deterministic RNG for reservoir replacement: seeded from a
+/// process-wide counter, so single-threaded runs sample reproducibly and
+/// multi-threaded runs stay contention-free.
+uint64_t NextRand() {
+  static std::atomic<uint64_t> seed_source{0x6a09e667f3bcc908ull};
+  thread_local uint64_t state =
+      seed_source.fetch_add(0x9e3779b97f4a7c15ull, std::memory_order_relaxed);
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 void Histogram::Observe(uint64_t value) {
   buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
@@ -15,6 +37,21 @@ void Histogram::Observe(uint64_t value) {
   observed = max_.load(std::memory_order_relaxed);
   while (value > observed &&
          !max_.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
+  }
+
+  // Reservoir (Vitter's Algorithm R). While filling, every observation takes
+  // a slot; after, observation n replaces a random slot with probability
+  // capacity/n, so the lock is touched ever more rarely on hot histograms.
+  const uint64_t n = reservoir_n_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n <= kReservoirCapacity) {
+    std::lock_guard<std::mutex> lock(reservoir_mutex_);
+    reservoir_[n - 1] = value;
+  } else {
+    const uint64_t j = NextRand() % n;
+    if (j < kReservoirCapacity) {
+      std::lock_guard<std::mutex> lock(reservoir_mutex_);
+      reservoir_[j] = value;
+    }
   }
 }
 
@@ -30,12 +67,68 @@ double Histogram::mean() const {
   return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
 }
 
+namespace {
+
+double OrderStatistic(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return static_cast<double>(sorted.front());
+  if (q >= 1.0) return static_cast<double>(sorted.back());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  const double a = static_cast<double>(sorted[lo]);
+  const double b = static_cast<double>(sorted[std::min(lo + 1, sorted.size() - 1)]);
+  return a + (b - a) * frac;
+}
+
+}  // namespace
+
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> sample;
+  {
+    std::lock_guard<std::mutex> lock(reservoir_mutex_);
+    const uint64_t n =
+        std::min<uint64_t>(reservoir_n_.load(std::memory_order_relaxed),
+                           kReservoirCapacity);
+    sample.assign(reservoir_, reservoir_ + n);
+  }
+  std::sort(sample.begin(), sample.end());
+  return OrderStatistic(sample, q);
+}
+
+QuantileSummary Histogram::Quantiles() const {
+  std::vector<uint64_t> sample;
+  {
+    std::lock_guard<std::mutex> lock(reservoir_mutex_);
+    const uint64_t n =
+        std::min<uint64_t>(reservoir_n_.load(std::memory_order_relaxed),
+                           kReservoirCapacity);
+    sample.assign(reservoir_, reservoir_ + n);
+  }
+  std::sort(sample.begin(), sample.end());
+  QuantileSummary s;
+  s.samples = sample.size();
+  s.p50 = OrderStatistic(sample, 0.50);
+  s.p99 = OrderStatistic(sample, 0.99);
+  s.p999 = OrderStatistic(sample, 0.999);
+  return s;
+}
+
 void Histogram::Reset() {
+  // Mark the reset in flight (generation goes odd) so snapshot readers spin
+  // or retry instead of publishing a half-cleared count/sum pair.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   min_.store(UINT64_MAX, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(reservoir_mutex_);
+    reservoir_n_.store(0, std::memory_order_relaxed);
+    std::fill(reservoir_, reservoir_ + kReservoirCapacity, 0);
+  }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool operator==(const MetricsSnapshot::HistogramStats& a,
@@ -51,6 +144,10 @@ bool operator==(const MetricsSnapshot& a, const MetricsSnapshot& b) {
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry registry;
+  // Arm the CI/exit dump hooks here: every instrumented process touches the
+  // global registry, and atexit handlers registered after `registry` is
+  // constructed run before its destruction.
+  ArmProcessDumpHooksFromEnv();
   return registry;
 }
 
@@ -75,14 +172,39 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+namespace {
+
+/// Reads one histogram's multi-field stats under the generation protocol:
+/// wait out an in-flight reset, read, and retry if a reset raced the read.
+MetricsSnapshot::HistogramStats ReadHistogram(const std::string& name,
+                                              const Histogram& h) {
+  MetricsSnapshot::HistogramStats stats;
+  stats.name = name;
+  for (;;) {
+    uint64_t g = h.generation();
+    while (g & 1) {  // reset in flight; resets are short, so just yield
+      std::this_thread::yield();
+      g = h.generation();
+    }
+    stats.count = h.count();
+    stats.sum = h.sum();
+    stats.min = h.min();
+    stats.max = h.max();
+    stats.mean = h.mean();
+    stats.quantiles = h.Quantiles();
+    if (h.generation() == g) return stats;
+  }
+}
+
+}  // namespace
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
   for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
   for (const auto& [name, h] : histograms_) {
-    snap.histograms.push_back(
-        {name, h->count(), h->sum(), h->min(), h->max(), h->mean()});
+    snap.histograms.push_back(ReadHistogram(name, *h));
   }
   return snap;
 }
@@ -92,6 +214,40 @@ void MetricsRegistry::Reset() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+IndexedCounters::IndexedCounters(MetricsRegistry& registry,
+                                 const std::string& prefix, size_t n,
+                                 size_t max_index) {
+  if (n > max_index) {
+    std::fprintf(stderr,
+                 "[gem2.telemetry] indexed counter family '%s' requested %zu "
+                 "indices; clamping to %zu (excess lands on '%s.overflow')\n",
+                 prefix.c_str(), n, max_index, prefix.c_str());
+    n = max_index;
+  }
+  counters_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    counters_.push_back(&registry.counter(prefix + "." + std::to_string(i)));
+  }
+  overflow_ = &registry.counter(prefix + ".overflow");
+}
+
+IndexedHistograms::IndexedHistograms(MetricsRegistry& registry,
+                                     const std::string& prefix, size_t n,
+                                     size_t max_index) {
+  if (n > max_index) {
+    std::fprintf(stderr,
+                 "[gem2.telemetry] indexed histogram family '%s' requested %zu "
+                 "indices; clamping to %zu (excess lands on '%s.overflow')\n",
+                 prefix.c_str(), n, max_index, prefix.c_str());
+    n = max_index;
+  }
+  histograms_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    histograms_.push_back(&registry.histogram(prefix + "." + std::to_string(i)));
+  }
+  overflow_ = &registry.histogram(prefix + ".overflow");
 }
 
 }  // namespace gem2::telemetry

@@ -12,6 +12,9 @@ struct Frame {
   uint64_t id = 0;
   std::string name;
   uint64_t start_ns = 0;
+  /// Trace context active when the span opened; stamped into the record so
+  /// sinks can group spans by cross-role trace id.
+  TraceContext trace;
   gas::GasBreakdown open_gas;
   /// Sum of direct children's inclusive gas, accumulated as they close.
   gas::Gas children_gas = 0;
@@ -117,6 +120,8 @@ uint64_t Tracer::ThreadId() {
   return id;
 }
 
+#ifndef GEM2_TELEMETRY_DISABLED
+
 Span::Span(std::string_view name) {
   Tracer& tracer = Tracer::Global();
   if (!tracer.enabled()) return;
@@ -126,7 +131,9 @@ Span::Span(std::string_view name) {
   frame.id = tracer.next_span_id_.fetch_add(1, std::memory_order_relaxed);
   frame.name.assign(name.data(), name.size());
   frame.start_ns = Tracer::NowNs();
+  frame.trace = CurrentTrace();
   if (state.meter != nullptr) frame.open_gas = state.meter->breakdown();
+  id_ = frame.id;
   start_ns_ = frame.start_ns;
   if (state.meter != nullptr) open_gas_ = state.meter->used();
   state.stack.push_back(std::move(frame));
@@ -142,8 +149,16 @@ Span::~Span() {
   SpanRecord record;
   record.id = frame.id;
   record.parent_id = state.stack.empty() ? 0 : state.stack.back().id;
+  // A root-of-stack span opened under a propagated trace context parents onto
+  // the context's span: this is how a worker thread's slice span (or the
+  // client's verify span) attaches under the SP's query span.
+  if (record.parent_id == 0 && frame.trace.parent_span != 0) {
+    record.parent_id = frame.trace.parent_span;
+  }
   record.depth = static_cast<uint32_t>(state.stack.size());
   record.thread_id = Tracer::ThreadId();
+  record.trace_hi = frame.trace.trace_hi;
+  record.trace_lo = frame.trace.trace_lo;
   record.name = std::move(frame.name);
   record.start_ns = frame.start_ns;
   record.duration_ns = Tracer::NowNs() - frame.start_ns;
@@ -158,10 +173,18 @@ Span::~Span() {
   Tracer::Global().EmitSpan(record);
 }
 
+TraceContext Span::context() const {
+  TraceContext ctx = CurrentTrace();
+  ctx.parent_span = id_;
+  return ctx;
+}
+
 gas::Gas Span::gas_so_far() const {
   if (!active_) return 0;
   const gas::Meter* meter = State().meter;
   return meter != nullptr ? meter->used() - open_gas_ : 0;
 }
+
+#endif  // GEM2_TELEMETRY_DISABLED
 
 }  // namespace gem2::telemetry

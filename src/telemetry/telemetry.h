@@ -25,16 +25,9 @@
 #include <vector>
 
 #include "gas/meter.h"
+#include "telemetry/trace.h"
 
 namespace gem2::telemetry {
-
-/// False when the library was compiled with GEM2_TELEMETRY_DISABLED; every
-/// instrumentation site folds away behind `if constexpr (kCompiledIn)`.
-#ifdef GEM2_TELEMETRY_DISABLED
-inline constexpr bool kCompiledIn = false;
-#else
-inline constexpr bool kCompiledIn = true;
-#endif
 
 /// One finished span, as delivered to sinks.
 struct SpanRecord {
@@ -42,6 +35,12 @@ struct SpanRecord {
   uint64_t parent_id = 0;  // 0 = root span
   uint32_t depth = 0;      // 0 = root span
   uint64_t thread_id = 0;
+  /// 128-bit trace id active while the span was open (0 when none): the
+  /// cross-role identity that groups an owner→SP→client round trip. A span
+  /// opened on a fresh stack under a propagated TraceContext parents onto
+  /// that context's `parent_span` even across threads.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
   std::string name;
   uint64_t start_ns = 0;     // steady-clock, process-relative
   uint64_t duration_ns = 0;  // wall time inside the span
@@ -123,7 +122,23 @@ class Tracer {
 
 /// RAII scope measuring one named phase. Open with the TELEMETRY_SPAN macro
 /// (compiled out under GEM2_TELEMETRY_DISABLED) or construct directly when
-/// the name is dynamic (e.g. "tx." + method).
+/// the name is dynamic (e.g. "tx." + method) or when the span's id is needed
+/// to parent work handed to other threads (Span::context()). Under
+/// GEM2_TELEMETRY_DISABLED the class is an empty stub, so explicit Span
+/// construction is also zero-cost in disabled builds.
+#ifdef GEM2_TELEMETRY_DISABLED
+class Span {
+ public:
+  explicit Span(std::string_view) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  uint64_t id() const { return 0; }
+  TraceContext context() const { return {}; }
+  gas::Gas gas_so_far() const { return 0; }
+};
+#else
 class Span {
  public:
   explicit Span(std::string_view name);
@@ -132,14 +147,24 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// This span's id; 0 when the tracer had no sink at construction.
+  uint64_t id() const { return id_; }
+
+  /// The context under which work on other threads (or the peer role) should
+  /// continue this span's trace: the thread's current trace id with this
+  /// span as the parent.
+  TraceContext context() const;
+
   /// Gas charged to the active meter since this span opened (live view).
   gas::Gas gas_so_far() const;
 
  private:
   bool active_ = false;
+  uint64_t id_ = 0;
   uint64_t start_ns_ = 0;
   gas::Gas open_gas_ = 0;
 };
+#endif  // GEM2_TELEMETRY_DISABLED
 
 #ifdef GEM2_TELEMETRY_DISABLED
 #define TELEMETRY_SPAN(name)

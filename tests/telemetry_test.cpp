@@ -4,9 +4,11 @@
 // guarantee (instrumentation never changes gas accounting).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <thread>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -249,6 +251,104 @@ TEST(Histogram, PowerOfTwoBuckets) {
   EXPECT_EQ(h.min(), 0u);
   EXPECT_EQ(h.max(), 8u);
   EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, QuantilesExactWhileWithinReservoirCapacity) {
+  Histogram h;
+  // 1..1000 in a scrambled order: reservoir keeps ALL of them (<= capacity),
+  // so the quantiles are exact order statistics of the full data.
+  for (uint64_t i = 0; i < 1000; ++i) h.Observe((i * 617) % 1000 + 1);
+  ASSERT_LE(h.count(), Histogram::kReservoirCapacity);
+  QuantileSummary q = h.Quantiles();
+  EXPECT_EQ(q.samples, 1000u);
+  EXPECT_DOUBLE_EQ(q.p50, 500.5);     // midpoint of 500 and 501
+  EXPECT_DOUBLE_EQ(q.p99, 990.01);    // rank 0.99 * 999 between 990 and 991
+  EXPECT_DOUBLE_EQ(q.p999, 999.001);  // between 999 and 1000
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(Histogram().Quantile(0.5), 0.0);  // empty -> 0
+}
+
+TEST(Histogram, ReservoirOverflowStaysWithinObservedRange) {
+  Histogram h;
+  // 3x capacity: Algorithm R keeps an unbiased sample; every surviving
+  // sample is a real observation, so quantiles stay inside [min, max] and
+  // ordered.
+  const uint64_t n = 3 * Histogram::kReservoirCapacity;
+  for (uint64_t i = 0; i < n; ++i) h.Observe(i % 10'000);
+  QuantileSummary q = h.Quantiles();
+  EXPECT_EQ(q.samples, uint64_t{Histogram::kReservoirCapacity});
+  EXPECT_GE(q.p50, static_cast<double>(h.min()));
+  EXPECT_LE(q.p50, q.p99);
+  EXPECT_LE(q.p99, q.p999);
+  EXPECT_LE(q.p999, static_cast<double>(h.max()));
+}
+
+TEST(Histogram, ResetDuringConcurrentObserveNeverTearsSnapshots) {
+  // Satellite regression: a Reset() racing Observe() calls used to let a
+  // snapshot pair a count read before the reset with a sum read after it
+  // (count >> sum). The generation counter makes registry reads skip or
+  // retry across resets. Every observation is 1 and Observe bumps count
+  // before sum, so a read that does NOT span a reset always satisfies
+  // sum + 1 >= count (the +1 is one in-flight observation of the single
+  // writer); a torn read would miss by thousands.
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("race");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) h.Observe(1);
+  });
+  std::thread resetter([&] {
+    for (int i = 0; i < 200; ++i) h.Reset();
+  });
+  for (int i = 0; i < 500; ++i) {
+    MetricsSnapshot snap = registry.Snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const auto& stats = snap.histograms[0];
+    EXPECT_GE(stats.sum + 1, stats.count);
+    EXPECT_LE(stats.quantiles.samples, Histogram::kReservoirCapacity);
+  }
+  resetter.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_EQ(h.generation() % 2, 0u) << "reset left the generation odd";
+  // Quiescent: the final snapshot is exactly coherent.
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.histograms[0].count, snap.histograms[0].sum);
+}
+
+TEST(IndexedMetrics, FamiliesCacheAndRouteOutOfRangeToOverflow) {
+  MetricsRegistry registry;
+  IndexedCounters counters(registry, "fam", 3);
+  EXPECT_EQ(counters.size(), 3u);
+  counters.at(0).Add(1);
+  counters.at(2).Add(5);
+  counters.at(99).Add(7);  // out of range -> overflow, not a new entry
+  EXPECT_EQ(registry.counter("fam.0").value(), 1u);
+  EXPECT_EQ(registry.counter("fam.2").value(), 5u);
+  EXPECT_EQ(registry.counter("fam.overflow").value(), 7u);
+
+  IndexedHistograms hists(registry, "hfam", 2);
+  hists.at(1).Observe(4);
+  hists.at(50).Observe(9);
+  EXPECT_EQ(registry.histogram("hfam.1").count(), 1u);
+  EXPECT_EQ(registry.histogram("hfam.overflow").count(), 1u);
+}
+
+TEST(IndexedMetrics, ConstructionClampsToMaxIndex) {
+  // Satellite regression: a shard/index count beyond the bound used to mint
+  // one registry entry per index, growing the registry without limit. Now
+  // construction clamps and the tail shares ".overflow".
+  MetricsRegistry registry;
+  IndexedCounters counters(registry, "big", 10'000, /*max_index=*/8);
+  EXPECT_EQ(counters.size(), 8u);
+  counters.at(7).Add(1);
+  counters.at(8).Add(2);     // first clamped index
+  counters.at(9'999).Add(3);  // far out of range
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.size(), 9u);  // big.0 .. big.7 + big.overflow
+  EXPECT_EQ(registry.counter("big.7").value(), 1u);
+  EXPECT_EQ(registry.counter("big.overflow").value(), 5u);
 }
 
 // --- JSON ---------------------------------------------------------------------
