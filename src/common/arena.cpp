@@ -1,0 +1,122 @@
+#include "common/arena.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gem2::common {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+FileMappedArena::~FileMappedArena() {
+  if (base_ != nullptr) munmap(base_, capacity_);
+  if (fd_ >= 0) close(fd_);
+}
+
+std::unique_ptr<FileMappedArena> FileMappedArena::Create(
+    const std::string& path, size_t capacity, std::string* error) {
+  // mmap of zero bytes is invalid; a zero-capacity checkpoint still needs a
+  // mappable file.
+  if (capacity == 0) capacity = 1;
+  int fd = open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("open " + path);
+    return nullptr;
+  }
+  if (ftruncate(fd, static_cast<off_t>(capacity)) != 0) {
+    if (error != nullptr) *error = Errno("ftruncate " + path);
+    close(fd);
+    return nullptr;
+  }
+  void* base =
+      mmap(nullptr, capacity, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    if (error != nullptr) *error = Errno("mmap " + path);
+    close(fd);
+    return nullptr;
+  }
+  auto arena = std::unique_ptr<FileMappedArena>(new FileMappedArena);
+  arena->path_ = path;
+  arena->base_ = static_cast<uint8_t*>(base);
+  arena->capacity_ = capacity;
+  arena->fd_ = fd;
+  arena->writable_ = true;
+  return arena;
+}
+
+std::unique_ptr<FileMappedArena> FileMappedArena::OpenReadOnly(
+    const std::string& path, std::string* error) {
+  int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("open " + path);
+    return nullptr;
+  }
+  struct stat st {};
+  if (fstat(fd, &st) != 0 || st.st_size < 0) {
+    if (error != nullptr) *error = Errno("fstat " + path);
+    close(fd);
+    return nullptr;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    if (error != nullptr) *error = "empty file: " + path;
+    close(fd);
+    return nullptr;
+  }
+  void* base = mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    if (error != nullptr) *error = Errno("mmap " + path);
+    close(fd);
+    return nullptr;
+  }
+  auto arena = std::unique_ptr<FileMappedArena>(new FileMappedArena);
+  arena->path_ = path;
+  arena->base_ = static_cast<uint8_t*>(base);
+  arena->capacity_ = size;
+  arena->used_ = size;
+  arena->fd_ = fd;
+  arena->writable_ = false;
+  return arena;
+}
+
+uint8_t* FileMappedArena::Allocate(size_t size) {
+  if (!writable_ || used_ + size > capacity_) return nullptr;
+  uint8_t* out = base_ + used_;
+  used_ += size;
+  return out;
+}
+
+bool FileMappedArena::Seal(std::string* error) {
+  if (!writable_) {
+    if (error != nullptr) *error = "Seal on a read-only mapping";
+    return false;
+  }
+  if (msync(base_, capacity_, MS_SYNC) != 0) {
+    if (error != nullptr) *error = Errno("msync " + path_);
+    return false;
+  }
+  const size_t final_size = used_ == 0 ? 1 : used_;
+  if (ftruncate(fd_, static_cast<off_t>(final_size)) != 0) {
+    if (error != nullptr) *error = Errno("ftruncate " + path_);
+    return false;
+  }
+  // Make the shrunk length itself durable before the caller renames the file
+  // into place — rename-to-publish promises the *whole* checkpoint is on
+  // stable storage.
+  if (fsync(fd_) != 0) {
+    if (error != nullptr) *error = Errno("fsync " + path_);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gem2::common

@@ -233,6 +233,18 @@ void AuthenticatedDb::ApplyToSp(bool insert, Key key, const std::string& value,
   sp_values_[key] = value;
 }
 
+void AuthenticatedDb::RecordOp(JournalEntry entry) {
+  if (options_.journal_sink != nullptr &&
+      !options_.journal_sink->Append(entry)) {
+    // The op committed on-chain but the durable log never saw it: an ack now
+    // would be unrecoverable after a crash. Fail closed; the operator must
+    // repair the log (gem2_fsck) or re-provision before continuing.
+    throw std::runtime_error("durable journal append failed: " +
+                             options_.journal_sink->last_error());
+  }
+  journal_.Record(std::move(entry));
+}
+
 chain::TxReceipt AuthenticatedDb::Insert(const Object& object) {
   if (poisoned_) {
     throw std::logic_error("AuthenticatedDb poisoned by an out-of-gas transaction");
@@ -254,7 +266,7 @@ chain::TxReceipt AuthenticatedDb::Insert(const Object& object) {
   ApplyToSp(/*insert=*/!revive, object.key, object.value, vh);
   deleted_.erase(object.key);
   ++size_;
-  journal_.Record({JournalEntry::Op::kInsert, object});
+  RecordOp({JournalEntry::Op::kInsert, object});
   return receipt;
 }
 
@@ -275,7 +287,7 @@ chain::TxReceipt AuthenticatedDb::Update(const Object& object) {
     return receipt;
   }
   ApplyToSp(/*insert=*/false, object.key, object.value, vh);
-  journal_.Record({JournalEntry::Op::kUpdate, object});
+  RecordOp({JournalEntry::Op::kUpdate, object});
   return receipt;
 }
 
@@ -298,7 +310,7 @@ chain::TxReceipt AuthenticatedDb::Delete(Key key) {
   ApplyToSp(/*insert=*/false, key, TombstoneValue(), vh);
   deleted_.insert(key);
   --size_;
-  journal_.Record({JournalEntry::Op::kDelete, {key, {}}});
+  RecordOp({JournalEntry::Op::kDelete, {key, {}}});
   return receipt;
 }
 
@@ -326,7 +338,7 @@ chain::TxReceipt AuthenticatedDb::InsertBatch(const std::vector<Object>& objects
   for (const Object& obj : objects) {
     ApplyToSp(/*insert=*/true, obj.key, obj.value, crypto::ValueHash(obj.value));
     ++size_;
-    journal_.Record({JournalEntry::Op::kInsert, obj});
+    RecordOp({JournalEntry::Op::kInsert, obj});
   }
   return receipt;
 }

@@ -68,6 +68,12 @@ struct DbOptions {
   /// Thread pool for SP-side (unmetered) tree materializations; nullptr =
   /// serial. Scoped overrides go through core::SpPoolScope.
   common::ThreadPool* sp_pool = nullptr;
+  /// Durable mirror of the operation journal (must outlive the db). Every
+  /// committed op is appended here before it is acknowledged; a failed append
+  /// fails the operation closed (std::runtime_error) because an op the
+  /// durable log never saw could not be recovered after a crash. nullptr
+  /// keeps the journal in-memory only. See store::DurableJournal.
+  JournalSink* journal_sink = nullptr;
 
   /// Rejects nonsensical configurations with std::invalid_argument before
   /// any chain state exists: GEM2*-tree without split points, unsorted split
@@ -191,6 +197,10 @@ class AuthenticatedDb : public RangeStore {
 
   /// Applies a successfully committed op to the SP-side mirror.
   void ApplyToSp(bool insert, Key key, const std::string& value, const Hash& vh);
+
+  /// Records a committed op in the in-memory journal and the durable sink
+  /// (when configured); throws std::runtime_error on a failed durable append.
+  void RecordOp(JournalEntry entry);
 
   DbOptions options_;
   std::unique_ptr<chain::Environment> owned_env_;  // null when env is shared

@@ -8,13 +8,17 @@
 /// commit to the same stream, a client can tell immediately (via any
 /// authenticated query) whether the rebuilt SP is consistent with the chain.
 ///
-/// The journal also serializes to bytes, so operators can ship it between
-/// machines; a corrupted journal surfaces as digest divergence, never as a
-/// silently wrong SP.
+/// The journal serializes to bytes with per-record CRC32C framing (format
+/// v2), so operators can ship it between machines and any in-flight bit rot
+/// is attributable: a checksum mismatch parses to a distinct error, never to
+/// a silently wrong SP. The per-entry codec (AppendJournalEntryBody /
+/// ParseJournalEntryBody) is shared with the durable on-disk segment format
+/// in src/store/, which adds its own length-prefix + CRC record frames.
 #ifndef GEM2_CORE_JOURNAL_H_
 #define GEM2_CORE_JOURNAL_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -31,6 +35,22 @@ struct JournalEntry {
   friend bool operator==(const JournalEntry& a, const JournalEntry& b) = default;
 };
 
+/// Appends the canonical body encoding of one entry:
+/// [op u8][key 8B BE][value_len u64 BE][value bytes]. No integrity framing —
+/// the container (journal image, disk segment) adds its own.
+void AppendJournalEntryBody(Bytes* out, const JournalEntry& entry);
+
+/// Parses one entry body from `data` at `*pos`, advancing `*pos` past it.
+/// Returns false (leaving `*pos` unspecified) on malformed input.
+bool ParseJournalEntryBody(const Bytes& data, size_t* pos, JournalEntry* out);
+
+/// Why a serialized journal image failed to parse. Checksum mismatches are
+/// distinct from structural damage so the event log can attribute corruption
+/// (bit rot inside a record) separately from truncation or framing bugs.
+enum class JournalParseError : uint8_t { kNone = 0, kMalformed, kChecksum };
+
+struct JournalParseResult;  // defined below Journal (it holds one)
+
 class Journal {
  public:
   void Record(JournalEntry entry) { entries_.push_back(std::move(entry)); }
@@ -42,13 +62,54 @@ class Journal {
   /// SP finds in its durable log when the tail was lost with the process.
   Journal Prefix(size_t n) const;
 
+  /// Format v2: [version u8][count u64], then per record the entry body
+  /// followed by CRC32C(body) as 4 big-endian bytes.
   Bytes Serialize() const;
+
+  /// Parses v2 images, and legacy v1 images (no per-record checksums) for
+  /// one release so pre-upgrade recovery artifacts still load. A checksum
+  /// mismatch is reported as JournalParseError::kChecksum with the failing
+  /// record's index, and emitted to the telemetry event log.
+  static JournalParseResult ParseEx(const Bytes& data);
+
+  /// ParseEx, collapsed to the legacy optional interface.
   static std::optional<Journal> Parse(const Bytes& data);
 
   friend bool operator==(const Journal& a, const Journal& b) = default;
 
  private:
   std::vector<JournalEntry> entries_;
+};
+
+struct JournalParseResult {
+  std::optional<Journal> journal;
+  JournalParseError error = JournalParseError::kNone;
+  /// Index of the record the parse failed at (0-based; image-level failures
+  /// report the count of records parsed before the failure).
+  size_t record_index = 0;
+};
+
+/// Where AuthenticatedDb mirrors every committed data-owner operation, in
+/// commit order — the seam that makes durability pluggable without the core
+/// library depending on the storage engine. store::DurableJournal implements
+/// this over checksummed on-disk segments (src/store/durable_journal.h).
+///
+/// Append is called after the operation committed on-chain and applied to
+/// the SP mirrors, and before the operation is acknowledged to the data
+/// owner; returning false fails the operation closed (AuthenticatedDb
+/// throws), because an un-journaled ack could never be recovered.
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+
+  /// Durably records `entry` per the sink's fsync policy. False on I/O error.
+  virtual bool Append(const JournalEntry& entry) = 0;
+
+  /// Forces everything appended so far to stable storage.
+  virtual bool Sync() = 0;
+
+  /// Human-readable description of the last failure (empty when none).
+  virtual std::string last_error() const { return {}; }
 };
 
 }  // namespace gem2::core

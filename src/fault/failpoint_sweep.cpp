@@ -1,0 +1,246 @@
+#include "fault/failpoint_sweep.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+
+#include "common/random.h"
+#include "fault/fault.h"
+#include "store/durable_store.h"
+#include "store/sp_object_store.h"
+#include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
+
+namespace gem2::fault {
+namespace {
+
+constexpr char kStoreDir[] = "/sp";
+
+struct Schedule {
+  FailpointConfig config;
+  store::StoreOptions store;
+  bool cut_power_at_end = false;
+  /// No lying fsyncs and no bit rot configured: the hardware is honest, so
+  /// recovery must succeed, and under kEveryRecord must keep every acked op.
+  bool honest() const {
+    return config.p_sync_lie == 0.0 && config.p_bit_rot == 0.0;
+  }
+};
+
+Schedule DrawSchedule(uint64_t seed) {
+  Rng rng(DeriveSeed(seed, 0x5c));
+  Schedule s;
+  s.config.seed = seed;
+  // Tiny segments and frequent checkpoints so every schedule exercises
+  // rotation, checkpoint publication, and pruning, not just a single file.
+  s.store.journal.segment_bytes = 256 + rng.Uniform(0, 1024);
+  s.store.journal.batch_records = 2 + static_cast<uint32_t>(rng.Uniform(0, 6));
+  s.store.checkpoint_interval = 8 + rng.Uniform(0, 16);
+  s.cut_power_at_end = rng.Chance(0.5);
+
+  // A third of the sweep runs the durability-floor configuration: honest
+  // hardware, sync-every-record. The rest draws hostile mixes.
+  if (rng.Uniform(0, 2) == 0) {
+    s.store.journal.fsync_policy = store::FsyncPolicy::kEveryRecord;
+    s.config.p_append_error = rng.NextDouble() * 0.05;
+    s.config.p_power_cut = rng.NextDouble() * 0.02;
+    return s;
+  }
+  const uint64_t policy = rng.Uniform(0, 2);
+  s.store.journal.fsync_policy =
+      policy == 0   ? store::FsyncPolicy::kNever
+      : policy == 1 ? store::FsyncPolicy::kBatch
+                    : store::FsyncPolicy::kEveryRecord;
+  s.config.p_append_error = rng.NextDouble() * 0.06;
+  s.config.p_sync_error = rng.NextDouble() * 0.04;
+  s.config.p_sync_lie = rng.Chance(0.4) ? rng.NextDouble() * 0.2 : 0.0;
+  s.config.p_power_cut = rng.NextDouble() * 0.03;
+  s.config.p_bit_rot = rng.Chance(0.3) ? rng.NextDouble() * 0.01 : 0.0;
+  return s;
+}
+
+void DumpDisk(store::MemVfs* mem, uint64_t schedule_seed) {
+  const char* dir = std::getenv("GEM2_FAULT_DUMP_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  for (const std::string& path : mem->AllFiles()) {
+    std::string name = path;
+    for (char& c : name) {
+      if (c == '/') c = '_';
+    }
+    const std::string out_path = std::string(dir) + "/schedule-" +
+                                 std::to_string(schedule_seed) + name;
+    auto image = mem->Snapshot(path);
+    if (!image.has_value()) continue;
+    std::FILE* f = std::fopen(out_path.c_str(), "wb");
+    if (f == nullptr) continue;
+    if (!image->empty()) std::fwrite(image->data(), 1, image->size(), f);
+    std::fclose(f);
+  }
+}
+
+void Violation(FailpointSweepReport* report, store::MemVfs* mem,
+               uint64_t schedule_seed, const std::string& what) {
+  if (report->error.empty()) {
+    report->error =
+        what + " (schedule seed " + std::to_string(schedule_seed) + ")";
+  }
+  DumpDisk(mem, schedule_seed);
+  if (telemetry::EventLog::Global().enabled()) {
+    telemetry::EventLog::Global().Emit(
+        telemetry::Event("fault.failpoint_violation")
+            .Num("schedule_seed", schedule_seed)
+            .Str("what", what));
+  }
+}
+
+}  // namespace
+
+std::vector<core::JournalEntry> OwnerStream(uint64_t seed, size_t n) {
+  Rng rng(DeriveSeed(seed, 0x05));
+  std::vector<core::JournalEntry> stream;
+  stream.reserve(n);
+  std::vector<Key> live;
+  std::set<Key> live_set;
+  for (size_t i = 0; i < n; ++i) {
+    const double dice = rng.NextDouble();
+    core::JournalEntry entry;
+    if (dice < 0.55 || live.empty()) {
+      entry.op = core::JournalEntry::Op::kInsert;
+      // Fresh key only: the stream must be a *valid* data-owner history, so
+      // it can drive a real AuthenticatedDb as well as the object store.
+      do {
+        entry.object.key = static_cast<Key>(rng.Uniform(0, 1u << 20));
+      } while (live_set.count(entry.object.key) != 0);
+      entry.object.value = "v" + std::to_string(i) + "-" +
+                           std::string(rng.Uniform(0, 48), 'x');
+      live.push_back(entry.object.key);
+      live_set.insert(entry.object.key);
+    } else if (dice < 0.82) {
+      entry.op = core::JournalEntry::Op::kUpdate;
+      entry.object.key = live[rng.Uniform(0, live.size() - 1)];
+      entry.object.value = "u" + std::to_string(i);
+    } else {
+      const size_t at = rng.Uniform(0, live.size() - 1);
+      entry.op = core::JournalEntry::Op::kDelete;
+      entry.object.key = live[at];
+      live.erase(live.begin() + static_cast<long>(at));
+      live_set.erase(entry.object.key);
+    }
+    stream.push_back(std::move(entry));
+  }
+  return stream;
+}
+
+FailpointSweepReport RunFailpointSweep(const FailpointSweepOptions& options) {
+  FailpointSweepReport report;
+  report.seed = options.seed;
+
+  for (int s = 0; s < options.schedules; ++s) {
+    const uint64_t schedule_seed = DeriveSeed(options.seed, 0x10000u + s);
+    const Schedule schedule = DrawSchedule(schedule_seed);
+    ++report.schedules;
+
+    // The op stream and its per-prefix digests, from an uninjected shadow.
+    const std::vector<core::JournalEntry> stream =
+        OwnerStream(schedule_seed, options.ops_per_schedule);
+    store::SpObjectStore shadow;
+    std::vector<Hash> prefix_digest;
+    prefix_digest.reserve(stream.size() + 1);
+    prefix_digest.push_back(shadow.StateDigest());
+    for (const core::JournalEntry& entry : stream) {
+      shadow.Apply(entry);
+      prefix_digest.push_back(shadow.StateDigest());
+    }
+
+    // --- the injected run -------------------------------------------------
+    store::MemVfs mem;
+    FailpointVfs vfs(&mem, schedule.config);
+    store::SpObjectStore live;
+    store::RecoveryReport open_report;
+    size_t acked = 0;
+    {
+      auto store = store::DurableSpStore::Open(&vfs, kStoreDir, &live,
+                                               schedule.store, &open_report);
+      if (store != nullptr) {
+        for (const core::JournalEntry& entry : stream) {
+          if (!store->Apply(entry)) break;  // crashed / failed closed
+          ++acked;
+        }
+      }
+      // else: the engine failed closed before serving — acceptable.
+    }
+    if (schedule.cut_power_at_end && !vfs.powered_off()) {
+      // kill -9 plus power loss: unsynced bytes keep a seeded torn prefix.
+      const uint64_t tear = DeriveSeed(schedule_seed, 0x77);
+      mem.CutPower([tear](size_t volatile_bytes) -> size_t {
+        if (volatile_bytes == 0) return 0;
+        return Rng(tear ^ volatile_bytes).Uniform(0, volatile_bytes);
+      });
+    }
+
+    // --- recovery on honest hardware --------------------------------------
+    mem.Restart();
+    const FailpointStats injected = vfs.stats();
+    report.injected.ops += injected.ops;
+    report.injected.short_writes += injected.short_writes;
+    report.injected.append_errors += injected.append_errors;
+    report.injected.sync_errors += injected.sync_errors;
+    report.injected.sync_lies += injected.sync_lies;
+    report.injected.power_cuts += injected.power_cuts;
+    report.injected.bit_flips += injected.bit_flips;
+    const bool honest_run = schedule.honest() && injected.sync_lies == 0 &&
+                            injected.bit_flips == 0;
+    const bool floor = honest_run && schedule.store.journal.fsync_policy ==
+                                         store::FsyncPolicy::kEveryRecord;
+
+    store::SpObjectStore recovered;
+    store::RecoveryReport recovery;
+    auto reopened = store::DurableSpStore::Open(&mem, kStoreDir, &recovered,
+                                                store::StoreOptions{},
+                                                &recovery);
+    if (reopened == nullptr) {
+      ++report.failed_closed;
+      if (honest_run) {
+        ++report.floor_violations;
+        Violation(&report, &mem, schedule_seed,
+                  "honest schedule failed closed: " + recovery.error);
+      }
+      continue;
+    }
+
+    const uint64_t k = recovery.next_seqno;
+    if (k > stream.size() ||
+        recovered.StateDigest() != prefix_digest[static_cast<size_t>(k)]) {
+      ++report.wrong_recoveries;
+      Violation(&report, &mem, schedule_seed,
+                "recovered state is not a prefix of the acked stream (k=" +
+                    std::to_string(k) + ")");
+      continue;
+    }
+    ++report.recovered;
+    if (k < acked) {
+      ++report.tail_lost;
+      if (floor) {
+        ++report.floor_violations;
+        Violation(&report, &mem, schedule_seed,
+                  "kEveryRecord on honest hardware lost acked ops: recovered " +
+                      std::to_string(k) + " of " + std::to_string(acked));
+      }
+    }
+  }
+
+  if (telemetry::kCompiledIn) {
+    auto& metrics = telemetry::MetricsRegistry::Global();
+    metrics.counter("fault.failpoint.schedules").Add(report.schedules);
+    metrics.counter("fault.failpoint.recovered").Add(report.recovered);
+    metrics.counter("fault.failpoint.failed_closed").Add(report.failed_closed);
+    metrics.counter("fault.failpoint.wrong_recoveries")
+        .Add(report.wrong_recoveries);
+    metrics.counter("fault.failpoint.floor_violations")
+        .Add(report.floor_violations);
+  }
+  return report;
+}
+
+}  // namespace gem2::fault

@@ -1,0 +1,160 @@
+#include "fault/failpoint_vfs.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "fault/fault.h"
+
+namespace gem2::fault {
+namespace {
+
+/// All faults for one syscall come from one RNG derived from (config seed,
+/// op index): schedules replay exactly regardless of how callers interleave.
+Rng OpRng(const FailpointConfig& config, uint64_t op_seed) {
+  return Rng(DeriveSeed(config.seed, 0xf41u * op_seed + 1));
+}
+
+}  // namespace
+
+/// Append handle that injects short writes, EIO, sync errors, and sync lies
+/// around the wrapped MemVfs file.
+class FailpointWritableFile : public store::WritableFile {
+ public:
+  FailpointWritableFile(FailpointVfs* vfs,
+                        std::unique_ptr<store::WritableFile> base)
+      : vfs_(vfs), base_(std::move(base)) {}
+
+  store::IoStatus Append(const uint8_t* data, size_t len) override {
+    const uint64_t op = vfs_->NextOpSeed();
+    vfs_->AmbientFaults(op);
+    if (vfs_->base_->powered_off()) {
+      return store::IoStatus::Error("simulated power cut");
+    }
+    Rng rng = OpRng(vfs_->config_, op);
+    if (rng.Chance(vfs_->config_.p_append_error)) {
+      // A torn write: a seeded prefix lands in the volatile region, then the
+      // syscall fails. The engine must treat the record as never appended.
+      const size_t keep = len == 0 ? 0 : rng.Uniform(0, len - 1);
+      if (keep > 0) {
+        ++vfs_->stats_.short_writes;
+        (void)base_->Append(data, keep);
+      }
+      ++vfs_->stats_.append_errors;
+      return store::IoStatus::Error("injected append EIO");
+    }
+    return base_->Append(data, len);
+  }
+
+  store::IoStatus Sync() override {
+    const uint64_t op = vfs_->NextOpSeed();
+    vfs_->AmbientFaults(op);
+    if (vfs_->base_->powered_off()) {
+      return store::IoStatus::Error("simulated power cut");
+    }
+    Rng rng = OpRng(vfs_->config_, op);
+    if (rng.Chance(vfs_->config_.p_sync_lie)) {
+      // The firmware lie: report durability without providing it. Only a
+      // later power cut can expose this.
+      ++vfs_->stats_.sync_lies;
+      return store::IoStatus::Ok();
+    }
+    if (rng.Chance(vfs_->config_.p_sync_error)) {
+      ++vfs_->stats_.sync_errors;
+      return store::IoStatus::Error("injected fsync EIO");
+    }
+    return base_->Sync();
+  }
+
+  store::IoStatus Close() override { return base_->Close(); }
+
+ private:
+  FailpointVfs* vfs_;
+  std::unique_ptr<store::WritableFile> base_;
+};
+
+void FailpointVfs::AmbientFaults(uint64_t op_seed) {
+  if (base_->powered_off()) return;
+  Rng rng(DeriveSeed(config_.seed, 0xa3bu * op_seed + 2));
+  if (rng.Chance(config_.p_bit_rot)) {
+    // Rot one durable byte of one existing file, chosen by seed.
+    const std::vector<std::string> files = base_->AllFiles();
+    if (!files.empty()) {
+      const std::string& path = files[rng.Uniform(0, files.size() - 1)];
+      if (auto size = base_->FileSize(path); size.has_value() && *size > 0) {
+        const uint64_t offset = rng.Uniform(0, *size - 1);
+        const uint8_t mask = static_cast<uint8_t>(1u << rng.Uniform(0, 7));
+        if (base_->CorruptByte(path, offset, mask)) ++stats_.bit_flips;
+      }
+    }
+  }
+  if (rng.Chance(config_.p_power_cut)) {
+    ++stats_.power_cuts;
+    const uint64_t tear_seed = DeriveSeed(config_.seed, 0x9c1u * op_seed + 3);
+    base_->CutPower([tear_seed](size_t volatile_bytes) -> size_t {
+      if (volatile_bytes == 0) return 0;
+      // Seeded torn tail: each file keeps an arbitrary prefix of its
+      // unsynced bytes, like a disk that got some sectors out before dying.
+      return Rng(tear_seed ^ volatile_bytes).Uniform(0, volatile_bytes);
+    });
+  }
+}
+
+store::IoStatus FailpointVfs::CreateDir(const std::string& path) {
+  AmbientFaults(NextOpSeed());
+  return base_->CreateDir(path);
+}
+
+std::optional<std::vector<std::string>> FailpointVfs::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+bool FailpointVfs::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+std::optional<uint64_t> FailpointVfs::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+store::IoStatus FailpointVfs::ReadFile(const std::string& path, Bytes* out) {
+  return base_->ReadFile(path, out);
+}
+
+store::IoStatus FailpointVfs::WriteFileAtomic(const std::string& path,
+                                              const Bytes& data, bool sync) {
+  const uint64_t op = NextOpSeed();
+  AmbientFaults(op);
+  if (base_->powered_off()) {
+    return store::IoStatus::Error("simulated power cut");
+  }
+  Rng rng = OpRng(config_, op);
+  if (rng.Chance(config_.p_append_error)) {
+    // Atomic publication's failure mode is all-or-nothing by construction:
+    // the temp file dies, the destination is untouched.
+    ++stats_.append_errors;
+    return store::IoStatus::Error("injected publish EIO");
+  }
+  const bool durable =
+      sync && !rng.Chance(config_.p_sync_lie);
+  if (sync && !durable) ++stats_.sync_lies;
+  return base_->WriteFileAtomic(path, data, durable);
+}
+
+std::unique_ptr<store::WritableFile> FailpointVfs::OpenAppend(
+    const std::string& path, store::IoStatus* status) {
+  auto base_file = base_->OpenAppend(path, status);
+  if (base_file == nullptr) return nullptr;
+  return std::make_unique<FailpointWritableFile>(this, std::move(base_file));
+}
+
+store::IoStatus FailpointVfs::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+store::IoStatus FailpointVfs::TruncateFile(const std::string& path,
+                                           uint64_t size) {
+  return base_->TruncateFile(path, size);
+}
+
+}  // namespace gem2::fault

@@ -1,10 +1,14 @@
 #include "fault/recovery.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "fault/fault.h"
+#include "store/durable_journal.h"
+#include "store/vfs.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 
@@ -29,10 +33,28 @@ Key FreshKey(const core::AuthenticatedDb& db, Rng& rng) {
 
 }  // namespace
 
-CrashReport CrashAndRecover(core::DbOptions options, uint64_t seed, size_t ops) {
+namespace {
+
+CrashReport RunCrashAndRecover(core::DbOptions options, uint64_t seed,
+                               size_t ops, uint64_t torn_tail_bytes,
+                               int64_t flip_offset, uint8_t flip_mask) {
   CrashReport report;
   report.seed = seed;
   Rng rng(DeriveSeed(seed, 0xc4));
+
+  // The SP's disk: every committed op flows through a real segmented journal
+  // (sync-per-record) before it is acknowledged.
+  store::MemVfs disk;
+  constexpr char kJournalDir[] = "/sp/journal";
+  std::string open_error;
+  std::unique_ptr<store::DurableJournal> sink = store::DurableJournal::Open(
+      &disk, kJournalDir, 0, store::JournalOptions{}, &open_error);
+  if (sink == nullptr) {
+    report.error = "open durable journal: " + open_error;
+    Count("fault.recovery.failed");
+    return report;
+  }
+  options.journal_sink = sink.get();
   core::AuthenticatedDb reference(options);
 
   // Mixed data-owner stream, with one batch transaction mid-stream so the
@@ -72,20 +94,54 @@ CrashReport CrashAndRecover(core::DbOptions options, uint64_t seed, size_t ops) 
   }
   report.total_ops = reference.journal().size();
 
-  // Crash: the SP process is gone; all that survives is the durable journal,
-  // shipped as bytes to a fresh machine.
-  const Bytes artifact = reference.journal().Serialize();
-  std::optional<core::Journal> parsed = core::Journal::Parse(artifact);
-  if (!parsed.has_value()) {
-    report.error = "durable journal failed to parse";
-    Count("fault.recovery.failed");
+  // Crash: the SP process dies (kill -9 — in-memory state gone, no flush);
+  // all that survives is what the journal already made durable.
+  sink.reset();
+
+  // Optional pre-recovery damage to the final segment.
+  if (torn_tail_bytes > 0 || flip_offset >= 0) {
+    auto names = disk.ListDir(kJournalDir);
+    if (names.has_value() && !names->empty()) {
+      const std::string tail_path = std::string(kJournalDir) + "/" +
+                                    names->back();
+      if (torn_tail_bytes > 0) {
+        if (auto size = disk.FileSize(tail_path); size.has_value()) {
+          const uint64_t keep =
+              *size > torn_tail_bytes ? *size - torn_tail_bytes : 0;
+          disk.TruncateFile(tail_path, keep);
+        }
+      }
+      if (flip_offset >= 0) {
+        disk.CorruptByte(tail_path, static_cast<uint64_t>(flip_offset),
+                         flip_mask == 0 ? uint8_t{1} : flip_mask);
+      }
+    }
+  }
+
+  // Recovery reads the on-disk segments alone — the in-memory Journal object
+  // died with the process.
+  store::JournalRecovery recovered =
+      store::RecoverJournal(&disk, kJournalDir);
+  report.truncated_bytes = recovered.truncated_bytes;
+  report.corrupt_records = recovered.corrupt_records;
+  report.tail_lost = recovered.tail_lost;
+  if (!recovered.ok) {
+    report.failed_closed = true;
+    report.error = "recovery failed closed: " + recovered.error;
+    Count("fault.recovery.failed_closed");
     return report;
   }
-  report.replayed = parsed->size();
+  report.replayed = recovered.entries.size();
 
+  core::Journal durable;
+  for (core::JournalEntry& entry : recovered.entries) {
+    durable.Record(std::move(entry));
+  }
+  core::DbOptions replay_options = options;
+  replay_options.journal_sink = nullptr;
   std::unique_ptr<core::AuthenticatedDb> rebuilt;
   try {
-    rebuilt = core::AuthenticatedDb::Replay(options, *parsed);
+    rebuilt = core::AuthenticatedDb::Replay(replay_options, durable);
   } catch (const std::exception& e) {
     report.error = std::string("replay aborted: ") + e.what();
     Count("fault.recovery.failed");
@@ -113,6 +169,31 @@ CrashReport CrashAndRecover(core::DbOptions options, uint64_t seed, size_t ops) 
             ? "fault.recovery.ok"
             : "fault.recovery.failed");
   return report;
+}
+
+}  // namespace
+
+CrashReport CrashAndRecover(core::DbOptions options, uint64_t seed,
+                            size_t ops) {
+  return RunCrashAndRecover(std::move(options), seed, ops,
+                            /*torn_tail_bytes=*/0, /*flip_offset=*/-1,
+                            /*flip_mask=*/0);
+}
+
+CrashReport CrashAndRecoverDamaged(core::DbOptions options, uint64_t seed,
+                                   size_t ops, uint64_t torn_tail_bytes,
+                                   int64_t flip_offset, uint8_t flip_mask) {
+  return RunCrashAndRecover(std::move(options), seed, ops, torn_tail_bytes,
+                            flip_offset, flip_mask);
+}
+
+core::VerifiedResult RecoverFromPrefix(core::DbOptions options,
+                                       core::AuthenticatedDb& reference,
+                                       size_t keep, Key lb, Key ub) {
+  options.journal_sink = nullptr;
+  std::unique_ptr<core::AuthenticatedDb> stale =
+      core::AuthenticatedDb::Replay(options, reference.journal().Prefix(keep));
+  return CrossVerifyAgainst(reference, *stale, lb, ub);
 }
 
 core::VerifiedResult CrossVerifyAgainst(core::AuthenticatedDb& reference,

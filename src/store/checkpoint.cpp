@@ -1,0 +1,197 @@
+#include "store/checkpoint.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+#include "telemetry/metrics.h"
+
+namespace gem2::store {
+namespace {
+
+constexpr uint8_t kMagic[8] = {'G', '2', 'C', 'K', 'P', 'T', 0, 0};
+
+void AppendU32(Bytes* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint32_t ReadU32(const Bytes& data, size_t pos) {
+  return (static_cast<uint32_t>(data[pos]) << 24) |
+         (static_cast<uint32_t>(data[pos + 1]) << 16) |
+         (static_cast<uint32_t>(data[pos + 2]) << 8) |
+         static_cast<uint32_t>(data[pos + 3]);
+}
+
+uint64_t ReadU64(const Bytes& data, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data[pos + i];
+  return v;
+}
+
+bool Reject(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+  return false;
+}
+
+}  // namespace
+
+Bytes EncodeCheckpoint(uint64_t seqno, const Bytes& state) {
+  Bytes out;
+  out.reserve(kCheckpointHeaderBytes + state.size() +
+              8 * (state.size() / kCheckpointPagePayload + 1));
+  out.insert(out.end(), kMagic, kMagic + 8);
+  AppendUint64(&out, seqno);
+  AppendUint64(&out, state.size());
+  AppendU32(&out, kCheckpointPagePayload);
+  AppendU32(&out, common::Crc32c(out.data(), out.size()));
+
+  size_t pos = 0;
+  // An empty state still writes one empty page, so every checkpoint has at
+  // least one verifiable footer.
+  do {
+    const size_t len = std::min<size_t>(kCheckpointPagePayload,
+                                        state.size() - pos);
+    out.insert(out.end(), state.begin() + static_cast<long>(pos),
+               state.begin() + static_cast<long>(pos + len));
+    AppendU32(&out, static_cast<uint32_t>(len));
+    AppendU32(&out, common::Crc32c(state.data() + pos, len));
+    pos += len;
+  } while (pos < state.size());
+  return out;
+}
+
+bool DecodeCheckpoint(const Bytes& image, uint64_t* seqno, Bytes* state,
+                      std::string* error) {
+  if (image.size() < kCheckpointHeaderBytes) {
+    return Reject(error, "shorter than the checkpoint header");
+  }
+  for (int i = 0; i < 8; ++i) {
+    if (image[i] != kMagic[i]) return Reject(error, "bad checkpoint magic");
+  }
+  if (ReadU32(image, 28) != common::Crc32c(image.data(), 28)) {
+    return Reject(error, "checkpoint header checksum mismatch");
+  }
+  *seqno = ReadU64(image, 8);
+  const uint64_t state_len = ReadU64(image, 16);
+  const uint32_t page_payload = ReadU32(image, 24);
+  if (page_payload == 0) return Reject(error, "zero page payload size");
+
+  state->clear();
+  state->reserve(state_len);
+  size_t pos = kCheckpointHeaderBytes;
+  size_t page = 0;
+  bool first_page = true;
+  // An empty state still carries one (empty) page — hence the first_page
+  // forcing one iteration.
+  while (first_page || state->size() < state_len) {
+    first_page = false;
+    const uint64_t remaining = state_len - state->size();
+    const uint64_t want =
+        std::min<uint64_t>(page_payload, remaining);
+    if (pos + want + 8 > image.size()) {
+      return Reject(error, "truncated at page " + std::to_string(page));
+    }
+    const uint32_t len = ReadU32(image, pos + want);
+    const uint32_t want_crc = ReadU32(image, pos + want + 4);
+    if (len != want) {
+      return Reject(error, "page " + std::to_string(page) +
+                               " footer length mismatch");
+    }
+    if (common::Crc32c(image.data() + pos, want) != want_crc) {
+      return Reject(error,
+                    "page " + std::to_string(page) + " checksum mismatch");
+    }
+    state->insert(state->end(), image.begin() + static_cast<long>(pos),
+                  image.begin() + static_cast<long>(pos + want));
+    pos += want + 8;
+    ++page;
+  }
+  if (pos != image.size()) {
+    return Reject(error, "trailing bytes after the last page");
+  }
+  return true;
+}
+
+std::string CheckpointFileName(uint64_t seqno) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%020" PRIu64, seqno);
+  return buf;
+}
+
+bool ParseCheckpointFileName(const std::string& name, uint64_t* seqno) {
+  if (name.size() != 5 + 20 || name.rfind("ckpt-", 0) != 0) return false;
+  uint64_t value = 0;
+  for (size_t i = 5; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seqno = value;
+  return true;
+}
+
+IoStatus WriteCheckpoint(Vfs* vfs, const std::string& dir, uint64_t seqno,
+                         const Bytes& state) {
+  if (IoStatus status = vfs->CreateDir(dir); !status) return status;
+  const Bytes image = EncodeCheckpoint(seqno, state);
+  IoStatus status =
+      vfs->WriteFileAtomic(dir + "/" + CheckpointFileName(seqno), image,
+                           /*sync=*/true);
+  if (status) {
+    telemetry::MetricsRegistry::Global()
+        .counter("store.checkpoints_written")
+        .Add(1);
+  }
+  return status;
+}
+
+CheckpointLoad LoadLatestCheckpoint(Vfs* vfs, const std::string& dir) {
+  CheckpointLoad load;
+  auto names = vfs->ListDir(dir);
+  if (!names.has_value()) return load;
+
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  for (const std::string& name : *names) {
+    uint64_t seqno = 0;
+    if (ParseCheckpointFileName(name, &seqno)) {
+      candidates.emplace_back(seqno, name);
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());  // newest first
+
+  for (const auto& [seqno, name] : candidates) {
+    Bytes image;
+    if (IoStatus status = vfs->ReadFile(dir + "/" + name, &image); !status) {
+      ++load.discarded;
+      load.error = status.message;
+      continue;
+    }
+    uint64_t decoded_seqno = 0;
+    Bytes state;
+    std::string error;
+    if (!DecodeCheckpoint(image, &decoded_seqno, &state, &error) ||
+        decoded_seqno != seqno) {
+      ++load.discarded;
+      load.error = error.empty() ? "file name / header seqno mismatch"
+                                 : name + ": " + error;
+      continue;
+    }
+    load.found = true;
+    load.seqno = seqno;
+    load.state = std::move(state);
+    break;
+  }
+  if (load.discarded > 0) {
+    telemetry::MetricsRegistry::Global()
+        .counter("recovery.discarded_checkpoints")
+        .Add(load.discarded);
+  }
+  return load;
+}
+
+}  // namespace gem2::store

@@ -1,0 +1,139 @@
+/// \file durable_journal.h
+/// File-backed segmented operation journal — the durable half of the SP's
+/// derived-state story.
+///
+/// DurableJournal implements core::JournalSink over checksummed on-disk
+/// segments (store/segment.h): AuthenticatedDb hands it every committed
+/// data-owner operation before acknowledging, and after a crash
+/// RecoverJournal() rebuilds exactly the acknowledged prefix of the stream.
+/// The fsync policy is the durability dial:
+///
+///   kEveryRecord  sync after every append — an acked op is never lost
+///   kBatch        sync every `batch_records` appends — bounded-loss window
+///   kNever        leave syncing to the OS — crash loses the unsynced tail
+///
+/// Recovery is recover-or-fail-closed: a torn or checksum-failed record at
+/// the very tail of the *last* segment is truncated away (a lost tail, which
+/// client verification against the on-chain digests then attributes), but
+/// damage anywhere else — mid-stream corruption, a broken non-last segment,
+/// a sequence-number gap between segments — refuses recovery entirely rather
+/// than serve a stream with a hole.
+#ifndef GEM2_STORE_DURABLE_JOURNAL_H_
+#define GEM2_STORE_DURABLE_JOURNAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/journal.h"
+#include "store/segment.h"
+#include "store/vfs.h"
+
+namespace gem2::store {
+
+enum class FsyncPolicy : uint8_t { kNever = 0, kBatch = 1, kEveryRecord = 2 };
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+struct JournalOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryRecord;
+  /// Rotate to a fresh segment once the current one exceeds this many bytes.
+  uint64_t segment_bytes = 4ull << 20;
+  /// kBatch: sync once every this many appended records.
+  uint32_t batch_records = 64;
+};
+
+class DurableJournal : public core::JournalSink {
+ public:
+  /// Opens `dir` (created if missing) for appending with `next_seqno` as the
+  /// sequence number of the next record. Always starts a fresh segment —
+  /// recovery may have truncated or distrusted the previous tail, and a new
+  /// header re-anchors the seqno chain. Nullptr + `*error` on I/O failure.
+  static std::unique_ptr<DurableJournal> Open(Vfs* vfs, const std::string& dir,
+                                              uint64_t next_seqno,
+                                              const JournalOptions& options,
+                                              std::string* error);
+
+  /// core::JournalSink: frames, appends, and (per policy) syncs one entry.
+  /// False on any I/O failure — the op must fail closed, so the journal
+  /// also refuses all further appends until reopened.
+  bool Append(const core::JournalEntry& entry) override;
+  bool Sync() override;
+  std::string last_error() const override { return last_error_; }
+
+  uint64_t next_seqno() const { return next_seqno_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Deletes whole segments every record of which has seqno < `seqno`
+  /// (i.e. is covered by a checkpoint). Never touches the open segment.
+  /// Returns the number of segments removed.
+  size_t PruneSegmentsBelow(uint64_t seqno);
+
+ private:
+  DurableJournal(Vfs* vfs, std::string dir, uint64_t next_seqno,
+                 const JournalOptions& options)
+      : vfs_(vfs),
+        dir_(std::move(dir)),
+        next_seqno_(next_seqno),
+        options_(options) {}
+
+  bool StartSegment();
+  bool Fail(const std::string& message);
+
+  Vfs* vfs_;
+  std::string dir_;
+  uint64_t next_seqno_;
+  JournalOptions options_;
+
+  std::unique_ptr<WritableFile> segment_;
+  uint64_t segment_base_ = 0;     // base seqno of the open segment
+  uint64_t segment_bytes_ = 0;    // bytes written to the open segment
+  uint32_t unsynced_records_ = 0;
+  bool failed_ = false;
+  std::string last_error_;
+};
+
+/// Everything a recovery scan learned about one segment file — enough for
+/// gem2_fsck to report and (on --repair) truncate torn tails.
+struct SegmentInfo {
+  std::string name;
+  uint64_t base_seqno = 0;
+  uint64_t records = 0;
+  SegmentScan::Outcome outcome = SegmentScan::Outcome::kCorrupt;
+  uint64_t valid_bytes = 0;
+  uint64_t truncated_bytes = 0;
+  std::string error;
+};
+
+struct JournalRecovery {
+  /// False means fail closed: the directory holds damage that truncation
+  /// cannot attribute, and nothing recovered from it may be served.
+  bool ok = false;
+  std::string error;
+
+  /// The recovered operation stream; entries[i] has sequence number
+  /// first_seqno + i. Empty directory -> ok with no entries.
+  std::vector<core::JournalEntry> entries;
+  uint64_t first_seqno = 0;
+  uint64_t next_seqno = 0;  // first_seqno + entries.size()
+
+  /// Aggregate damage accounting (also exported as recovery.* counters).
+  uint64_t replayed_ops = 0;
+  uint64_t truncated_bytes = 0;
+  uint32_t corrupt_records = 0;
+  /// True when a torn/corrupt tail was dropped — acked-but-unsynced ops may
+  /// be gone, distinguishable from `corrupt_records` damage by the caller.
+  bool tail_lost = false;
+
+  std::vector<SegmentInfo> segments;
+};
+
+/// Scans every segment in `dir` (oldest first), applying the cross-segment
+/// fail-closed rules, and bumps the recovery.{replayed_ops,truncated_bytes,
+/// corrupt_records,failed_closed} counters. Read-only: repair (truncating
+/// torn tails) is gem2_fsck's job.
+JournalRecovery RecoverJournal(Vfs* vfs, const std::string& dir);
+
+}  // namespace gem2::store
+
+#endif  // GEM2_STORE_DURABLE_JOURNAL_H_

@@ -1,0 +1,198 @@
+#include <algorithm>
+
+#include "store/vfs.h"
+
+namespace gem2::store {
+namespace {
+
+constexpr const char* kPowerCut = "simulated power cut";
+
+}  // namespace
+
+/// Append handle over a MemVfs file: appends land in the volatile region,
+/// Sync promotes them to durable. Named at namespace scope so the MemVfs
+/// friend declaration reaches it.
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(MemVfs* vfs, std::string path)
+      : vfs_(vfs), path_(std::move(path)) {}
+
+  IoStatus Append(const uint8_t* data, size_t len) override {
+    if (vfs_->powered_off()) return IoStatus::Error(kPowerCut);
+    MemVfs::MemFile* file = vfs_->Find(path_);
+    if (file == nullptr) return IoStatus::Error("file removed: " + path_);
+    file->volatile_.insert(file->volatile_.end(), data, data + len);
+    return IoStatus::Ok();
+  }
+
+  IoStatus Sync() override {
+    if (vfs_->powered_off()) return IoStatus::Error(kPowerCut);
+    MemVfs::MemFile* file = vfs_->Find(path_);
+    if (file == nullptr) return IoStatus::Error("file removed: " + path_);
+    file->durable.insert(file->durable.end(), file->volatile_.begin(),
+                         file->volatile_.end());
+    file->volatile_.clear();
+    return IoStatus::Ok();
+  }
+
+  IoStatus Close() override { return IoStatus::Ok(); }
+
+ private:
+  MemVfs* vfs_;
+  std::string path_;
+};
+
+std::string MemVfs::Normalize(const std::string& path) const {
+  // Collapse duplicate slashes so "dir//file" and "dir/file" alias.
+  std::string out;
+  out.reserve(path.size());
+  for (char c : path) {
+    if (c == '/' && !out.empty() && out.back() == '/') continue;
+    out.push_back(c);
+  }
+  if (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+MemVfs::MemFile* MemVfs::Find(const std::string& path) {
+  auto it = files_.find(Normalize(path));
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+IoStatus MemVfs::CreateDir(const std::string& path) {
+  if (powered_off_) return IoStatus::Error(kPowerCut);
+  dirs_[Normalize(path)] = true;
+  return IoStatus::Ok();
+}
+
+std::optional<std::vector<std::string>> MemVfs::ListDir(
+    const std::string& path) {
+  if (powered_off_) return std::nullopt;
+  const std::string prefix = Normalize(path) + "/";
+  std::vector<std::string> names;
+  for (const auto& [file_path, file] : files_) {
+    if (file_path.rfind(prefix, 0) != 0) continue;
+    const std::string rest = file_path.substr(prefix.size());
+    if (rest.find('/') != std::string::npos) continue;  // nested
+    names.push_back(rest);
+  }
+  if (names.empty() && dirs_.find(Normalize(path)) == dirs_.end()) {
+    return std::nullopt;
+  }
+  return names;  // files_ is sorted by path already
+}
+
+bool MemVfs::FileExists(const std::string& path) {
+  return !powered_off_ && Find(path) != nullptr;
+}
+
+std::optional<uint64_t> MemVfs::FileSize(const std::string& path) {
+  if (powered_off_) return std::nullopt;
+  MemFile* file = Find(path);
+  if (file == nullptr) return std::nullopt;
+  return file->durable.size() + file->volatile_.size();
+}
+
+IoStatus MemVfs::ReadFile(const std::string& path, Bytes* out) {
+  if (powered_off_) return IoStatus::Error(kPowerCut);
+  MemFile* file = Find(path);
+  if (file == nullptr) return IoStatus::Error("no such file: " + path);
+  *out = file->durable;
+  out->insert(out->end(), file->volatile_.begin(), file->volatile_.end());
+  return IoStatus::Ok();
+}
+
+IoStatus MemVfs::WriteFileAtomic(const std::string& path, const Bytes& data,
+                                 bool sync) {
+  if (powered_off_) return IoStatus::Error(kPowerCut);
+  // Rename-to-publish semantics: the file appears fully written or not at
+  // all. Unsynced publications ride the volatile region, so a power cut can
+  // still lose (all of) them — but never tear them.
+  MemFile& file = files_[Normalize(path)];
+  if (sync) {
+    file.durable = data;
+    file.volatile_.clear();
+  } else {
+    file.durable.clear();
+    file.volatile_ = data;
+  }
+  return IoStatus::Ok();
+}
+
+std::unique_ptr<WritableFile> MemVfs::OpenAppend(const std::string& path,
+                                                 IoStatus* status) {
+  if (powered_off_) {
+    if (status != nullptr) *status = IoStatus::Error(kPowerCut);
+    return nullptr;
+  }
+  files_.try_emplace(Normalize(path));
+  if (status != nullptr) *status = IoStatus::Ok();
+  return std::make_unique<MemWritableFile>(this, Normalize(path));
+}
+
+IoStatus MemVfs::RemoveFile(const std::string& path) {
+  if (powered_off_) return IoStatus::Error(kPowerCut);
+  if (files_.erase(Normalize(path)) == 0) {
+    return IoStatus::Error("no such file: " + path);
+  }
+  return IoStatus::Ok();
+}
+
+IoStatus MemVfs::TruncateFile(const std::string& path, uint64_t size) {
+  if (powered_off_) return IoStatus::Error(kPowerCut);
+  MemFile* file = Find(path);
+  if (file == nullptr) return IoStatus::Error("no such file: " + path);
+  const uint64_t total = file->durable.size() + file->volatile_.size();
+  if (size >= total) return IoStatus::Ok();
+  if (size <= file->durable.size()) {
+    file->durable.resize(size);
+    file->volatile_.clear();
+  } else {
+    file->volatile_.resize(size - file->durable.size());
+  }
+  return IoStatus::Ok();
+}
+
+void MemVfs::CutPower(const std::function<size_t(size_t)>& keep_bytes) {
+  for (auto& [path, file] : files_) {
+    const size_t keep =
+        std::min(keep_bytes(file.volatile_.size()), file.volatile_.size());
+    file.durable.insert(file.durable.end(), file.volatile_.begin(),
+                        file.volatile_.begin() + static_cast<long>(keep));
+    file.volatile_.clear();
+  }
+  powered_off_ = true;
+}
+
+bool MemVfs::CorruptByte(const std::string& path, uint64_t offset,
+                         uint8_t mask) {
+  MemFile* file = Find(path);
+  if (file == nullptr || mask == 0) return false;
+  if (offset < file->durable.size()) {
+    file->durable[offset] ^= mask;
+    return true;
+  }
+  const uint64_t voff = offset - file->durable.size();
+  if (voff < file->volatile_.size()) {
+    file->volatile_[voff] ^= mask;
+    return true;
+  }
+  return false;
+}
+
+std::optional<Bytes> MemVfs::Snapshot(const std::string& path) {
+  MemFile* file = Find(path);
+  if (file == nullptr) return std::nullopt;
+  Bytes out = file->durable;
+  out.insert(out.end(), file->volatile_.begin(), file->volatile_.end());
+  return out;
+}
+
+std::vector<std::string> MemVfs::AllFiles() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, file] : files_) out.push_back(path);
+  return out;
+}
+
+}  // namespace gem2::store

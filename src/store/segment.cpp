@@ -1,0 +1,168 @@
+#include "store/segment.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/crc32c.h"
+
+namespace gem2::store {
+namespace {
+
+constexpr uint8_t kMagic[5] = {'G', '2', 'S', 'E', 'G'};
+constexpr uint8_t kVersion = 1;
+
+void AppendU32(Bytes* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint32_t ReadU32(const Bytes& data, size_t pos) {
+  return (static_cast<uint32_t>(data[pos]) << 24) |
+         (static_cast<uint32_t>(data[pos + 1]) << 16) |
+         (static_cast<uint32_t>(data[pos + 2]) << 8) |
+         static_cast<uint32_t>(data[pos + 3]);
+}
+
+uint64_t ReadU64(const Bytes& data, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data[pos + i];
+  return v;
+}
+
+}  // namespace
+
+Bytes SegmentHeader(uint64_t base_seqno) {
+  Bytes out;
+  out.insert(out.end(), kMagic, kMagic + 5);
+  out.push_back(kVersion);
+  AppendUint64(&out, base_seqno);
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  AppendU32(&out, common::Crc32c(out.data(), out.size()));
+  while (out.size() < kSegmentHeaderBytes) out.push_back(0);
+  return out;
+}
+
+void AppendRecordFrame(Bytes* out, const Bytes& payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU32(out, common::Crc32c(payload.data(), payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+SegmentScan ScanSegment(const Bytes& image) {
+  SegmentScan scan;
+
+  // --- header -------------------------------------------------------------
+  const auto bad_header = [&](std::string why) {
+    scan.outcome = SegmentScan::Outcome::kBadHeader;
+    scan.error = std::move(why);
+    scan.valid_bytes = 0;
+    scan.truncated_bytes = image.size();
+    return scan;
+  };
+  if (image.size() < kSegmentHeaderBytes) {
+    return bad_header("segment shorter than its header");
+  }
+  for (int i = 0; i < 5; ++i) {
+    if (image[i] != kMagic[i]) return bad_header("bad segment magic");
+  }
+  if (image[5] != kVersion) {
+    return bad_header("unknown segment version " + std::to_string(image[5]));
+  }
+  const uint32_t header_crc = ReadU32(image, 16);
+  if (header_crc != common::Crc32c(image.data(), 16)) {
+    return bad_header("segment header checksum mismatch");
+  }
+  scan.base_seqno = ReadU64(image, 6);
+
+  // --- records ------------------------------------------------------------
+  size_t pos = kSegmentHeaderBytes;
+  scan.valid_bytes = pos;
+  while (pos < image.size()) {
+    // A frame needs 8 bytes of [len][crc]; fewer remaining = a write torn
+    // mid-frame.
+    if (pos + 8 > image.size()) {
+      scan.outcome = SegmentScan::Outcome::kTornTail;
+      scan.truncated_bytes = image.size() - scan.valid_bytes;
+      return scan;
+    }
+    const uint32_t len = ReadU32(image, pos);
+    const uint32_t want_crc = ReadU32(image, pos + 4);
+    if (len > kMaxRecordBytes) {
+      // No honest writer frames a record this large; the length word itself
+      // is damaged. Without a trustworthy length there is no next record
+      // boundary to resync at, so the rest of the file is unusable: treat it
+      // as the torn/corrupt tail and recover the prefix.
+      scan.outcome = SegmentScan::Outcome::kCorruptTail;
+      ++scan.corrupt_records;
+      scan.truncated_bytes = image.size() - scan.valid_bytes;
+      return scan;
+    }
+    if (pos + 8 + len > image.size()) {
+      // The frame claims more payload than the file holds: a torn append.
+      scan.outcome = SegmentScan::Outcome::kTornTail;
+      scan.truncated_bytes = image.size() - scan.valid_bytes;
+      return scan;
+    }
+    const uint32_t got_crc = common::Crc32c(image.data() + pos + 8, len);
+    if (got_crc != want_crc) {
+      ++scan.corrupt_records;
+      if (pos + 8 + len == image.size()) {
+        // The damaged record is the last one: recovering the prefix loses
+        // only the tail, which client verification then attributes.
+        scan.outcome = SegmentScan::Outcome::kCorruptTail;
+        scan.truncated_bytes = image.size() - scan.valid_bytes;
+        return scan;
+      }
+      // Data continues past the bad record: mid-stream corruption. The
+      // following bytes may be valid records — but serving a stream with a
+      // hole would be a silently wrong SP, so fail closed.
+      scan.outcome = SegmentScan::Outcome::kCorrupt;
+      scan.error = "record checksum mismatch at offset " + std::to_string(pos) +
+                   " with " + std::to_string(image.size() - pos - 8 - len) +
+                   " bytes after it";
+      return scan;
+    }
+    // Payload integrity is proven; it must still be a well-formed entry.
+    Bytes payload(image.begin() + static_cast<long>(pos + 8),
+                  image.begin() + static_cast<long>(pos + 8 + len));
+    core::JournalEntry entry;
+    size_t entry_pos = 0;
+    if (!core::ParseJournalEntryBody(payload, &entry_pos, &entry) ||
+        entry_pos != payload.size()) {
+      scan.outcome = SegmentScan::Outcome::kCorrupt;
+      scan.error = "checksummed record is not a journal entry (offset " +
+                   std::to_string(pos) + ")";
+      return scan;
+    }
+    scan.entries.push_back(std::move(entry));
+    pos += 8 + len;
+    scan.valid_bytes = pos;
+  }
+  scan.outcome = SegmentScan::Outcome::kClean;
+  return scan;
+}
+
+std::string SegmentFileName(uint64_t base_seqno) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "seg-%020" PRIu64 ".log", base_seqno);
+  return buf;
+}
+
+bool ParseSegmentFileName(const std::string& name, uint64_t* base_seqno) {
+  if (name.size() != 4 + 20 + 4 || name.rfind("seg-", 0) != 0 ||
+      name.substr(name.size() - 4) != ".log") {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = 4; i < 24; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *base_seqno = value;
+  return true;
+}
+
+}  // namespace gem2::store

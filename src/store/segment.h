@@ -1,0 +1,84 @@
+/// \file segment.h
+/// On-disk journal segment format and the crash-recovery scan.
+///
+/// A segment file is:
+///
+///   header (24 bytes):
+///     [magic "G2SEG" + version u8 = 6B][base seqno u64 BE]
+///     [reserved u16 = 0][pad u4... none] ... header CRC32C u32 BE over the
+///     first 16 bytes, then 4 zero bytes reserved.
+///   records, back to back:
+///     [payload len u32 BE][CRC32C(payload) u32 BE][payload bytes]
+///
+/// where each payload is one core::JournalEntry body
+/// (core::AppendJournalEntryBody). Records in a segment carry consecutive
+/// sequence numbers starting at the header's base seqno.
+///
+/// The scan's contract is the durability headline: every byte-offset
+/// truncation and every bit flip of a segment image yields either a valid
+/// record prefix (a lost tail, reported with the truncated byte count) or a
+/// fail-closed kCorrupt outcome — never a crash, never a silently wrong
+/// record stream. A checksum failure with more data behind it is *mid-stream*
+/// corruption: the bytes after the bad record cannot be trusted to be record
+/// boundaries, so the scan refuses the whole segment instead of resyncing.
+#ifndef GEM2_STORE_SEGMENT_H_
+#define GEM2_STORE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/journal.h"
+
+namespace gem2::store {
+
+inline constexpr size_t kSegmentHeaderBytes = 24;
+inline constexpr uint32_t kMaxRecordBytes = 1u << 26;  // 64 MiB sanity cap
+
+/// Serialized segment header for a segment whose first record is `base_seqno`.
+Bytes SegmentHeader(uint64_t base_seqno);
+
+/// Appends one framed record ([len][crc][payload]) to `out`.
+void AppendRecordFrame(Bytes* out, const Bytes& payload);
+
+struct SegmentScan {
+  enum class Outcome : uint8_t {
+    kClean,     // every byte accounted for by valid records
+    kTornTail,  // trailing bytes do not form a whole record; prefix is valid
+    kCorruptTail,  // last record's checksum failed; prefix is valid
+    /// The header itself is short/damaged: nothing in the file is usable.
+    /// Recovery treats a bad-header *final* segment as a torn creation
+    /// (drop the file) and a bad-header earlier segment as fail-closed.
+    kBadHeader,
+    kCorrupt,   // mid-stream corruption: fail closed
+  };
+
+  Outcome outcome = Outcome::kCorrupt;
+  uint64_t base_seqno = 0;
+  std::vector<core::JournalEntry> entries;  // the valid prefix
+  /// Bytes of the valid prefix (header + whole valid records): where a
+  /// torn-tail repair truncates the file.
+  uint64_t valid_bytes = 0;
+  /// Bytes dropped after the valid prefix (torn or corrupt tail).
+  uint64_t truncated_bytes = 0;
+  /// Records whose checksum failed (0 or 1: the scan stops at the first).
+  uint32_t corrupt_records = 0;
+  std::string error;
+
+  bool failed_closed() const { return outcome == Outcome::kCorrupt; }
+};
+
+/// Scans a whole segment image. Never throws; see the contract above.
+SegmentScan ScanSegment(const Bytes& image);
+
+/// Segment file name for a base sequence number ("seg-00000000000000000042").
+std::string SegmentFileName(uint64_t base_seqno);
+
+/// Parses a segment file name back to its base seqno; false when `name` is
+/// not a segment file.
+bool ParseSegmentFileName(const std::string& name, uint64_t* base_seqno);
+
+}  // namespace gem2::store
+
+#endif  // GEM2_STORE_SEGMENT_H_

@@ -1,0 +1,82 @@
+#include "store/sp_object_store.h"
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace gem2::store {
+namespace {
+
+constexpr uint8_t kSnapshotVersion = 1;
+
+}  // namespace
+
+void SpObjectStore::Apply(const core::JournalEntry& entry) {
+  switch (entry.op) {
+    case core::JournalEntry::Op::kInsert:
+    case core::JournalEntry::Op::kUpdate:
+      objects_[entry.object.key] = entry.object.value;
+      break;
+    case core::JournalEntry::Op::kDelete:
+      objects_.erase(entry.object.key);
+      break;
+  }
+}
+
+Bytes SpObjectStore::SnapshotState() const {
+  // [version u8][count u64] then per object [key 8B][value_len u64][value].
+  // std::map iteration is sorted, so the image is canonical.
+  Bytes out;
+  out.push_back(kSnapshotVersion);
+  AppendUint64(&out, objects_.size());
+  for (const auto& [key, value] : objects_) {
+    AppendKey(&out, key);
+    AppendUint64(&out, value.size());
+    AppendString(&out, value);
+  }
+  return out;
+}
+
+bool SpObjectStore::RestoreState(const Bytes& image) {
+  objects_.clear();
+  size_t pos = 0;
+  auto read_u64 = [&](uint64_t* v) {
+    if (pos + 8 > image.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v = (*v << 8) | image[pos++];
+    return true;
+  };
+  if (image.empty() || image[pos++] != kSnapshotVersion) return false;
+  uint64_t count = 0;
+  if (!read_u64(&count)) return false;
+  Key prev_key = kKeyMin;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t raw_key = 0, len = 0;
+    if (!read_u64(&raw_key) || !read_u64(&len)) return false;
+    if (len > image.size() - pos) return false;
+    const Key key = static_cast<Key>(raw_key);
+    // Canonical images are strictly sorted; accepting unsorted input would
+    // let two different images restore to the same state.
+    if (i > 0 && key <= prev_key) return false;
+    objects_.emplace_hint(objects_.end(), key,
+                          std::string(image.begin() + static_cast<long>(pos),
+                                      image.begin() +
+                                          static_cast<long>(pos + len)));
+    pos += len;
+    prev_key = key;
+  }
+  return pos == image.size();
+}
+
+Hash SpObjectStore::StateDigest() const {
+  if (objects_.empty()) return crypto::EmptyTreeDigest();
+  std::vector<Hash> leaves;
+  leaves.reserve(objects_.size());
+  for (const auto& [key, value] : objects_) {
+    leaves.push_back(crypto::EntryDigest(key, crypto::ValueHash(value)));
+  }
+  return crypto::ContentDigest(leaves);
+}
+
+}  // namespace gem2::store

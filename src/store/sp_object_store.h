@@ -1,0 +1,37 @@
+/// \file sp_object_store.h
+/// The canonical checkpointable SP state: the materialized object map.
+///
+/// This is the service provider's raw-object side of the hybrid-storage
+/// model — key -> latest value, exactly what range-query result sets are
+/// served from — reduced to the StateMachine interface so DurableSpStore can
+/// checkpoint and replay it. Its digest chains EntryDigest(key, h(value))
+/// leaves through ContentDigest in sorted key order, so two replicas agree on
+/// the digest iff they hold identical objects.
+#ifndef GEM2_STORE_SP_OBJECT_STORE_H_
+#define GEM2_STORE_SP_OBJECT_STORE_H_
+
+#include <map>
+#include <string>
+
+#include "store/state_machine.h"
+
+namespace gem2::store {
+
+class SpObjectStore : public StateMachine {
+ public:
+  void Apply(const core::JournalEntry& entry) override;
+  Bytes SnapshotState() const override;
+  bool RestoreState(const Bytes& image) override;
+  Hash StateDigest() const override;
+  void Reset() override { objects_.clear(); }
+
+  size_t size() const { return objects_.size(); }
+  const std::map<Key, std::string>& objects() const { return objects_; }
+
+ private:
+  std::map<Key, std::string> objects_;
+};
+
+}  // namespace gem2::store
+
+#endif  // GEM2_STORE_SP_OBJECT_STORE_H_

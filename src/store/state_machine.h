@@ -1,0 +1,50 @@
+/// \file state_machine.h
+/// What the durable store persists: any deterministic state machine driven by
+/// the data-owner operation stream.
+///
+/// DurableSpStore (durable_store.h) only needs four capabilities from the
+/// state it protects — apply one journal entry, serialize the whole state for
+/// a checkpoint, restore from such an image, and produce a digest for
+/// equality checks against an independently rebuilt replica. Keeping this an
+/// interface keeps the store engine honest: checkpoints really are
+/// serialize/restore round-trips, not pointer sharing, and the engine works
+/// for any derived SP state (the canonical implementation is SpObjectStore).
+#ifndef GEM2_STORE_STATE_MACHINE_H_
+#define GEM2_STORE_STATE_MACHINE_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "core/journal.h"
+
+namespace gem2::store {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Applies one committed data-owner operation. Must be deterministic:
+  /// replaying the same entry sequence from the same state always yields the
+  /// same state (and the same StateDigest()).
+  virtual void Apply(const core::JournalEntry& entry) = 0;
+
+  /// Serializes the full state. RestoreState(SnapshotState()) must be an
+  /// identity, including the digest.
+  virtual Bytes SnapshotState() const = 0;
+
+  /// Replaces the state with a previously snapshotted image. False (state
+  /// unspecified, caller must Reset) on a malformed image.
+  virtual bool RestoreState(const Bytes& image) = 0;
+
+  /// Collision-resistant digest of the current state, for bit-for-bit
+  /// equality checks between recovery paths.
+  virtual Hash StateDigest() const = 0;
+
+  /// Back to the empty state.
+  virtual void Reset() = 0;
+};
+
+}  // namespace gem2::store
+
+#endif  // GEM2_STORE_STATE_MACHINE_H_

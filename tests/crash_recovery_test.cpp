@@ -109,6 +109,82 @@ TEST(CrashRecovery, TruncatedJournalCannotServeTheCurrentChain) {
   EXPECT_TRUE(CrossVerifyAgainst(reference, *complete, kKeyMin, kKeyMax).ok);
 }
 
+TEST(CrashRecovery, TornTailTruncatesAndTheClientCatchesTheStaleness) {
+  // Power cut sheared bytes off the final segment mid-record: recovery
+  // truncates to the valid prefix (tail-lost, not corruption), and the
+  // rebuilt SP — missing acked ops — no longer matches the chain commitment.
+  SeedReporter seed(7711);
+  CrashReport report = CrashAndRecoverDamaged(MakeOptions(AdsKind::kGem2),
+                                              seed, 100,
+                                              /*torn_tail_bytes=*/37,
+                                              /*flip_offset=*/-1,
+                                              /*flip_mask=*/0);
+  EXPECT_FALSE(report.failed_closed) << report.error;
+  EXPECT_TRUE(report.tail_lost);
+  EXPECT_GT(report.truncated_bytes, 0u);
+  EXPECT_LT(report.replayed, report.total_ops);
+  EXPECT_FALSE(report.digests_match);  // the client's anchor catches it
+}
+
+TEST(CrashRecovery, MidStreamBitRotFailsClosed) {
+  // One flipped bit early in the durable log, with valid records after it:
+  // unattributable damage. Recovery must refuse to serve anything rather
+  // than resync past the hole.
+  SeedReporter seed(7722);
+  CrashReport report = CrashAndRecoverDamaged(MakeOptions(AdsKind::kGem2),
+                                              seed, 100,
+                                              /*torn_tail_bytes=*/0,
+                                              /*flip_offset=*/40,
+                                              /*flip_mask=*/0x40);
+  EXPECT_TRUE(report.failed_closed);
+  EXPECT_EQ(report.replayed, 0u);
+  EXPECT_EQ(report.corrupt_records, 1u);
+  EXPECT_FALSE(report.digests_match);
+  EXPECT_NE(report.error.find("failed closed"), std::string::npos)
+      << report.error;
+}
+
+TEST(CrashRecovery, DamagedRecoveryIsDeterministic) {
+  SeedReporter seed(7733);
+  const CrashReport a = CrashAndRecoverDamaged(MakeOptions(AdsKind::kGem2),
+                                               seed, 60, 21, -1, 0);
+  const CrashReport b = CrashAndRecoverDamaged(MakeOptions(AdsKind::kGem2),
+                                               seed, 60, 21, -1, 0);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.replayed, b.replayed);
+  EXPECT_EQ(a.truncated_bytes, b.truncated_bytes);
+  EXPECT_EQ(a.tail_lost, b.tail_lost);
+  EXPECT_EQ(a.failed_closed, b.failed_closed);
+  EXPECT_EQ(a.error, b.error);
+}
+
+TEST(CrashRecovery, RecoverFromPrefixVerdictTracksWhatTheTailHeld) {
+  // The one-call client check: a stale SP (lost tail) fails verification
+  // against the live chain; a complete one passes.
+  SeedReporter seed(7744);
+  workload::WorkloadOptions wopts;
+  wopts.domain_max = 1'000'000;
+  wopts.seed = DeriveSeed(seed, 3);
+  workload::WorkloadGenerator gen(wopts);
+  AuthenticatedDb reference(MakeOptions(AdsKind::kGem2));
+  for (const workload::Operation& op : gen.Batch(90)) {
+    if (!reference.Contains(op.object.key)) {
+      ASSERT_TRUE(reference.Insert(op.object).ok);
+    }
+  }
+
+  core::VerifiedResult stale =
+      RecoverFromPrefix(MakeOptions(AdsKind::kGem2), reference,
+                        reference.journal().size() / 2, kKeyMin, kKeyMax);
+  EXPECT_FALSE(stale.ok);
+  EXPECT_FALSE(stale.error.empty());
+
+  core::VerifiedResult complete =
+      RecoverFromPrefix(MakeOptions(AdsKind::kGem2), reference,
+                        reference.journal().size(), kKeyMin, kKeyMax);
+  EXPECT_TRUE(complete.ok) << complete.error;
+}
+
 TEST(GasSweep, AbortedTransactionsLeaveNoTrace) {
   SeedReporter seed(4242);
   GasSweepReport report = GasLimitSweep(MakeOptions(AdsKind::kGem2), seed, 40);

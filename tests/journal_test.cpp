@@ -94,6 +94,62 @@ TEST(Journal, SerializationRejectsCorruption) {
   EXPECT_FALSE(Journal::Parse(bad_op).has_value());
 }
 
+TEST(Journal, ParseExDistinguishesChecksumDamageFromStructuralDamage) {
+  Journal journal;
+  journal.Record({JournalEntry::Op::kInsert, {1, "hello"}});
+  journal.Record({JournalEntry::Op::kInsert, {2, "world"}});
+  journal.Record({JournalEntry::Op::kDelete, {1, ""}});
+  Bytes wire = journal.Serialize();
+  ASSERT_EQ(wire[0], 2);  // format v2
+
+  // Bit rot inside the SECOND record's value: structure is intact, only the
+  // checksum catches it — and it names the failing record.
+  Bytes rotten = wire;
+  const size_t record0 = 9 + (1 + 8 + 8 + 5) + 4;  // header + entry 0 + crc
+  rotten[record0 + 1 + 8 + 8 + 2] ^= 0x20;         // entry 1, value byte 2
+  JournalParseResult rot = Journal::ParseEx(rotten);
+  EXPECT_FALSE(rot.journal.has_value());
+  EXPECT_EQ(rot.error, JournalParseError::kChecksum);
+  EXPECT_EQ(rot.record_index, 1u);
+
+  // Structural damage (truncation) is kMalformed, not kChecksum.
+  Bytes truncated(wire.begin(), wire.end() - 2);
+  JournalParseResult torn = Journal::ParseEx(truncated);
+  EXPECT_FALSE(torn.journal.has_value());
+  EXPECT_EQ(torn.error, JournalParseError::kMalformed);
+
+  JournalParseResult clean = Journal::ParseEx(wire);
+  ASSERT_TRUE(clean.journal.has_value());
+  EXPECT_EQ(clean.error, JournalParseError::kNone);
+  EXPECT_EQ(*clean.journal, journal);
+}
+
+TEST(Journal, LegacyV1ImagesStillParseForOneRelease) {
+  // A pre-upgrade recovery artifact: version byte 1, no per-record CRCs.
+  Journal journal;
+  journal.Record({JournalEntry::Op::kInsert, {7, "seven"}});
+  journal.Record({JournalEntry::Op::kUpdate, {7, "seven!"}});
+  Bytes v1;
+  v1.push_back(1);
+  AppendUint64(&v1, journal.size());
+  for (const JournalEntry& e : journal.entries()) {
+    AppendJournalEntryBody(&v1, e);
+  }
+
+  JournalParseResult parsed = Journal::ParseEx(v1);
+  ASSERT_TRUE(parsed.journal.has_value());
+  EXPECT_EQ(*parsed.journal, journal);
+
+  // v1 offers no checksum protection, so trailing garbage is still caught
+  // structurally, and an unknown version byte is rejected outright.
+  Bytes padded = v1;
+  padded.push_back(0);
+  EXPECT_FALSE(Journal::ParseEx(padded).journal.has_value());
+  Bytes v3 = v1;
+  v3[0] = 3;
+  EXPECT_FALSE(Journal::ParseEx(v3).journal.has_value());
+}
+
 TEST(Journal, CorruptedPayloadSurfacesAsDigestDivergence) {
   AuthenticatedDb original(Options(AdsKind::kGem2));
   for (Key k = 1; k <= 30; ++k) original.Insert({k, "v" + std::to_string(k)});

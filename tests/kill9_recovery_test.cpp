@@ -1,0 +1,181 @@
+// The real thing: a forked SP process journaling through the durable store
+// onto the actual filesystem is SIGKILLed mid-write, and recovery from the
+// surviving bytes alone must reproduce every acknowledged operation and a
+// chain commitment that matches a reference rebuilt from the same op stream
+// bit for bit.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/authenticated_db.h"
+#include "fault/failpoint_sweep.h"
+#include "fault/recovery.h"
+#include "seed_util.h"
+#include "store/durable_journal.h"
+#include "store/vfs.h"
+
+namespace gem2::fault {
+namespace {
+
+using core::AdsKind;
+using core::AuthenticatedDb;
+using core::DbOptions;
+using testutil::SeedReporter;
+
+DbOptions MakeOptions() {
+  DbOptions options;
+  options.kind = AdsKind::kGem2;
+  options.gem2.m = 4;
+  options.gem2.smax = 64;
+  options.env.gas_limit = 1'000'000'000'000ull;
+  return options;
+}
+
+bool ApplyToDb(AuthenticatedDb* db, const core::JournalEntry& entry) {
+  switch (entry.op) {
+    case core::JournalEntry::Op::kInsert:
+      return db->Insert(entry.object).ok;
+    case core::JournalEntry::Op::kUpdate:
+      return db->Update(entry.object).ok;
+    case core::JournalEntry::Op::kDelete:
+      return db->Delete(entry.object.key).ok;
+  }
+  return false;
+}
+
+/// The child SP process: every op is durably journaled (kEveryRecord) before
+/// the ack byte goes down the pipe. Never returns; exit codes mark setup
+/// failures so the parent's waitpid can tell them from the expected SIGKILL.
+[[noreturn]] void RunChildSp(const std::string& journal_dir, uint64_t seed,
+                             size_t ops, int ack_fd) {
+  store::PosixVfs vfs;
+  std::string error;
+  auto sink = store::DurableJournal::Open(&vfs, journal_dir, 0,
+                                          store::JournalOptions{}, &error);
+  if (sink == nullptr) _exit(41);
+  DbOptions options = MakeOptions();
+  options.journal_sink = sink.get();
+  AuthenticatedDb db(options);
+  for (const core::JournalEntry& entry : OwnerStream(seed, ops)) {
+    if (!ApplyToDb(&db, entry)) _exit(42);
+    const char ack = 1;
+    if (write(ack_fd, &ack, 1) != 1) _exit(43);
+  }
+  _exit(0);  // outran the killer — the parent treats this as a test failure
+}
+
+TEST(Kill9Recovery, RecoveredSpMatchesTheAckedPrefixBitForBit) {
+  SeedReporter seed(31337);
+  constexpr size_t kOps = 160;
+  constexpr size_t kKillAfter = 60;
+
+  // GEM2_KILL9_KEEP_DIR: use that path and leave the post-kill store on disk
+  // — CI's fsck smoke runs gem2_fsck --check/--repair over the real carnage.
+  const char* keep = std::getenv("GEM2_KILL9_KEEP_DIR");
+  char tmpl[] = "/tmp/gem2_kill9_XXXXXX";
+  std::string root;
+  if (keep != nullptr && *keep != '\0') {
+    root = keep;
+  } else {
+    char* dir = mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+    root = dir;
+  }
+  const std::string journal_dir = root + "/journal";
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    close(fds[0]);
+    RunChildSp(journal_dir, seed, kOps, fds[1]);
+  }
+  close(fds[1]);
+
+  // Count acks until the kill threshold, then SIGKILL mid-stream — the child
+  // is most likely inside the next op's append or fsync when it dies.
+  size_t acked = 0;
+  char byte = 0;
+  while (acked < kKillAfter) {
+    const ssize_t n = read(fds[0], &byte, 1);
+    if (n == 1) {
+      ++acked;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      break;  // child exited early; waitpid below reports why
+    }
+  }
+  kill(pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "child did not die by SIGKILL (status " << status << ")";
+  // Acks that raced in between our last read and the signal are real acks.
+  while (read(fds[0], &byte, 1) == 1) ++acked;
+  close(fds[0]);
+  ASSERT_GE(acked, kKillAfter);
+  ASSERT_LT(acked, kOps) << "the kill never landed mid-stream";
+
+  // Recovery from the on-disk bytes alone.
+  store::PosixVfs vfs;
+  const store::JournalRecovery recovery = store::RecoverJournal(&vfs, journal_dir);
+  ASSERT_TRUE(recovery.ok) << recovery.error;
+  const size_t recovered_ops = recovery.entries.size();
+
+  // The durability floor: kEveryRecord synced each op before its ack, so
+  // every acked op must be in the recovered stream.
+  EXPECT_GE(recovered_ops, acked) << "acked operations were lost";
+  ASSERT_LE(recovered_ops, kOps);
+
+  // The recovered entries are exactly the stream prefix, byte for byte.
+  const auto stream = OwnerStream(seed, kOps);
+  for (size_t i = 0; i < recovered_ops; ++i) {
+    ASSERT_EQ(recovery.entries[i], stream[i]) << "diverged at op " << i;
+  }
+
+  // Reference: replay the same prefix through a fresh instance — this
+  // regenerates, deterministically, the chain the child committed.
+  AuthenticatedDb reference(MakeOptions());
+  for (size_t i = 0; i < recovered_ops; ++i) {
+    ASSERT_TRUE(ApplyToDb(&reference, stream[i]));
+  }
+
+  core::Journal durable;
+  for (const core::JournalEntry& entry : recovery.entries) {
+    durable.Record(entry);
+  }
+  std::unique_ptr<AuthenticatedDb> rebuilt =
+      AuthenticatedDb::Replay(MakeOptions(), durable);
+  EXPECT_EQ(rebuilt->ChainDigests(), reference.ChainDigests());
+  EXPECT_EQ(rebuilt->environment().CurrentStateRoot(),
+            reference.environment().CurrentStateRoot());
+
+  // And the client agrees: the rebuilt SP's answers verify against the
+  // reference's chain.
+  const core::VerifiedResult vr =
+      CrossVerifyAgainst(reference, *rebuilt, kKeyMin, kKeyMax);
+  EXPECT_TRUE(vr.ok) << vr.error;
+
+  // Best-effort cleanup of the temp tree (skipped under GEM2_KILL9_KEEP_DIR).
+  if (keep == nullptr || *keep == '\0') {
+    if (auto names = vfs.ListDir(journal_dir); names.has_value()) {
+      for (const std::string& name : *names) {
+        vfs.RemoveFile(journal_dir + "/" + name);
+      }
+    }
+    rmdir(journal_dir.c_str());
+    rmdir(root.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace gem2::fault

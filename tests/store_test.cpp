@@ -1,0 +1,530 @@
+// Durable SP store tests: segment format and recovery scan (including the
+// exhaustive truncation and bit-flip sweeps of the recover-or-fail-closed
+// contract), fsync policies against simulated power cuts, checkpoint
+// encode/decode and damage fallback, the end-to-end checkpoint + journal-tail
+// engine, and the real-filesystem Vfs path.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "fault/failpoint_sweep.h"
+#include "seed_util.h"
+#include "store/checkpoint.h"
+#include "store/durable_journal.h"
+#include "store/durable_store.h"
+#include "store/segment.h"
+#include "store/sp_object_store.h"
+#include "store/vfs.h"
+
+namespace gem2::store {
+namespace {
+
+using core::JournalEntry;
+using testutil::SeedReporter;
+
+std::vector<JournalEntry> SampleEntries(size_t n) {
+  std::vector<JournalEntry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    JournalEntry e;
+    e.op = i % 5 == 4 ? JournalEntry::Op::kDelete
+           : i % 3 == 2 ? JournalEntry::Op::kUpdate
+                        : JournalEntry::Op::kInsert;
+    e.object.key = static_cast<Key>(100 + i);
+    e.object.value =
+        e.op == JournalEntry::Op::kDelete
+            ? ""
+            : "value-" + std::to_string(i) + std::string(i % 7, 'p');
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Bytes BuildSegment(uint64_t base, const std::vector<JournalEntry>& entries) {
+  Bytes image = SegmentHeader(base);
+  for (const JournalEntry& e : entries) {
+    Bytes body;
+    core::AppendJournalEntryBody(&body, e);
+    AppendRecordFrame(&image, body);
+  }
+  return image;
+}
+
+TEST(Crc32c, KnownAnswer) {
+  // The CRC32C check value from RFC 3720: crc("123456789") = 0xE3069283.
+  const char* s = "123456789";
+  EXPECT_EQ(common::Crc32c(reinterpret_cast<const uint8_t*>(s), 9),
+            0xE3069283u);
+  EXPECT_EQ(common::Crc32c(nullptr, 0), 0u);
+}
+
+TEST(Segment, CleanScanRoundTrips) {
+  const auto entries = SampleEntries(9);
+  const Bytes image = BuildSegment(42, entries);
+  const SegmentScan scan = ScanSegment(image);
+  EXPECT_EQ(scan.outcome, SegmentScan::Outcome::kClean);
+  EXPECT_EQ(scan.base_seqno, 42u);
+  EXPECT_EQ(scan.entries, entries);
+  EXPECT_EQ(scan.valid_bytes, image.size());
+  EXPECT_EQ(scan.truncated_bytes, 0u);
+}
+
+TEST(Segment, FileNameRoundTrips) {
+  uint64_t base = 0;
+  EXPECT_TRUE(ParseSegmentFileName(SegmentFileName(7), &base));
+  EXPECT_EQ(base, 7u);
+  EXPECT_FALSE(ParseSegmentFileName("seg-123.log", &base));
+  EXPECT_FALSE(ParseSegmentFileName("ckpt-00000000000000000007", &base));
+}
+
+// The durability headline, part 1: EVERY byte-length truncation of a segment
+// recovers a valid prefix of the original records (or reports an unusable
+// header) — never a crash, never different records.
+TEST(Segment, ExhaustiveTruncationRecoversAPrefixOrFailsClosed) {
+  const auto entries = SampleEntries(12);
+  const Bytes image = BuildSegment(0, entries);
+  for (size_t len = 0; len < image.size(); ++len) {
+    const Bytes cut(image.begin(), image.begin() + static_cast<long>(len));
+    const SegmentScan scan = ScanSegment(cut);
+    if (len < kSegmentHeaderBytes) {
+      EXPECT_EQ(scan.outcome, SegmentScan::Outcome::kBadHeader) << len;
+      continue;
+    }
+    // A truncation is a lost tail, never mid-stream damage.
+    EXPECT_NE(scan.outcome, SegmentScan::Outcome::kCorrupt) << len;
+    ASSERT_LE(scan.entries.size(), entries.size()) << len;
+    for (size_t i = 0; i < scan.entries.size(); ++i) {
+      ASSERT_EQ(scan.entries[i], entries[i]) << "prefix diverged at " << len;
+    }
+    EXPECT_EQ(scan.valid_bytes + scan.truncated_bytes, len) << len;
+  }
+}
+
+// Part 2: EVERY single-byte flip yields a valid prefix of the original
+// records or a fail-closed refusal — never a crash, never a silently wrong
+// stream. (Bytes 20..23 are unchecksummed header padding: a flip there is
+// semantically invisible and legitimately scans clean.)
+TEST(Segment, ExhaustiveByteFlipNeverYieldsWrongRecords) {
+  const auto entries = SampleEntries(10);
+  const Bytes image = BuildSegment(3, entries);
+  for (size_t off = 0; off < image.size(); ++off) {
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xFF}}) {
+      Bytes flipped = image;
+      flipped[off] ^= mask;
+      const SegmentScan scan = ScanSegment(flipped);
+      ASSERT_LE(scan.entries.size(), entries.size()) << off;
+      for (size_t i = 0; i < scan.entries.size(); ++i) {
+        ASSERT_EQ(scan.entries[i], entries[i])
+            << "byte " << off << " mask " << int(mask)
+            << " produced records that are not a prefix";
+      }
+      if (scan.outcome == SegmentScan::Outcome::kClean) {
+        // Only the unchecksummed header padding may scan clean after a flip.
+        ASSERT_GE(off, 20u) << "flip at " << off << " went undetected";
+        ASSERT_LT(off, kSegmentHeaderBytes);
+        EXPECT_EQ(scan.entries, entries);
+      }
+    }
+  }
+}
+
+TEST(Segment, MidStreamCorruptionFailsClosed) {
+  const auto entries = SampleEntries(8);
+  const Bytes image = BuildSegment(0, entries);
+  // Flip a payload byte of the FIRST record: valid records follow, so the
+  // scan must refuse the segment rather than resync past the hole.
+  Bytes corrupt = image;
+  corrupt[kSegmentHeaderBytes + 8 + 2] ^= 0x10;
+  const SegmentScan scan = ScanSegment(corrupt);
+  EXPECT_EQ(scan.outcome, SegmentScan::Outcome::kCorrupt);
+  EXPECT_TRUE(scan.failed_closed());
+  EXPECT_EQ(scan.corrupt_records, 1u);
+  EXPECT_TRUE(scan.entries.empty());
+}
+
+TEST(Segment, CorruptFinalRecordTruncates) {
+  const auto entries = SampleEntries(6);
+  const Bytes image = BuildSegment(0, entries);
+  Bytes corrupt = image;
+  corrupt.back() ^= 0x01;  // last byte of the last record's payload
+  const SegmentScan scan = ScanSegment(corrupt);
+  EXPECT_EQ(scan.outcome, SegmentScan::Outcome::kCorruptTail);
+  EXPECT_EQ(scan.entries.size(), entries.size() - 1);
+  EXPECT_EQ(scan.corrupt_records, 1u);
+}
+
+TEST(MemVfsModel, PowerCutKeepsDurableAndTearsVolatile) {
+  MemVfs vfs;
+  ASSERT_TRUE(vfs.CreateDir("/d").ok);
+  IoStatus status = IoStatus::Ok();
+  auto f = vfs.OpenAppend("/d/f", &status);
+  ASSERT_NE(f, nullptr);
+  const Bytes synced = {1, 2, 3, 4};
+  const Bytes unsynced = {5, 6, 7, 8, 9};
+  ASSERT_TRUE(f->Append(synced.data(), synced.size()).ok);
+  ASSERT_TRUE(f->Sync().ok);
+  ASSERT_TRUE(f->Append(unsynced.data(), unsynced.size()).ok);
+
+  vfs.CutPower([](size_t volatile_bytes) { return volatile_bytes / 2; });
+  EXPECT_TRUE(vfs.powered_off());
+  EXPECT_FALSE(vfs.ReadFile("/d/f", nullptr).ok);
+
+  vfs.Restart();
+  Bytes after;
+  ASSERT_TRUE(vfs.ReadFile("/d/f", &after).ok);
+  EXPECT_EQ(after, (Bytes{1, 2, 3, 4, 5, 6}));  // synced + torn prefix
+}
+
+TEST(DurableJournal, RotatesSegmentsAndRecoversAcrossThem) {
+  MemVfs vfs;
+  JournalOptions options;
+  options.segment_bytes = 128;  // force frequent rotation
+  std::string error;
+  auto journal = DurableJournal::Open(&vfs, "/j", 0, options, &error);
+  ASSERT_NE(journal, nullptr) << error;
+
+  const auto entries = SampleEntries(40);
+  for (const JournalEntry& e : entries) ASSERT_TRUE(journal->Append(e));
+  EXPECT_EQ(journal->next_seqno(), entries.size());
+  auto names = vfs.ListDir("/j");
+  ASSERT_TRUE(names.has_value());
+  EXPECT_GT(names->size(), 3u) << "rotation never triggered";
+
+  const JournalRecovery recovery = RecoverJournal(&vfs, "/j");
+  ASSERT_TRUE(recovery.ok) << recovery.error;
+  EXPECT_EQ(recovery.entries, entries);
+  EXPECT_EQ(recovery.first_seqno, 0u);
+  EXPECT_EQ(recovery.next_seqno, entries.size());
+  EXPECT_FALSE(recovery.tail_lost);
+}
+
+TEST(DurableJournal, FsyncPolicyDecidesWhatAPowerCutCosts) {
+  const auto entries = SampleEntries(20);
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kNever, FsyncPolicy::kBatch, FsyncPolicy::kEveryRecord}) {
+    MemVfs vfs;
+    JournalOptions options;
+    options.fsync_policy = policy;
+    options.batch_records = 4;
+    std::string error;
+    auto journal = DurableJournal::Open(&vfs, "/j", 0, options, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    for (const JournalEntry& e : entries) ASSERT_TRUE(journal->Append(e));
+
+    // Worst-case power cut: every unsynced byte is gone.
+    vfs.CutPower([](size_t) { return 0; });
+    vfs.Restart();
+    const JournalRecovery recovery = RecoverJournal(&vfs, "/j");
+    ASSERT_TRUE(recovery.ok) << recovery.error;
+    switch (policy) {
+      case FsyncPolicy::kEveryRecord:
+        EXPECT_EQ(recovery.entries.size(), entries.size());
+        break;
+      case FsyncPolicy::kBatch:
+        EXPECT_GE(recovery.entries.size(),
+                  entries.size() - options.batch_records);
+        break;
+      case FsyncPolicy::kNever:
+        EXPECT_LE(recovery.entries.size(), entries.size());
+        break;
+    }
+    for (size_t i = 0; i < recovery.entries.size(); ++i) {
+      ASSERT_EQ(recovery.entries[i], entries[i]);
+    }
+  }
+}
+
+TEST(DurableJournal, DamageInNonFinalSegmentFailsClosed) {
+  MemVfs vfs;
+  JournalOptions options;
+  options.segment_bytes = 128;
+  std::string error;
+  auto journal = DurableJournal::Open(&vfs, "/j", 0, options, &error);
+  ASSERT_NE(journal, nullptr) << error;
+  for (const JournalEntry& e : SampleEntries(40)) {
+    ASSERT_TRUE(journal->Append(e));
+  }
+  auto names = vfs.ListDir("/j");
+  ASSERT_TRUE(names.has_value() && names->size() >= 3);
+
+  // Rot a record byte in the FIRST segment: later segments depend on it.
+  ASSERT_TRUE(vfs.CorruptByte("/j/" + names->front(),
+                              kSegmentHeaderBytes + 10, 0x04));
+  const JournalRecovery recovery = RecoverJournal(&vfs, "/j");
+  EXPECT_FALSE(recovery.ok);
+  EXPECT_TRUE(recovery.entries.empty());
+  EXPECT_FALSE(recovery.error.empty());
+}
+
+TEST(DurableJournal, SequenceGapBetweenSegmentsFailsClosed) {
+  MemVfs vfs;
+  JournalOptions options;
+  options.segment_bytes = 128;
+  std::string error;
+  auto journal = DurableJournal::Open(&vfs, "/j", 0, options, &error);
+  ASSERT_NE(journal, nullptr) << error;
+  for (const JournalEntry& e : SampleEntries(40)) {
+    ASSERT_TRUE(journal->Append(e));
+  }
+  auto names = vfs.ListDir("/j");
+  ASSERT_TRUE(names.has_value() && names->size() >= 3);
+  ASSERT_TRUE(vfs.RemoveFile("/j/" + (*names)[1]).ok);  // middle segment gone
+
+  const JournalRecovery recovery = RecoverJournal(&vfs, "/j");
+  EXPECT_FALSE(recovery.ok);
+  EXPECT_NE(recovery.error.find("gap"), std::string::npos) << recovery.error;
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTripsIncludingEmptyAndMultiPage) {
+  for (const size_t size : {size_t{0}, size_t{100}, size_t{64u << 10},
+                            size_t{(64u << 10) + 1}, size_t{200'000}}) {
+    Bytes state(size);
+    for (size_t i = 0; i < size; ++i) state[i] = static_cast<uint8_t>(i * 31);
+    const Bytes image = EncodeCheckpoint(77, state);
+    uint64_t seqno = 0;
+    Bytes decoded;
+    std::string error;
+    ASSERT_TRUE(DecodeCheckpoint(image, &seqno, &decoded, &error))
+        << size << ": " << error;
+    EXPECT_EQ(seqno, 77u);
+    EXPECT_EQ(decoded, state);
+  }
+}
+
+TEST(Checkpoint, EverySingleByteFlipIsDetected) {
+  Bytes state(3000);
+  for (size_t i = 0; i < state.size(); ++i) {
+    state[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  const Bytes image = EncodeCheckpoint(5, state);
+  for (size_t off = 0; off < image.size(); ++off) {
+    Bytes flipped = image;
+    flipped[off] ^= 0x01;
+    uint64_t seqno = 0;
+    Bytes decoded;
+    std::string error;
+    EXPECT_FALSE(DecodeCheckpoint(flipped, &seqno, &decoded, &error))
+        << "flip at " << off << " went undetected";
+  }
+}
+
+TEST(Checkpoint, LoadFallsBackPastADamagedNewerCheckpoint) {
+  MemVfs vfs;
+  SpObjectStore store;
+  store.Apply({JournalEntry::Op::kInsert, {1, "one"}});
+  ASSERT_TRUE(WriteCheckpoint(&vfs, "/c", 10, store.SnapshotState()).ok);
+  store.Apply({JournalEntry::Op::kInsert, {2, "two"}});
+  ASSERT_TRUE(WriteCheckpoint(&vfs, "/c", 20, store.SnapshotState()).ok);
+
+  // Rot the newer checkpoint; loading must fall back to seqno 10.
+  ASSERT_TRUE(vfs.CorruptByte("/c/" + CheckpointFileName(20), 40, 0x01));
+  const CheckpointLoad load = LoadLatestCheckpoint(&vfs, "/c");
+  ASSERT_TRUE(load.found);
+  EXPECT_EQ(load.seqno, 10u);
+  EXPECT_EQ(load.discarded, 1u);
+
+  SpObjectStore restored;
+  ASSERT_TRUE(restored.RestoreState(load.state));
+  EXPECT_EQ(restored.objects().size(), 1u);
+  EXPECT_EQ(restored.objects().at(1), "one");
+}
+
+TEST(SpObjectStore, SnapshotRestoreRoundTripsAndRejectsMalformedImages) {
+  SpObjectStore store;
+  for (const JournalEntry& e : fault::OwnerStream(99, 60)) store.Apply(e);
+  const Bytes image = store.SnapshotState();
+
+  SpObjectStore other;
+  ASSERT_TRUE(other.RestoreState(image));
+  EXPECT_EQ(other.objects(), store.objects());
+  EXPECT_EQ(other.StateDigest(), store.StateDigest());
+
+  SpObjectStore reject;
+  EXPECT_FALSE(reject.RestoreState({}));
+  Bytes truncated(image.begin(), image.end() - 1);
+  EXPECT_FALSE(reject.RestoreState(truncated));
+  Bytes padded = image;
+  padded.push_back(0);
+  EXPECT_FALSE(reject.RestoreState(padded));
+}
+
+TEST(DurableSpStore, CheckpointPlusTailReplayEqualsFullHistory) {
+  SeedReporter seed(7130);
+  const auto stream = fault::OwnerStream(seed, 120);
+
+  MemVfs vfs;
+  SpObjectStore live;
+  StoreOptions options;
+  options.journal.segment_bytes = 512;
+  RecoveryReport report;
+  {
+    auto store = DurableSpStore::Open(&vfs, "/sp", &live, options, &report);
+    ASSERT_NE(store, nullptr) << report.error;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      ASSERT_TRUE(store->Apply(stream[i]));
+      if (i == 69) {
+        std::string error;
+        ASSERT_TRUE(store->Checkpoint(&error)) << error;
+      }
+    }
+    // Process crash: the store object dies; only the Vfs bytes survive.
+  }
+
+  SpObjectStore shadow;
+  for (const JournalEntry& e : stream) shadow.Apply(e);
+
+  SpObjectStore recovered;
+  RecoveryReport recovery;
+  auto reopened =
+      DurableSpStore::Open(&vfs, "/sp", &recovered, options, &recovery);
+  ASSERT_NE(reopened, nullptr) << recovery.error;
+  EXPECT_TRUE(recovery.used_checkpoint);
+  EXPECT_EQ(recovery.checkpoint_seqno, 70u);
+  EXPECT_EQ(recovery.replayed_ops, stream.size() - 70);
+  EXPECT_EQ(recovery.next_seqno, stream.size());
+  EXPECT_EQ(recovered.StateDigest(), shadow.StateDigest());
+  EXPECT_EQ(recovered.objects(), shadow.objects());
+
+  // The reopened store accepts new ops and stays recoverable.
+  JournalEntry extra;
+  extra.op = JournalEntry::Op::kInsert;
+  extra.object = {int64_t{5'000'000}, "after-recovery"};
+  ASSERT_TRUE(reopened->Apply(extra));
+  EXPECT_EQ(reopened->next_seqno(), stream.size() + 1);
+}
+
+TEST(DurableSpStore, CheckpointPrunesCoveredSegments) {
+  MemVfs vfs;
+  SpObjectStore live;
+  StoreOptions options;
+  options.journal.segment_bytes = 128;
+  RecoveryReport report;
+  auto store = DurableSpStore::Open(&vfs, "/sp", &live, options, &report);
+  ASSERT_NE(store, nullptr) << report.error;
+  const auto stream = fault::OwnerStream(11, 80);
+  for (const JournalEntry& e : stream) ASSERT_TRUE(store->Apply(e));
+
+  const size_t files_before = vfs.AllFiles().size();
+  std::string error;
+  ASSERT_TRUE(store->Checkpoint(&error)) << error;
+  // More ops land in the still-open segment after the prune.
+  JournalEntry extra;
+  extra.op = JournalEntry::Op::kInsert;
+  extra.object = {int64_t{6'000'000}, "post-prune"};
+  ASSERT_TRUE(store->Apply(extra));
+  EXPECT_LT(vfs.AllFiles().size(), files_before + 1);  // segments deleted
+
+  SpObjectStore shadow;
+  for (const JournalEntry& e : stream) shadow.Apply(e);
+  shadow.Apply(extra);
+
+  SpObjectStore recovered;
+  RecoveryReport recovery;
+  auto reopened = DurableSpStore::Open(&vfs, "/sp", &recovered,
+                                       StoreOptions{}, &recovery);
+  ASSERT_NE(reopened, nullptr) << recovery.error;
+  EXPECT_EQ(recovered.StateDigest(), shadow.StateDigest());
+}
+
+// Regression: a recovery that truncated a torn tail must leave the directory
+// in a state the NEXT recovery accepts (repair-on-open) — otherwise the torn
+// bytes sit behind the new segment and read as mid-stream corruption.
+TEST(DurableSpStore, RecoveryAfterRecoveryAfterTornTail) {
+  MemVfs vfs;
+  StoreOptions options;
+  options.journal.fsync_policy = FsyncPolicy::kNever;
+  const auto stream = fault::OwnerStream(23, 60);
+  {
+    SpObjectStore live;
+    RecoveryReport report;
+    auto store = DurableSpStore::Open(&vfs, "/sp", &live, options, &report);
+    ASSERT_NE(store, nullptr) << report.error;
+    for (const JournalEntry& e : stream) ASSERT_TRUE(store->Apply(e));
+  }
+  // Power cut mid-write: keep an odd prefix of the unsynced tail.
+  vfs.CutPower([](size_t volatile_bytes) {
+    return volatile_bytes > 3 ? volatile_bytes - 3 : 0;
+  });
+  vfs.Restart();
+
+  SpObjectStore first;
+  RecoveryReport first_report;
+  uint64_t recovered_ops = 0;
+  {
+    auto store =
+        DurableSpStore::Open(&vfs, "/sp", &first, options, &first_report);
+    ASSERT_NE(store, nullptr) << first_report.error;
+    recovered_ops = first_report.next_seqno;
+    // Write through the reopened store so the second recovery has a suffix.
+    JournalEntry extra;
+    extra.op = JournalEntry::Op::kInsert;
+    extra.object = {int64_t{7'000'000}, "second-life"};
+    ASSERT_TRUE(store->Apply(extra));
+    ASSERT_TRUE(store->Sync());
+  }
+
+  SpObjectStore second;
+  RecoveryReport second_report;
+  auto reopened =
+      DurableSpStore::Open(&vfs, "/sp", &second, options, &second_report);
+  ASSERT_NE(reopened, nullptr)
+      << "second recovery failed closed: " << second_report.error;
+  EXPECT_EQ(second_report.next_seqno, recovered_ops + 1);
+
+  SpObjectStore shadow;
+  for (uint64_t i = 0; i < recovered_ops; ++i) shadow.Apply(stream[i]);
+  JournalEntry extra;
+  extra.op = JournalEntry::Op::kInsert;
+  extra.object = {int64_t{7'000'000}, "second-life"};
+  shadow.Apply(extra);
+  EXPECT_EQ(second.StateDigest(), shadow.StateDigest());
+}
+
+TEST(PosixVfsStore, EngineWorksOnTheRealFilesystem) {
+  char tmpl[] = "/tmp/gem2_store_test_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  const std::string root = std::string(dir) + "/sp";
+
+  PosixVfs vfs;
+  const auto stream = fault::OwnerStream(51, 50);
+  {
+    SpObjectStore live;
+    StoreOptions options;
+    options.journal.segment_bytes = 512;
+    RecoveryReport report;
+    auto store = DurableSpStore::Open(&vfs, root, &live, options, &report);
+    ASSERT_NE(store, nullptr) << report.error;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      ASSERT_TRUE(store->Apply(stream[i]));
+      if (i == 24) {
+        std::string error;
+        ASSERT_TRUE(store->Checkpoint(&error)) << error;
+      }
+    }
+  }
+  SpObjectStore shadow;
+  for (const JournalEntry& e : stream) shadow.Apply(e);
+
+  SpObjectStore recovered;
+  RecoveryReport recovery;
+  auto reopened = DurableSpStore::Open(&vfs, root, &recovered, StoreOptions{},
+                                       &recovery);
+  ASSERT_NE(reopened, nullptr) << recovery.error;
+  EXPECT_TRUE(recovery.used_checkpoint);
+  EXPECT_EQ(recovered.StateDigest(), shadow.StateDigest());
+
+  // Tidy up the temp tree (best effort).
+  if (auto names = vfs.ListDir(root); names.has_value()) {
+    for (const std::string& name : *names) vfs.RemoveFile(root + "/" + name);
+  }
+  rmdir(root.c_str());
+  rmdir(dir);
+}
+
+}  // namespace
+}  // namespace gem2::store
