@@ -3,6 +3,8 @@
 #include <map>
 
 #include "crypto/digest.h"
+#include "crypto/keccak_batch.h"
+#include "telemetry/telemetry.h"
 
 namespace gem2::ads {
 namespace {
@@ -39,6 +41,7 @@ struct SubtreeDigest {
   Hash digest{};
   Key lo = 0;
   Key hi = 0;
+  size_t slot = 0;  // batched path only: index into the flat digest array
 };
 
 bool ReconstructChild(const VoChild& child, Context* ctx, SubtreeDigest* out) {
@@ -97,10 +100,195 @@ bool ReconstructChild(const VoChild& child, Context* ctx, SubtreeDigest* out) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Batched digest recomputation.
+//
+// The serial path above interleaves completeness checks with hashing, but the
+// two are separable: every structural failure (ordering, range, withheld
+// answer, empty node) is detected by the traversal alone, and a wrong hash is
+// only observable at the final root comparison. The batched path exploits
+// this: pass 1 repeats the serial traversal checks in the identical order
+// (hence the identical first error) while recording a flat hash plan; pass 2
+// executes the plan bottom-up, eight independent Keccak messages per AVX-512
+// pass. Within one level every digest is independent, so the batches are:
+// all result value hashes, then all entry digests + pruned wraps, then per
+// node level (deepest first) the content digests followed by the wrap
+// digests.
+
+/// One VO element's pending digest, addressed by its slot in a flat array so
+/// parent nodes can reference child digests before they are computed.
+struct EntryJob {
+  Key key = 0;
+  const Object* obj = nullptr;      // result entries: hash this value
+  const Hash* boundary = nullptr;   // boundary entries: shipped value hash
+  size_t slot = 0;
+};
+
+struct PrunedJob {
+  Key lo = 0;
+  Key hi = 0;
+  const Hash* content = nullptr;
+  size_t slot = 0;
+};
+
+struct NodeJob {
+  Key lo = 0;
+  Key hi = 0;
+  size_t slot = 0;
+  size_t child_begin = 0;  // range into HashPlan::child_slots
+  size_t child_count = 0;
+};
+
+struct HashPlan {
+  std::vector<EntryJob> entries;
+  std::vector<PrunedJob> pruned;
+  std::vector<std::vector<NodeJob>> nodes_by_depth;
+  std::vector<size_t> child_slots;
+  size_t slot_count = 0;
+};
+
+/// Pass 1: the serial traversal's checks, verbatim, plus plan recording.
+/// Mirrors ReconstructChild line for line — any edit there must land here.
+bool CollectChild(const VoChild& child, uint32_t depth, Context* ctx,
+                  HashPlan* plan, SubtreeDigest* out) {
+  if (const auto* entry = std::get_if<VoEntry>(&child)) {
+    if (!ctx->Advance(entry->key, entry->key)) return false;
+    EntryJob job;
+    job.key = entry->key;
+    if (entry->is_result) {
+      if (!ctx->InRange(entry->key)) {
+        return ctx->Fail("result entry outside query range");
+      }
+      auto it = ctx->result_by_key.find(entry->key);
+      if (it == ctx->result_by_key.end()) {
+        return ctx->Fail("VO marks a result entry missing from the result set");
+      }
+      job.obj = it->second;
+      ++ctx->consumed;
+    } else {
+      if (ctx->InRange(entry->key)) {
+        return ctx->Fail("in-range entry not returned as a result (withheld answer)");
+      }
+      job.boundary = &entry->value_hash;
+    }
+    job.slot = plan->slot_count++;
+    plan->entries.push_back(job);
+    out->lo = out->hi = entry->key;
+    out->slot = job.slot;
+    return true;
+  }
+
+  if (const auto* pruned = std::get_if<VoPruned>(&child)) {
+    if (!ctx->Advance(pruned->lo, pruned->hi)) return false;
+    if (pruned->lo <= ctx->ub && ctx->lb <= pruned->hi) {
+      return ctx->Fail("pruned subtree overlaps the query range");
+    }
+    PrunedJob job;
+    job.lo = pruned->lo;
+    job.hi = pruned->hi;
+    job.content = &pruned->content_hash;
+    job.slot = plan->slot_count++;
+    plan->pruned.push_back(job);
+    out->lo = pruned->lo;
+    out->hi = pruned->hi;
+    out->slot = job.slot;
+    return true;
+  }
+
+  const VoNode& node = *std::get<VoNodePtr>(child);
+  if (node.children.empty()) return ctx->Fail("expanded node with no children");
+  std::vector<size_t> child_slots;
+  child_slots.reserve(node.children.size());
+  Key lo = 0;
+  Key hi = 0;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    SubtreeDigest sub;
+    if (!CollectChild(node.children[i], depth + 1, ctx, plan, &sub)) return false;
+    if (i == 0) lo = sub.lo;
+    hi = sub.hi;
+    child_slots.push_back(sub.slot);
+  }
+  NodeJob job;
+  job.lo = lo;
+  job.hi = hi;
+  job.slot = plan->slot_count++;
+  job.child_begin = plan->child_slots.size();
+  job.child_count = child_slots.size();
+  plan->child_slots.insert(plan->child_slots.end(), child_slots.begin(),
+                           child_slots.end());
+  if (plan->nodes_by_depth.size() <= depth) plan->nodes_by_depth.resize(depth + 1);
+  plan->nodes_by_depth[depth].push_back(job);
+  out->lo = lo;
+  out->hi = hi;
+  out->slot = job.slot;
+  return true;
+}
+
+/// Pass 2: executes the plan, writing every slot's digest; returns the root
+/// slot's digest (the last slot allocated — post-order, so the root is last).
+Hash ExecutePlan(const HashPlan& plan) {
+  std::vector<Hash> digests(plan.slot_count);
+  std::vector<Hash> value_hashes(plan.entries.size());
+  crypto::Keccak256Batcher batcher;
+
+  // Batch 1: value hashes of the returned objects (arbitrary length; the
+  // batcher falls back to scalar past one rate block).
+  for (size_t i = 0; i < plan.entries.size(); ++i) {
+    const EntryJob& job = plan.entries[i];
+    if (job.obj != nullptr) {
+      batcher.Add(reinterpret_cast<const uint8_t*>(job.obj->value.data()),
+                  job.obj->value.size(), &value_hashes[i]);
+    }
+  }
+  batcher.Flush();
+
+  // Batch 2: every leaf-level digest — entries and pruned-subtree wraps.
+  uint8_t preimage[48];
+  for (size_t i = 0; i < plan.entries.size(); ++i) {
+    const EntryJob& job = plan.entries[i];
+    const Hash& value_hash =
+        job.obj != nullptr ? value_hashes[i] : *job.boundary;
+    crypto::EncodeEntryPreimage(job.key, value_hash, preimage);
+    batcher.Add(preimage, 40, &digests[job.slot]);
+  }
+  for (const PrunedJob& job : plan.pruned) {
+    crypto::EncodeWrapPreimage(job.lo, job.hi, *job.content, preimage);
+    batcher.Add(preimage, 48, &digests[job.slot]);
+  }
+  batcher.Flush();
+
+  // Node levels, deepest first: children's digests are complete, so each
+  // level needs one content batch and one wrap batch.
+  std::vector<Hash> contents;
+  std::vector<const Hash*> parts;
+  for (size_t depth = plan.nodes_by_depth.size(); depth-- > 0;) {
+    const std::vector<NodeJob>& level = plan.nodes_by_depth[depth];
+    if (level.empty()) continue;
+    contents.resize(level.size());
+    for (size_t i = 0; i < level.size(); ++i) {
+      const NodeJob& job = level[i];
+      parts.resize(job.child_count);
+      for (size_t c = 0; c < job.child_count; ++c) {
+        parts[c] = &digests[plan.child_slots[job.child_begin + c]];
+      }
+      batcher.AddConcat(parts.data(), parts.size(), &contents[i]);
+    }
+    batcher.Flush();
+    for (size_t i = 0; i < level.size(); ++i) {
+      const NodeJob& job = level[i];
+      crypto::EncodeWrapPreimage(job.lo, job.hi, contents[i], preimage);
+      batcher.Add(preimage, 48, &digests[job.slot]);
+    }
+    batcher.Flush();
+  }
+  return digests[plan.slot_count - 1];
+}
+
 }  // namespace
 
 VerifyOutcome VerifyTreeVo(Key lb, Key ub, const TreeVo& vo, const Hash& trusted_root,
-                           const std::vector<Object>& result) {
+                           const std::vector<Object>& result,
+                           HashStrategy strategy) {
   if (lb > ub) return VerifyOutcome::Fail("invalid query range");
 
   std::map<Key, const Object*> by_key;
@@ -127,8 +315,20 @@ VerifyOutcome VerifyTreeVo(Key lb, Key ub, const TreeVo& vo, const Hash& trusted
 
   Context ctx{lb, ub, by_key, 0, false, 0, {}};
   SubtreeDigest root;
-  if (!ReconstructChild(*vo.root, &ctx, &root)) {
-    return VerifyOutcome::Fail(ctx.error);
+  if (strategy == HashStrategy::kBatched) {
+    HashPlan plan;
+    {
+      TELEMETRY_SPAN("client.completeness");
+      if (!CollectChild(*vo.root, 0, &ctx, &plan, &root)) {
+        return VerifyOutcome::Fail(ctx.error);
+      }
+    }
+    TELEMETRY_SPAN("client.hash_recompute");
+    root.digest = ExecutePlan(plan);
+  } else {
+    if (!ReconstructChild(*vo.root, &ctx, &root)) {
+      return VerifyOutcome::Fail(ctx.error);
+    }
   }
   if (root.digest != trusted_root) {
     return VerifyOutcome::Fail("reconstructed root digest does not match VO_chain");

@@ -30,13 +30,29 @@ struct VerifyOutcome {
   explicit operator bool() const { return ok; }
 };
 
+/// How VerifyTreeVo recomputes the VO's digests.
+///
+/// kSerial walks the VO once, hashing each element in-order. kBatched runs
+/// the completeness/ordering pass first (in the identical traversal order,
+/// producing the identical first error), then recomputes the digests in
+/// level-order batches through crypto::Keccak256Batcher — 8 independent
+/// hashes per AVX-512 pass. The two strategies agree bit-for-bit on every
+/// accept/reject decision and error string: structural failures are found
+/// before any hashing in both, and a hash mismatch is only observable at the
+/// final root comparison.
+enum class HashStrategy {
+  kSerial,
+  kBatched,
+};
+
 /// Verifies one tree's VO.
 ///   [lb, ub]       — the query range (inclusive).
 ///   vo             — the SP-produced VO for this tree.
 ///   trusted_root   — this tree's digest obtained from VO_chain.
 ///   result         — the objects the SP claims this tree contributes.
 VerifyOutcome VerifyTreeVo(Key lb, Key ub, const TreeVo& vo, const Hash& trusted_root,
-                           const std::vector<Object>& result);
+                           const std::vector<Object>& result,
+                           HashStrategy strategy = HashStrategy::kSerial);
 
 }  // namespace gem2::ads
 

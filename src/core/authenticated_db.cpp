@@ -447,7 +447,8 @@ uint64_t VoSpBytes(const QueryResponse& response) {
 
 VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
                               bool chain_valid, AdsKind kind,
-                              const QueryResponse& response) {
+                              const QueryResponse& response,
+                              ads::HashStrategy strategy) {
   VerifiedResult out;
   out.vo_sp_bytes = VoSpBytes(response);
   for (const chain::ProvenDigest& pd : state.digests) {
@@ -519,7 +520,8 @@ VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
       return fail("duplicate answer for tree '" + tree.label + "'");
     }
     ads::VerifyOutcome outcome = ads::VerifyTreeVo(
-        response.lb, response.ub, tree.vo, digest->second, tree.objects);
+        response.lb, response.ub, tree.vo, digest->second, tree.objects,
+        strategy);
     if (!outcome.ok) {
       return fail("tree '" + tree.label + "': " + outcome.error);
     }
@@ -567,7 +569,11 @@ VerifiedResult AuthenticatedDb::Verify(const QueryResponse& response) {
   light_client_->Sync(env_->blockchain());
   std::string error;
   const bool chain_valid = light_client_->VerifyStateAtTip(state, &error);
-  VerifiedResult result = VerifyResponse(state, chain_valid, options_.kind, response);
+  VerifiedResult result =
+      VerifyResponse(state, chain_valid, options_.kind, response,
+                     options_.client.batched_hashing
+                         ? ads::HashStrategy::kBatched
+                         : ads::HashStrategy::kSerial);
   if (telemetry::kCompiledIn && telemetry::Tracer::Global().enabled()) {
     auto& metrics = telemetry::MetricsRegistry::Global();
     metrics.counter("verify.count").Add(1);
@@ -616,8 +622,19 @@ VerifiedResult AuthenticatedDb::VerifyAgainst(
     observe.RecordRejection(BackendName(), out.error);
     return out;
   }
+  const bool telemetry_on =
+      telemetry::kCompiledIn && telemetry::Tracer::Global().enabled();
+  const uint64_t t0 = telemetry_on ? telemetry::Tracer::NowNs() : 0;
   VerifiedResult result =
-      VerifyResponse(states[0], /*chain_valid=*/true, options_.kind, response);
+      VerifyResponse(states[0], /*chain_valid=*/true, options_.kind, response,
+                     options_.client.batched_hashing
+                         ? ads::HashStrategy::kBatched
+                         : ads::HashStrategy::kSerial);
+  if (telemetry_on) {
+    telemetry::MetricsRegistry::Global()
+        .histogram("client.verify_ns")
+        .Observe(telemetry::Tracer::NowNs() - t0);
+  }
   if (!result.ok) observe.RecordRejection(BackendName(), result.error);
   return result;
 }

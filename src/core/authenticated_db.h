@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ads/verify.h"
 #include "chain/environment.h"
 #include "chain/light_client.h"
 #include "core/journal.h"
@@ -74,6 +75,13 @@ struct DbOptions {
   /// durable log never saw could not be recovered after a crash. nullptr
   /// keeps the journal in-memory only. See store::DurableJournal.
   JournalSink* journal_sink = nullptr;
+  /// Wire format QueryWire ships responses as. v2 is the fixed-width format;
+  /// v3 (core/wire_v3.h) delta-encodes keys and dedups repeated subtree
+  /// hashes. Clients parse either off the leading version byte; gas and the
+  /// in-memory protocol are unaffected.
+  WireVersion wire_version = WireVersion::kV2;
+  /// Client-side verification knobs (batched hashing, composite slice pool).
+  ClientOptions client;
 
   /// Rejects nonsensical configurations with std::invalid_argument before
   /// any chain state exists: GEM2*-tree without split points, unsorted split
@@ -161,6 +169,7 @@ class AuthenticatedDb : public RangeStore {
   // --- Introspection -------------------------------------------------------
 
   const DbOptions& options() const { return options_; }
+  WireVersion wire_version() const override { return options_.wire_version; }
   /// True once a transaction ran out of gas (db no longer usable).
   bool poisoned() const override { return poisoned_; }
 
@@ -217,10 +226,13 @@ class AuthenticatedDb : public RangeStore {
 /// Client-side verification given an already-retrieved authenticated state.
 /// Exposed separately so tests can feed tampered states/responses. Rejects
 /// composite (sharded) responses: those verify through ShardedDb, which
-/// checks each slice with this function.
+/// checks each slice with this function. `strategy` selects how VO digests
+/// are recomputed (ads::HashStrategy) — the decision and error string are
+/// bit-identical either way, batched is just faster.
 VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
                               bool chain_valid, AdsKind kind,
-                              const QueryResponse& response);
+                              const QueryResponse& response,
+                              ads::HashStrategy strategy = ads::HashStrategy::kBatched);
 
 }  // namespace gem2::core
 

@@ -2,13 +2,34 @@
 
 #include "core/observe.h"
 #include "core/wire.h"
+#include "core/wire_v3.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
 namespace gem2::core {
+namespace {
+
+/// Per-wire-version byte accounting: how many VO-carrying wire bytes this
+/// client decoded, split by format ("client.vo_bytes.v2" / ".v3", unknown
+/// versions under ".unknown"). The v2-vs-v3 ratio is the compression win.
+void CountWireBytes(const Bytes& image) {
+  if (!telemetry::kCompiledIn || !telemetry::Tracer::Global().enabled()) return;
+  const char* version = "unknown";
+  if (!image.empty()) {
+    if (image[0] == static_cast<uint8_t>(WireVersion::kV2)) version = "v2";
+    if (image[0] == wirev3::kVersion) version = "v3";
+  }
+  telemetry::MetricsRegistry::Global()
+      .counter(std::string("client.vo_bytes.") + version)
+      .Add(image.size());
+}
+
+}  // namespace
 
 Bytes RangeStore::QueryWire(Key lb, Key ub) const {
   QueryResponse response = Query(lb, ub);
-  Bytes image = SerializeResponse(response);
+  Bytes image = SerializeResponse(response, wire_version());
   // The trace context travels as a framed envelope *around* the image: the
   // authenticated bytes inside stay identical to SerializeResponse output.
   return WrapTracedWire(response.trace, image);
@@ -23,8 +44,16 @@ VerifiedResult RangeStore::VerifyWire(Key lb, Key ub, const Bytes& wire) {
   telemetry::TraceScope trace_scope(traced.trace.valid()
                                        ? traced.trace
                                        : telemetry::CurrentTrace());
+  const bool telemetry_on =
+      telemetry::kCompiledIn && telemetry::Tracer::Global().enabled();
+  const uint64_t t0 = telemetry_on ? telemetry::Tracer::NowNs() : 0;
   VerifyObservation observe;
-  std::optional<QueryResponse> parsed = ParseResponse(traced.image);
+  CountWireBytes(traced.image);
+  std::optional<QueryResponse> parsed;
+  {
+    TELEMETRY_SPAN("client.decode");
+    parsed = ParseResponse(traced.image);
+  }
   if (!parsed.has_value()) {
     VerifiedResult out;
     out.ok = false;
@@ -34,6 +63,11 @@ VerifiedResult RangeStore::VerifyWire(Key lb, Key ub, const Bytes& wire) {
   }
   parsed->trace = traced.trace;
   VerifiedResult result = VerifyFor(lb, ub, *parsed);
+  if (telemetry_on) {
+    telemetry::MetricsRegistry::Global()
+        .histogram("client.verify_ns")
+        .Observe(telemetry::Tracer::NowNs() - t0);
+  }
   if (!result.ok) observe.RecordRejection(BackendName(), result.error);
   return result;
 }

@@ -22,6 +22,7 @@
 
 #include "chain/environment.h"
 #include "core/response.h"
+#include "core/wire.h"
 
 namespace gem2::common {
 class ThreadPool;
@@ -30,6 +31,19 @@ class ThreadPool;
 namespace gem2::core {
 
 class SpPoolScope;
+
+/// Client-side verification knobs (DbOptions::client). Both default and
+/// non-default settings produce bit-identical accept/reject decisions and
+/// error strings — they only change how fast the client gets there.
+struct ClientOptions {
+  /// Recompute VO digests in level-order batches through the 8-way AVX-512
+  /// Keccak batcher instead of one scalar hash at a time (ads::HashStrategy).
+  bool batched_hashing = true;
+  /// Verifies composite slices in parallel on this pool (the pure-CPU
+  /// VerifyAgainst path only — the chain-reading VerifyFor path stays
+  /// serial). nullptr = serial. Must outlive the store.
+  common::ThreadPool* pool = nullptr;
+};
 
 class RangeStore {
  public:
@@ -65,7 +79,13 @@ class RangeStore {
   virtual QueryResponse Query(Key lb, Key ub) const = 0;
 
   /// Query + wire serialization: what the SP actually ships to a client.
+  /// Serializes in the backend's configured wire version (wire_version()).
   virtual Bytes QueryWire(Key lb, Key ub) const;
+
+  /// Wire format QueryWire serializes responses as. Clients parse any
+  /// supported version off the image's leading byte, so SPs can switch
+  /// versions without coordination.
+  virtual WireVersion wire_version() const { return WireVersion::kV2; }
 
   // --- Client facet --------------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ads/vo.h"
+#include "core/wire_v3.h"
 
 namespace gem2::core {
 namespace {
@@ -132,6 +133,8 @@ bool ParseSingleBody(Reader& r, QueryResponse* response) {
   return true;
 }
 
+std::optional<QueryResponse> ParseV2(const Bytes& data);
+
 }  // namespace
 
 Bytes SerializeResponse(const QueryResponse& response) {
@@ -159,7 +162,14 @@ Bytes SerializeResponse(const QueryResponse& response) {
   return out;
 }
 
-std::optional<QueryResponse> ParseResponse(const Bytes& data) {
+Bytes SerializeResponse(const QueryResponse& response, WireVersion version) {
+  if (version == WireVersion::kV3) return wirev3::Serialize(response);
+  return SerializeResponse(response);
+}
+
+namespace {
+
+std::optional<QueryResponse> ParseV2(const Bytes& data) {
   Reader r{data};
   if (r.Byte() != kFormatVersion) return std::nullopt;
   const uint8_t kind = r.Byte();
@@ -180,8 +190,9 @@ std::optional<QueryResponse> ParseResponse(const Bytes& data) {
       if (r.failed || shard > UINT32_MAX) return std::nullopt;
       Bytes inner = r.ReadBlob();
       if (r.failed) return std::nullopt;
-      auto sub = ParseResponse(inner);
-      // Slices must be single responses: composites never nest.
+      // Slices must be v2 single responses: composites never nest, and a v2
+      // composite never embeds another wire version.
+      auto sub = ParseV2(inner);
       if (!sub.has_value() || !sub->slices.empty()) return std::nullopt;
       ShardSlice slice;
       slice.shard = static_cast<uint32_t>(shard);
@@ -193,6 +204,14 @@ std::optional<QueryResponse> ParseResponse(const Bytes& data) {
   }
   if (r.pos != data.size()) return std::nullopt;
   return response;
+}
+
+}  // namespace
+
+std::optional<QueryResponse> ParseResponse(const Bytes& data) {
+  if (data.empty()) return std::nullopt;
+  if (data[0] == wirev3::kVersion) return wirev3::Parse(data);
+  return ParseV2(data);
 }
 
 namespace {

@@ -13,13 +13,28 @@
 
 namespace gem2::core {
 
-/// Serializes a full query response.
+/// Wire format versions a response can be serialized as. Both carry exactly
+/// the same information and verification guarantees; v3 (wire_v3.h) is the
+/// compressed encoding (varints, delta keys, deduped subtree hashes), v2 the
+/// fixed-width one. The version rides in the image's first byte, so the
+/// parser accepts either without out-of-band negotiation.
+enum class WireVersion : uint8_t {
+  kV2 = 2,
+  kV3 = 3,
+};
+
+/// Serializes a full query response (v2 encoding).
 Bytes SerializeResponse(const QueryResponse& response);
 
-/// Parses a serialized response; std::nullopt on malformed input. A parsed
-/// response carries exactly the same verification guarantees: the client
-/// verifies it against VO_chain as usual, so a corrupted or tampered wire
-/// image is rejected at verification (or here, if structurally invalid).
+/// Serializes a full query response in the requested wire version.
+Bytes SerializeResponse(const QueryResponse& response, WireVersion version);
+
+/// Parses a serialized response of any supported version (dispatching on the
+/// leading version byte); std::nullopt on malformed input. A parsed response
+/// carries exactly the same verification guarantees: the client verifies it
+/// against VO_chain as usual, so a corrupted or tampered wire image is
+/// rejected at verification (or here, if structurally invalid). Unknown
+/// versions are malformed, never a throw.
 std::optional<QueryResponse> ParseResponse(const Bytes& data);
 
 /// Frames `image` with a telemetry trace context: a fixed-size envelope

@@ -1,6 +1,7 @@
 #include "crypto/keccak_batch.h"
 
 #include <cstring>
+#include <vector>
 
 #include "crypto/keccak.h"
 
@@ -196,6 +197,31 @@ void Keccak256Batcher::Add(const uint8_t* data, size_t len, Hash* out) {
   std::memcpy(block, data, len);
   std::memset(block + len, 0, kRate - len);
   // Keccak (pre-SHA3) padding, identical to Keccak256Hasher::Finalize.
+  block[len] = 0x01;
+  block[kRate - 1] |= 0x80;
+  outs_[count_] = out;
+  if (++count_ == kLanes) Flush();
+}
+
+void Keccak256Batcher::AddConcat(const Hash* const* parts, size_t n, Hash* out) {
+  constexpr size_t kHashLen = sizeof(Hash);
+  if (n > kMaxMessageLen / kHashLen) {
+    // Wide node (fanout > 4): the concatenation spans multiple sponge blocks,
+    // so gather into a temporary and hash scalar. n is bounded by the VO
+    // codec's child-count checks, far below any size_t overflow.
+    std::vector<uint8_t> buf(n * kHashLen);
+    for (size_t i = 0; i < n; ++i) {
+      std::memcpy(buf.data() + i * kHashLen, parts[i]->data(), kHashLen);
+    }
+    *out = Keccak256(buf.data(), buf.size());
+    return;
+  }
+  const size_t len = n * kHashLen;
+  uint8_t* block = blocks_[count_];
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(block + i * kHashLen, parts[i]->data(), kHashLen);
+  }
+  std::memset(block + len, 0, kRate - len);
   block[len] = 0x01;
   block[kRate - 1] |= 0x80;
   outs_[count_] = out;

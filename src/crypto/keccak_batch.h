@@ -43,6 +43,14 @@ class Keccak256Batcher {
 
   void Add(const uint8_t* data, size_t len, Hash* out);
 
+  /// Queues H(*parts[0] || ... || *parts[n-1]) — the content-digest preimage,
+  /// gathered from non-contiguous child digests (e.g. a batched verifier's
+  /// slot array). Equivalent to concatenating and calling Add: concatenations
+  /// longer than kMaxMessageLen (n > 4 children) are hashed scalar on the
+  /// spot via a bounded temporary, so arbitrarily wide nodes are handled
+  /// without overflowing the lane buffer.
+  void AddConcat(const Hash* const* parts, size_t n, Hash* out);
+
   /// Hashes all queued blocks (8-way AVX-512 when the CPU has it, scalar
   /// otherwise) and writes every pending output. No-op when empty.
   void Flush();

@@ -23,7 +23,11 @@ AdversaryReport RunAdversarialSweep(core::RangeStore& db,
   AdversaryReport report;
   report.seed = options.seed;
   Rng query_rng(DeriveSeed(options.seed, 0x71));
-  ResponseMutator mutator(DeriveSeed(options.seed, 0x4d));
+  ResponseMutator mutator(DeriveSeed(options.seed, 0x4d), options.wire_version);
+  // v3 sweeps interleave the structured catalogue (serialized as v3) with the
+  // v3-specific surgical wire operators, so both the semantic and the
+  // format-level attack surfaces see hundreds of seeded rounds.
+  const bool v3_ops = options.wire_version == core::WireVersion::kV3;
 
   for (int i = 0; i < options.mutations; ++i) {
     // Fresh query each round so forgeries hit many response shapes (empty
@@ -35,9 +39,21 @@ AdversaryReport RunAdversarialSweep(core::RangeStore& db,
     if (ub < lb) std::swap(lb, ub);
 
     const core::QueryResponse response = db.Query(lb, ub);
-    const Mutation mutation = mutator.Mutate(response);
+    std::string op_name;
+    Bytes wire;
+    bool byte_level = false;
+    if (v3_ops && i % 2 == 1) {
+      WireV3Mutation mutation = mutator.MutateWireV3(response);
+      op_name = WireV3MutationOpName(mutation.op);
+      wire = std::move(mutation.wire);
+    } else {
+      Mutation mutation = mutator.Mutate(response);
+      op_name = MutationOpName(mutation.op);
+      wire = std::move(mutation.wire);
+      byte_level = mutation.byte_level;
+    }
     ++report.attempted;
-    ++report.attempts_by_op[MutationOpName(mutation.op)];
+    ++report.attempts_by_op[op_name];
     Count("fault.mutation.attempted");
 
     // Every audit event below — parse rejection here, verify rejection
@@ -45,14 +61,14 @@ AdversaryReport RunAdversarialSweep(core::RangeStore& db,
     // operator, seed, and round via the thread's annotation stack, plus the
     // query's trace id via the installed trace scope.
     telemetry::ScopedEventFields audit_fields(
-        {{"op", MutationOpName(mutation.op)},
+        {{"op", op_name},
          {"seed", std::to_string(options.seed)},
          {"round", std::to_string(i)}});
     telemetry::TraceScope trace_scope(response.trace.valid()
                                           ? response.trace
                                           : telemetry::CurrentTrace());
 
-    std::optional<core::QueryResponse> parsed = core::ParseResponse(mutation.wire);
+    std::optional<core::QueryResponse> parsed = core::ParseResponse(wire);
     if (!parsed.has_value()) {
       ++report.rejected_parse;
       Count("fault.mutation.rejected_parse");
@@ -76,13 +92,14 @@ AdversaryReport RunAdversarialSweep(core::RangeStore& db,
     // The client accepted. For blind byte flips this is legitimate only when
     // the flip hit redundant framing and the canonical re-serialization is
     // the unmutated image; anything else is a successful forgery.
-    if (mutation.byte_level &&
-        core::SerializeResponse(*parsed) == core::SerializeResponse(response)) {
+    if (byte_level &&
+        core::SerializeResponse(*parsed, options.wire_version) ==
+            core::SerializeResponse(response, options.wire_version)) {
       ++report.canonical_noop;
       Count("fault.mutation.canonical_noop");
       continue;
     }
-    report.forgeries.push_back("accepted " + MutationOpName(mutation.op) +
+    report.forgeries.push_back("accepted " + op_name +
                                " (seed " + std::to_string(options.seed) +
                                ", round " + std::to_string(i) + ", range [" +
                                std::to_string(lb) + ", " + std::to_string(ub) +

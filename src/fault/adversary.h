@@ -23,6 +23,11 @@ struct AdversaryOptions {
   /// Query ranges are drawn uniformly inside [domain_lo, domain_hi].
   Key domain_lo = 0;
   Key domain_hi = 1'000'000;
+  /// Wire format forged images are serialized in. kV3 sweeps additionally
+  /// alternate in the v3-specific surgical operators (subtree-table
+  /// tampering, delta-chain corruption, version-byte confusion); the kV2
+  /// default keeps existing seeded reports byte-identical.
+  core::WireVersion wire_version = core::WireVersion::kV2;
 };
 
 struct AdversaryReport {

@@ -1,8 +1,10 @@
 #include "fault/mutator.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "ads/vo.h"
+#include "core/wire_v3.h"
 
 namespace gem2::fault {
 namespace {
@@ -49,10 +51,11 @@ Key ShiftKey(Key k, uint64_t delta, bool up) {
   return static_cast<Key>(up ? u + delta : u - delta);
 }
 
-Mutation Pack(MutationOp op, const core::QueryResponse& forged) {
+Mutation Pack(MutationOp op, const core::QueryResponse& forged,
+              core::WireVersion wire) {
   Mutation m;
   m.op = op;
-  m.wire = core::SerializeResponse(forged);
+  m.wire = core::SerializeResponse(forged, wire);
   return m;
 }
 
@@ -96,7 +99,7 @@ std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
       auto& objects = forged.trees[trees[rng_.Uniform(0, trees.size() - 1)]].objects;
       objects.erase(objects.begin() +
                     static_cast<long>(rng_.Uniform(0, objects.size() - 1)));
-      return Pack(op, forged);
+      return Pack(op, forged, wire_);
     }
 
     case MutationOp::kAlterObjectValue: {
@@ -111,7 +114,7 @@ std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
         value[rng_.Uniform(0, value.size() - 1)] ^=
             static_cast<char>(rng_.Uniform(1, 255));
       }
-      return Pack(op, forged);
+      return Pack(op, forged, wire_);
     }
 
     case MutationOp::kAlterObjectKey: {
@@ -121,7 +124,7 @@ std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
       auto& objects = forged.trees[trees[rng_.Uniform(0, trees.size() - 1)]].objects;
       Object& obj = objects[rng_.Uniform(0, objects.size() - 1)];
       obj.key = ShiftKey(obj.key, rng_.Uniform(1, 1000), rng_.Chance(0.5));
-      return Pack(op, forged);
+      return Pack(op, forged, wire_);
     }
 
     case MutationOp::kDuplicateObject: {
@@ -130,7 +133,7 @@ std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
       core::QueryResponse forged = core::CloneResponse(response);
       auto& objects = forged.trees[trees[rng_.Uniform(0, trees.size() - 1)]].objects;
       objects.push_back(objects[rng_.Uniform(0, objects.size() - 1)]);
-      return Pack(op, forged);
+      return Pack(op, forged, wire_);
     }
 
     case MutationOp::kSwapVoHashes: {
@@ -147,7 +150,7 @@ std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
       if (partners.empty()) return std::nullopt;
       const size_t second = partners[rng_.Uniform(0, partners.size() - 1)];
       std::swap(*sites[first], *sites[second]);
-      return Pack(op, forged);
+      return Pack(op, forged, wire_);
     }
 
     case MutationOp::kFlipVoHashBit: {
@@ -156,7 +159,7 @@ std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
       if (sites.empty()) return std::nullopt;
       Hash* site = sites[rng_.Uniform(0, sites.size() - 1)];
       (*site)[rng_.Uniform(0, 31)] ^= static_cast<uint8_t>(1u << rng_.Uniform(0, 7));
-      return Pack(op, forged);
+      return Pack(op, forged, wire_);
     }
 
     case MutationOp::kShiftRangeBounds: {
@@ -174,7 +177,7 @@ std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
           forged.ub = ShiftKey(forged.ub, delta, true);
           break;
       }
-      return Pack(op, forged);
+      return Pack(op, forged, wire_);
     }
 
     case MutationOp::kDropTree: {
@@ -182,7 +185,7 @@ std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
       core::QueryResponse forged = core::CloneResponse(response);
       forged.trees.erase(forged.trees.begin() +
                          static_cast<long>(rng_.Uniform(0, forged.trees.size() - 1)));
-      return Pack(op, forged);
+      return Pack(op, forged, wire_);
     }
 
     case MutationOp::kDuplicateTree: {
@@ -195,7 +198,7 @@ std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
       copy.objects = source.objects;
       copy.vo = ads::CloneVo(source.vo);
       forged.trees.push_back(std::move(copy));
-      return Pack(op, forged);
+      return Pack(op, forged, wire_);
     }
 
     case MutationOp::kForgeUpperSplits: {
@@ -216,14 +219,14 @@ std::optional<Mutation> ResponseMutator::Apply(MutationOp op,
           splits.push_back(ShiftKey(splits.back(), rng_.Uniform(1, 1000), true));
           break;
       }
-      return Pack(op, forged);
+      return Pack(op, forged, wire_);
     }
 
     case MutationOp::kCorruptWireBytes: {
       Mutation m;
       m.op = op;
       m.byte_level = true;
-      m.wire = core::SerializeResponse(response);
+      m.wire = core::SerializeResponse(response, wire_);
       const int flips = static_cast<int>(rng_.Uniform(1, 4));
       for (int i = 0; i < flips; ++i) {
         m.wire[rng_.Uniform(0, m.wire.size() - 1)] ^=
@@ -266,7 +269,7 @@ std::optional<CompositeMutation> ResponseMutator::ApplyComposite(
   auto pack = [&](core::QueryResponse&& forged) {
     CompositeMutation m;
     m.op = op;
-    m.wire = core::SerializeResponse(forged);
+    m.wire = core::SerializeResponse(forged, wire_);
     return m;
   };
   switch (op) {
@@ -347,6 +350,178 @@ CompositeMutation ResponseMutator::MutateComposite(
     const CompositeMutationOp op = kAllCompositeMutationOps[rng_.Uniform(
         0, kAllCompositeMutationOps.size() - 1)];
     std::optional<CompositeMutation> m = ApplyComposite(op, response);
+    if (m.has_value()) return std::move(*m);
+  }
+}
+
+std::string WireV3MutationOpName(WireV3MutationOp op) {
+  switch (op) {
+    case WireV3MutationOp::kTableEntrySwap:
+      return "table_entry_swap";
+    case WireV3MutationOp::kTableEntryDrop:
+      return "table_entry_drop";
+    case WireV3MutationOp::kDanglingHashRef:
+      return "dangling_hash_ref";
+    case WireV3MutationOp::kDeltaKeyCorrupt:
+      return "delta_key_corrupt";
+    case WireV3MutationOp::kVersionByteConfusion:
+      return "version_byte_confusion";
+  }
+  return "unknown";
+}
+
+std::optional<WireV3Mutation> ResponseMutator::ApplyWireV3(
+    WireV3MutationOp op, const core::QueryResponse& response) {
+  namespace w3 = core::wirev3;
+  WireV3Mutation m;
+  m.op = op;
+  switch (op) {
+    case WireV3MutationOp::kTableEntrySwap: {
+      // Table entries are distinct by construction, so swapping any two
+      // reroutes every reference to the wrong (but well-formed) hash: the
+      // image still parses canonically and only root recomputation can tell.
+      Bytes image = w3::Serialize(response);
+      std::optional<w3::TableInfo> table = w3::LocateTable(image);
+      if (!table.has_value() || table->count < 2) return std::nullopt;
+      const size_t i = rng_.Uniform(0, table->count - 2);
+      const size_t j = rng_.Uniform(i + 1, table->count - 1);
+      std::swap_ranges(image.begin() + static_cast<long>(table->offset + 32 * i),
+                       image.begin() + static_cast<long>(table->offset + 32 * (i + 1)),
+                       image.begin() + static_cast<long>(table->offset + 32 * j));
+      m.wire = std::move(image);
+      return m;
+    }
+
+    case WireV3MutationOp::kTableEntryDrop: {
+      // Remove one 32-byte entry and fix up the count. Every slot had >= 2
+      // references, so the references to the (now missing) last slot dangle
+      // and the codec must reject the image.
+      const Bytes image = w3::Serialize(response);
+      std::optional<w3::TableInfo> table = w3::LocateTable(image);
+      if (!table.has_value() || table->count < 1) return std::nullopt;
+      const size_t drop = rng_.Uniform(0, table->count - 1);
+      Bytes forged(image.begin(), image.begin() + 2);  // version + kind
+      w3::AppendVarint(&forged, table->count - 1);
+      for (size_t e = 0; e < table->count; ++e) {
+        if (e == drop) continue;
+        forged.insert(forged.end(),
+                      image.begin() + static_cast<long>(table->offset + 32 * e),
+                      image.begin() + static_cast<long>(table->offset + 32 * (e + 1)));
+      }
+      forged.insert(forged.end(),
+                    image.begin() + static_cast<long>(table->offset + 32 * table->count),
+                    image.end());
+      m.wire = std::move(forged);
+      return m;
+    }
+
+    case WireV3MutationOp::kDanglingHashRef: {
+      // Shrink the declared count but keep all entry bytes: the last entry's
+      // 32 bytes shear into the payload and references to the last slot
+      // dangle — the codec must reject the frame one way or the other.
+      const Bytes image = w3::Serialize(response);
+      std::optional<w3::TableInfo> table = w3::LocateTable(image);
+      if (!table.has_value() || table->count < 1) return std::nullopt;
+      Bytes forged(image.begin(), image.begin() + 2);
+      w3::AppendVarint(&forged, table->count - 1);
+      forged.insert(forged.end(),
+                    image.begin() + static_cast<long>(table->offset), image.end());
+      m.wire = std::move(forged);
+      return m;
+    }
+
+    case WireV3MutationOp::kDeltaKeyCorrupt: {
+      // Splice a different (still canonical) delta into the first result
+      // object's key varint. One wire-level edit shifts that key AND every
+      // later key in the tree's object chain, while the VO keys — a separate
+      // chain — stay put: framing and range survive, verification cannot.
+      if (!response.slices.empty()) return std::nullopt;  // kind-0 walk only
+      const Bytes image = w3::Serialize(response);
+      std::optional<w3::TableInfo> table = w3::LocateTable(image);
+      if (!table.has_value()) return std::nullopt;
+      size_t pos = table->offset + 32 * table->count;
+      // body := zz(lb) varint(ub-lb) varint(nsplits) nsplits * zzdelta ...
+      if (!w3::ReadVarint(image, &pos).has_value()) return std::nullopt;
+      if (!w3::ReadVarint(image, &pos).has_value()) return std::nullopt;
+      std::optional<uint64_t> nsplits = w3::ReadVarint(image, &pos);
+      if (!nsplits.has_value()) return std::nullopt;
+      for (uint64_t s = 0; s < *nsplits; ++s) {
+        if (!w3::ReadVarint(image, &pos).has_value()) return std::nullopt;
+      }
+      std::optional<uint64_t> ntrees = w3::ReadVarint(image, &pos);
+      if (!ntrees.has_value() || *ntrees == 0) return std::nullopt;
+      // Walk tree frames until one offers a key chain: the first result
+      // object's zzdelta, or — for a tree returning no objects — the first
+      // zzdelta inside its VO (boundary/pruned chains are delta-encoded
+      // too). A tree with no objects and an empty VO is a single 0x00 byte,
+      // so it can be stepped over without walking a VO.
+      bool found = false;
+      for (uint64_t t = 0; t < *ntrees && !found; ++t) {
+        // tree := varint(|label|) label varint(nobjects) object... vo
+        std::optional<uint64_t> label_len = w3::ReadVarint(image, &pos);
+        if (!label_len.has_value() || image.size() - pos < *label_len) {
+          return std::nullopt;
+        }
+        pos += *label_len;
+        std::optional<uint64_t> nobjects = w3::ReadVarint(image, &pos);
+        if (!nobjects.has_value()) return std::nullopt;
+        if (*nobjects > 0) {
+          found = true;  // pos is the first object's zzdelta(key)
+          break;
+        }
+        if (pos >= image.size()) return std::nullopt;
+        const uint8_t vo_tag = image[pos++];
+        if (vo_tag == 0x00) continue;  // empty tree: next frame
+        if (vo_tag != 0x01) return std::nullopt;
+        // Descend the first-child spine of expanded nodes; entry and pruned
+        // tags are all immediately followed by a zzdelta.
+        for (;;) {
+          if (pos >= image.size()) return std::nullopt;
+          const uint8_t tag = image[pos++];
+          if (tag == 0x04) {  // expanded node: varint(n), then first child
+            std::optional<uint64_t> n = w3::ReadVarint(image, &pos);
+            if (!n.has_value() || *n == 0) return std::nullopt;
+            continue;
+          }
+          if (tag != 0x01 && tag != 0x02 && tag != 0x03) return std::nullopt;
+          found = true;  // next varint is this element's zzdelta(key | lo)
+          break;
+        }
+      }
+      if (!found) return std::nullopt;
+      const size_t delta_pos = pos;  // the chain's next zzdelta
+      std::optional<uint64_t> old_delta = w3::ReadVarint(image, &pos);
+      if (!old_delta.has_value()) return std::nullopt;
+      const Key shifted = ShiftKey(static_cast<Key>(w3::ZigzagDecode(*old_delta)),
+                                   rng_.Uniform(1, 1000), rng_.Chance(0.5));
+      Bytes forged(image.begin(), image.begin() + static_cast<long>(delta_pos));
+      w3::AppendVarint(&forged, w3::ZigzagEncode(shifted));
+      forged.insert(forged.end(), image.begin() + static_cast<long>(pos),
+                    image.end());
+      m.wire = std::move(forged);
+      return m;
+    }
+
+    case WireV3MutationOp::kVersionByteConfusion: {
+      // Serialize in one format and relabel the image as the other: the
+      // codecs share nothing past the version byte, so the mislabeled body
+      // must die in the parser rather than decode to anything plausible.
+      const bool downgrade = rng_.Chance(0.5);  // v3 body labeled as v2
+      m.wire = core::SerializeResponse(
+          response, downgrade ? core::WireVersion::kV3 : core::WireVersion::kV2);
+      m.wire[0] = downgrade ? static_cast<uint8_t>(core::WireVersion::kV2)
+                            : w3::kVersion;
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+WireV3Mutation ResponseMutator::MutateWireV3(const core::QueryResponse& response) {
+  for (;;) {
+    const WireV3MutationOp op =
+        kAllWireV3MutationOps[rng_.Uniform(0, kAllWireV3MutationOps.size() - 1)];
+    std::optional<WireV3Mutation> m = ApplyWireV3(op, response);
     if (m.has_value()) return std::move(*m);
   }
 }

@@ -73,6 +73,43 @@ inline constexpr std::array<CompositeMutationOp, 5> kAllCompositeMutationOps = {
 
 std::string CompositeMutationOpName(CompositeMutationOp op);
 
+/// Forgeries specific to the v3 wire format (core/wire_v3.h): surgical edits
+/// on the serialized image that target the machinery v3 adds over v2 — the
+/// shared subtree-hash table, the delta-encoded key chains, and the leading
+/// version byte. Each either fails the codec outright ("malformed wire
+/// image") or parses into a semantically different response that client
+/// verification must reject; none can be a canonical no-op.
+enum class WireV3MutationOp : uint8_t {
+  kTableEntrySwap,        // swap two distinct subtree-table entries: every
+                          // reference now resolves to the wrong hash, so the
+                          // image parses but the recomputed root diverges
+  kTableEntryDrop,        // remove one table entry (count fixed up): the
+                          // references to the last slot dangle — codec reject
+  kDanglingHashRef,       // shrink the declared count but keep the entry
+                          // bytes: table/payload framing shears apart
+  kDeltaKeyCorrupt,       // splice a different delta into the first tree's
+                          // key chain (object keys, or the VO chain when the
+                          // tree returns none): the image stays canonical but
+                          // every later key in the chain shifts with it
+  kVersionByteConfusion,  // relabel the image with the other format's version
+                          // byte (v3 body as v2 or v2 body as v3)
+};
+
+inline constexpr std::array<WireV3MutationOp, 5> kAllWireV3MutationOps = {
+    WireV3MutationOp::kTableEntrySwap, WireV3MutationOp::kTableEntryDrop,
+    WireV3MutationOp::kDanglingHashRef, WireV3MutationOp::kDeltaKeyCorrupt,
+    WireV3MutationOp::kVersionByteConfusion,
+};
+
+std::string WireV3MutationOpName(WireV3MutationOp op);
+
+/// One applied v3 wire mutation. Always a targeted, semantically meaningful
+/// edit (never a blind flip), so the harness asserts strict 100% rejection.
+struct WireV3Mutation {
+  WireV3MutationOp op = WireV3MutationOp::kVersionByteConfusion;
+  Bytes wire;
+};
+
 /// One applied mutation: the operator and the serialized forged image.
 struct Mutation {
   MutationOp op = MutationOp::kCorruptWireBytes;
@@ -92,9 +129,13 @@ struct CompositeMutation {
 };
 
 /// Deterministic forgery generator. All draws come from the constructor seed.
+/// `wire` selects the format forged images are serialized in; the default kV2
+/// keeps every existing seeded draw sequence AND its images byte-identical.
 class ResponseMutator {
  public:
-  explicit ResponseMutator(uint64_t seed) : rng_(seed) {}
+  explicit ResponseMutator(uint64_t seed,
+                           core::WireVersion wire = core::WireVersion::kV2)
+      : rng_(seed), wire_(wire) {}
 
   /// Applies `op` to `response`; std::nullopt when the operator does not
   /// apply (e.g. kDropObject on an empty result set, kForgeUpperSplits on a
@@ -118,10 +159,23 @@ class ResponseMutator {
   /// kDuplicateSlice, and kMutateInnerSlice always apply.
   CompositeMutation MutateComposite(const core::QueryResponse& response);
 
+  /// Applies a v3-specific wire operator; std::nullopt when it does not apply
+  /// (table operators need a non-empty subtree table, kDeltaKeyCorrupt a
+  /// single response whose first tree returns objects). Kept separate from
+  /// Apply/ApplyComposite so seeded v2 draw sequences are untouched.
+  std::optional<WireV3Mutation> ApplyWireV3(WireV3MutationOp op,
+                                            const core::QueryResponse& response);
+
+  /// Applies one applicable v3 operator chosen uniformly. Never fails:
+  /// kVersionByteConfusion always applies.
+  WireV3Mutation MutateWireV3(const core::QueryResponse& response);
+
   Rng& rng() { return rng_; }
+  core::WireVersion wire_version() const { return wire_; }
 
  private:
   Rng rng_;
+  core::WireVersion wire_ = core::WireVersion::kV2;
 };
 
 }  // namespace gem2::fault

@@ -278,12 +278,44 @@ core::VerifiedResult ShardedDb::VerifyAgainst(
   }
   std::unordered_map<std::string, const chain::AuthenticatedState*> by_contract;
   for (const chain::AuthenticatedState& s : states) by_contract[s.contract] = &s;
+  const bool telemetry_on = TelemetryOn();
+  const uint64_t t0 = telemetry_on ? telemetry::Tracer::NowNs() : 0;
+  const ads::HashStrategy strategy = options_.base.client.batched_hashing
+                                         ? ads::HashStrategy::kBatched
+                                         : ads::HashStrategy::kSerial;
+  // Pure-CPU per-slice verification; each slice is independent, so they can
+  // run on the client pool. Every slice is verified, then merged in plan
+  // order — the first failure in plan order wins, exactly as in the serial
+  // loop (a serial run would not have verified later slices, but their
+  // results cannot change the outcome).
+  std::vector<const chain::AuthenticatedState*> slice_states(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    auto it = by_contract.find(ShardContractName(plan[i].shard));
+    slice_states[i] = it == by_contract.end() ? nullptr : it->second;
+  }
+  const telemetry::TraceContext slice_ctx = telemetry::CurrentTrace();
+  std::vector<core::VerifiedResult> results(plan.size());
+  auto verify_slice = [&](size_t i) {
+    if (slice_states[i] == nullptr) return;  // reported in plan order below
+    telemetry::TraceScope slice_scope(slice_ctx);
+    results[i] =
+        core::VerifyResponse(*slice_states[i], /*chain_valid=*/true,
+                             options_.base.kind, response.slices[i].response,
+                             strategy);
+  };
+  common::ThreadPool* pool = options_.base.client.pool;
+  if (pool != nullptr && plan.size() > 1) {
+    pool->ParallelFor(0, plan.size(), 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) verify_slice(i);
+    });
+  } else {
+    for (size_t i = 0; i < plan.size(); ++i) verify_slice(i);
+  }
   core::VerifiedResult total;
   total.ok = true;
   total.vo_sp_bytes = core::VoSpBytes(response);
   for (size_t i = 0; i < plan.size(); ++i) {
-    auto it = by_contract.find(ShardContractName(plan[i].shard));
-    if (it == by_contract.end()) {
+    if (slice_states[i] == nullptr) {
       total.ok = false;
       total.error = "chain state does not cover shard " +
                     std::to_string(plan[i].shard);
@@ -291,13 +323,15 @@ core::VerifiedResult ShardedDb::VerifyAgainst(
       observe.RecordRejection(BackendName(), total.error);
       return total;
     }
-    core::VerifiedResult slice_result =
-        core::VerifyResponse(*it->second, /*chain_valid=*/true,
-                             options_.base.kind, response.slices[i].response);
-    if (!MergeSlice(&total, plan[i].shard, std::move(slice_result))) {
+    if (!MergeSlice(&total, plan[i].shard, std::move(results[i]))) {
       observe.RecordRejection(BackendName(), total.error);
       return total;
     }
+  }
+  if (telemetry_on) {
+    telemetry::MetricsRegistry::Global()
+        .histogram("client.verify_ns")
+        .Observe(telemetry::Tracer::NowNs() - t0);
   }
   return total;
 }

@@ -1,0 +1,177 @@
+// Serial vs batched client verification: the batched hash engine and the
+// composite slice pool must agree with the serial verifier bit-for-bit —
+// same accept/reject decision, same error string, same objects — on honest
+// responses and on every seeded forgery, in both wire formats.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/authenticated_db.h"
+#include "core/wire.h"
+#include "fault/fault.h"
+#include "fault/mutator.h"
+#include "shard/sharded_db.h"
+
+namespace gem2::core {
+namespace {
+
+std::unique_ptr<AuthenticatedDb> MakeDb(AdsKind kind) {
+  DbOptions options;
+  options.kind = kind;
+  options.gem2.m = 2;
+  options.gem2.smax = 16;
+  if (kind == AdsKind::kGem2Star) options.split_points = {100, 200};
+  auto db = std::make_unique<AuthenticatedDb>(options);
+  // Three-string value alphabet: repeated value hashes give v3 images a
+  // non-empty subtree table, so the forgery loop exercises table decoding.
+  for (Key k = 1; k <= 60; ++k) {
+    db->Insert({k * 5, "value-" + std::to_string(k % 3)});
+  }
+  return db;
+}
+
+void ExpectBitIdentical(const VerifiedResult& serial,
+                        const VerifiedResult& batched, const char* what) {
+  EXPECT_EQ(serial.ok, batched.ok) << what;
+  EXPECT_EQ(serial.error, batched.error) << what;
+  EXPECT_EQ(serial.objects, batched.objects) << what;
+}
+
+class BatchedVerify : public ::testing::TestWithParam<AdsKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BatchedVerify,
+                         ::testing::Values(AdsKind::kMbTree, AdsKind::kSmbTree,
+                                           AdsKind::kLsm, AdsKind::kGem2,
+                                           AdsKind::kGem2Star),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case AdsKind::kMbTree:
+                               return "MbTree";
+                             case AdsKind::kSmbTree:
+                               return "SmbTree";
+                             case AdsKind::kLsm:
+                               return "Lsm";
+                             case AdsKind::kGem2:
+                               return "Gem2";
+                             case AdsKind::kGem2Star:
+                               return "Gem2Star";
+                           }
+                           return "Unknown";
+                         });
+
+TEST_P(BatchedVerify, MatchesSerialOnHonestResponses) {
+  auto db = MakeDb(GetParam());
+  auto states = db->ReadChainState();
+  ASSERT_EQ(states.size(), 1u);
+  for (auto [lb, ub] : std::vector<std::pair<Key, Key>>{
+           {40, 220}, {0, 300}, {150, 150}, {600, 900}, {kKeyMin, kKeyMax}}) {
+    QueryResponse response = db->Query(lb, ub);
+    VerifiedResult serial = VerifyResponse(states[0], true, GetParam(),
+                                           response, ads::HashStrategy::kSerial);
+    VerifiedResult batched = VerifyResponse(
+        states[0], true, GetParam(), response, ads::HashStrategy::kBatched);
+    ExpectBitIdentical(serial, batched, "honest response");
+    EXPECT_TRUE(serial.ok) << serial.error;
+  }
+}
+
+TEST_P(BatchedVerify, MatchesSerialOnEverySeededForgery) {
+  auto db = MakeDb(GetParam());
+  auto states = db->ReadChainState();
+  ASSERT_EQ(states.size(), 1u);
+
+  for (WireVersion wire : {WireVersion::kV2, WireVersion::kV3}) {
+    fault::ResponseMutator mutator(
+        fault::DeriveSeed(8181, wire == WireVersion::kV2 ? 0 : 1), wire);
+    Rng query_rng(fault::DeriveSeed(8181, 2));
+    int parsed_count = 0;
+    for (int round = 0; round < 120; ++round) {
+      const Key lb = static_cast<Key>(query_rng.Uniform(0, 320));
+      const Key ub =
+          lb + static_cast<Key>(query_rng.Uniform(0, 320 - static_cast<uint64_t>(lb)));
+      QueryResponse response = db->Query(lb, ub);
+      fault::Mutation mutation = mutator.Mutate(response);
+      auto parsed = ParseResponse(mutation.wire);
+      if (!parsed.has_value()) continue;  // rejected at the codec: no verdict
+      ++parsed_count;
+      VerifiedResult serial = VerifyResponse(states[0], true, GetParam(),
+                                             *parsed, ads::HashStrategy::kSerial);
+      VerifiedResult batched = VerifyResponse(
+          states[0], true, GetParam(), *parsed, ads::HashStrategy::kBatched);
+      ExpectBitIdentical(serial, batched,
+                         fault::MutationOpName(mutation.op).c_str());
+    }
+    // The loop must reach the verifier, not just the codec.
+    EXPECT_GT(parsed_count, 20) << "wire v" << static_cast<int>(wire);
+  }
+}
+
+shard::ShardOptions ShardConfig(bool batched, common::ThreadPool* pool) {
+  shard::ShardOptions options;
+  options.bounds = {120, 240};
+  options.base.kind = AdsKind::kGem2;
+  options.base.gem2.m = 2;
+  options.base.gem2.smax = 16;
+  options.base.wire_version = WireVersion::kV3;
+  options.base.client.batched_hashing = batched;
+  options.base.client.pool = pool;
+  return options;
+}
+
+// Two identical sharded worlds, one verifying serially and one with batched
+// hashing plus a client pool fanning the slices out: decisions, errors, and
+// merged objects must match bit-for-bit, for honest composites and for every
+// parse-surviving composite forgery.
+TEST(BatchedVerify, PooledCompositeMatchesSerialBitForBit) {
+  common::ThreadPool pool(3);
+  shard::ShardedDb serial_db(ShardConfig(false, nullptr));
+  shard::ShardedDb pooled_db(ShardConfig(true, &pool));
+  for (Key k = 1; k <= 60; ++k) {
+    const Object object{k * 5, "value-" + std::to_string(k % 3)};
+    ASSERT_TRUE(serial_db.Insert(object).ok);
+    ASSERT_TRUE(pooled_db.Insert(object).ok);
+  }
+  auto serial_states = serial_db.ReadChainState();
+  auto pooled_states = pooled_db.ReadChainState();
+
+  for (auto [lb, ub] : std::vector<std::pair<Key, Key>>{
+           {40, 220}, {0, 300}, {130, 250}, {600, 900}}) {
+    QueryResponse response = serial_db.Query(lb, ub);
+    VerifiedResult serial = serial_db.VerifyAgainst(serial_states, response);
+    VerifiedResult pooled = pooled_db.VerifyAgainst(pooled_states, response);
+    ExpectBitIdentical(serial, pooled, "honest composite");
+    EXPECT_TRUE(serial.ok) << serial.error;
+  }
+
+  fault::ResponseMutator mutator(fault::DeriveSeed(2727, 1), WireVersion::kV3);
+  QueryResponse full = serial_db.Query(0, 300);
+  ASSERT_EQ(full.slices.size(), 3u);
+  int parsed_count = 0;
+  for (int round = 0; round < 80; ++round) {
+    fault::CompositeMutation mutation = mutator.MutateComposite(full);
+    auto parsed = ParseResponse(mutation.wire);
+    if (!parsed.has_value()) continue;
+    ++parsed_count;
+    VerifiedResult serial = serial_db.VerifyAgainst(serial_states, *parsed);
+    VerifiedResult pooled = pooled_db.VerifyAgainst(pooled_states, *parsed);
+    ExpectBitIdentical(serial, pooled,
+                       fault::CompositeMutationOpName(mutation.op).c_str());
+    EXPECT_FALSE(serial.ok) << "composite forgery accepted: "
+                            << fault::CompositeMutationOpName(mutation.op);
+  }
+  EXPECT_GT(parsed_count, 20);
+}
+
+TEST(BatchedVerify, BatchedHashingIsTheDefaultAndV2TheWireDefault) {
+  DbOptions options;
+  EXPECT_TRUE(options.client.batched_hashing);
+  EXPECT_EQ(options.client.pool, nullptr);
+  EXPECT_EQ(options.wire_version, WireVersion::kV2);
+}
+
+}  // namespace
+}  // namespace gem2::core

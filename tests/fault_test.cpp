@@ -174,6 +174,136 @@ TEST(Mutator, EveryStructuredOperatorProducesARejectedImage) {
   EXPECT_EQ(applied, static_cast<int>(kAllMutationOps.size()));
 }
 
+// v3 sweep: same harness, forged images serialized in the compressed format,
+// every other round a v3-specific surgical wire operator. The duplicate-value
+// alphabet makes repeated value hashes (and therefore non-empty subtree
+// tables) common, so the table operators genuinely run.
+std::unique_ptr<AuthenticatedDb> MakeV3SweepDb(uint64_t seed) {
+  workload::WorkloadOptions wopts;
+  wopts.domain_max = 1'000'000;
+  wopts.seed = seed;
+  workload::WorkloadGenerator gen(wopts);
+
+  DbOptions options;
+  options.kind = AdsKind::kGem2Star;
+  options.gem2.m = 4;
+  options.gem2.smax = 64;
+  options.env.gas_limit = 1'000'000'000'000ull;
+  options.split_points = gen.SplitPoints(8);
+  options.wire_version = core::WireVersion::kV3;
+
+  auto db = std::make_unique<AuthenticatedDb>(options);
+  for (const workload::Operation& op : gen.Batch(300)) {
+    if (db->Contains(op.object.key)) continue;
+    EXPECT_TRUE(
+        db->Insert({op.object.key,
+                    "dup-" + std::to_string(static_cast<uint64_t>(op.object.key) % 3)})
+            .ok);
+  }
+  return db;
+}
+
+TEST(WireV3Adversary, FiveHundredForgeriesAllRejected) {
+  SeedReporter seed(6007);
+  auto db = MakeV3SweepDb(DeriveSeed(seed, 1));
+
+  AdversaryOptions options;
+  options.seed = seed;
+  options.mutations = 500;  // the acceptance floor, matching the v2 sweep
+  options.wire_version = core::WireVersion::kV3;
+  AdversaryReport report = RunAdversarialSweep(*db, options);
+
+  EXPECT_EQ(report.attempted, options.mutations);
+  EXPECT_TRUE(report.AllRejected())
+      << report.forged() << " forgeries accepted; first: "
+      << (report.forgeries.empty() ? "" : report.forgeries[0]);
+  EXPECT_EQ(report.rejected_parse + report.rejected_verify + report.canonical_noop,
+            report.attempted);
+  // Both rejection lines fire: the surgical operators mostly die in the
+  // codec, the structured catalogue on the verifier.
+  EXPECT_GT(report.rejected_verify, report.attempted / 8);
+  EXPECT_GT(report.rejected_parse, report.attempted / 8);
+
+  // The v3-specific operators all ran, alongside the structured catalogue.
+  for (WireV3MutationOp op : kAllWireV3MutationOps) {
+    EXPECT_GT(report.attempts_by_op[WireV3MutationOpName(op)], 0)
+        << WireV3MutationOpName(op);
+  }
+  EXPECT_GT(report.attempts_by_op[MutationOpName(MutationOp::kShiftRangeBounds)], 0);
+
+  // The adversary must not have perturbed the database.
+  EXPECT_TRUE(db->AuthenticatedRange(0, 1'000'000).ok);
+}
+
+TEST(WireV3Adversary, ReportReproducesFromSeedAlone) {
+  SeedReporter seed(6121);
+  auto db = MakeV3SweepDb(DeriveSeed(seed, 1));
+
+  AdversaryOptions options;
+  options.seed = seed;
+  options.mutations = 120;
+  options.wire_version = core::WireVersion::kV3;
+  const AdversaryReport first = RunAdversarialSweep(*db, options);
+  EXPECT_EQ(RunAdversarialSweep(*db, options), first);
+
+  auto rebuilt = MakeV3SweepDb(DeriveSeed(seed, 1));
+  EXPECT_EQ(RunAdversarialSweep(*rebuilt, options), first);
+}
+
+// Each v3 surgical operator, applied directly, yields a rejected image.
+// GEM2* over a three-string value alphabet gives this range a subtree table
+// with several slots, so the table operators apply; the MB-tree response has
+// an empty table, so they must decline rather than forge a no-op.
+TEST(Mutator, EveryWireV3OperatorProducesARejectedImage) {
+  SeedReporter seed(90210);
+  DbOptions options;
+  options.kind = AdsKind::kGem2Star;
+  options.gem2.m = 2;
+  options.gem2.smax = 16;
+  options.split_points = {100, 200};
+  auto db = std::make_unique<AuthenticatedDb>(options);
+  for (Key k = 1; k <= 60; ++k) {
+    ASSERT_TRUE(db->Insert({k * 5, "value-" + std::to_string(k % 3)}).ok);
+  }
+  const core::QueryResponse response = db->Query(40, 220);
+  ASSERT_TRUE(db->VerifyFor(40, 220, response).ok);
+
+  ResponseMutator mutator(DeriveSeed(seed, 2), core::WireVersion::kV3);
+  for (WireV3MutationOp op : kAllWireV3MutationOps) {
+    std::optional<WireV3Mutation> m = mutator.ApplyWireV3(op, response);
+    ASSERT_TRUE(m.has_value()) << WireV3MutationOpName(op);
+    EXPECT_EQ(m->op, op);
+    core::VerifiedResult vr = db->VerifyWire(40, 220, m->wire);
+    EXPECT_FALSE(vr.ok) << WireV3MutationOpName(op) << " accepted";
+  }
+
+  // kTableEntrySwap must parse (the forged hashes are well-formed) and die
+  // on the verifier — the attack the table indirection must not enable.
+  std::optional<WireV3Mutation> swap =
+      mutator.ApplyWireV3(WireV3MutationOp::kTableEntrySwap, response);
+  ASSERT_TRUE(swap.has_value());
+  auto parsed = core::ParseResponse(swap->wire);
+  ASSERT_TRUE(parsed.has_value()) << "table swap should survive the codec";
+  EXPECT_FALSE(db->VerifyFor(40, 220, *parsed).ok);
+
+  // Without a table the table operators decline instead of fabricating
+  // something unrelated.
+  DbOptions mb;
+  mb.kind = AdsKind::kMbTree;
+  auto mb_db = std::make_unique<AuthenticatedDb>(mb);
+  for (Key k = 1; k <= 60; ++k) {
+    ASSERT_TRUE(mb_db->Insert({k * 5, "value-" + std::to_string(k % 3)}).ok);
+  }
+  const core::QueryResponse mb_response = mb_db->Query(40, 220);
+  EXPECT_FALSE(mutator.ApplyWireV3(WireV3MutationOp::kTableEntrySwap, mb_response)
+                   .has_value());
+  // The chain operators still work there.
+  std::optional<WireV3Mutation> delta =
+      mutator.ApplyWireV3(WireV3MutationOp::kDeltaKeyCorrupt, mb_response);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_FALSE(mb_db->VerifyWire(40, 220, delta->wire).ok);
+}
+
 TEST(SeedPlumbing, DeriveSeedSeparatesStreams) {
   EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(1, 1));
   EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
