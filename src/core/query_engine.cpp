@@ -98,11 +98,18 @@ std::vector<QueryResponse> SpQueryEngine::QueryBatch(
 }
 
 Bytes SpQueryEngine::QueryWire(Key lb, Key ub) const {
+  Bytes out;
+  QueryWireInto(lb, ub, &out);
+  return out;
+}
+
+void SpQueryEngine::QueryWireInto(Key lb, Key ub, Bytes* out) const {
   telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
   TELEMETRY_SPAN("sp_engine.query_wire");
   std::shared_lock<std::shared_mutex> lock(mutex_);
   QueryResponse response = db_->Query(lb, ub);
-  return WrapTracedWire(response.trace, SerializeResponse(response));
+  WrapTracedWireHeaderInto(response.trace, out);
+  SerializeResponseInto(response, db_->wire_version(), out);
 }
 
 VerifiedResult SpQueryEngine::VerifyFor(Key lb, Key ub,

@@ -66,8 +66,14 @@ class SpQueryEngine {
   /// the same epoch — parallel_equivalence_test asserts this.
   std::vector<QueryResponse> QueryBatch(const std::vector<KeyRange>& ranges) const;
 
-  /// Query + wire serialization under one shared-lock acquisition.
+  /// Query + wire serialization under one shared-lock acquisition, in the
+  /// store's configured wire version.
   Bytes QueryWire(Key lb, Key ub) const;
+
+  /// As QueryWire, but appends to `*out` (bit-identical bytes): the serving
+  /// front-end's no-copy path — the reactor encodes a frame header, then the
+  /// worker serializes the response image directly behind it.
+  void QueryWireInto(Key lb, Key ub, Bytes* out) const;
 
   // --- Client interface (exclusive: verification advances the light client)
 

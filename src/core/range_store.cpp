@@ -28,11 +28,17 @@ void CountWireBytes(const Bytes& image) {
 }  // namespace
 
 Bytes RangeStore::QueryWire(Key lb, Key ub) const {
+  Bytes out;
+  QueryWireInto(lb, ub, &out);
+  return out;
+}
+
+void RangeStore::QueryWireInto(Key lb, Key ub, Bytes* out) const {
   QueryResponse response = Query(lb, ub);
-  Bytes image = SerializeResponse(response, wire_version());
   // The trace context travels as a framed envelope *around* the image: the
   // authenticated bytes inside stay identical to SerializeResponse output.
-  return WrapTracedWire(response.trace, image);
+  WrapTracedWireHeaderInto(response.trace, out);
+  SerializeResponseInto(response, wire_version(), out);
 }
 
 VerifiedResult RangeStore::Verify(const QueryResponse& response) {

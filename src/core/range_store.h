@@ -82,6 +82,13 @@ class RangeStore {
   /// Serializes in the backend's configured wire version (wire_version()).
   virtual Bytes QueryWire(Key lb, Key ub) const;
 
+  /// As QueryWire, but appends the (traced-envelope + image) bytes to `*out`
+  /// instead of returning a fresh buffer: a serving front-end writes the
+  /// response straight into a connection's outbound buffer, after the frame
+  /// header it has already encoded, with no per-response image copy. The
+  /// appended bytes are bit-identical to QueryWire's return value.
+  virtual void QueryWireInto(Key lb, Key ub, Bytes* out) const;
+
   /// Wire format QueryWire serializes responses as. Clients parse any
   /// supported version off the image's leading byte, so SPs can switch
   /// versions without coordination.

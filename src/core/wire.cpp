@@ -137,34 +137,54 @@ std::optional<QueryResponse> ParseV2(const Bytes& data);
 
 }  // namespace
 
-Bytes SerializeResponse(const QueryResponse& response) {
-  Bytes out;
-  out.push_back(kFormatVersion);
+namespace {
+
+void SerializeV2Into(const QueryResponse& response, Bytes* out) {
+  out->push_back(kFormatVersion);
   if (response.slices.empty()) {
-    out.push_back(kKindSingle);
-    SerializeSingleBody(&out, response);
-    return out;
+    out->push_back(kKindSingle);
+    SerializeSingleBody(out, response);
+    return;
   }
   // Composite: the gathered range plus one length-prefixed full single image
   // per shard slice. Embedding complete images (version + kind + body) keeps
   // the slice codec identical to the standalone one, so sub-responses
   // round-trip through the same parser the client uses for single responses.
-  out.push_back(kKindComposite);
-  AppendKey(&out, response.lb);
-  AppendKey(&out, response.ub);
-  AppendUint64(&out, response.slices.size());
+  out->push_back(kKindComposite);
+  AppendKey(out, response.lb);
+  AppendKey(out, response.ub);
+  AppendUint64(out, response.slices.size());
+  Bytes inner;
   for (const ShardSlice& slice : response.slices) {
-    AppendUint64(&out, slice.shard);
-    Bytes inner = SerializeResponse(slice.response);
-    AppendUint64(&out, inner.size());
-    out.insert(out.end(), inner.begin(), inner.end());
+    AppendUint64(out, slice.shard);
+    inner.clear();
+    SerializeV2Into(slice.response, &inner);
+    AppendUint64(out, inner.size());
+    out->insert(out->end(), inner.begin(), inner.end());
   }
+}
+
+}  // namespace
+
+Bytes SerializeResponse(const QueryResponse& response) {
+  Bytes out;
+  SerializeV2Into(response, &out);
   return out;
 }
 
 Bytes SerializeResponse(const QueryResponse& response, WireVersion version) {
-  if (version == WireVersion::kV3) return wirev3::Serialize(response);
-  return SerializeResponse(response);
+  Bytes out;
+  SerializeResponseInto(response, version, &out);
+  return out;
+}
+
+void SerializeResponseInto(const QueryResponse& response, WireVersion version,
+                           Bytes* out) {
+  if (version == WireVersion::kV3) {
+    wirev3::SerializeInto(response, out);
+  } else {
+    SerializeV2Into(response, out);
+  }
 }
 
 namespace {
@@ -227,12 +247,18 @@ Bytes WrapTracedWire(const telemetry::TraceContext& trace, const Bytes& image) {
   if (!trace.valid()) return image;
   Bytes out;
   out.reserve(kTracedWireHeader + image.size());
-  out.insert(out.end(), kTracedWireMagic, kTracedWireMagic + 4);
-  AppendUint64(&out, trace.trace_hi);
-  AppendUint64(&out, trace.trace_lo);
-  AppendUint64(&out, trace.parent_span);
+  WrapTracedWireHeaderInto(trace, &out);
   out.insert(out.end(), image.begin(), image.end());
   return out;
+}
+
+void WrapTracedWireHeaderInto(const telemetry::TraceContext& trace,
+                              Bytes* out) {
+  if (!trace.valid()) return;
+  out->insert(out->end(), kTracedWireMagic, kTracedWireMagic + 4);
+  AppendUint64(out, trace.trace_hi);
+  AppendUint64(out, trace.trace_lo);
+  AppendUint64(out, trace.parent_span);
 }
 
 TracedWire UnwrapTracedWire(const Bytes& data) {

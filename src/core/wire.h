@@ -29,6 +29,13 @@ Bytes SerializeResponse(const QueryResponse& response);
 /// Serializes a full query response in the requested wire version.
 Bytes SerializeResponse(const QueryResponse& response, WireVersion version);
 
+/// Appends the serialized response to `*out` — byte-identical to
+/// SerializeResponse(response, version) but without the intermediate Bytes,
+/// so a server can encode the image straight into a connection's outbound
+/// buffer (after any framing prefix it has already written).
+void SerializeResponseInto(const QueryResponse& response, WireVersion version,
+                           Bytes* out);
+
 /// Parses a serialized response of any supported version (dispatching on the
 /// leading version byte); std::nullopt on malformed input. A parsed response
 /// carries exactly the same verification guarantees: the client verifies it
@@ -44,6 +51,12 @@ std::optional<QueryResponse> ParseResponse(const Bytes& data);
 /// and fail-closed parsing are unaffected. An invalid context returns the
 /// image unframed.
 Bytes WrapTracedWire(const telemetry::TraceContext& trace, const Bytes& image);
+
+/// Appends just the GTW1 envelope header for `trace` to `*out` (nothing when
+/// the context is invalid). Appending the wire image immediately after yields
+/// bytes identical to WrapTracedWire(trace, image) — the buffer-reuse spelling
+/// of the same envelope.
+void WrapTracedWireHeaderInto(const telemetry::TraceContext& trace, Bytes* out);
 
 struct TracedWire {
   telemetry::TraceContext trace;

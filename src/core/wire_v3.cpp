@@ -429,28 +429,32 @@ std::optional<TableInfo> LocateTable(const Bytes& image) {
 }
 
 Bytes Serialize(const QueryResponse& response) {
-  const HashTable table = BuildTable(response);
   Bytes out;
-  out.push_back(kVersion);
-  out.push_back(response.slices.empty() ? kKindSingle : kKindComposite);
-  AppendVarint(&out, table.entries.size());
-  for (const Hash& h : table.entries) AppendHash(&out, h);
+  SerializeInto(response, &out);
+  return out;
+}
+
+void SerializeInto(const QueryResponse& response, Bytes* out) {
+  const HashTable table = BuildTable(response);
+  out->push_back(kVersion);
+  out->push_back(response.slices.empty() ? kKindSingle : kKindComposite);
+  AppendVarint(out, table.entries.size());
+  for (const Hash& h : table.entries) AppendHash(out, h);
   if (response.slices.empty()) {
-    SerializeBody(response, table, &out);
-    return out;
+    SerializeBody(response, table, out);
+    return;
   }
-  AppendZigzag(&out, static_cast<int64_t>(response.lb));
-  AppendVarint(&out, U(response.ub) - U(response.lb));
-  AppendVarint(&out, response.slices.size());
+  AppendZigzag(out, static_cast<int64_t>(response.lb));
+  AppendVarint(out, U(response.ub) - U(response.lb));
+  AppendVarint(out, response.slices.size());
   Bytes body;
   for (const ShardSlice& slice : response.slices) {
-    AppendVarint(&out, slice.shard);
+    AppendVarint(out, slice.shard);
     body.clear();
     SerializeBody(slice.response, table, &body);
-    AppendVarint(&out, body.size());
-    out.insert(out.end(), body.begin(), body.end());
+    AppendVarint(out, body.size());
+    out->insert(out->end(), body.begin(), body.end());
   }
-  return out;
 }
 
 std::optional<QueryResponse> Parse(const Bytes& data) {

@@ -78,6 +78,10 @@ std::optional<TableInfo> LocateTable(const Bytes& image);
 /// Serializes a full query response as a v3 image.
 Bytes Serialize(const QueryResponse& response);
 
+/// Appends the v3 image to `*out` (byte-identical to Serialize) so callers
+/// can encode into an already-framed outbound buffer without a copy.
+void SerializeInto(const QueryResponse& response, Bytes* out);
+
 /// Parses a v3 image; std::nullopt on malformed (or non-canonical) input.
 std::optional<QueryResponse> Parse(const Bytes& data);
 

@@ -1,0 +1,64 @@
+/// \file chaos.h
+/// In-process socket chaos: a TCP proxy that sits in front of the real SP
+/// listener and replays the fault layer's deterministic flaky-channel
+/// operators — drop, truncate, corrupt, reorder/stale, duplicate, latency —
+/// against *live* response traffic.
+///
+/// Requests pass upstream untouched. Each complete response frame coming
+/// back is pushed through a seeded fault::FlakyChannel: the resulting
+/// packets (zero = dropped, two = duplicated, possibly corrupted, truncated,
+/// or a stale earlier frame) are delivered downstream after the channel's
+/// injected latency, scaled to real time. Because the operators run on the
+/// framed bytes, damage lands exactly where a hostile network would put it:
+/// in the frame header (client framing fails closed, reconnect + retry) or
+/// in the authenticated image (client verification rejects — the 100%
+/// forgery-rejection property, now demonstrated over real sockets).
+///
+/// Every schedule is a pure function of the seed, like every other fault
+/// stream (fault.h): a failing chaos run reproduces from the logged seed.
+#ifndef GEM2_NET_CHAOS_H_
+#define GEM2_NET_CHAOS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "fault/transport.h"
+
+namespace gem2::net {
+
+struct ChaosOptions {
+  /// Per-response-frame fault operators (the same knobs FlakyChannel takes
+  /// in the in-memory harness).
+  fault::ChannelOptions channel;
+  uint64_t seed = 1;
+  /// Injected virtual latency is delivered as `latency_us * latency_scale`
+  /// real microseconds; 0 delivers immediately.
+  double latency_scale = 1.0;
+};
+
+class ChaosProxy {
+ public:
+  /// Proxies 127.0.0.1:<ephemeral> -> 127.0.0.1:upstream_port.
+  ChaosProxy(uint16_t upstream_port, ChaosOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// The port clients should connect to (valid after Start()).
+  uint16_t port() const;
+
+  /// The underlying channel's operator counts (sent/dropped/corrupted/...).
+  fault::ChannelStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gem2::net
+
+#endif  // GEM2_NET_CHAOS_H_

@@ -1,0 +1,89 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <vector>
+
+namespace gem2::net {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Reactor::Reactor() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) ThrowErrno("epoll_create1");
+  event_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (event_fd_ < 0) {
+    close(epoll_fd_);
+    ThrowErrno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.u64 = kWakeupTag;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) != 0) {
+    close(event_fd_);
+    close(epoll_fd_);
+    ThrowErrno("epoll_ctl(eventfd)");
+  }
+}
+
+Reactor::~Reactor() {
+  if (event_fd_ >= 0) close(event_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+void Reactor::Add(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events | EPOLLET;
+  ev.data.u64 = tag;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) ThrowErrno("epoll_ctl(add)");
+}
+
+void Reactor::Modify(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events | EPOLLET;
+  ev.data.u64 = tag;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) ThrowErrno("epoll_ctl(mod)");
+}
+
+void Reactor::Remove(int fd) {
+  // Ignore failures: the fd may already have been closed by the kernel side.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int Reactor::Wait(Event* events, int max_events, int timeout_ms) {
+  std::vector<epoll_event> raw(static_cast<size_t>(max_events));
+  int n;
+  do {
+    n = epoll_wait(epoll_fd_, raw.data(), max_events, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) ThrowErrno("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    events[i].tag = raw[static_cast<size_t>(i)].data.u64;
+    events[i].events = raw[static_cast<size_t>(i)].events;
+    if (events[i].tag == kWakeupTag) {
+      // Drain the eventfd so the edge re-arms; the tick count is irrelevant.
+      uint64_t tick = 0;
+      while (read(event_fd_, &tick, sizeof(tick)) > 0) {
+      }
+    }
+  }
+  return n;
+}
+
+void Reactor::Wakeup() {
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t rc = write(event_fd_, &one, sizeof(one));
+}
+
+}  // namespace gem2::net

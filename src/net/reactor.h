@@ -1,0 +1,58 @@
+/// \file reactor.h
+/// A thin edge-triggered epoll wrapper with an eventfd wakeup channel: the
+/// event-demultiplexing core of the SP service front-end.
+///
+/// One thread owns the reactor and sits in Wait(); any other thread may call
+/// Wakeup() (async-signal-safe, lock-free) to interrupt the wait — this is
+/// how worker threads hand completed responses back to the event loop.
+/// Registration is edge-triggered (EPOLLET is OR'd into every Add/Modify),
+/// so the owner must drain readable/writable fds to EAGAIN before the next
+/// Wait — the server's read/write loops do exactly that.
+#ifndef GEM2_NET_REACTOR_H_
+#define GEM2_NET_REACTOR_H_
+
+#include <cstdint>
+
+namespace gem2::net {
+
+class Reactor {
+ public:
+  /// Tag Wait() reports for eventfd wakeups. User tags must not collide.
+  static constexpr uint64_t kWakeupTag = ~0ull;
+
+  /// Throws std::system_error if epoll_create1 or eventfd fails.
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT; EPOLLET is implied).
+  /// `tag` comes back in Event::tag.
+  void Add(int fd, uint32_t events, uint64_t tag);
+  void Modify(int fd, uint32_t events, uint64_t tag);
+  void Remove(int fd);
+
+  struct Event {
+    uint64_t tag = 0;
+    uint32_t events = 0;
+  };
+
+  /// Blocks up to `timeout_ms` (-1 = forever) and fills `events`. Returns
+  /// the number of events delivered; eventfd ticks surface as kWakeupTag
+  /// (already drained). EINTR is retried internally.
+  int Wait(Event* events, int max_events, int timeout_ms);
+
+  /// Interrupts a concurrent Wait(). Callable from any thread.
+  void Wakeup();
+
+  int fd() const { return epoll_fd_; }
+
+ private:
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+};
+
+}  // namespace gem2::net
+
+#endif  // GEM2_NET_REACTOR_H_

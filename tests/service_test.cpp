@@ -1,0 +1,456 @@
+// SP service front-end behavior over real sockets: end-to-end authenticated
+// queries through the epoll reactor, the no-copy QueryWireInto path is
+// byte-identical to QueryWire, admission control sheds with explicit BUSY
+// frames, pipelined responses correlate by request id, slow-loris senders
+// are served while slow readers are disconnected, malformed and oversized
+// frames fail closed, clean shutdown flushes in-flight responses, and the
+// whole thing shows up in metrics / introspection / Prometheus.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "core/authenticated_db.h"
+#include "core/query_engine.h"
+#include "fault/fault.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "seed_util.h"
+#include "shard/sharded_db.h"
+#include "telemetry/introspect.h"
+#include "telemetry/metrics.h"
+#include "workload/workload.h"
+
+namespace gem2::net {
+namespace {
+
+using core::AdsKind;
+using core::AuthenticatedDb;
+using core::DbOptions;
+using core::WireVersion;
+using fault::DeriveSeed;
+using testutil::SeedReporter;
+
+std::unique_ptr<AuthenticatedDb> MakeDb(uint64_t seed, WireVersion version,
+                                        size_t n = 300) {
+  workload::WorkloadOptions wopts;
+  wopts.domain_max = 100'000;
+  wopts.seed = seed;
+  workload::WorkloadGenerator gen(wopts);
+
+  DbOptions options;
+  options.kind = AdsKind::kGem2;
+  options.gem2.m = 4;
+  options.gem2.smax = 64;
+  options.wire_version = version;
+  options.env.gas_limit = 1'000'000'000'000ull;
+  auto db = std::make_unique<AuthenticatedDb>(options);
+  for (const workload::Operation& op : gen.Batch(n)) {
+    if (!db->Contains(op.object.key)) {
+      EXPECT_TRUE(db->Insert(op.object).ok);
+    }
+  }
+  return db;
+}
+
+/// Spins until `pred` holds or ~2s elapse; returns the final evaluation.
+template <typename Pred>
+bool Eventually(Pred pred) {
+  for (int i = 0; i < 400; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+// --- Satellite: QueryWireInto is the no-copy twin of QueryWire -------------
+
+TEST(QueryWireInto, ByteIdenticalToQueryWireAllBackends) {
+  SeedReporter seed(11);
+  const struct {
+    const char* name;
+    WireVersion version;
+  } versions[] = {{"v2", WireVersion::kV2}, {"v3", WireVersion::kV3}};
+  for (const auto& v : versions) {
+    auto db = MakeDb(DeriveSeed(seed, 1), v.version);
+    for (const auto& [lb, ub] : std::vector<std::pair<Key, Key>>{
+             {0, 100'000}, {10, 10}, {50'000, 40'000}, {-100, 250}}) {
+      // Fixed trace + frozen response: the append path must reproduce the
+      // copying path bit for bit, envelope included.
+      const core::QueryResponse response = db->Query(lb, ub);
+      const Bytes image = core::SerializeResponse(response, v.version);
+      const Bytes reference = core::WrapTracedWire(response.trace, image);
+      Bytes appended{0xde, 0xad};  // the "frame header" already in the buffer
+      core::WrapTracedWireHeaderInto(response.trace, &appended);
+      core::SerializeResponseInto(response, v.version, &appended);
+      ASSERT_EQ(appended.size(), 2 + reference.size()) << v.name;
+      EXPECT_EQ(appended[0], 0xde);
+      EXPECT_TRUE(std::equal(reference.begin(), reference.end(),
+                             appended.begin() + 2))
+          << v.name << " [" << lb << "," << ub << "]";
+
+      // Across two live queries only the telemetry envelope may differ
+      // (fresh span ids) — the authenticated image is identical.
+      const Bytes a = db->QueryWire(lb, ub);
+      Bytes b;
+      db->QueryWireInto(lb, ub, &b);
+      EXPECT_EQ(core::UnwrapTracedWire(a).image, core::UnwrapTracedWire(b).image)
+          << v.name << " [" << lb << "," << ub << "]";
+    }
+  }
+}
+
+TEST(QueryWireInto, ByteIdenticalOnShardedCompositeResponses) {
+  SeedReporter seed(12);
+  shard::ShardOptions sopts;
+  sopts.base.kind = AdsKind::kGem2;
+  sopts.base.gem2.m = 4;
+  sopts.base.gem2.smax = 64;
+  sopts.base.env.gas_limit = 1'000'000'000'000ull;
+  sopts.bounds = {25'000, 50'000, 75'000};
+  shard::ShardedDb db(sopts);
+
+  workload::WorkloadOptions wopts;
+  wopts.domain_max = 100'000;
+  wopts.seed = DeriveSeed(seed, 1);
+  workload::WorkloadGenerator gen(wopts);
+  for (const workload::Operation& op : gen.Batch(200)) {
+    if (!db.Contains(op.object.key)) {
+      ASSERT_TRUE(db.Insert(op.object).ok);
+    }
+  }
+
+  // The cross-shard range exercises the composite (multi-slice) serializer.
+  const core::QueryResponse response = db.Query(10'000, 90'000);
+  const Bytes reference = core::SerializeResponse(response, db.wire_version());
+  Bytes appended;
+  core::SerializeResponseInto(response, db.wire_version(), &appended);
+  EXPECT_EQ(appended, reference);
+
+  const Bytes a = db.QueryWire(10'000, 90'000);
+  Bytes b;
+  db.QueryWireInto(10'000, 90'000, &b);
+  EXPECT_EQ(core::UnwrapTracedWire(a).image, core::UnwrapTracedWire(b).image);
+}
+
+TEST(QueryWireInto, EngineMatchesStoreAndHonorsWireVersion) {
+  SeedReporter seed(13);
+  auto db = MakeDb(DeriveSeed(seed, 1), WireVersion::kV3);
+  core::SpQueryEngine engine(db.get());
+  const Bytes image = core::UnwrapTracedWire(db->QueryWire(0, 100'000)).image;
+  // The engine serves in the store's configured wire version (v3 here), via
+  // both the copying and the append spelling.
+  EXPECT_EQ(core::UnwrapTracedWire(engine.QueryWire(0, 100'000)).image, image);
+  Bytes from_engine;
+  engine.QueryWireInto(0, 100'000, &from_engine);
+  EXPECT_EQ(core::UnwrapTracedWire(from_engine).image, image);
+}
+
+// --- Server behavior over live sockets -------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void StartServer(WireVersion version, ServerOptions options = {}) {
+    db_ = MakeDb(DeriveSeed(seed_, 1), version);
+    engine_ = std::make_unique<core::SpQueryEngine>(db_.get());
+    server_ = std::make_unique<SpServer>(*engine_, options);
+    server_->Start();
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  /// Sends one query and verifies the response against the ground truth.
+  void QueryAndVerify(FrameClient& client, uint64_t request_id, Key lb,
+                      Key ub) {
+    ASSERT_TRUE(client.SendQuery(request_id, lb, ub, 2000)) << client.error();
+    const auto frame = client.ReadFrame(5000);
+    ASSERT_TRUE(frame.has_value()) << client.error();
+    ASSERT_EQ(frame->type, FrameType::kResponse);
+    EXPECT_EQ(frame->request_id, request_id);
+    VerifyBody(lb, ub, frame->body);
+  }
+
+  void VerifyBody(Key lb, Key ub, const Bytes& body) {
+    core::VerifiedResult vr = db_->VerifyWire(lb, ub, body);
+    ASSERT_TRUE(vr.ok) << vr.error;
+    const core::VerifiedResult truth = db_->AuthenticatedRange(lb, ub);
+    ASSERT_TRUE(truth.ok) << truth.error;
+    ASSERT_EQ(vr.objects.size(), truth.objects.size());
+    for (size_t i = 0; i < truth.objects.size(); ++i) {
+      EXPECT_EQ(vr.objects[i].key, truth.objects[i].key);
+      EXPECT_EQ(vr.objects[i].value, truth.objects[i].value);
+    }
+  }
+
+  SeedReporter seed_{77};
+  std::unique_ptr<AuthenticatedDb> db_;
+  std::unique_ptr<core::SpQueryEngine> engine_;
+  std::unique_ptr<SpServer> server_;
+};
+
+TEST_F(ServiceTest, EndToEndQueryVerifiesV2) {
+  StartServer(WireVersion::kV2);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+  QueryAndVerify(client, 1, 0, 100'000);
+  QueryAndVerify(client, 2, 42, 50'000);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.responses, 2u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST_F(ServiceTest, EndToEndQueryVerifiesV3) {
+  StartServer(WireVersion::kV3);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+  QueryAndVerify(client, 9, 0, 100'000);
+}
+
+TEST_F(ServiceTest, PipelinedResponsesCorrelateByRequestId) {
+  StartServer(WireVersion::kV2);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+
+  // Fire 32 distinct ranges down one connection before reading anything;
+  // workers may answer out of order, the request id is the correlator.
+  std::map<uint64_t, std::pair<Key, Key>> ranges;
+  for (uint64_t id = 1; id <= 32; ++id) {
+    const Key lb = Key(id) * 1000;
+    const Key ub = lb + 20'000;
+    ranges.emplace(id, std::make_pair(lb, ub));
+    ASSERT_TRUE(client.SendQuery(id, lb, ub, 2000)) << client.error();
+  }
+  std::map<uint64_t, Bytes> bodies;
+  while (bodies.size() < ranges.size()) {
+    const auto frame = client.ReadFrame(5000);
+    ASSERT_TRUE(frame.has_value()) << client.error();
+    ASSERT_EQ(frame->type, FrameType::kResponse);
+    ASSERT_TRUE(ranges.count(frame->request_id));
+    EXPECT_TRUE(bodies.emplace(frame->request_id, frame->body).second)
+        << "duplicate response for id " << frame->request_id;
+  }
+  // Verify after the socket is drained: workers are idle now, so client-side
+  // light-client sync cannot overlap server-side query execution.
+  for (const auto& [id, range] : ranges) {
+    VerifyBody(range.first, range.second, bodies.at(id));
+  }
+}
+
+TEST_F(ServiceTest, AdmissionControlShedsWithExplicitBusyFrames) {
+  ServerOptions options;
+  options.max_in_flight = 0;  // nothing is ever admitted
+  StartServer(WireVersion::kV2, options);
+
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+  ASSERT_TRUE(client.SendQuery(5, 0, 100, 2000));
+  const auto frame = client.ReadFrame(5000);
+  ASSERT_TRUE(frame.has_value()) << client.error();
+  EXPECT_EQ(frame->type, FrameType::kBusy);
+  EXPECT_EQ(frame->request_id, 5u);
+  // The connection survives a shed: the client backs off and retries.
+  ASSERT_TRUE(client.SendQuery(6, 0, 100, 2000));
+  const auto again = client.ReadFrame(5000);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->type, FrameType::kBusy);
+
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.responses, 0u);
+  EXPECT_GE(telemetry::MetricsRegistry::Global()
+                .counter("service.shed")
+                .value(),
+            2u);
+}
+
+TEST_F(ServiceTest, RetryingSocketClientSeesBusyAndDegradesGracefully) {
+  ServerOptions options;
+  options.max_in_flight = 0;
+  StartServer(WireVersion::kV2, options);
+
+  fault::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.attempt_timeout_us = 200'000;
+  policy.deadline_us = 2'000'000;
+  RetryingSocketClient client(*db_, server_->port(), policy,
+                              DeriveSeed(seed_, 9));
+  const SocketOutcome outcome = client.AuthenticatedRange(0, 1000);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_EQ(outcome.busy_responses, 3u);  // every attempt saw an explicit shed
+}
+
+TEST_F(ServiceTest, SlowLorisSenderIsStillServed) {
+  StartServer(WireVersion::kV2);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+
+  // Dribble the query frame a byte at a time; the reactor must buffer the
+  // partial frame across reads without blocking anyone else.
+  const Bytes query = EncodeQueryFrame(3, 100, 5000);
+  for (const uint8_t byte : query) {
+    Bytes one{byte};
+    ASSERT_TRUE(client.Send(one, 2000)) << client.error();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto frame = client.ReadFrame(5000);
+  ASSERT_TRUE(frame.has_value()) << client.error();
+  ASSERT_EQ(frame->type, FrameType::kResponse);
+  EXPECT_EQ(frame->request_id, 3u);
+  VerifyBody(100, 5000, frame->body);
+}
+
+TEST_F(ServiceTest, GarbageInputGetsErrorFrameThenDisconnect) {
+  StartServer(WireVersion::kV2);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+  Bytes garbage(64, 0x5a);
+  ASSERT_TRUE(client.Send(garbage, 2000));
+  const auto frame = client.ReadFrame(5000);
+  ASSERT_TRUE(frame.has_value()) << client.error();
+  EXPECT_EQ(frame->type, FrameType::kError);
+  // After the diagnostic the server drops the connection — fail closed,
+  // never resynchronize.
+  const auto eof = client.ReadFrame(5000);
+  EXPECT_FALSE(eof.has_value());
+  EXPECT_FALSE(client.connected());
+  EXPECT_TRUE(Eventually([&] { return server_->stats().protocol_errors > 0; }));
+}
+
+TEST_F(ServiceTest, OversizedFrameRejectedFromHeaderAlone) {
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  StartServer(WireVersion::kV2, options);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+  Bytes header;
+  AppendFrameHeader(&header, FrameType::kQuery, 1, 1u << 20);
+  ASSERT_TRUE(client.Send(header, 2000));
+  const auto frame = client.ReadFrame(5000);
+  ASSERT_TRUE(frame.has_value()) << client.error();
+  EXPECT_EQ(frame->type, FrameType::kError);
+  const auto eof = client.ReadFrame(5000);
+  EXPECT_FALSE(eof.has_value());
+}
+
+TEST_F(ServiceTest, SlowReaderIsDisconnectedNotBuffered) {
+  ServerOptions options;
+  options.max_outbound_bytes = 64 * 1024;
+  StartServer(WireVersion::kV2, options);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+
+  // Never read; keep asking for the full domain until kernel socket buffers
+  // fill and the server-side outbound buffer blows through its bound.
+  for (uint64_t id = 1; id <= 4096; ++id) {
+    if (!client.SendQuery(id, 0, 100'000, 100)) break;  // send may jam; fine
+    if (server_->stats().disconnected_slow > 0) break;
+  }
+  EXPECT_TRUE(
+      Eventually([&] { return server_->stats().disconnected_slow > 0; }));
+}
+
+TEST_F(ServiceTest, CleanShutdownFlushesInFlightResponses) {
+  ServerOptions options;
+  options.worker_threads = 2;
+  StartServer(WireVersion::kV2, options);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+  // Small responses: the flush must fit kernel socket buffers even though
+  // this client only starts reading after Stop() returns.
+  const int kInFlight = 16;
+  for (uint64_t id = 1; id <= kInFlight; ++id) {
+    ASSERT_TRUE(client.SendQuery(id, 0, 5'000, 2000));
+  }
+  // Only *admitted* queries survive shutdown — frames still in socket
+  // buffers when Stop lands may never be read. Wait for admission, then
+  // stop while the two workers still have most of the queue ahead of them.
+  ASSERT_TRUE(Eventually(
+      [&] { return server_->stats().requests >= uint64_t(kInFlight); }));
+  server_->Stop();
+  int responses = 0;
+  std::map<uint64_t, Bytes> bodies;
+  while (true) {
+    const auto frame = client.ReadFrame(2000);
+    if (!frame.has_value()) break;  // EOF after the flush
+    ASSERT_EQ(frame->type, FrameType::kResponse);
+    bodies.emplace(frame->request_id, frame->body);
+    ++responses;
+  }
+  EXPECT_EQ(responses, kInFlight);
+  for (const auto& [id, body] : bodies) VerifyBody(0, 5'000, body);
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServiceTest, TelemetryIntrospectionAndPrometheusExposeService) {
+  StartServer(WireVersion::kV2);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+  QueryAndVerify(client, 1, 0, 100'000);
+
+  // Provider facts while running...
+  const telemetry::ProviderFacts facts =
+      telemetry::Introspection::Global().Collect();
+  // Collect() prefixes each fact with its provider name: the server
+  // registers as "service" and its facts are already "service.*"-named.
+  auto fact = [&](const std::string& key) -> const uint64_t* {
+    for (const auto& [k, v] : facts) {
+      if (k == "service.service." + key) return &v;
+    }
+    return nullptr;
+  };
+  const uint64_t* port = fact("port");
+  ASSERT_NE(port, nullptr) << "service provider facts missing";
+  EXPECT_EQ(*port, server_->port());
+  ASSERT_NE(fact("accepted_total"), nullptr);
+  EXPECT_GE(*fact("accepted_total"), 1u);
+
+  // ...service.* metrics in the registry and the Prometheus exposition.
+  auto& reg = telemetry::MetricsRegistry::Global();
+  EXPECT_GE(reg.counter("service.requests").value(), 1u);
+  EXPECT_GE(reg.counter("service.responses").value(), 1u);
+  const std::string prom = telemetry::PrometheusExposition();
+  EXPECT_NE(prom.find("gem2_service_requests_total"), std::string::npos);
+  EXPECT_NE(prom.find("gem2_service_request_ns_query"), std::string::npos);
+
+  // Stop unregisters the provider: no stale facts from a dead server.
+  server_->Stop();
+  for (const auto& [k, v] : telemetry::Introspection::Global().Collect()) {
+    EXPECT_TRUE(k.rfind("service.", 0) != 0) << k;
+  }
+}
+
+TEST_F(ServiceTest, ManyConnectionsQueryConcurrently) {
+  StartServer(WireVersion::kV2);
+  const int kConns = 64;
+  std::vector<std::unique_ptr<FrameClient>> clients;
+  for (int i = 0; i < kConns; ++i) {
+    auto c = std::make_unique<FrameClient>();
+    ASSERT_TRUE(c->Connect(server_->port(), 2000)) << c->error();
+    ASSERT_TRUE(c->SendQuery(uint64_t(i) + 1, Key(i) * 100,
+                             Key(i) * 100 + 30'000, 2000));
+    clients.push_back(std::move(c));
+  }
+  std::map<int, Bytes> bodies;
+  for (int i = 0; i < kConns; ++i) {
+    const auto frame = clients[i]->ReadFrame(10'000);
+    ASSERT_TRUE(frame.has_value()) << clients[i]->error();
+    ASSERT_EQ(frame->type, FrameType::kResponse);
+    EXPECT_EQ(frame->request_id, uint64_t(i) + 1);
+    bodies.emplace(i, frame->body);
+  }
+  EXPECT_GE(server_->stats().accepted, uint64_t(kConns));
+  for (const auto& [i, body] : bodies) {
+    VerifyBody(Key(i) * 100, Key(i) * 100 + 30'000, body);
+  }
+}
+
+}  // namespace
+}  // namespace gem2::net
