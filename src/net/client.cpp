@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -179,14 +180,26 @@ SocketOutcome RetryingSocketClient::AuthenticatedRange(Key lb, Key ub) {
       continue;
     }
     // Pull frames until ours arrives: a stale (reordered or duplicated)
-    // frame answering an earlier request id is skipped, not trusted.
+    // frame answering an earlier request id is skipped, not trusted. Every
+    // read is budgeted against the overall deadline so a server streaming
+    // mismatched ids cannot stretch one attempt past policy_.deadline_us.
     std::optional<Frame> frame;
+    bool deadline_hit = false;
     while (true) {
-      frame = conn_.ReadFrame(attempt_ms);
+      const int wait_ms = std::min(attempt_ms, RemainingMs(deadline));
+      if (wait_ms <= 0) {
+        deadline_hit = true;
+        break;
+      }
+      frame = conn_.ReadFrame(wait_ms);
       if (!frame.has_value() || frame->request_id == request_id) break;
       metrics.counter("client.socket.stale_responses").Add(1);
+      frame.reset();  // never act on a stale frame left behind at deadline
     }
-    if (!frame.has_value()) {
+    if (deadline_hit) {
+      last_error = "overall deadline exceeded while awaiting response";
+      conn_.Close();
+    } else if (!frame.has_value()) {
       last_error = conn_.error();
       // Timeouts keep the connection; decode errors already closed it. Reset
       // on timeout too: a half-delivered frame would desync the stream.

@@ -86,6 +86,9 @@ void FinishFrame(Bytes* out, size_t header_offset) {
 }
 
 Bytes EncodeFrame(FrameType type, uint64_t request_id, const Bytes& body) {
+  if (body.size() > UINT32_MAX) {
+    throw std::length_error("frame body exceeds 4 GiB");
+  }
   Bytes out;
   out.reserve(kFrameHeaderBytes + body.size());
   AppendFrameHeader(&out, type, request_id,

@@ -1,5 +1,6 @@
 #include "net/server.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -53,6 +54,10 @@ struct SpServer::Impl {
 
   // --- sockets & reactor (reactor thread only, after Start) ---------------
   int listen_fd = -1;
+  /// Reserved descriptor released under EMFILE/ENFILE so queued connections
+  /// can still be accepted (and immediately closed) instead of stranding the
+  /// edge-triggered listener until a fresh SYN arrives.
+  int idle_fd = -1;
   uint16_t bound_port = 0;
   Reactor reactor;
 
@@ -167,6 +172,7 @@ struct SpServer::Impl {
     socklen_t len = sizeof(addr);
     getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
     bound_port = ntohs(addr.sin_port);
+    idle_fd = open("/dev/null", O_RDONLY | O_CLOEXEC);
   }
 
   // ------------------------------------------------------- reactor-side ops
@@ -190,9 +196,22 @@ struct SpServer::Impl {
           accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-        if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED) {
+        if (errno == ECONNABORTED) continue;  // peer aborted; keep accepting
+        if (errno == EMFILE || errno == ENFILE) {
           rejected_connections.fetch_add(1, std::memory_order_relaxed);
           m_rejected->Add(1);
+          // Out of descriptors. Release the reserve fd, accept-and-close one
+          // queued connection, then re-reserve; otherwise the edge-triggered
+          // listener never fires again for connections already in the backlog.
+          if (idle_fd >= 0) {
+            close(idle_fd);
+            idle_fd = -1;
+            const int pending =
+                accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+            if (pending >= 0) close(pending);
+            idle_fd = open("/dev/null", O_RDONLY | O_CLOEXEC);
+            if (pending >= 0) continue;  // keep draining the backlog
+          }
           return;
         }
         return;
@@ -349,8 +368,12 @@ struct SpServer::Impl {
         ProtocolError(conn, frame.request_id, "unexpected frame type");
         return;
       }
+      // HandleQuery can destroy *conn (outbound-bound disconnect or a failed
+      // send inside AppendOutbound), so capture the id first and never touch
+      // the pointer again until the lookup proves it still exists.
+      const uint64_t conn_id = conn->id;
       HandleQuery(conn, frame);
-      if (Lookup(conn->id) != conn) return;  // closed while answering
+      if (Lookup(conn_id) == nullptr) return;  // closed while answering
     }
     if (conn->read_closed) {
       // Peer finished sending. Deliver what it is owed, then close.
@@ -441,6 +464,10 @@ struct SpServer::Impl {
     if (listener_open && listen_fd >= 0) {
       close(listen_fd);
       listen_fd = -1;
+    }
+    if (idle_fd >= 0) {
+      close(idle_fd);
+      idle_fd = -1;
     }
   }
 

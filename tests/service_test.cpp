@@ -7,6 +7,10 @@
 // whole thing shows up in metrics / introspection / Prometheus.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <map>
@@ -287,6 +291,50 @@ TEST_F(ServiceTest, RetryingSocketClientSeesBusyAndDegradesGracefully) {
   EXPECT_EQ(outcome.busy_responses, 3u);  // every attempt saw an explicit shed
 }
 
+TEST_F(ServiceTest, StaleFrameStreamCannotExtendPastDeadline) {
+  // A hostile server streaming frames whose request ids never match must
+  // not stretch a single attempt past policy_.deadline_us: every read in
+  // the stale-skip loop is budgeted against the overall deadline.
+  const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(listen(listen_fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+  std::thread feeder([listen_fd] {
+    const int c = accept(listen_fd, nullptr, nullptr);
+    if (c < 0) return;
+    const Bytes stale = EncodeFrame(FrameType::kBusy, 0xdeadbeefULL, {});
+    while (send(c, stale.data(), stale.size(), MSG_NOSIGNAL) > 0) {
+    }
+    close(c);
+  });
+
+  db_ = MakeDb(DeriveSeed(seed_, 21), WireVersion::kV2);
+  fault::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.attempt_timeout_us = 200'000;
+  policy.deadline_us = 400'000;
+  RetryingSocketClient client(*db_, port, policy, DeriveSeed(seed_, 22));
+  const auto t0 = std::chrono::steady_clock::now();
+  const SocketOutcome outcome = client.AuthenticatedRange(0, 1000);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.degraded);
+  // Generous bound: the point is "bounded by the deadline", not "fast".
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  shutdown(listen_fd, SHUT_RDWR);  // wakes the feeder if it is still in accept
+  close(listen_fd);
+  feeder.join();
+}
+
 TEST_F(ServiceTest, SlowLorisSenderIsStillServed) {
   StartServer(WireVersion::kV2);
   FrameClient client;
@@ -355,6 +403,38 @@ TEST_F(ServiceTest, SlowReaderIsDisconnectedNotBuffered) {
   }
   EXPECT_TRUE(
       Eventually([&] { return server_->stats().disconnected_slow > 0; }));
+}
+
+TEST_F(ServiceTest, MidPipelineDisconnectNeverTouchesFreedConnection) {
+  // Regression: appending a kBusy frame can destroy the connection from
+  // *inside* the pipelined-frame loop (outbound-bound overflow while later
+  // frames are still buffered in the decoder). The loop must detect the
+  // close by connection id, never by dereferencing the freed object —
+  // under ASan the old guard read freed memory here.
+  ServerOptions options;
+  options.max_in_flight = 0;       // every query sheds with kBusy
+  options.max_outbound_bytes = 8;  // smaller than one 20-byte BUSY frame
+  StartServer(WireVersion::kV2, options);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+
+  // One write carrying many pipelined queries: the reactor decodes them in
+  // a single read pass, and the FIRST shed response overflows the outbound
+  // bound and disconnects the client mid-loop.
+  Bytes burst;
+  for (uint64_t id = 1; id <= 16; ++id) {
+    const Bytes q = EncodeQueryFrame(id, 0, 100);
+    burst.insert(burst.end(), q.begin(), q.end());
+  }
+  ASSERT_TRUE(client.Send(burst, 2000)) << client.error();
+  EXPECT_TRUE(
+      Eventually([&] { return server_->stats().disconnected_slow > 0; }));
+  const auto eof = client.ReadFrame(2000);
+  EXPECT_FALSE(eof.has_value());
+
+  // The reactor survived the mid-loop close and still accepts fresh peers.
+  FrameClient fresh;
+  EXPECT_TRUE(fresh.Connect(server_->port(), 2000)) << fresh.error();
 }
 
 TEST_F(ServiceTest, CleanShutdownFlushesInFlightResponses) {
