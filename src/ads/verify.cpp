@@ -14,6 +14,10 @@ struct Context {
   Key lb;
   Key ub;
   const std::map<Key, const Object*>& result_by_key;
+  /// Boundary mode (VerifyTreeVoBoundary): in-range entries are collected
+  /// here instead of being matched against the result set; result-marked
+  /// entries are rejected. nullptr = normal result-set verification.
+  std::vector<VoEntry>* collect = nullptr;
   size_t consumed = 0;
   bool have_prev = false;
   Key prev_hi = 0;
@@ -49,6 +53,9 @@ bool ReconstructChild(const VoChild& child, Context* ctx, SubtreeDigest* out) {
     if (!ctx->Advance(entry->key, entry->key)) return false;
     Hash value_hash;
     if (entry->is_result) {
+      if (ctx->collect != nullptr) {
+        return ctx->Fail("boundary VO must not mark result entries");
+      }
       if (!ctx->InRange(entry->key)) {
         return ctx->Fail("result entry outside query range");
       }
@@ -60,7 +67,10 @@ bool ReconstructChild(const VoChild& child, Context* ctx, SubtreeDigest* out) {
       ++ctx->consumed;
     } else {
       if (ctx->InRange(entry->key)) {
-        return ctx->Fail("in-range entry not returned as a result (withheld answer)");
+        if (ctx->collect == nullptr) {
+          return ctx->Fail("in-range entry not returned as a result (withheld answer)");
+        }
+        ctx->collect->push_back(*entry);
       }
       value_hash = entry->value_hash;
     }
@@ -156,6 +166,9 @@ bool CollectChild(const VoChild& child, uint32_t depth, Context* ctx,
     EntryJob job;
     job.key = entry->key;
     if (entry->is_result) {
+      if (ctx->collect != nullptr) {
+        return ctx->Fail("boundary VO must not mark result entries");
+      }
       if (!ctx->InRange(entry->key)) {
         return ctx->Fail("result entry outside query range");
       }
@@ -167,7 +180,10 @@ bool CollectChild(const VoChild& child, uint32_t depth, Context* ctx,
       ++ctx->consumed;
     } else {
       if (ctx->InRange(entry->key)) {
-        return ctx->Fail("in-range entry not returned as a result (withheld answer)");
+        if (ctx->collect == nullptr) {
+          return ctx->Fail("in-range entry not returned as a result (withheld answer)");
+        }
+        ctx->collect->push_back(*entry);
       }
       job.boundary = &entry->value_hash;
     }
@@ -284,11 +300,12 @@ Hash ExecutePlan(const HashPlan& plan) {
   return digests[plan.slot_count - 1];
 }
 
-}  // namespace
-
-VerifyOutcome VerifyTreeVo(Key lb, Key ub, const TreeVo& vo, const Hash& trusted_root,
-                           const std::vector<Object>& result,
-                           HashStrategy strategy) {
+/// Shared implementation of both verification modes. `collect == nullptr` is
+/// the normal result-set mode; non-null is boundary mode (result must be
+/// empty, in-range entries are collected).
+VerifyOutcome VerifyTree(Key lb, Key ub, const TreeVo& vo, const Hash& trusted_root,
+                         const std::vector<Object>& result,
+                         std::vector<VoEntry>* collect, HashStrategy strategy) {
   if (lb > ub) return VerifyOutcome::Fail("invalid query range");
 
   std::map<Key, const Object*> by_key;
@@ -313,7 +330,7 @@ VerifyOutcome VerifyTreeVo(Key lb, Key ub, const TreeVo& vo, const Hash& trusted
     return VerifyOutcome::Fail("bare entry cannot be a tree root");
   }
 
-  Context ctx{lb, ub, by_key, 0, false, 0, {}};
+  Context ctx{lb, ub, by_key, collect, 0, false, 0, {}};
   SubtreeDigest root;
   if (strategy == HashStrategy::kBatched) {
     HashPlan plan;
@@ -337,6 +354,27 @@ VerifyOutcome VerifyTreeVo(Key lb, Key ub, const TreeVo& vo, const Hash& trusted
     return VerifyOutcome::Fail("result set contains objects not proven by the VO");
   }
   return VerifyOutcome::Ok();
+}
+
+}  // namespace
+
+VerifyOutcome VerifyTreeVo(Key lb, Key ub, const TreeVo& vo, const Hash& trusted_root,
+                           const std::vector<Object>& result,
+                           HashStrategy strategy) {
+  return VerifyTree(lb, ub, vo, trusted_root, result, nullptr, strategy);
+}
+
+VerifyOutcome VerifyTreeVoBoundary(Key lb, Key ub, const TreeVo& vo,
+                                   const Hash& trusted_root,
+                                   std::vector<VoEntry>* in_range,
+                                   HashStrategy strategy) {
+  const std::vector<Object> kNoResults;
+  const size_t collected_before = in_range->size();
+  VerifyOutcome outcome =
+      VerifyTree(lb, ub, vo, trusted_root, kNoResults, in_range, strategy);
+  // Failed traversals may have collected a prefix; never expose it.
+  if (!outcome.ok) in_range->resize(collected_before);
+  return outcome;
 }
 
 }  // namespace gem2::ads

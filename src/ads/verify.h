@@ -54,6 +54,19 @@ VerifyOutcome VerifyTreeVo(Key lb, Key ub, const TreeVo& vo, const Hash& trusted
                            const std::vector<Object>& result,
                            HashStrategy strategy = HashStrategy::kSerial);
 
+/// Boundary-mode verification, for server-computed aggregates: the response
+/// ships no result objects, so every in-range entry must appear as a
+/// boundary entry carrying its explicit value hash (core::StripForAggregate
+/// produces exactly this shape). Runs the same traversal — same ordering,
+/// interval, and root-digest checks, so soundness and completeness carry
+/// over verbatim — but instead of demanding in-range entries be returned
+/// results, it appends them (ascending, the traversal order) to `*in_range`.
+/// A VO still marking result entries is rejected.
+VerifyOutcome VerifyTreeVoBoundary(Key lb, Key ub, const TreeVo& vo,
+                                   const Hash& trusted_root,
+                                   std::vector<VoEntry>* in_range,
+                                   HashStrategy strategy = HashStrategy::kSerial);
+
 }  // namespace gem2::ads
 
 #endif  // GEM2_ADS_VERIFY_H_

@@ -1,6 +1,10 @@
 #include "core/aggregates.h"
 
 #include <cstdlib>
+#include <unordered_map>
+
+#include "crypto/digest.h"
+#include "core/tombstone.h"
 
 namespace gem2::core {
 namespace {
@@ -12,6 +16,28 @@ std::optional<long long> ParseNumeric(const std::string& value) {
   const long long parsed = std::strtoll(value.c_str(), &end, 10);
   if (errno != 0 || end != value.c_str() + value.size()) return std::nullopt;
   return parsed;
+}
+
+/// Demotes every result entry reachable from `child` to a boundary entry,
+/// filling its explicit value hash from the result objects (by key).
+void DemoteChild(ads::VoChild* child,
+                 const std::unordered_map<Key, Hash>& hashes) {
+  if (auto* entry = std::get_if<ads::VoEntry>(child)) {
+    if (!entry->is_result) return;
+    auto it = hashes.find(entry->key);
+    if (it == hashes.end()) return;  // inconsistent response; verify rejects
+    entry->value_hash = it->second;
+    entry->is_result = false;
+    return;
+  }
+  if (auto* node = std::get_if<ads::VoNodePtr>(child)) {
+    for (ads::VoChild& c : (*node)->children) DemoteChild(&c, hashes);
+  }
+}
+
+const Hash& TombstoneHash() {
+  static const Hash hash = crypto::ValueHash(TombstoneValue());
+  return hash;
 }
 
 }  // namespace
@@ -34,6 +60,38 @@ std::optional<RangeAggregates> Aggregate(const VerifiedResult& result) {
     }
   }
   if (all_numeric && agg.count > 0) agg.sum = sum;
+  return agg;
+}
+
+void StripForAggregate(QueryResponse* response) {
+  for (TreeResultSet& tree : response->trees) {
+    std::unordered_map<Key, Hash> hashes;
+    hashes.reserve(tree.objects.size());
+    for (const Object& obj : tree.objects)
+      hashes.emplace(obj.key, crypto::ValueHash(obj.value));
+    if (tree.vo.root.has_value()) DemoteChild(&*tree.vo.root, hashes);
+    tree.objects.clear();
+  }
+  for (ShardSlice& slice : response->slices) StripForAggregate(&slice.response);
+}
+
+RangeAggregates AggregateBoundary(const std::vector<ads::VoEntry>& entries,
+                                  const std::function<Key(Key)>& decode_value,
+                                  uint64_t* tombstones_filtered) {
+  RangeAggregates agg;
+  unsigned long long sum = 0;
+  for (const ads::VoEntry& entry : entries) {
+    if (entry.value_hash == TombstoneHash()) {
+      if (tombstones_filtered != nullptr) ++*tombstones_filtered;
+      continue;
+    }
+    const Key value = decode_value ? decode_value(entry.key) : entry.key;
+    ++agg.count;
+    if (!agg.min_key || value < *agg.min_key) agg.min_key = value;
+    if (!agg.max_key || value > *agg.max_key) agg.max_key = value;
+    sum += static_cast<unsigned long long>(value);
+  }
+  if (agg.count > 0) agg.sum = static_cast<long long>(sum);
   return agg;
 }
 

@@ -1,35 +1,50 @@
 /// \file aggregates.h
-/// Client-side authenticated aggregates over verified range results.
+/// Authenticated aggregates — client-side and server-computed.
 ///
-/// The paper's conclusion flags authenticated aggregation as future work;
-/// the *client-side* flavour falls out of range verification: once a range
-/// result is proven sound and complete, any function of it (COUNT, MIN, MAX,
-/// SUM over numeric payloads) inherits the guarantee. This header provides
-/// that derivation; server-computed aggregates with sublinear VOs would need
-/// a different ADS and are out of scope.
+/// The paper's conclusion flags authenticated aggregation as future work.
+/// Two flavours fall out of the range-verification machinery:
+///
+///   - *client-side*: once a range result is proven sound and complete, any
+///     function of it (COUNT, MIN, MAX, SUM over numeric payloads) inherits
+///     the guarantee — Aggregate(VerifiedResult) below;
+///   - *server-computed*: the SP strips a response down to its VO boundary
+///     structure — every result entry demoted to a boundary entry carrying
+///     its explicit value hash, result payloads dropped — and the VO alone
+///     then proves the exact in-range key set (soundness via root digest,
+///     completeness via the interval/ordering checks). COUNT/SUM/MIN/MAX
+///     over the indexed attribute values follow from the verified entries
+///     without shipping the result set; tombstones are recognized by value
+///     hash (core/tombstone.h). Digests and gas are untouched: the demotion
+///     is a post-processing of the normal VO, not a different ADS.
 #ifndef GEM2_CORE_AGGREGATES_H_
 #define GEM2_CORE_AGGREGATES_H_
 
+#include <functional>
 #include <optional>
 
 #include "core/response.h"
 
 namespace gem2::core {
 
-struct RangeAggregates {
-  /// Number of live (non-tombstoned) objects in the range.
-  uint64_t count = 0;
-  /// Smallest / largest key in the range (unset when count == 0).
-  std::optional<Key> min_key;
-  std::optional<Key> max_key;
-  /// Sum over payloads that parse fully as decimal integers; unset when any
-  /// payload in the range is non-numeric.
-  std::optional<long long> sum;
-};
-
 /// Derives aggregates from a verified result. Returns std::nullopt when the
 /// result did not verify (aggregates over unverified data are meaningless).
 std::optional<RangeAggregates> Aggregate(const VerifiedResult& result);
+
+/// SP side: demotes every result entry in every tree VO (including composite
+/// slices, recursively) to an explicit-hash boundary entry — the hash
+/// recomputed from the result object exactly as a verifying client would —
+/// and drops the result objects. The response then ships boundary structure
+/// only; reconstructed digests are bit-identical to the unstripped VO's.
+void StripForAggregate(QueryResponse* response);
+
+/// Client side: folds verified boundary entries (ads::VerifyTreeVoBoundary
+/// output, ascending keys) into aggregates. `decode_value` maps a tree key
+/// to the attribute value it encodes (identity for single-attribute stores);
+/// entries whose value hash equals the tombstone hash are skipped and
+/// counted into `*tombstones_filtered` when non-null.
+RangeAggregates AggregateBoundary(const std::vector<ads::VoEntry>& entries,
+                                  const std::function<Key(Key)>& decode_value,
+                                  uint64_t* tombstones_filtered);
 
 }  // namespace gem2::core
 

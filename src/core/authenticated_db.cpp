@@ -203,10 +203,6 @@ void AuthenticatedDb::ApplySpPool(common::ThreadPool* pool) {
   // merge-dominated, so a pool would add overhead without a win.
 }
 
-void AuthenticatedDb::SetSpThreadPool(common::ThreadPool* pool) {
-  ApplySpPool(pool);
-}
-
 chain::Contract& AuthenticatedDb::contract() {
   switch (options_.kind) {
     case AdsKind::kMbTree:
@@ -347,7 +343,11 @@ bool AuthenticatedDb::Contains(Key key) const {
   return sp_values_.count(key) != 0 && deleted_.count(key) == 0;
 }
 
-QueryResponse AuthenticatedDb::Query(Key lb, Key ub) const {
+QueryResponse AuthenticatedDb::QueryPredicate(uint32_t attr, Key lb,
+                                              Key ub) const {
+  if (attr != 0) {
+    throw std::invalid_argument("AuthenticatedDb: unknown attribute");
+  }
   // Join the caller's trace (a sharded scatter, an engine batch) or start a
   // fresh one: this identity rides on the response so the client's Verify*
   // lands in the same trace.
@@ -445,10 +445,30 @@ uint64_t VoSpBytes(const QueryResponse& response) {
   return total;
 }
 
+uint64_t VoSpBytes(const SpecResponse& response) {
+  uint64_t total = 0;
+  for (const QueryResponse& conjunct : response.conjuncts) {
+    total += VoSpBytes(conjunct);
+  }
+  return total;
+}
+
+SpecResponse CloneSpecResponse(const SpecResponse& response) {
+  SpecResponse copy;
+  copy.spec = response.spec;
+  copy.conjuncts.reserve(response.conjuncts.size());
+  for (const QueryResponse& conjunct : response.conjuncts) {
+    copy.conjuncts.push_back(CloneResponse(conjunct));
+  }
+  copy.trace = response.trace;
+  return copy;
+}
+
 VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
                               bool chain_valid, AdsKind kind,
                               const QueryResponse& response,
-                              ads::HashStrategy strategy) {
+                              ads::HashStrategy strategy,
+                              std::vector<ads::VoEntry>* boundary) {
   VerifiedResult out;
   out.vo_sp_bytes = VoSpBytes(response);
   for (const chain::ProvenDigest& pd : state.digests) {
@@ -511,6 +531,7 @@ VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
   // Verify every answered tree against its on-chain digest.
   std::map<std::string, bool> answered;
   std::map<Key, Object> by_key;
+  std::map<Key, ads::VoEntry> entries_by_key;  // boundary mode only
   for (const TreeResultSet& tree : response.trees) {
     auto digest = digest_by_label.find(tree.label);
     if (digest == digest_by_label.end()) {
@@ -518,6 +539,27 @@ VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
     }
     if (!answered.emplace(tree.label, true).second) {
       return fail("duplicate answer for tree '" + tree.label + "'");
+    }
+    if (boundary != nullptr) {
+      // Aggregate answers ship proof structure only — a response still
+      // carrying payloads is not what was asked for.
+      if (!tree.objects.empty()) {
+        return fail("aggregate response must not ship result objects");
+      }
+      std::vector<ads::VoEntry> tree_entries;
+      ads::VerifyOutcome outcome = ads::VerifyTreeVoBoundary(
+          response.lb, response.ub, tree.vo, digest->second, &tree_entries,
+          strategy);
+      if (!outcome.ok) {
+        return fail("tree '" + tree.label + "': " + outcome.error);
+      }
+      for (ads::VoEntry& entry : tree_entries) {
+        const Key key = entry.key;
+        if (!entries_by_key.emplace(key, std::move(entry)).second) {
+          return fail("key appears in multiple trees");
+        }
+      }
+      continue;
     }
     ads::VerifyOutcome outcome = ads::VerifyTreeVo(
         response.lb, response.ub, tree.vo, digest->second, tree.objects,
@@ -540,6 +582,12 @@ VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
   }
 
   out.ok = true;
+  if (boundary != nullptr) {
+    for (auto& [key, entry] : entries_by_key) {
+      boundary->push_back(std::move(entry));
+    }
+    return out;
+  }
   out.objects.reserve(by_key.size());
   for (auto& [key, obj] : by_key) {
     // Deleted objects carry the dummy tombstone payload (paper Section V-B):
@@ -553,7 +601,8 @@ VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
   return out;
 }
 
-VerifiedResult AuthenticatedDb::Verify(const QueryResponse& response) {
+VerifiedResult AuthenticatedDb::VerifyInternal(const QueryResponse& response,
+                                               std::vector<ads::VoEntry>* boundary) {
   // Continue the trace the SP stamped on the response (falling back to the
   // thread's current trace for hand-built responses), so the verify span and
   // any rejection event share the query's identity.
@@ -573,7 +622,8 @@ VerifiedResult AuthenticatedDb::Verify(const QueryResponse& response) {
       VerifyResponse(state, chain_valid, options_.kind, response,
                      options_.client.batched_hashing
                          ? ads::HashStrategy::kBatched
-                         : ads::HashStrategy::kSerial);
+                         : ads::HashStrategy::kSerial,
+                     boundary);
   if (telemetry::kCompiledIn && telemetry::Tracer::Global().enabled()) {
     auto& metrics = telemetry::MetricsRegistry::Global();
     metrics.counter("verify.count").Add(1);
@@ -582,6 +632,29 @@ VerifiedResult AuthenticatedDb::Verify(const QueryResponse& response) {
   }
   if (!result.ok) observe.RecordRejection(BackendName(), result.error);
   return result;
+}
+
+VerifiedResult AuthenticatedDb::Verify(const QueryResponse& response) {
+  return VerifyInternal(response, nullptr);
+}
+
+VerifiedResult AuthenticatedDb::VerifyPredicateFor(
+    uint32_t attr, Key lb, Key ub, const QueryResponse& response,
+    std::vector<ads::VoEntry>* boundary) {
+  VerifyObservation observe;
+  VerifiedResult out;
+  out.ok = false;
+  if (attr != 0) {
+    out.error = "predicate over unknown attribute";
+    observe.RecordRejection(BackendName(), out.error);
+    return out;
+  }
+  if (response.lb != lb || response.ub != ub) {
+    out.error = "response range does not match the issued query";
+    observe.RecordRejection(BackendName(), out.error);
+    return out;
+  }
+  return VerifyInternal(response, boundary);
 }
 
 VerifiedResult AuthenticatedDb::VerifyFor(Key lb, Key ub,
@@ -635,6 +708,39 @@ VerifiedResult AuthenticatedDb::VerifyAgainst(
         .histogram("client.verify_ns")
         .Observe(telemetry::Tracer::NowNs() - t0);
   }
+  if (!result.ok) observe.RecordRejection(BackendName(), result.error);
+  return result;
+}
+
+VerifiedResult AuthenticatedDb::VerifyPredicateAgainst(
+    const std::vector<chain::AuthenticatedState>& states, uint32_t attr,
+    Key lb, Key ub, const QueryResponse& response,
+    std::vector<ads::VoEntry>* boundary) const {
+  VerifyObservation observe;
+  VerifiedResult out;
+  out.ok = false;
+  if (attr != 0) {
+    out.error = "predicate over unknown attribute";
+    observe.RecordRejection(BackendName(), out.error);
+    return out;
+  }
+  if (response.lb != lb || response.ub != ub) {
+    out.error = "response range does not match the issued query";
+    observe.RecordRejection(BackendName(), out.error);
+    return out;
+  }
+  if (boundary == nullptr) return VerifyAgainst(states, response);
+  if (states.size() != 1 || states[0].contract != options_.contract_name) {
+    out.error = "chain state does not cover this store's contract";
+    observe.RecordRejection(BackendName(), out.error);
+    return out;
+  }
+  VerifiedResult result =
+      VerifyResponse(states[0], /*chain_valid=*/true, options_.kind, response,
+                     options_.client.batched_hashing
+                         ? ads::HashStrategy::kBatched
+                         : ads::HashStrategy::kSerial,
+                     boundary);
   if (!result.ok) observe.RecordRejection(BackendName(), result.error);
   return result;
 }

@@ -127,18 +127,6 @@ class AuthenticatedDb : public RangeStore {
   /// Live (non-deleted) objects.
   uint64_t size() const override { return size_; }
 
-  // --- Service-provider interface ---------------------------------------
-
-  /// Runs the range query on the SP's materialized ADS, returning the result
-  /// objects and VO_sp (Algorithms 5 / 7). Always a single response.
-  QueryResponse Query(Key lb, Key ub) const override;
-
-  /// Routes SP-side tree materializations through `pool`.
-  [[deprecated(
-      "supply the pool via DbOptions::sp_pool, or scope it with "
-      "core::SpPoolScope")]]
-  void SetSpThreadPool(common::ThreadPool* pool);
-
   // --- Client interface ---------------------------------------------------
 
   /// Full client-side verification (Algorithms 6 / 8): retrieves VO_chain
@@ -193,6 +181,27 @@ class AuthenticatedDb : public RangeStore {
   void CheckConsistency() const override;
 
  protected:
+  // --- Per-attribute primitives (RangeStore seam) --------------------------
+
+  /// Runs the range query on the SP's materialized ADS, returning the result
+  /// objects and VO_sp (Algorithms 5 / 7). Always a single response. This
+  /// db indexes one attribute (the key), so only attr == 0 is valid; the
+  /// public Query(lb, ub) shim is exactly QueryPredicate(0, lb, ub).
+  QueryResponse QueryPredicate(uint32_t attr, Key lb, Key ub) const override;
+
+  /// Chain-reading per-conjunct verification; boundary mode (non-null
+  /// `boundary`) verifies an aggregate answer's stripped VO and collects the
+  /// proven in-range entries.
+  VerifiedResult VerifyPredicateFor(uint32_t attr, Key lb, Key ub,
+                                    const QueryResponse& response,
+                                    std::vector<ads::VoEntry>* boundary) override;
+
+  /// As VerifyPredicateFor against already-retrieved chain state.
+  VerifiedResult VerifyPredicateAgainst(
+      const std::vector<chain::AuthenticatedState>& states, uint32_t attr,
+      Key lb, Key ub, const QueryResponse& response,
+      std::vector<ads::VoEntry>* boundary) const override;
+
   /// Installs `pool` into the SP mirrors (parallel digest computation;
   /// digests are bit-identical to serial builds). The metered contract side
   /// never touches a pool. nullptr reverts to DbOptions::sp_pool.
@@ -200,6 +209,12 @@ class AuthenticatedDb : public RangeStore {
 
  private:
   struct Impl;
+
+  /// Shared body of Verify / VerifyPredicateFor: chain read + light-client
+  /// sync + VerifyResponse, in normal (`boundary == nullptr`) or boundary
+  /// mode.
+  VerifiedResult VerifyInternal(const QueryResponse& response,
+                                std::vector<ads::VoEntry>* boundary);
 
   chain::Contract& contract();
   const chain::Contract& contract() const;
@@ -229,10 +244,19 @@ class AuthenticatedDb : public RangeStore {
 /// checks each slice with this function. `strategy` selects how VO digests
 /// are recomputed (ads::HashStrategy) — the decision and error string are
 /// bit-identical either way, batched is just faster.
+///
+/// `boundary` non-null selects boundary mode (server-computed aggregates):
+/// the response must ship no result objects, every tree's VO is verified
+/// with ads::VerifyTreeVoBoundary, and the proven in-range entries of all
+/// trees are merged (duplicate keys across trees rejected) and appended to
+/// `*boundary` in ascending key order. Tombstone filtering is the caller's
+/// job there (core::AggregateBoundary) — the entries carry value hashes,
+/// not payloads.
 VerifiedResult VerifyResponse(const chain::AuthenticatedState& state,
                               bool chain_valid, AdsKind kind,
                               const QueryResponse& response,
-                              ads::HashStrategy strategy = ads::HashStrategy::kBatched);
+                              ads::HashStrategy strategy = ads::HashStrategy::kBatched,
+                              std::vector<ads::VoEntry>* boundary = nullptr);
 
 }  // namespace gem2::core
 

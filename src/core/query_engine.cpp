@@ -62,6 +62,31 @@ QueryResponse SpQueryEngine::Query(Key lb, Key ub) const {
   return response;
 }
 
+SpecResponse SpQueryEngine::ExecuteSpec(const QuerySpec& spec) const {
+  telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
+  TELEMETRY_SPAN("sp_engine.spec_query");
+  const uint64_t t0 = telemetry::Tracer::NowNs();
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  SpecResponse response = db_->ExecuteSpec(spec);
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.counter("sp_engine.spec_queries").Add(1);
+  metrics.histogram("sp_engine.query_ns").Observe(telemetry::Tracer::NowNs() - t0);
+  return response;
+}
+
+Bytes SpQueryEngine::SpecWire(const QuerySpec& spec) const {
+  Bytes out;
+  SpecWireInto(spec, &out);
+  return out;
+}
+
+void SpQueryEngine::SpecWireInto(const QuerySpec& spec, Bytes* out) const {
+  telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
+  TELEMETRY_SPAN("sp_engine.query_wire");
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  db_->SpecWireInto(spec, out);
+}
+
 std::vector<QueryResponse> SpQueryEngine::QueryBatch(
     const std::vector<KeyRange>& ranges) const {
   telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
@@ -122,6 +147,22 @@ VerifiedResult SpQueryEngine::VerifyFor(Key lb, Key ub,
   // Exclusive: verification advances the client's light-client head.
   std::unique_lock<std::shared_mutex> lock(mutex_);
   VerifiedResult result = db_->VerifyFor(lb, ub, response);
+  telemetry::MetricsRegistry::Global()
+      .histogram("sp_engine.verify_ns")
+      .Observe(telemetry::Tracer::NowNs() - t0);
+  return result;
+}
+
+VerifiedSpecResult SpQueryEngine::VerifySpecFor(const QuerySpec& spec,
+                                                const SpecResponse& response) {
+  telemetry::TraceScope trace_scope(response.trace.valid()
+                                        ? response.trace
+                                        : telemetry::CurrentTrace());
+  TELEMETRY_SPAN("sp_engine.verify");
+  const uint64_t t0 = telemetry::Tracer::NowNs();
+  // Exclusive: verification advances the client's light-client head.
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  VerifiedSpecResult result = db_->VerifySpecFor(spec, response);
   telemetry::MetricsRegistry::Global()
       .histogram("sp_engine.verify_ns")
       .Observe(telemetry::Tracer::NowNs() - t0);

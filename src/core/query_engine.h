@@ -60,6 +60,15 @@ class SpQueryEngine {
   /// One authenticated range query against the current snapshot.
   QueryResponse Query(Key lb, Key ub) const;
 
+  /// One typed spec query (boolean / aggregate) against the current
+  /// snapshot: every conjunct answers under the same shared-lock
+  /// acquisition, so the whole spec is consistent as of one epoch.
+  SpecResponse ExecuteSpec(const QuerySpec& spec) const;
+
+  /// ExecuteSpec + wire serialization under one shared-lock acquisition.
+  Bytes SpecWire(const QuerySpec& spec) const;
+  void SpecWireInto(const QuerySpec& spec, Bytes* out) const;
+
   /// Answers every range in `ranges` from ONE consistent snapshot, fanning
   /// the work across the pool. results[i] answers ranges[i]. Each response
   /// is bit-identical (as wire bytes) to a serial Query of the same range at
@@ -78,6 +87,9 @@ class SpQueryEngine {
   // --- Client interface (exclusive: verification advances the light client)
 
   VerifiedResult VerifyFor(Key lb, Key ub, const QueryResponse& response);
+
+  VerifiedSpecResult VerifySpecFor(const QuerySpec& spec,
+                                   const SpecResponse& response);
 
   // --- Introspection ------------------------------------------------------
 

@@ -1,0 +1,160 @@
+#include "core/query_spec.h"
+
+#include <sstream>
+
+namespace gem2::core {
+namespace {
+
+/// Minimal fail-closed cursor over a byte buffer (same discipline as the
+/// wire parsers: every read is bounds-checked, failure is sticky).
+struct SpecReader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Need(size_t n) {
+    if (!ok || n > size - pos) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  uint8_t Byte() {
+    if (!Need(1)) return 0;
+    return data[pos++];
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data[pos++];
+    return v;
+  }
+
+  Key I64() { return static_cast<Key>(U64()); }
+};
+
+const char* AggName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kNone:
+      return "";
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+}  // namespace
+
+QuerySpec QuerySpec::Range(Key lb, Key ub, uint32_t attr) {
+  QuerySpec spec;
+  spec.op = BoolOp::kAnd;
+  spec.predicates.push_back(
+      Predicate{PredicateKind::kRange, attr, lb, ub});
+  return spec;
+}
+
+std::string QuerySpec::Check() const {
+  if (predicates.empty()) return "spec has no predicates";
+  if (predicates.size() > kMaxSpecPredicates)
+    return "spec exceeds the predicate limit";
+  if (op != BoolOp::kAnd && op != BoolOp::kOr)
+    return "unknown boolean composition";
+  switch (aggregate) {
+    case AggregateKind::kNone:
+    case AggregateKind::kCount:
+    case AggregateKind::kSum:
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      break;
+    default:
+      return "unknown aggregate kind";
+  }
+  if (aggregate != AggregateKind::kNone && predicates.size() != 1)
+    return "aggregate specs take exactly one predicate";
+  for (const Predicate& p : predicates) {
+    if (p.kind != PredicateKind::kRange) return "unknown predicate kind";
+    if (p.lb > p.ub) return "predicate bounds out of order";
+  }
+  return "";
+}
+
+std::string ToString(const QuerySpec& spec) {
+  std::ostringstream out;
+  if (spec.aggregate != AggregateKind::kNone) {
+    out << AggName(spec.aggregate);
+  } else {
+    out << (spec.op == BoolOp::kAnd ? "AND" : "OR");
+  }
+  out << "(";
+  for (size_t i = 0; i < spec.predicates.size(); ++i) {
+    const Predicate& p = spec.predicates[i];
+    if (i > 0) out << ", ";
+    out << "a" << p.attr << ":[" << p.lb << "," << p.ub << "]";
+  }
+  out << ")";
+  return out.str();
+}
+
+Bytes SerializeQuerySpec(const QuerySpec& spec) {
+  Bytes out;
+  AppendQuerySpec(spec, &out);
+  return out;
+}
+
+void AppendQuerySpec(const QuerySpec& spec, Bytes* out) {
+  out->push_back(static_cast<uint8_t>(spec.op));
+  out->push_back(static_cast<uint8_t>(spec.aggregate));
+  AppendUint64(out, spec.predicates.size());
+  for (const Predicate& p : spec.predicates) {
+    out->push_back(static_cast<uint8_t>(p.kind));
+    AppendUint64(out, p.attr);
+    AppendKey(out, p.lb);
+    AppendKey(out, p.ub);
+  }
+}
+
+std::optional<QuerySpec> ParseQuerySpec(const uint8_t* data, size_t size) {
+  SpecReader r{data, size};
+  QuerySpec spec;
+  const uint8_t op = r.Byte();
+  if (op > static_cast<uint8_t>(BoolOp::kOr)) return std::nullopt;
+  spec.op = static_cast<BoolOp>(op);
+  const uint8_t agg = r.Byte();
+  if (agg > static_cast<uint8_t>(AggregateKind::kMax)) return std::nullopt;
+  spec.aggregate = static_cast<AggregateKind>(agg);
+  const uint64_t npred = r.U64();
+  if (!r.ok || npred == 0 || npred > kMaxSpecPredicates) return std::nullopt;
+  spec.predicates.reserve(npred);
+  for (uint64_t i = 0; i < npred; ++i) {
+    Predicate p;
+    const uint8_t kind = r.Byte();
+    if (kind != static_cast<uint8_t>(PredicateKind::kRange))
+      return std::nullopt;  // unknown predicate kind: refuse the whole spec
+    p.kind = PredicateKind::kRange;
+    const uint64_t attr = r.U64();
+    if (attr > std::numeric_limits<uint32_t>::max()) return std::nullopt;
+    p.attr = static_cast<uint32_t>(attr);
+    p.lb = r.I64();
+    p.ub = r.I64();
+    if (!r.ok) return std::nullopt;
+    spec.predicates.push_back(p);
+  }
+  if (!r.ok || r.pos != size) return std::nullopt;
+  if (!spec.Check().empty()) return std::nullopt;
+  return spec;
+}
+
+std::optional<QuerySpec> ParseQuerySpec(const Bytes& data) {
+  return ParseQuerySpec(data.data(), data.size());
+}
+
+}  // namespace gem2::core

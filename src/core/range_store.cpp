@@ -1,5 +1,9 @@
 #include "core/range_store.h"
 
+#include <map>
+#include <stdexcept>
+
+#include "core/aggregates.h"
 #include "core/observe.h"
 #include "core/wire.h"
 #include "core/wire_v3.h"
@@ -80,6 +84,261 @@ VerifiedResult RangeStore::VerifyWire(Key lb, Key ub, const Bytes& wire) {
 
 VerifiedResult RangeStore::AuthenticatedRange(Key lb, Key ub) {
   return VerifyFor(lb, ub, Query(lb, ub));
+}
+
+// --- Typed spec surface ------------------------------------------------------
+
+SpecResponse RangeStore::ExecuteSpec(const QuerySpec& spec) const {
+  telemetry::TraceScope trace_scope(telemetry::ContinueTrace());
+  telemetry::Span span("sp.spec_query");
+  SpecResponse response;
+  response.trace = span.context();
+  response.spec = spec;
+  response.conjuncts.reserve(spec.predicates.size());
+  for (const Predicate& p : spec.predicates) {
+    Key tree_lb = 0;
+    Key tree_ub = 0;
+    MapPredicateRange(p.attr, p.lb, p.ub, &tree_lb, &tree_ub);
+    QueryResponse conjunct = QueryPredicate(p.attr, tree_lb, tree_ub);
+    // Aggregates ship boundary structure only: demote every result entry to
+    // an explicit-hash boundary entry and drop the payloads.
+    if (spec.aggregate != AggregateKind::kNone) StripForAggregate(&conjunct);
+    response.conjuncts.push_back(std::move(conjunct));
+  }
+  if (telemetry::kCompiledIn && telemetry::Tracer::Global().enabled()) {
+    telemetry::MetricsRegistry::Global().counter("spec_query.count").Add(1);
+  }
+  return response;
+}
+
+Bytes RangeStore::SpecWire(const QuerySpec& spec) const {
+  Bytes out;
+  SpecWireInto(spec, &out);
+  return out;
+}
+
+void RangeStore::SpecWireInto(const QuerySpec& spec, Bytes* out) const {
+  SpecResponse response = ExecuteSpec(spec);
+  WrapTracedWireHeaderInto(response.trace, out);
+  SerializeSpecResponseInto(response, wire_version(), out);
+}
+
+VerifiedResult RangeStore::VerifyPredicateFor(uint32_t attr, Key lb, Key ub,
+                                              const QueryResponse& response,
+                                              std::vector<ads::VoEntry>* boundary) {
+  VerifiedResult out;
+  out.ok = false;
+  if (attr != 0) {
+    out.error = "predicate over unknown attribute";
+    return out;
+  }
+  if (boundary != nullptr) {
+    out.error = "backend does not support boundary (aggregate) verification";
+    return out;
+  }
+  return VerifyFor(lb, ub, response);
+}
+
+VerifiedResult RangeStore::VerifyPredicateAgainst(
+    const std::vector<chain::AuthenticatedState>& states, uint32_t attr,
+    Key lb, Key ub, const QueryResponse& response,
+    std::vector<ads::VoEntry>* boundary) const {
+  VerifiedResult out;
+  out.ok = false;
+  if (attr != 0) {
+    out.error = "predicate over unknown attribute";
+    return out;
+  }
+  if (boundary != nullptr) {
+    out.error = "backend does not support boundary (aggregate) verification";
+    return out;
+  }
+  if (response.lb != lb || response.ub != ub) {
+    out.error = "response range does not match the issued query";
+    return out;
+  }
+  return VerifyAgainst(states, response);
+}
+
+VerifiedSpecResult RangeStore::ComposeSpecVerification(
+    const QuerySpec& spec, const SpecResponse& response,
+    const std::function<VerifiedResult(uint32_t, Key, Key, const QueryResponse&,
+                                       std::vector<ads::VoEntry>*)>&
+        verify_predicate) const {
+  VerifiedSpecResult out;
+  auto fail = [&](std::string msg) {
+    out.ok = false;
+    out.error = std::move(msg);
+    out.objects.clear();
+    out.aggregates.reset();
+    return out;
+  };
+
+  const std::string spec_error = spec.Check();
+  if (!spec_error.empty()) return fail("invalid query spec: " + spec_error);
+  // Pin the echoed spec exactly as VerifyFor pins lb/ub: an answer to any
+  // other spec — widened range, flipped operator, different aggregate — is
+  // rejected before any per-conjunct work.
+  if (!(response.spec == spec)) {
+    return fail("response spec does not match the issued query");
+  }
+  if (response.conjuncts.size() != spec.predicates.size()) {
+    return fail("conjunct count does not match the spec");
+  }
+  for (const Predicate& p : spec.predicates) {
+    if (p.attr >= num_attributes()) {
+      return fail("predicate over unknown attribute");
+    }
+  }
+  for (const QueryResponse& conjunct : response.conjuncts) {
+    out.vo_sp_bytes += VoSpBytes(conjunct);
+  }
+
+  if (spec.aggregate != AggregateKind::kNone) {
+    const Predicate& p = spec.predicates[0];
+    Key tree_lb = 0;
+    Key tree_ub = 0;
+    MapPredicateRange(p.attr, p.lb, p.ub, &tree_lb, &tree_ub);
+    const QueryResponse& conjunct = response.conjuncts[0];
+    if (conjunct.lb != tree_lb || conjunct.ub != tree_ub) {
+      return fail("conjunct range does not match its predicate");
+    }
+    std::vector<ads::VoEntry> entries;
+    VerifiedResult r = verify_predicate(p.attr, tree_lb, tree_ub, conjunct,
+                                        &entries);
+    out.vo_chain_bytes += r.vo_chain_bytes;
+    if (!r.ok) return fail("conjunct 0: " + r.error);
+    const uint32_t attr = p.attr;
+    out.aggregates = AggregateBoundary(
+        entries, [this, attr](Key k) { return DecodeAttrValue(attr, k); },
+        &out.tombstones_filtered);
+    out.ok = true;
+    return out;
+  }
+
+  // Boolean composition. Each conjunct is verified sound AND complete over
+  // its own predicate range before any set operation: intersection/union of
+  // exact sets is exact, so no record can be smuggled in or withheld by
+  // playing conjuncts against each other.
+  std::map<Key, Object> composed;
+  std::map<Key, size_t> conjuncts_holding;
+  for (size_t i = 0; i < spec.predicates.size(); ++i) {
+    const Predicate& p = spec.predicates[i];
+    Key tree_lb = 0;
+    Key tree_ub = 0;
+    MapPredicateRange(p.attr, p.lb, p.ub, &tree_lb, &tree_ub);
+    const QueryResponse& conjunct = response.conjuncts[i];
+    if (conjunct.lb != tree_lb || conjunct.ub != tree_ub) {
+      return fail("conjunct " + std::to_string(i) +
+                  " range does not match its predicate");
+    }
+    VerifiedResult r =
+        verify_predicate(p.attr, tree_lb, tree_ub, conjunct, nullptr);
+    out.vo_chain_bytes += r.vo_chain_bytes;
+    if (!r.ok) return fail("conjunct " + std::to_string(i) + ": " + r.error);
+    out.tombstones_filtered += r.tombstones_filtered;
+
+    std::map<Key, Object> canonical;
+    for (const Object& obj : r.objects) {
+      Object canon;
+      std::string error;
+      if (!CanonicalizeSpecObject(p.attr, obj, &canon, &error)) {
+        return fail("conjunct " + std::to_string(i) + ": " + error);
+      }
+      Key record = canon.key;
+      if (!canonical.emplace(record, std::move(canon)).second) {
+        return fail("conjunct " + std::to_string(i) +
+                    ": duplicate record in conjunct");
+      }
+    }
+    for (auto& [record, obj] : canonical) {
+      auto it = composed.find(record);
+      if (it == composed.end()) {
+        composed.emplace(record, std::move(obj));
+        conjuncts_holding[record] = 1;
+      } else {
+        // Defense in depth: every conjunct that returns a record must agree
+        // on its payload — an SP cannot present two views of one record.
+        if (it->second.value != obj.value) {
+          return fail("conjuncts disagree on a record payload");
+        }
+        ++conjuncts_holding[record];
+      }
+    }
+  }
+
+  out.ok = true;
+  for (auto& [record, obj] : composed) {
+    if (spec.op == BoolOp::kAnd &&
+        conjuncts_holding[record] != spec.predicates.size()) {
+      continue;
+    }
+    out.objects.push_back(std::move(obj));
+  }
+  return out;
+}
+
+VerifiedSpecResult RangeStore::VerifySpecFor(const QuerySpec& spec,
+                                             const SpecResponse& response) {
+  telemetry::TraceScope trace_scope(response.trace.valid()
+                                        ? response.trace
+                                        : telemetry::CurrentTrace());
+  VerifyObservation observe;
+  TELEMETRY_SPAN("client.verify_spec");
+  VerifiedSpecResult result = ComposeSpecVerification(
+      spec, response,
+      [this](uint32_t attr, Key lb, Key ub, const QueryResponse& conjunct,
+             std::vector<ads::VoEntry>* boundary) {
+        return VerifyPredicateFor(attr, lb, ub, conjunct, boundary);
+      });
+  if (!result.ok) observe.RecordRejection(BackendName(), result.error);
+  return result;
+}
+
+VerifiedSpecResult RangeStore::VerifySpecAgainst(
+    const std::vector<chain::AuthenticatedState>& states, const QuerySpec& spec,
+    const SpecResponse& response) const {
+  telemetry::TraceScope trace_scope(response.trace.valid()
+                                        ? response.trace
+                                        : telemetry::CurrentTrace());
+  VerifyObservation observe;
+  VerifiedSpecResult result = ComposeSpecVerification(
+      spec, response,
+      [this, &states](uint32_t attr, Key lb, Key ub,
+                      const QueryResponse& conjunct,
+                      std::vector<ads::VoEntry>* boundary) {
+        return VerifyPredicateAgainst(states, attr, lb, ub, conjunct, boundary);
+      });
+  if (!result.ok) observe.RecordRejection(BackendName(), result.error);
+  return result;
+}
+
+VerifiedSpecResult RangeStore::VerifySpecWire(const QuerySpec& spec,
+                                              const Bytes& wire) {
+  TracedWire traced = UnwrapTracedWire(wire);
+  telemetry::TraceScope trace_scope(traced.trace.valid()
+                                        ? traced.trace
+                                        : telemetry::CurrentTrace());
+  VerifyObservation observe;
+  CountWireBytes(traced.image);
+  std::optional<SpecResponse> parsed;
+  {
+    TELEMETRY_SPAN("client.decode");
+    parsed = ParseSpecResponse(traced.image);
+  }
+  if (!parsed.has_value()) {
+    VerifiedSpecResult out;
+    out.ok = false;
+    out.error = "malformed wire image";
+    observe.RecordRejection(BackendName(), out.error);
+    return out;
+  }
+  parsed->trace = traced.trace;
+  return VerifySpecFor(spec, *parsed);
+}
+
+VerifiedSpecResult RangeStore::AuthenticatedSpec(const QuerySpec& spec) {
+  return VerifySpecFor(spec, ExecuteSpec(spec));
 }
 
 }  // namespace gem2::core

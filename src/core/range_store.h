@@ -5,22 +5,34 @@
 /// which role they play and never need to know which backend they drive:
 ///
 ///   - data owner:  Insert / Update / Delete / InsertBatch
-///   - service provider (SP):  Query / QueryWire
-///   - client:  Verify / VerifyFor / VerifyWire
+///   - service provider (SP):  ExecuteSpec / SpecWire (and the legacy
+///     Query / QueryWire shims)
+///   - client:  VerifySpecFor / VerifySpecWire (and Verify / VerifyFor /
+///     VerifyWire for the legacy surface)
 ///   - blockchain:  environment(), ReadChainState()
 ///
+/// Every query enters through a typed core::QuerySpec (query_spec.h). The
+/// legacy one-dimensional `Query(lb, ub)` entry points are retained as thin
+/// non-virtual shims over a single-predicate spec on attribute 0 — they call
+/// the same per-attribute primitive (QueryPredicate) and produce wire images
+/// byte-identical to the pre-QuerySpec protocol.
+///
 /// Implementations: core::AuthenticatedDb (one ADS contract, the paper's
-/// system model) and shard::ShardedDb (a range-partitioned keyspace over
-/// many ADS contracts with scatter-gather composite queries). Benches, the
-/// SpQueryEngine, the fault harnesses, and the examples all work against
-/// this interface.
+/// system model), shard::ShardedDb (a range-partitioned keyspace over many
+/// ADS contracts with scatter-gather composite queries), and
+/// multiattr::MultiAttrDb (K-attribute records indexed by per-attribute
+/// GEM2-trees under one state commitment, serving boolean AND/OR specs and
+/// server-computed aggregates). Benches, the SpQueryEngine, the fault
+/// harnesses, and the examples all work against this interface.
 #ifndef GEM2_CORE_RANGE_STORE_H_
 #define GEM2_CORE_RANGE_STORE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "chain/environment.h"
+#include "core/query_spec.h"
 #include "core/response.h"
 #include "core/wire.h"
 
@@ -73,10 +85,32 @@ class RangeStore {
 
   // --- Service-provider facet ----------------------------------------------
 
+  /// Number of attributes a record carries (the valid Predicate::attr range
+  /// is [0, num_attributes())). Single-attribute backends report 1: their
+  /// only attribute is the key itself.
+  virtual uint32_t num_attributes() const { return 1; }
+
+  /// Executes a typed query: answers every predicate against its attribute's
+  /// index (one QueryResponse per predicate, in predicate order) and echoes
+  /// the spec for the client to pin. Aggregate specs ship boundary structure
+  /// only — each conjunct is stripped with core::StripForAggregate, so no
+  /// result payloads travel. Structural spec validity (QuerySpec::Check) is
+  /// the caller's duty; an unknown attribute throws std::invalid_argument.
+  virtual SpecResponse ExecuteSpec(const QuerySpec& spec) const;
+
+  /// ExecuteSpec + wire serialization (SerializeSpecResponse in the
+  /// backend's wire_version()), the spec analogue of QueryWire.
+  Bytes SpecWire(const QuerySpec& spec) const;
+  virtual void SpecWireInto(const QuerySpec& spec, Bytes* out) const;
+
   /// Runs the range query against the SP's materialized ADS state, returning
   /// result objects and VO_sp. Sharded backends return a composite response
   /// (QueryResponse::slices) gathered from every overlapping shard.
-  virtual QueryResponse Query(Key lb, Key ub) const = 0;
+  ///
+  /// Legacy shim: exactly QuerySpec::Range(lb, ub) answered through the
+  /// per-attribute primitive, so the response (and its wire image) is
+  /// byte-identical to the pre-QuerySpec protocol.
+  QueryResponse Query(Key lb, Key ub) const { return QueryPredicate(0, lb, ub); }
 
   /// Query + wire serialization: what the SP actually ships to a client.
   /// Serializes in the backend's configured wire version (wire_version()).
@@ -95,6 +129,29 @@ class RangeStore {
   virtual WireVersion wire_version() const { return WireVersion::kV2; }
 
   // --- Client facet --------------------------------------------------------
+
+  /// Full client-side verification of a spec answer: pins the echoed spec
+  /// against the one the client issued, verifies each conjunct's soundness
+  /// and completeness over its own predicate range (chain-reading, like
+  /// VerifyFor), and only then composes — intersecting (AND) or uniting (OR)
+  /// the canonicalized per-conjunct result sets, or folding an aggregate
+  /// spec's verified boundary entries into COUNT/SUM/MIN/MAX.
+  virtual VerifiedSpecResult VerifySpecFor(const QuerySpec& spec,
+                                           const SpecResponse& response);
+
+  /// Parses a serialized spec answer and runs VerifySpecFor: the entry point
+  /// for spec bytes received over a network. Malformed images fail closed
+  /// ("malformed wire image"), never throw.
+  VerifiedSpecResult VerifySpecWire(const QuerySpec& spec, const Bytes& wire);
+
+  /// Spec verification against already-retrieved chain state (header(s)
+  /// assumed validated by the caller) — the spec analogue of VerifyAgainst.
+  virtual VerifiedSpecResult VerifySpecAgainst(
+      const std::vector<chain::AuthenticatedState>& states,
+      const QuerySpec& spec, const SpecResponse& response) const;
+
+  /// Convenience: ExecuteSpec + VerifySpecFor in one call.
+  VerifiedSpecResult AuthenticatedSpec(const QuerySpec& spec);
 
   /// Full client-side verification of a response against the on-chain
   /// digests (retrieving VO_chain and syncing the light client). The range
@@ -147,6 +204,76 @@ class RangeStore {
   virtual void CheckConsistency() const = 0;
 
  protected:
+  // --- Per-attribute primitives (the seam backends implement) --------------
+  //
+  // The generic spec machinery above (ExecuteSpec, VerifySpecFor/Against,
+  // the boolean composition, the aggregate fold) is implemented once in
+  // RangeStore against these small per-attribute virtuals. A backend
+  // supplies the primitives; composition, pinning, and completeness
+  // discipline come for free and stay identical across backends.
+
+  /// SP: answers one predicate's range against attribute `attr`'s index, in
+  /// that index's *tree-key* domain (see MapPredicateRange). Attribute 0 of
+  /// a single-attribute backend is the legacy Query body verbatim. Throws
+  /// std::invalid_argument for an unknown attribute.
+  virtual QueryResponse QueryPredicate(uint32_t attr, Key lb, Key ub) const = 0;
+
+  /// Client (chain-reading): verifies one conjunct against attribute
+  /// `attr`'s on-chain digests, pinning [lb, ub] (tree-key domain). With
+  /// `boundary == nullptr` this is result-set verification (VerifyFor's
+  /// checks); non-null selects boundary mode for aggregates — the response
+  /// must ship no result objects and every verified in-range entry is
+  /// appended to `*boundary` in ascending key order.
+  virtual VerifiedResult VerifyPredicateFor(uint32_t attr, Key lb, Key ub,
+                                            const QueryResponse& response,
+                                            std::vector<ads::VoEntry>* boundary);
+
+  /// As VerifyPredicateFor, against already-retrieved chain state.
+  virtual VerifiedResult VerifyPredicateAgainst(
+      const std::vector<chain::AuthenticatedState>& states, uint32_t attr,
+      Key lb, Key ub, const QueryResponse& response,
+      std::vector<ads::VoEntry>* boundary) const;
+
+  /// Maps a predicate's [lb, ub] (attribute-value domain) to the tree-key
+  /// domain attribute `attr` is indexed in. Identity by default; a
+  /// multi-attribute backend packs (value, record id) into composite tree
+  /// keys and widens the range accordingly.
+  virtual void MapPredicateRange(uint32_t /*attr*/, Key lb, Key ub,
+                                 Key* tree_lb, Key* tree_ub) const {
+    *tree_lb = lb;
+    *tree_ub = ub;
+  }
+
+  /// Inverse of the value half of MapPredicateRange: the attribute value a
+  /// tree key encodes (used by the aggregate fold). Identity by default.
+  virtual Key DecodeAttrValue(uint32_t /*attr*/, Key tree_key) const {
+    return tree_key;
+  }
+
+  /// Canonicalizes one verified object of attribute `attr`'s index before
+  /// set composition: the output's key must identify the *record* (identical
+  /// across attributes), the value its payload. Identity by default; a
+  /// multi-attribute backend decodes the record id and cross-checks the
+  /// composite key. False (with `*error`) rejects the whole response.
+  virtual bool CanonicalizeSpecObject(uint32_t /*attr*/, const Object& in,
+                                      Object* out,
+                                      std::string* /*error*/) const {
+    *out = in;
+    return true;
+  }
+
+  /// Shared composition: pins the spec echo, conjunct count, and per-conjunct
+  /// ranges; verifies every conjunct through `verify_predicate` (each
+  /// conjunct's completeness is established *before* any set operation);
+  /// then intersects/unites by canonical record, cross-checking payload
+  /// agreement, or folds boundary entries into aggregates.
+  VerifiedSpecResult ComposeSpecVerification(
+      const QuerySpec& spec, const SpecResponse& response,
+      const std::function<VerifiedResult(uint32_t attr, Key lb, Key ub,
+                                         const QueryResponse& conjunct,
+                                         std::vector<ads::VoEntry>* boundary)>&
+          verify_predicate) const;
+
   /// Routes SP-side (unmetered) tree materializations through `pool`;
   /// nullptr reverts to the construction-time DbOptions::sp_pool (or serial).
   /// Reached through SpPoolScope or DbOptions::sp_pool — never called
@@ -159,12 +286,28 @@ class RangeStore {
     store.ApplySpPool(pool);
   }
 
+  /// Same idea for the per-attribute verification primitives: a composite
+  /// store (sharded, multi-attribute) delegates a conjunct to one of the
+  /// stores it owns without those primitives becoming public API.
+  static VerifiedResult VerifyPredicateForOn(
+      RangeStore& store, uint32_t attr, Key lb, Key ub,
+      const QueryResponse& response, std::vector<ads::VoEntry>* boundary) {
+    return store.VerifyPredicateFor(attr, lb, ub, response, boundary);
+  }
+  static VerifiedResult VerifyPredicateAgainstOn(
+      const RangeStore& store,
+      const std::vector<chain::AuthenticatedState>& states, uint32_t attr,
+      Key lb, Key ub, const QueryResponse& response,
+      std::vector<ads::VoEntry>* boundary) {
+    return store.VerifyPredicateAgainst(states, attr, lb, ub, response,
+                                        boundary);
+  }
+
   friend class SpPoolScope;
 };
 
 /// RAII pool installation: routes a store's SP-side builds through `pool`
 /// for the scope's lifetime, then reverts to the store's configured pool.
-/// This replaces the deprecated raw-pointer AuthenticatedDb::SetSpThreadPool.
 class SpPoolScope {
  public:
   SpPoolScope(RangeStore& store, common::ThreadPool* pool) : store_(&store) {

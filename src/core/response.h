@@ -4,11 +4,13 @@
 #ifndef GEM2_CORE_RESPONSE_H_
 #define GEM2_CORE_RESPONSE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ads/vo.h"
 #include "common/types.h"
+#include "core/query_spec.h"
 #include "telemetry/trace.h"
 
 namespace gem2::core {
@@ -77,6 +79,54 @@ struct VerifiedResult {
   uint64_t tombstones_filtered = 0;
   uint64_t vo_sp_bytes = 0;
   uint64_t vo_chain_bytes = 0;
+};
+
+/// Authenticated aggregates over a range. Client-side they derive from a
+/// verified result set (core/aggregates.h); server-computed they derive from
+/// VO boundary entries with the values decoded from tree keys.
+struct RangeAggregates {
+  /// Number of live (non-tombstoned) objects in the range.
+  uint64_t count = 0;
+  /// Smallest / largest key (attribute value, for the server-computed path)
+  /// in the range. Unset when count == 0.
+  std::optional<Key> min_key;
+  std::optional<Key> max_key;
+  /// Client-side: sum over payloads that parse fully as decimal integers
+  /// (unset when any payload is non-numeric). Server-computed: sum of the
+  /// attribute values, two's-complement wraparound.
+  std::optional<long long> sum;
+};
+
+/// Answer to a QuerySpec: the spec the SP claims to have executed (the
+/// client pins it against the one it issued, like VerifyFor pins lb/ub) plus
+/// one per-predicate response, in predicate order. For aggregate specs the
+/// conjunct ships boundary structure only — every VO entry demoted to an
+/// explicit-hash boundary entry and no result objects (see
+/// StripForAggregate in core/aggregates.h).
+struct SpecResponse {
+  QuerySpec spec;
+  std::vector<QueryResponse> conjuncts;
+  /// Telemetry-only, exactly as QueryResponse::trace.
+  telemetry::TraceContext trace;
+};
+
+uint64_t VoSpBytes(const SpecResponse& response);
+SpecResponse CloneSpecResponse(const SpecResponse& response);
+
+/// Outcome of client-side verification of a SpecResponse.
+struct VerifiedSpecResult {
+  bool ok = false;
+  std::string error;
+  /// Boolean specs: the composed (intersected / united) result set in
+  /// ascending canonical-key order; multi-attribute backends canonicalize
+  /// each conjunct's objects to (record id, payload) before composing.
+  /// Aggregate specs: always empty — the point is not shipping the set.
+  std::vector<Object> objects;
+  uint64_t tombstones_filtered = 0;
+  uint64_t vo_sp_bytes = 0;
+  uint64_t vo_chain_bytes = 0;
+  /// Set for aggregate specs only, computed from verified boundary entries.
+  std::optional<RangeAggregates> aggregates;
 };
 
 }  // namespace gem2::core

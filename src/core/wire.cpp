@@ -236,6 +236,74 @@ std::optional<QueryResponse> ParseResponse(const Bytes& data) {
 
 namespace {
 
+/// Kind tag of the spec envelope in either version's image namespace. The
+/// legacy parsers (ParseV2, wirev3::Parse) know only kinds 0/1 and reject 2
+/// fail-closed, so pre-QuerySpec clients can never misread a spec answer.
+constexpr uint8_t kKindSpec = 2;
+
+}  // namespace
+
+Bytes SerializeSpecResponse(const SpecResponse& response, WireVersion version) {
+  Bytes out;
+  SerializeSpecResponseInto(response, version, &out);
+  return out;
+}
+
+void SerializeSpecResponseInto(const SpecResponse& response,
+                               WireVersion version, Bytes* out) {
+  out->push_back(static_cast<uint8_t>(version));
+  out->push_back(kKindSpec);
+  Bytes spec = SerializeQuerySpec(response.spec);
+  AppendUint64(out, spec.size());
+  out->insert(out->end(), spec.begin(), spec.end());
+  AppendUint64(out, response.conjuncts.size());
+  Bytes inner;
+  for (const QueryResponse& conjunct : response.conjuncts) {
+    inner.clear();
+    SerializeResponseInto(conjunct, version, &inner);
+    AppendUint64(out, inner.size());
+    out->insert(out->end(), inner.begin(), inner.end());
+  }
+}
+
+std::optional<SpecResponse> ParseSpecResponse(const Bytes& data) {
+  Reader r{data};
+  const uint8_t version = r.Byte();
+  if (version != static_cast<uint8_t>(WireVersion::kV2) &&
+      version != static_cast<uint8_t>(WireVersion::kV3)) {
+    return std::nullopt;
+  }
+  if (r.Byte() != kKindSpec) return std::nullopt;
+  Bytes spec_bytes = r.ReadBlob();
+  if (r.failed) return std::nullopt;
+  auto spec = ParseQuerySpec(spec_bytes);
+  if (!spec.has_value()) return std::nullopt;
+  SpecResponse response;
+  response.spec = std::move(*spec);
+  const uint64_t num_conjuncts = r.U64();
+  // Structural: one conjunct per predicate, in predicate order. Anything
+  // else is malformed, not merely unverifiable.
+  if (r.failed || num_conjuncts != response.spec.predicates.size()) {
+    return std::nullopt;
+  }
+  response.conjuncts.reserve(num_conjuncts);
+  for (uint64_t i = 0; i < num_conjuncts; ++i) {
+    Bytes inner = r.ReadBlob();
+    if (r.failed) return std::nullopt;
+    // Embedded images must carry the envelope's own version — a spec answer
+    // never mixes encodings — and ParseResponse only yields single/composite
+    // shapes, so spec envelopes cannot nest.
+    if (inner.empty() || inner[0] != version) return std::nullopt;
+    auto sub = ParseResponse(inner);
+    if (!sub.has_value()) return std::nullopt;
+    response.conjuncts.push_back(std::move(*sub));
+  }
+  if (r.pos != data.size()) return std::nullopt;
+  return response;
+}
+
+namespace {
+
 // Traced-wire envelope magic. A bare wire image starts with kFormatVersion
 // (currently 2), so the magic's first byte can never collide with one.
 constexpr uint8_t kTracedWireMagic[4] = {'G', 'T', 'W', '1'};

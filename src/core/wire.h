@@ -44,6 +44,25 @@ void SerializeResponseInto(const QueryResponse& response, WireVersion version,
 /// versions are malformed, never a throw.
 std::optional<QueryResponse> ParseResponse(const Bytes& data);
 
+/// Serializes a SpecResponse. The envelope is version-uniform:
+///   [version][kind=2][u64 |spec|][spec][u64 nconj][nconj x (u64 len + image)]
+/// where `spec` is the canonical QuerySpec image (query_spec.h) and each
+/// embedded image is a complete single/composite response serialized in the
+/// same wire version — byte-identical to SerializeResponse(conjunct,
+/// version), so the per-conjunct bytes (and VO sizes) match the legacy
+/// protocol exactly. Legacy ParseResponse rejects kind 2 fail-closed, and
+/// ParseSpecResponse rejects embedded spec envelopes: the nesting is one
+/// level by construction.
+Bytes SerializeSpecResponse(const SpecResponse& response, WireVersion version);
+void SerializeSpecResponseInto(const SpecResponse& response,
+                               WireVersion version, Bytes* out);
+
+/// Fail-closed parse of a spec envelope of either version: unknown versions
+/// or kinds, malformed specs, a conjunct count disagreeing with the spec's
+/// predicate count, version-mixed embedded images, or trailing bytes all
+/// come back as std::nullopt, never a throw.
+std::optional<SpecResponse> ParseSpecResponse(const Bytes& data);
+
 /// Frames `image` with a telemetry trace context: a fixed-size envelope
 /// [magic "GTW1"][trace_hi][trace_lo][parent_span] *around* the untouched
 /// wire image. The envelope is observability transport only — the image

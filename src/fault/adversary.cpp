@@ -116,6 +116,69 @@ AdversaryReport RunAdversarialSweep(core::RangeStore& db,
   return report;
 }
 
+AdversaryReport RunSpecAdversarialSweep(core::RangeStore& db,
+                                        const SpecAdversaryOptions& options) {
+  AdversaryReport report;
+  report.seed = options.seed;
+  if (options.specs.empty()) return report;
+  // A distinct stream tag keeps these draws independent of the range sweep's,
+  // so running both against one seed never correlates their forgeries.
+  ResponseMutator mutator(DeriveSeed(options.seed, 0x5c), options.wire_version);
+
+  for (int i = 0; i < options.mutations; ++i) {
+    const core::QuerySpec& spec =
+        options.specs[static_cast<size_t>(i) % options.specs.size()];
+    const core::SpecResponse response = db.ExecuteSpec(spec);
+    SpecMutation mutation = mutator.MutateSpec(response);
+    const std::string op_name = SpecMutationOpName(mutation.op);
+    ++report.attempted;
+    ++report.attempts_by_op[op_name];
+    Count("fault.mutation.attempted");
+
+    telemetry::ScopedEventFields audit_fields(
+        {{"op", op_name},
+         {"seed", std::to_string(options.seed)},
+         {"round", std::to_string(i)}});
+    telemetry::TraceScope trace_scope(response.trace.valid()
+                                          ? response.trace
+                                          : telemetry::CurrentTrace());
+
+    std::optional<core::SpecResponse> parsed =
+        core::ParseSpecResponse(mutation.wire);
+    if (!parsed.has_value()) {
+      ++report.rejected_parse;
+      Count("fault.mutation.rejected_parse");
+      if (telemetry::EventLog::Global().enabled()) {
+        telemetry::EventLog::Global().Emit(
+            std::move(telemetry::Event("verify.reject")
+                          .Str("backend", db.BackendName())
+                          .Str("reason", "malformed wire image")));
+      }
+      continue;
+    }
+    parsed->trace = response.trace;
+    core::VerifiedSpecResult vr = db.VerifySpecFor(spec, *parsed);
+    if (!vr.ok) {
+      ++report.rejected_verify;
+      Count("fault.mutation.rejected_verify");
+      continue;
+    }
+    // Every spec operator is semantic — acceptance is a broken property.
+    report.forgeries.push_back("accepted " + op_name + " (seed " +
+                               std::to_string(options.seed) + ", round " +
+                               std::to_string(i) + ", spec " +
+                               core::ToString(spec) + ")");
+    Count("fault.mutation.forged");
+    if (telemetry::EventLog::Global().enabled()) {
+      telemetry::EventLog::Global().Emit(
+          std::move(telemetry::Event("forgery.accepted")
+                        .Str("backend", db.BackendName())
+                        .Str("spec", core::ToString(spec))));
+    }
+  }
+  return report;
+}
+
 bool StaleReplayRejected(core::RangeStore& db, Key lb, Key ub,
                          int extra_inserts, uint64_t seed, std::string* why) {
   // QueryWire keeps the capture's trace context framed around the image, so

@@ -55,6 +55,26 @@ struct AdversaryReport {
 AdversaryReport RunAdversarialSweep(core::RangeStore& db,
                                     const AdversaryOptions& options);
 
+/// Sweep options for typed-spec answers. Queries are not drawn from a key
+/// domain — the caller supplies the specs to attack (boolean shapes,
+/// aggregates, cross-attribute predicates) and the sweep cycles through
+/// them, executing each fresh every round.
+struct SpecAdversaryOptions {
+  uint64_t seed = 1;
+  int mutations = 500;
+  std::vector<core::QuerySpec> specs;
+  core::WireVersion wire_version = core::WireVersion::kV2;
+};
+
+/// The typed-spec analogue of RunAdversarialSweep: mounts SpecMutationOp
+/// forgeries (conjunct swapping/dropping, aggregate-boundary tampering, spec
+/// echo rewrites, ...) against `db` and pushes each forged image through
+/// ParseSpecResponse + VerifySpecFor. Every operator is semantic, so
+/// AllRejected() must hold on a correct implementation. Deterministic per
+/// (db state, options); returns an empty report when `specs` is empty.
+AdversaryReport RunSpecAdversarialSweep(core::RangeStore& db,
+                                        const SpecAdversaryOptions& options);
+
 /// Stale-response replay: serializes a response for [lb, ub], advances the
 /// chain by `extra_inserts` fresh in-range inserts (so the on-chain digests
 /// move past the captured response), then replays the stale image. Returns

@@ -526,4 +526,187 @@ WireV3Mutation ResponseMutator::MutateWireV3(const core::QueryResponse& response
   }
 }
 
+std::string SpecMutationOpName(SpecMutationOp op) {
+  switch (op) {
+    case SpecMutationOp::kSwapConjunctVos:
+      return "swap_conjunct_vos";
+    case SpecMutationOp::kDropConjunct:
+      return "drop_conjunct";
+    case SpecMutationOp::kDuplicateConjunct:
+      return "duplicate_conjunct";
+    case SpecMutationOp::kShiftConjunctRange:
+      return "shift_conjunct_range";
+    case SpecMutationOp::kTamperAggregateBoundary:
+      return "tamper_aggregate_boundary";
+    case SpecMutationOp::kSpecEchoTamper:
+      return "spec_echo_tamper";
+    case SpecMutationOp::kMutateInnerConjunct:
+      return "mutate_inner_conjunct";
+  }
+  return "unknown";
+}
+
+std::optional<SpecMutation> ResponseMutator::ApplySpec(
+    SpecMutationOp op, const core::SpecResponse& response) {
+  if (response.conjuncts.empty()) return std::nullopt;
+  auto pack = [&](core::SpecResponse&& forged) {
+    SpecMutation m;
+    m.op = op;
+    m.wire = core::SerializeSpecResponse(forged, wire_);
+    return m;
+  };
+  // Conjunct pairs over *different* mapped ranges: crossing two conjuncts
+  // with identical ranges over identical attribute trees could reproduce the
+  // honest answer, so the pair operators only cross conjuncts the range pin
+  // is guaranteed to catch.
+  auto distinct_pair = [&](const core::SpecResponse& r, size_t* i, size_t* j) {
+    std::vector<std::pair<size_t, size_t>> pairs;
+    for (size_t a = 0; a < r.conjuncts.size(); ++a) {
+      for (size_t b = a + 1; b < r.conjuncts.size(); ++b) {
+        if (r.conjuncts[a].lb != r.conjuncts[b].lb ||
+            r.conjuncts[a].ub != r.conjuncts[b].ub) {
+          pairs.emplace_back(a, b);
+        }
+      }
+    }
+    if (pairs.empty()) return false;
+    const auto& p = pairs[rng_.Uniform(0, pairs.size() - 1)];
+    *i = p.first;
+    *j = p.second;
+    return true;
+  };
+
+  switch (op) {
+    case SpecMutationOp::kSwapConjunctVos: {
+      core::SpecResponse forged = core::CloneSpecResponse(response);
+      size_t i = 0, j = 0;
+      if (!distinct_pair(forged, &i, &j)) return std::nullopt;
+      std::swap(forged.conjuncts[i], forged.conjuncts[j]);
+      return pack(std::move(forged));
+    }
+
+    case SpecMutationOp::kDropConjunct: {
+      // The conjunct count is pinned to the predicate count structurally, so
+      // this forgery must already die in ParseSpecResponse.
+      core::SpecResponse forged = core::CloneSpecResponse(response);
+      forged.conjuncts.erase(
+          forged.conjuncts.begin() +
+          static_cast<long>(rng_.Uniform(0, forged.conjuncts.size() - 1)));
+      return pack(std::move(forged));
+    }
+
+    case SpecMutationOp::kDuplicateConjunct: {
+      core::SpecResponse forged = core::CloneSpecResponse(response);
+      size_t i = 0, j = 0;
+      if (!distinct_pair(forged, &i, &j)) return std::nullopt;
+      if (rng_.Chance(0.5)) std::swap(i, j);
+      forged.conjuncts[j] = core::CloneResponse(forged.conjuncts[i]);
+      return pack(std::move(forged));
+    }
+
+    case SpecMutationOp::kShiftConjunctRange: {
+      core::SpecResponse forged = core::CloneSpecResponse(response);
+      core::QueryResponse& conjunct =
+          forged.conjuncts[rng_.Uniform(0, forged.conjuncts.size() - 1)];
+      const uint64_t delta = rng_.Uniform(1, 1'000'000);
+      switch (rng_.Uniform(0, 2)) {
+        case 0:
+          conjunct.lb = ShiftKey(conjunct.lb, delta, false);
+          break;
+        case 1:
+          conjunct.ub = ShiftKey(conjunct.ub, delta, true);
+          break;
+        default:
+          conjunct.lb = ShiftKey(conjunct.lb, delta, false);
+          conjunct.ub = ShiftKey(conjunct.ub, delta, true);
+          break;
+      }
+      return pack(std::move(forged));
+    }
+
+    case SpecMutationOp::kTamperAggregateBoundary: {
+      // Aggregates fold over exactly the VO boundary entries, so one flipped
+      // hash site is one wrong COUNT/SUM/MIN/MAX input — and one diverged
+      // root reconstruction.
+      if (response.spec.aggregate == core::AggregateKind::kNone) {
+        return std::nullopt;
+      }
+      core::SpecResponse forged = core::CloneSpecResponse(response);
+      const size_t idx = rng_.Uniform(0, forged.conjuncts.size() - 1);
+      std::optional<Mutation> inner =
+          Apply(MutationOp::kFlipVoHashBit, forged.conjuncts[idx]);
+      if (!inner.has_value()) return std::nullopt;
+      std::optional<core::QueryResponse> parsed = core::ParseResponse(inner->wire);
+      if (!parsed.has_value()) return std::nullopt;
+      forged.conjuncts[idx] = std::move(*parsed);
+      return pack(std::move(forged));
+    }
+
+    case SpecMutationOp::kSpecEchoTamper: {
+      // Rewrite the echoed spec. A variant that stays structurally valid is
+      // caught by the spec pin ("response spec does not match the issued
+      // query"); one that wraps into invalidity (lb > ub, aggregate over
+      // several predicates) dies in ParseSpecResponse. Either way: rejected.
+      core::SpecResponse forged = core::CloneSpecResponse(response);
+      core::QuerySpec& spec = forged.spec;
+      switch (rng_.Uniform(0, 2)) {
+        case 0:
+          spec.op = spec.op == core::BoolOp::kAnd ? core::BoolOp::kOr
+                                                  : core::BoolOp::kAnd;
+          break;
+        case 1: {
+          core::Predicate& p =
+              spec.predicates[rng_.Uniform(0, spec.predicates.size() - 1)];
+          const uint64_t delta = rng_.Uniform(1, 1000);
+          if (rng_.Chance(0.5)) {
+            p.lb = ShiftKey(p.lb, delta, false);
+          } else {
+            p.ub = ShiftKey(p.ub, delta, true);
+          }
+          break;
+        }
+        default:
+          spec.aggregate = static_cast<core::AggregateKind>(
+              (static_cast<uint8_t>(spec.aggregate) + 1 +
+               rng_.Uniform(0, 3)) %
+              5);
+          break;
+      }
+      return pack(std::move(forged));
+    }
+
+    case SpecMutationOp::kMutateInnerConjunct: {
+      // Tamper inside ONE conjunct's sub-response with a semantic
+      // single-response operator, exactly as kMutateInnerSlice does for
+      // shards. kShiftRangeBounds always applies, so this loop terminates.
+      core::SpecResponse forged = core::CloneSpecResponse(response);
+      const size_t idx = rng_.Uniform(0, forged.conjuncts.size() - 1);
+      for (;;) {
+        const MutationOp inner_op =
+            kAllMutationOps[rng_.Uniform(0, kAllMutationOps.size() - 1)];
+        if (inner_op == MutationOp::kCorruptWireBytes) continue;
+        std::optional<Mutation> inner = Apply(inner_op, forged.conjuncts[idx]);
+        if (!inner.has_value()) continue;
+        std::optional<core::QueryResponse> parsed =
+            core::ParseResponse(inner->wire);
+        if (!parsed.has_value()) continue;
+        forged.conjuncts[idx] = std::move(*parsed);
+        SpecMutation m = pack(std::move(forged));
+        m.inner = inner_op;
+        return m;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+SpecMutation ResponseMutator::MutateSpec(const core::SpecResponse& response) {
+  for (;;) {
+    const SpecMutationOp op =
+        kAllSpecMutationOps[rng_.Uniform(0, kAllSpecMutationOps.size() - 1)];
+    std::optional<SpecMutation> m = ApplySpec(op, response);
+    if (m.has_value()) return std::move(*m);
+  }
+}
+
 }  // namespace gem2::fault

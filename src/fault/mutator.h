@@ -103,6 +103,41 @@ inline constexpr std::array<WireV3MutationOp, 5> kAllWireV3MutationOps = {
 
 std::string WireV3MutationOpName(WireV3MutationOp op);
 
+/// Forgeries specific to a typed-spec answer (core::SpecResponse): attacks
+/// on the boolean composition itself — playing the per-attribute conjunct
+/// answers against each other — plus tampering with the aggregate boundary
+/// structure and the echoed spec. Each must die either in ParseSpecResponse
+/// (structural: conjunct count is pinned to the predicate count) or in
+/// VerifySpecFor (the spec echo and every conjunct's range are pinned, and
+/// each conjunct's VO is verified against its own attribute's digests);
+/// none can be a canonical no-op.
+enum class SpecMutationOp : uint8_t {
+  kSwapConjunctVos,    // swap two conjuncts' per-attribute answers: each VO
+                       // now claims the *other* predicate's range
+  kDropConjunct,       // withhold one conjunct's slice of the answer
+  kDuplicateConjunct,  // answer one predicate with a copy of another's
+                       // response (count stays right, range pin does not)
+  kShiftConjunctRange, // claim a different mapped range for one conjunct
+  kTamperAggregateBoundary,  // flip one bit of a boundary-entry hash in an
+                             // aggregate answer: COUNT/SUM/MIN/MAX fold over
+                             // exactly these entries
+  kSpecEchoTamper,     // tamper the echoed spec (bound, AND<->OR, aggregate)
+  kMutateInnerConjunct,  // semantic single-response operator inside one
+                         // conjunct's sub-response
+};
+
+inline constexpr std::array<SpecMutationOp, 7> kAllSpecMutationOps = {
+    SpecMutationOp::kSwapConjunctVos,
+    SpecMutationOp::kDropConjunct,
+    SpecMutationOp::kDuplicateConjunct,
+    SpecMutationOp::kShiftConjunctRange,
+    SpecMutationOp::kTamperAggregateBoundary,
+    SpecMutationOp::kSpecEchoTamper,
+    SpecMutationOp::kMutateInnerConjunct,
+};
+
+std::string SpecMutationOpName(SpecMutationOp op);
+
 /// One applied v3 wire mutation. Always a targeted, semantically meaningful
 /// edit (never a blind flip), so the harness asserts strict 100% rejection.
 struct WireV3Mutation {
@@ -124,6 +159,15 @@ struct Mutation {
 struct CompositeMutation {
   CompositeMutationOp op = CompositeMutationOp::kDropSlice;
   /// The single-response operator used when op == kMutateInnerSlice.
+  std::optional<MutationOp> inner;
+  Bytes wire;
+};
+
+/// One applied spec mutation. Always semantic (never byte-level), so the
+/// harness asserts strict 100% rejection.
+struct SpecMutation {
+  SpecMutationOp op = SpecMutationOp::kDropConjunct;
+  /// The single-response operator used when op == kMutateInnerConjunct.
   std::optional<MutationOp> inner;
   Bytes wire;
 };
@@ -169,6 +213,20 @@ class ResponseMutator {
   /// Applies one applicable v3 operator chosen uniformly. Never fails:
   /// kVersionByteConfusion always applies.
   WireV3Mutation MutateWireV3(const core::QueryResponse& response);
+
+  /// Applies `op` to a typed-spec answer; std::nullopt when the operator
+  /// does not apply (the conjunct-pair operators need two conjuncts over
+  /// *different* mapped ranges — swapping identical ranges would not forge
+  /// anything — and kTamperAggregateBoundary needs an aggregate spec with at
+  /// least one hash site). Kept separate from the other Apply families so
+  /// their seeded draw sequences are untouched.
+  std::optional<SpecMutation> ApplySpec(SpecMutationOp op,
+                                        const core::SpecResponse& response);
+
+  /// Applies one applicable spec operator chosen uniformly. Never fails on a
+  /// well-formed spec answer: kDropConjunct, kShiftConjunctRange,
+  /// kSpecEchoTamper, and kMutateInnerConjunct always apply.
+  SpecMutation MutateSpec(const core::SpecResponse& response);
 
   Rng& rng() { return rng_; }
   core::WireVersion wire_version() const { return wire_; }

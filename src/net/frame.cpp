@@ -9,7 +9,7 @@ namespace {
 
 bool KnownType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kQuery) &&
-         t <= static_cast<uint8_t>(FrameType::kError);
+         t <= static_cast<uint8_t>(FrameType::kQuery2);
 }
 
 uint32_t ReadU32(const uint8_t* p) {
@@ -114,6 +114,24 @@ std::optional<QueryBody> ParseQueryBody(const Bytes& body) {
   return q;
 }
 
+Bytes EncodeQuery2Frame(uint64_t request_id, const core::QuerySpec& spec) {
+  const std::string invalid = spec.Check();
+  if (!invalid.empty()) {
+    throw std::invalid_argument("EncodeQuery2Frame: " + invalid);
+  }
+  const Bytes body = core::SerializeQuerySpec(spec);
+  Bytes out;
+  out.reserve(kFrameHeaderBytes + body.size());
+  AppendFrameHeader(&out, FrameType::kQuery2, request_id,
+                    static_cast<uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<core::QuerySpec> ParseQuery2Body(const Bytes& body) {
+  return core::ParseQuerySpec(body);
+}
+
 void FrameDecoder::Feed(const uint8_t* data, size_t len) {
   if (failed_ || len == 0) return;
   // Compact the consumed prefix before growing: a connection that pipelines
@@ -144,6 +162,15 @@ FrameDecoder::Result FrameDecoder::Next(Frame* out) {
   const uint8_t* body = buffer_.data() + pos_ + kFrameHeaderBytes;
   out->body.assign(body, body + header.length);
   pos_ += kFrameHeaderBytes + header.length;
+  // Spec validity is part of framing: a kQuery2 body that is not one valid
+  // canonical QuerySpec image poisons the decoder — the peer is either
+  // confused or malicious, and resynchronizing would only guess.
+  if (out->type == FrameType::kQuery2 &&
+      !core::ParseQuerySpec(out->body).has_value()) {
+    failed_ = true;
+    error_ = "malformed query spec body";
+    return Result::kError;
+  }
   return Result::kFrame;
 }
 

@@ -12,9 +12,13 @@
 ///     [16..19] body length, big-endian u32
 ///   body:
 ///     kQuery:    16 bytes — lb, ub as big-endian two's-complement i64
-///     kResponse: the traced-envelope + wire image exactly as QueryWire
-///                produces it (the frame carries the GTW1 context *alongside*
-///                the authenticated bytes, never inside them)
+///     kQuery2:   a canonical core::QuerySpec image (SerializeQuerySpec) —
+///                the typed boolean/aggregate query. The decoder validates
+///                the spec as part of framing: a malformed spec body poisons
+///                the decoder exactly like a bad magic would.
+///     kResponse: the traced-envelope + wire image exactly as QueryWire /
+///                SpecWire produces it (the frame carries the GTW1 context
+///                *alongside* the authenticated bytes, never inside them)
 ///     kBusy:     empty — explicit load-shed, the client should back off
 ///     kError:    UTF-8 diagnostic message
 ///
@@ -35,6 +39,7 @@
 
 #include "common/bytes.h"
 #include "common/types.h"
+#include "core/query_spec.h"
 
 namespace gem2::net {
 
@@ -43,6 +48,7 @@ enum class FrameType : uint8_t {
   kResponse = 2,
   kBusy = 3,
   kError = 4,
+  kQuery2 = 5,
 };
 
 inline constexpr uint8_t kFrameMagic[4] = {'G', '2', 'F', '1'};
@@ -95,6 +101,15 @@ struct QueryBody {
 
 /// Parses a kQuery body; std::nullopt unless it is exactly 16 bytes.
 std::optional<QueryBody> ParseQueryBody(const Bytes& body);
+
+/// Encodes a kQuery2 frame carrying `spec` (canonical QuerySpec image).
+/// Throws std::invalid_argument for a structurally invalid spec — an invalid
+/// spec must never reach the wire (the receiving decoder would poison).
+Bytes EncodeQuery2Frame(uint64_t request_id, const core::QuerySpec& spec);
+
+/// Parses a kQuery2 body; std::nullopt unless the whole body is one valid
+/// canonical spec image (core::ParseQuerySpec, fail-closed).
+std::optional<core::QuerySpec> ParseQuery2Body(const Bytes& body);
 
 /// Incremental fail-closed decoder over a connection's inbound byte stream.
 /// Feed whatever read() produced; Next() pops complete frames. After an

@@ -86,6 +86,10 @@ struct SpServer::Impl {
     uint64_t request_id = 0;
     Key lb = 0;
     Key ub = 0;
+    /// kQuery2: the typed spec to execute (is_spec distinguishes, so a legacy
+    /// query never pays a spec copy).
+    bool is_spec = false;
+    core::QuerySpec spec;
     uint64_t admitted_ns = 0;
   };
   std::mutex queue_mutex;
@@ -296,17 +300,13 @@ struct SpServer::Impl {
     AppendOutbound(conn, EncodeFrame(FrameType::kError, request_id, body));
   }
 
-  void HandleQuery(Conn* conn, const Frame& frame) {
-    const auto query = ParseQueryBody(frame.body);
-    if (!query.has_value()) {
-      ProtocolError(conn, frame.request_id, "malformed query body");
-      return;
-    }
+  /// Admission control: past the in-flight bound (or during shutdown) the
+  /// client gets an explicit kBusy frame — visible shed, never a silent
+  /// drop, and the reactor thread never computes a query itself. Returns
+  /// false when the request was shed (the connection may be gone).
+  bool Admit(Conn* conn, uint64_t request_id) {
     requests.fetch_add(1, std::memory_order_relaxed);
     m_requests->Add(1);
-    // Admission control: past the in-flight bound (or during shutdown) the
-    // client gets an explicit kBusy frame — visible shed, never a silent
-    // drop, and the reactor thread never computes a query itself.
     size_t current = in_flight.load(std::memory_order_relaxed);
     bool admitted = false;
     while (!stopping.load(std::memory_order_relaxed) &&
@@ -320,16 +320,53 @@ struct SpServer::Impl {
     if (!admitted) {
       shed.fetch_add(1, std::memory_order_relaxed);
       m_shed->Add(1);
-      AppendOutbound(conn,
-                     EncodeFrame(FrameType::kBusy, frame.request_id, {}));
-      return;
+      AppendOutbound(conn, EncodeFrame(FrameType::kBusy, request_id, {}));
+      return false;
     }
     m_in_flight->Set(static_cast<int64_t>(in_flight.load()));
     conn->inflight++;
+    return true;
+  }
+
+  void HandleQuery(Conn* conn, const Frame& frame) {
+    const auto query = ParseQueryBody(frame.body);
+    if (!query.has_value()) {
+      ProtocolError(conn, frame.request_id, "malformed query body");
+      return;
+    }
+    if (!Admit(conn, frame.request_id)) return;
     {
       std::lock_guard<std::mutex> lock(queue_mutex);
-      queue.push_back(Request{conn->id, frame.request_id, query->lb, query->ub,
-                              NowNs()});
+      Request req;
+      req.conn_id = conn->id;
+      req.request_id = frame.request_id;
+      req.lb = query->lb;
+      req.ub = query->ub;
+      req.admitted_ns = NowNs();
+      queue.push_back(std::move(req));
+    }
+    queue_cv.notify_one();
+  }
+
+  void HandleQuery2(Conn* conn, const Frame& frame) {
+    // The decoder already poisons on a malformed spec body, but re-parse
+    // fail-closed anyway: this handler must not trust framing-layer
+    // invariants it cannot see.
+    auto spec = ParseQuery2Body(frame.body);
+    if (!spec.has_value()) {
+      ProtocolError(conn, frame.request_id, "malformed query spec body");
+      return;
+    }
+    if (!Admit(conn, frame.request_id)) return;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      Request req;
+      req.conn_id = conn->id;
+      req.request_id = frame.request_id;
+      req.is_spec = true;
+      req.spec = std::move(*spec);
+      req.admitted_ns = NowNs();
+      queue.push_back(std::move(req));
     }
     queue_cv.notify_one();
   }
@@ -364,15 +401,19 @@ struct SpServer::Impl {
         ProtocolError(conn, 0, conn->decoder.error());
         return;  // conn may already be gone (slow-disconnect inside append)
       }
-      if (frame.type != FrameType::kQuery) {
+      if (frame.type != FrameType::kQuery && frame.type != FrameType::kQuery2) {
         ProtocolError(conn, frame.request_id, "unexpected frame type");
         return;
       }
-      // HandleQuery can destroy *conn (outbound-bound disconnect or a failed
+      // The handlers can destroy *conn (outbound-bound disconnect or a failed
       // send inside AppendOutbound), so capture the id first and never touch
       // the pointer again until the lookup proves it still exists.
       const uint64_t conn_id = conn->id;
-      HandleQuery(conn, frame);
+      if (frame.type == FrameType::kQuery2) {
+        HandleQuery2(conn, frame);
+      } else {
+        HandleQuery(conn, frame);
+      }
       if (Lookup(conn_id) == nullptr) return;  // closed while answering
     }
     if (conn->read_closed) {
@@ -489,8 +530,12 @@ struct SpServer::Impl {
       std::string error;
       try {
         // The response image is serialized straight into the frame buffer —
-        // the no-copy path QueryWireInto exists for.
-        engine.QueryWireInto(req.lb, req.ub, &scratch);
+        // the no-copy path {Query,Spec}WireInto exists for.
+        if (req.is_spec) {
+          engine.SpecWireInto(req.spec, &scratch);
+        } else {
+          engine.QueryWireInto(req.lb, req.ub, &scratch);
+        }
       } catch (const std::exception& e) {
         ok = false;
         error = e.what();

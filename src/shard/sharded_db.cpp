@@ -22,7 +22,10 @@ void ShardOptions::Validate() const {
     throw std::invalid_argument("ShardOptions: " + what);
   };
   if (base.shared_env != nullptr) {
-    reject("base.shared_env must be null (the sharded db owns its chain)");
+    reject("base.shared_env must be null (set ShardOptions::shared_env)");
+  }
+  if (contract_prefix.empty()) {
+    reject("contract_prefix must be non-empty");
   }
   for (size_t i = 0; i < bounds.size(); ++i) {
     if (i > 0 && bounds[i] <= bounds[i - 1]) {
@@ -38,6 +41,10 @@ std::string ShardedDb::ShardContractName(size_t shard) {
   return "shard" + std::to_string(shard);
 }
 
+std::string ShardedDb::ContractName(size_t shard) const {
+  return options_.contract_prefix + std::to_string(shard);
+}
+
 ShardedDb::ShardedDb(ShardOptions options)
     : options_(std::move(options)),
       write_counters_(telemetry::MetricsRegistry::Global(), "shard.writes",
@@ -47,13 +54,18 @@ ShardedDb::ShardedDb(ShardOptions options)
       slice_latency_(telemetry::MetricsRegistry::Global(), "shard.slice_ns",
                      options_.num_shards()) {
   options_.Validate();
-  env_ = std::make_unique<chain::Environment>(options_.base.env);
+  if (options_.shared_env != nullptr) {
+    env_ = options_.shared_env;
+  } else {
+    owned_env_ = std::make_unique<chain::Environment>(options_.base.env);
+    env_ = owned_env_.get();
+  }
   const size_t shards = options_.num_shards();
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     core::DbOptions per_shard = options_.base;
-    per_shard.contract_name = ShardContractName(i);
-    per_shard.shared_env = env_.get();
+    per_shard.contract_name = ContractName(i);
+    per_shard.shared_env = env_;
     shards_.push_back(std::make_unique<core::AuthenticatedDb>(std::move(per_shard)));
   }
   scatter_pool_ = options_.base.sp_pool;
@@ -135,7 +147,11 @@ std::vector<ShardedDb::SubRange> ShardedDb::ScatterPlan(Key lb, Key ub) const {
   return plan;
 }
 
-core::QueryResponse ShardedDb::Query(Key lb, Key ub) const {
+core::QueryResponse ShardedDb::QueryPredicate(uint32_t attr, Key lb,
+                                              Key ub) const {
+  if (attr != 0) {
+    throw std::invalid_argument("ShardedDb: unknown attribute");
+  }
   // Parent span of the scatter: every slice — answered inline or on a pool
   // worker — continues this trace with the parent span id, so the span tree
   // (one shard.query, `slices` sp.query children) is identical serial vs
@@ -257,10 +273,117 @@ core::VerifiedResult ShardedDb::VerifyFor(Key lb, Key ub,
   return total;
 }
 
+core::VerifiedResult ShardedDb::VerifyPredicateFor(
+    uint32_t attr, Key lb, Key ub, const core::QueryResponse& response,
+    std::vector<ads::VoEntry>* boundary) {
+  if (attr != 0) {
+    core::VerifiedResult out;
+    out.ok = false;
+    out.error = "predicate over unknown attribute";
+    return out;
+  }
+  if (boundary == nullptr) return VerifyFor(lb, ub, response);
+  // Boundary (aggregate) mode: the composite's plan discipline is unchanged —
+  // a dropped or seam-shifted slice fails before any VO is checked — but each
+  // slice verifies its stripped VO in boundary mode, contributing proven
+  // in-range entries instead of result objects. Plan order ascends, so the
+  // concatenated entries stay key-ordered.
+  telemetry::TraceScope trace_scope(response.trace.valid()
+                                        ? response.trace
+                                        : telemetry::CurrentTrace());
+  core::VerifyObservation observe;
+  TELEMETRY_SPAN("shard.verify");
+  std::vector<SubRange> plan;
+  if (auto failed = CheckPlan(lb, ub, response, &plan)) {
+    observe.RecordRejection(BackendName(), failed->error);
+    return *failed;
+  }
+  core::VerifiedResult total;
+  total.ok = true;
+  total.vo_sp_bytes = core::VoSpBytes(response);
+  const size_t collected_before = boundary->size();
+  for (size_t i = 0; i < plan.size(); ++i) {
+    core::VerifiedResult slice_result = VerifyPredicateForOn(
+        *shards_[plan[i].shard], 0, plan[i].lb, plan[i].ub,
+        response.slices[i].response, boundary);
+    if (!slice_result.ok) {
+      total.ok = false;
+      total.error =
+          "shard " + std::to_string(plan[i].shard) + ": " + slice_result.error;
+      boundary->resize(collected_before);
+      observe.RecordRejection(BackendName(), total.error);
+      return total;
+    }
+    total.vo_chain_bytes += slice_result.vo_chain_bytes;
+  }
+  return total;
+}
+
+core::VerifiedResult ShardedDb::VerifyPredicateAgainst(
+    const std::vector<chain::AuthenticatedState>& states, uint32_t attr,
+    Key lb, Key ub, const core::QueryResponse& response,
+    std::vector<ads::VoEntry>* boundary) const {
+  if (attr != 0) {
+    core::VerifiedResult out;
+    out.ok = false;
+    out.error = "predicate over unknown attribute";
+    return out;
+  }
+  if (boundary == nullptr) {
+    if (response.lb != lb || response.ub != ub) {
+      core::VerifiedResult out;
+      out.ok = false;
+      out.error = "response range does not match the issued query";
+      return out;
+    }
+    return VerifyAgainst(states, response);
+  }
+  core::VerifyObservation observe;
+  std::vector<SubRange> plan;
+  if (auto failed = CheckPlan(lb, ub, response, &plan)) {
+    observe.RecordRejection(BackendName(), failed->error);
+    return *failed;
+  }
+  std::unordered_map<std::string, const chain::AuthenticatedState*> by_contract;
+  for (const chain::AuthenticatedState& s : states) by_contract[s.contract] = &s;
+  const ads::HashStrategy strategy = options_.base.client.batched_hashing
+                                         ? ads::HashStrategy::kBatched
+                                         : ads::HashStrategy::kSerial;
+  core::VerifiedResult total;
+  total.ok = true;
+  total.vo_sp_bytes = core::VoSpBytes(response);
+  const size_t collected_before = boundary->size();
+  for (size_t i = 0; i < plan.size(); ++i) {
+    auto it = by_contract.find(ContractName(plan[i].shard));
+    if (it == by_contract.end()) {
+      total.ok = false;
+      total.error =
+          "chain state does not cover shard " + std::to_string(plan[i].shard);
+      boundary->resize(collected_before);
+      observe.RecordRejection(BackendName(), total.error);
+      return total;
+    }
+    core::VerifiedResult slice_result =
+        core::VerifyResponse(*it->second, /*chain_valid=*/true,
+                             options_.base.kind, response.slices[i].response,
+                             strategy, boundary);
+    if (!slice_result.ok) {
+      total.ok = false;
+      total.error =
+          "shard " + std::to_string(plan[i].shard) + ": " + slice_result.error;
+      boundary->resize(collected_before);
+      observe.RecordRejection(BackendName(), total.error);
+      return total;
+    }
+    total.vo_chain_bytes += slice_result.vo_chain_bytes;
+  }
+  return total;
+}
+
 std::vector<chain::AuthenticatedState> ShardedDb::ReadChainState() {
   std::vector<std::string> names;
   names.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) names.push_back(ShardContractName(i));
+  for (size_t i = 0; i < shards_.size(); ++i) names.push_back(ContractName(i));
   return env_->ReadAuthenticatedStates(names);
 }
 
@@ -290,7 +413,7 @@ core::VerifiedResult ShardedDb::VerifyAgainst(
   // results cannot change the outcome).
   std::vector<const chain::AuthenticatedState*> slice_states(plan.size());
   for (size_t i = 0; i < plan.size(); ++i) {
-    auto it = by_contract.find(ShardContractName(plan[i].shard));
+    auto it = by_contract.find(ContractName(plan[i].shard));
     slice_states[i] = it == by_contract.end() ? nullptr : it->second;
   }
   const telemetry::TraceContext slice_ctx = telemetry::CurrentTrace();

@@ -47,11 +47,22 @@ struct ShardOptions {
   /// count (empty = one shard). workload::WorkloadGenerator::ShardBounds
   /// derives load-balancing bounds from the expected key distribution.
   std::vector<Key> bounds;
+  /// Host chain for every shard contract. nullptr (default): the sharded db
+  /// constructs and owns its own Environment from base.env. Non-null: shard
+  /// contracts register in the caller's environment (which must outlive the
+  /// db) — this is how a multi-attribute deployment keeps several sharded
+  /// attribute indexes under ONE state commitment.
+  chain::Environment* shared_env = nullptr;
+  /// Prefix shard contract names are formed from ("<prefix><i>"). The
+  /// default keeps the historical "shard0", "shard1", ... names; a
+  /// multi-attribute deployment namespaces per attribute ("attr2.shard0").
+  std::string contract_prefix = "shard";
 
   size_t num_shards() const { return bounds.size() + 1; }
 
   /// Rejects malformed configurations (unsorted bounds, a caller-supplied
-  /// shared_env, nonsensical base options) with std::invalid_argument.
+  /// base.shared_env, an empty contract_prefix, nonsensical base options)
+  /// with std::invalid_argument.
   void Validate() const;
 };
 
@@ -78,13 +89,6 @@ class ShardedDb : public core::RangeStore {
 
   bool Contains(Key key) const override;
   uint64_t size() const override;
-
-  // --- Service-provider interface ------------------------------------------
-
-  /// Scatter-gather: every overlapping shard answers its clamped sub-range
-  /// (in parallel on the installed SP pool), gathered into a composite
-  /// response in ascending shard order.
-  core::QueryResponse Query(Key lb, Key ub) const override;
 
   // --- Client interface -----------------------------------------------------
 
@@ -127,6 +131,32 @@ class ShardedDb : public core::RangeStore {
   void CheckConsistency() const override;
 
  protected:
+  // --- Per-attribute primitives (RangeStore seam) --------------------------
+
+  /// Scatter-gather: every overlapping shard answers its clamped sub-range
+  /// (in parallel on the installed SP pool), gathered into a composite
+  /// response in ascending shard order. A sharded db partitions one indexed
+  /// attribute, so only attr == 0 is valid; the public Query(lb, ub) shim is
+  /// exactly QueryPredicate(0, lb, ub).
+  core::QueryResponse QueryPredicate(uint32_t attr, Key lb,
+                                     Key ub) const override;
+
+  /// Chain-reading per-conjunct verification. Boundary mode (non-null
+  /// `boundary`) checks the scatter plan, verifies each slice's stripped VO
+  /// in boundary mode against its shard's digests, and concatenates the
+  /// proven in-range entries in plan order (sub-ranges ascend, so the merge
+  /// stays key-ordered).
+  core::VerifiedResult VerifyPredicateFor(
+      uint32_t attr, Key lb, Key ub, const core::QueryResponse& response,
+      std::vector<ads::VoEntry>* boundary) override;
+
+  /// As VerifyPredicateFor against already-retrieved chain state (one
+  /// AuthenticatedState per shard contract, any order).
+  core::VerifiedResult VerifyPredicateAgainst(
+      const std::vector<chain::AuthenticatedState>& states, uint32_t attr,
+      Key lb, Key ub, const core::QueryResponse& response,
+      std::vector<ads::VoEntry>* boundary) const override;
+
   /// Forwards the pool to every shard's SP mirrors and uses it for query
   /// scatter fan-out. nullptr reverts to DbOptions::sp_pool of the base.
   void ApplySpPool(common::ThreadPool* pool) override;
@@ -156,8 +186,12 @@ class ShardedDb : public core::RangeStore {
   static bool MergeSlice(core::VerifiedResult* total, size_t shard,
                          core::VerifiedResult&& slice_result);
 
+  /// Contract name shard i registers under ("<prefix><i>").
+  std::string ContractName(size_t shard) const;
+
   ShardOptions options_;
-  std::unique_ptr<chain::Environment> env_;
+  std::unique_ptr<chain::Environment> owned_env_;  // null when env is shared
+  chain::Environment* env_;                        // never null
   std::vector<std::unique_ptr<core::AuthenticatedDb>> shards_;
   common::ThreadPool* scatter_pool_ = nullptr;
   /// Per-shard op/slice counters ("shard.writes.<i>", "shard.slices.<i>").

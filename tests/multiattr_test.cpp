@@ -1,0 +1,507 @@
+// Multi-attribute boolean query tests: seeded AND/OR equivalence against
+// brute-force record filtering (both wire versions, unsharded and sharded
+// attribute indexes), server-computed aggregates vs brute force with
+// tombstones, empty-conjunct / disjoint-range / out-of-domain edge cases,
+// legacy Query(lb, ub) shim byte-identity, owner-surface validation, the
+// record codec, and a >= 500-round seeded spec-forgery sweep asserting 100%
+// rejection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/authenticated_db.h"
+#include "core/query_spec.h"
+#include "core/wire.h"
+#include "fault/adversary.h"
+#include "multiattr/multiattr_db.h"
+
+namespace gem2::multiattr {
+namespace {
+
+using core::AdsKind;
+using core::AggregateKind;
+using core::BoolOp;
+using core::Predicate;
+using core::PredicateKind;
+using core::QuerySpec;
+using core::VerifiedSpecResult;
+using core::WireVersion;
+
+MultiAttrOptions SmallOptions(uint32_t num_attrs,
+                              WireVersion wire = WireVersion::kV2) {
+  MultiAttrOptions opts;
+  opts.base.kind = AdsKind::kGem2;
+  opts.base.gem2.m = 2;
+  opts.base.gem2.smax = 16;
+  opts.base.wire_version = wire;
+  opts.num_attrs = num_attrs;
+  opts.id_bits = 16;
+  return opts;
+}
+
+/// Seeded population: `n` records, attribute values uniform in [-50, 50],
+/// then every fourth record deleted (tombstones in every index).
+std::vector<MultiAttrRecord> Populate(MultiAttrDb* db, int n, uint64_t seed,
+                                      std::set<int64_t>* deleted) {
+  Rng rng(seed);
+  std::vector<MultiAttrRecord> records;
+  for (int i = 0; i < n; ++i) {
+    MultiAttrRecord r;
+    r.id = i;
+    for (uint32_t k = 0; k < db->num_attributes(); ++k) {
+      r.attrs.push_back(rng.UniformInt(-50, 50));
+    }
+    r.value = "payload-" + std::to_string(i);
+    EXPECT_TRUE(db->InsertRecord(r).ok) << i;
+    records.push_back(std::move(r));
+  }
+  for (int i = 0; i < n; i += 4) {
+    EXPECT_TRUE(db->DeleteRecord(i).ok) << i;
+    deleted->insert(i);
+  }
+  return records;
+}
+
+bool Matches(const MultiAttrRecord& r, const Predicate& p) {
+  return r.attrs[p.attr] >= p.lb && r.attrs[p.attr] <= p.ub;
+}
+
+/// Brute-force reference: ids of live records satisfying the spec.
+std::vector<int64_t> BruteForce(const std::vector<MultiAttrRecord>& records,
+                                const std::set<int64_t>& deleted,
+                                const QuerySpec& spec) {
+  std::vector<int64_t> ids;
+  for (const MultiAttrRecord& r : records) {
+    if (deleted.count(r.id) != 0) continue;
+    bool all = true;
+    bool any = false;
+    for (const Predicate& p : spec.predicates) {
+      if (Matches(r, p)) {
+        any = true;
+      } else {
+        all = false;
+      }
+    }
+    if (spec.op == BoolOp::kAnd ? all : any) ids.push_back(r.id);
+  }
+  return ids;
+}
+
+void ExpectSpecEquals(MultiAttrDb& db,
+                      const std::vector<MultiAttrRecord>& records,
+                      const std::set<int64_t>& deleted, const QuerySpec& spec) {
+  SCOPED_TRACE(core::ToString(spec));
+  const std::vector<int64_t> expected = BruteForce(records, deleted, spec);
+
+  // In-memory path and the full wire path must agree with brute force.
+  for (bool over_wire : {false, true}) {
+    VerifiedSpecResult vr = over_wire
+                                ? db.VerifySpecWire(spec, db.SpecWire(spec))
+                                : db.AuthenticatedSpec(spec);
+    ASSERT_TRUE(vr.ok) << vr.error;
+    ASSERT_EQ(vr.objects.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(vr.objects[i].key, expected[i]);
+      // The composed value is the canonical record encoding: decode and
+      // cross-check the payload against the owner's copy.
+      auto rec = DecodeRecord(vr.objects[i].value);
+      ASSERT_TRUE(rec.has_value());
+      EXPECT_EQ(rec->id, expected[i]);
+      EXPECT_EQ(rec->value,
+                records[static_cast<size_t>(expected[i])].value);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------------
+
+TEST(MultiAttrRecordCodec, RoundTripsAndFailsClosed) {
+  MultiAttrRecord r;
+  r.id = 77;
+  r.attrs = {-5, 0, 123456789};
+  r.value = std::string("binary\0payload", 14);
+  const std::string encoded = EncodeRecord(r);
+  auto decoded = DecodeRecord(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, r);
+
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(DecodeRecord(encoded.substr(0, len)).has_value())
+        << "prefix " << len;
+  }
+  EXPECT_FALSE(DecodeRecord(encoded + "x").has_value());
+
+  // Hostile attribute count must not drive allocation.
+  std::string bomb = encoded;
+  for (size_t i = 8; i < 12; ++i) bomb[i] = '\xff';
+  EXPECT_FALSE(DecodeRecord(bomb).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Composite key packing
+// ---------------------------------------------------------------------------
+
+TEST(MultiAttrKeys, CompositeKeysOrderByValueThenId) {
+  MultiAttrDb db(SmallOptions(2));
+  EXPECT_EQ(db.AttrMin(), -(Key(1) << 47));
+  EXPECT_EQ(db.AttrMax(), (Key(1) << 47) - 1);
+
+  // Primary order: attribute value (negative values sort below positive);
+  // secondary: record id.
+  EXPECT_LT(db.CompositeKey(-1, 100), db.CompositeKey(0, 0));
+  EXPECT_LT(db.CompositeKey(0, 3), db.CompositeKey(0, 4));
+  EXPECT_LT(db.CompositeKey(db.AttrMin(), 0), db.CompositeKey(0, 0));
+  EXPECT_LT(db.CompositeKey(0, 0), db.CompositeKey(db.AttrMax(), 0));
+  // The extremes pack without overflow.
+  EXPECT_EQ(db.CompositeKey(db.AttrMin(), 0), kKeyMin);
+}
+
+// ---------------------------------------------------------------------------
+// Owner surface
+// ---------------------------------------------------------------------------
+
+TEST(MultiAttrOwner, ValidatesRecordsAndManagesLifecycle) {
+  MultiAttrDb db(SmallOptions(2));
+  EXPECT_TRUE(db.InsertRecord({1, {10, 20}, "a"}).ok);
+
+  EXPECT_THROW(db.InsertRecord({1, {0, 0}, "dup"}), std::invalid_argument);
+  EXPECT_THROW(db.InsertRecord({2, {0}, "few"}), std::invalid_argument);
+  EXPECT_THROW(db.InsertRecord({-1, {0, 0}, "neg"}), std::invalid_argument);
+  EXPECT_THROW(db.InsertRecord({(1 << 16) - 1, {0, 0}, "reserved"}),
+               std::invalid_argument);
+  EXPECT_THROW(db.InsertRecord({3, {db.AttrMax() + 1, 0}, "oob"}),
+               std::invalid_argument);
+
+  // Object-level owner ops are not meaningful on records.
+  EXPECT_THROW(db.Insert({9, "x"}), std::logic_error);
+  EXPECT_THROW(db.Update({9, "x"}), std::logic_error);
+  EXPECT_THROW(db.Delete(9), std::logic_error);
+  EXPECT_THROW(db.InsertBatch({{9, "x"}}), std::logic_error);
+
+  EXPECT_TRUE(db.Contains(1));
+  EXPECT_EQ(db.size(), 1u);
+  ASSERT_NE(db.FindRecord(1), nullptr);
+  EXPECT_EQ(db.FindRecord(1)->value, "a");
+
+  EXPECT_TRUE(db.UpdateRecord(1, "b").ok);
+  EXPECT_EQ(db.FindRecord(1)->value, "b");
+  EXPECT_THROW(db.UpdateRecord(42, "?"), std::invalid_argument);
+
+  EXPECT_TRUE(db.DeleteRecord(1).ok);
+  EXPECT_FALSE(db.Contains(1));
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.FindRecord(1), nullptr);
+  EXPECT_THROW(db.DeleteRecord(1), std::invalid_argument);
+
+  db.CheckConsistency();
+}
+
+TEST(MultiAttrOwner, OptionsValidation) {
+  MultiAttrOptions zero_attrs = SmallOptions(0);
+  EXPECT_THROW(MultiAttrDb{std::move(zero_attrs)}, std::invalid_argument);
+
+  MultiAttrOptions bad_bits = SmallOptions(2);
+  bad_bits.id_bits = 41;
+  EXPECT_THROW(MultiAttrDb{std::move(bad_bits)}, std::invalid_argument);
+
+  MultiAttrOptions bad_bounds = SmallOptions(2);
+  bad_bounds.shard_bounds = {10, 10};
+  EXPECT_THROW(MultiAttrDb{std::move(bad_bounds)}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded boolean equivalence vs brute force
+// ---------------------------------------------------------------------------
+
+class MultiAttrEquivalence : public ::testing::TestWithParam<WireVersion> {};
+
+TEST_P(MultiAttrEquivalence, BooleanSpecsMatchBruteForce) {
+  MultiAttrDb db(SmallOptions(3, GetParam()));
+  std::set<int64_t> deleted;
+  std::vector<MultiAttrRecord> records = Populate(&db, 120, 0xA11CE, &deleted);
+  db.CheckConsistency();
+
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 24; ++round) {
+    QuerySpec spec;
+    spec.op = rng.Chance(0.5) ? BoolOp::kAnd : BoolOp::kOr;
+    const int npred = static_cast<int>(rng.Uniform(1, 3));
+    for (int p = 0; p < npred; ++p) {
+      Key lo = rng.UniformInt(-60, 60);
+      Key hi = rng.UniformInt(-60, 60);
+      if (hi < lo) std::swap(lo, hi);
+      spec.predicates.push_back(Predicate{
+          PredicateKind::kRange,
+          static_cast<uint32_t>(rng.Uniform(0, db.num_attributes() - 1)), lo,
+          hi});
+    }
+    ExpectSpecEquals(db, records, deleted, spec);
+  }
+}
+
+TEST_P(MultiAttrEquivalence, EdgeCaseSpecs) {
+  MultiAttrDb db(SmallOptions(2, GetParam()));
+  std::set<int64_t> deleted;
+  std::vector<MultiAttrRecord> records = Populate(&db, 60, 0xD0C5, &deleted);
+
+  // An empty conjunct: no attribute value lives in [200, 300].
+  QuerySpec empty_and;
+  empty_and.predicates.push_back(Predicate{PredicateKind::kRange, 0, 200, 300});
+  empty_and.predicates.push_back(Predicate{PredicateKind::kRange, 1, -50, 50});
+  ExpectSpecEquals(db, records, deleted, empty_and);
+
+  QuerySpec empty_or = empty_and;
+  empty_or.op = BoolOp::kOr;
+  ExpectSpecEquals(db, records, deleted, empty_or);
+
+  // Disjoint ranges over the SAME attribute: AND is provably empty, OR is
+  // the union of both sides.
+  QuerySpec disjoint;
+  disjoint.predicates.push_back(Predicate{PredicateKind::kRange, 0, -50, -1});
+  disjoint.predicates.push_back(Predicate{PredicateKind::kRange, 0, 1, 50});
+  ExpectSpecEquals(db, records, deleted, disjoint);
+  EXPECT_TRUE(BruteForce(records, deleted, disjoint).empty());
+  QuerySpec disjoint_or = disjoint;
+  disjoint_or.op = BoolOp::kOr;
+  ExpectSpecEquals(db, records, deleted, disjoint_or);
+
+  // Ranges that miss the attribute domain entirely map to the reserved
+  // recordless singleton and verify as provably empty.
+  QuerySpec beyond = QuerySpec::Range(db.AttrMax() + 1, kKeyMax);
+  ExpectSpecEquals(db, records, deleted, beyond);
+  QuerySpec below = QuerySpec::Range(kKeyMin, db.AttrMin() - 1);
+  ExpectSpecEquals(db, records, deleted, below);
+
+  // Full-domain point and span queries.
+  ExpectSpecEquals(db, records, deleted, QuerySpec::Range(kKeyMin, kKeyMax, 1));
+  ExpectSpecEquals(db, records, deleted,
+                   QuerySpec::Range(records[0].attrs[0], records[0].attrs[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(WireVersions, MultiAttrEquivalence,
+                         ::testing::Values(WireVersion::kV2, WireVersion::kV3));
+
+// ---------------------------------------------------------------------------
+// Server-computed aggregates
+// ---------------------------------------------------------------------------
+
+TEST(MultiAttrAggregates, MatchBruteForceAndShipNoObjects) {
+  MultiAttrDb db(SmallOptions(2));
+  std::set<int64_t> deleted;
+  std::vector<MultiAttrRecord> records = Populate(&db, 90, 0xA66, &deleted);
+
+  Rng rng(0x5EED);
+  for (int round = 0; round < 12; ++round) {
+    Key lo = rng.UniformInt(-60, 60);
+    Key hi = rng.UniformInt(-60, 60);
+    if (hi < lo) std::swap(lo, hi);
+    const uint32_t attr = static_cast<uint32_t>(rng.Uniform(0, 1));
+
+    // Brute-force aggregates over live records' attribute values.
+    uint64_t count = 0;
+    long long sum = 0;
+    std::optional<Key> min_v, max_v;
+    for (const MultiAttrRecord& r : records) {
+      if (deleted.count(r.id) != 0) continue;
+      const Key v = r.attrs[attr];
+      if (v < lo || v > hi) continue;
+      ++count;
+      sum += v;
+      min_v = min_v.has_value() ? std::min(*min_v, v) : v;
+      max_v = max_v.has_value() ? std::max(*max_v, v) : v;
+    }
+
+    for (AggregateKind kind : {AggregateKind::kCount, AggregateKind::kSum,
+                               AggregateKind::kMin, AggregateKind::kMax}) {
+      QuerySpec spec = QuerySpec::Range(lo, hi, attr);
+      spec.aggregate = kind;
+      SCOPED_TRACE(core::ToString(spec));
+
+      // The answer ships boundary structure only: no result objects in any
+      // tree of the conjunct.
+      const core::SpecResponse response = db.ExecuteSpec(spec);
+      ASSERT_EQ(response.conjuncts.size(), 1u);
+      for (const core::TreeResultSet& tree : response.conjuncts[0].trees) {
+        EXPECT_TRUE(tree.objects.empty());
+      }
+      for (const core::ShardSlice& slice : response.conjuncts[0].slices) {
+        for (const core::TreeResultSet& tree : slice.response.trees) {
+          EXPECT_TRUE(tree.objects.empty());
+        }
+      }
+
+      VerifiedSpecResult vr = db.VerifySpecWire(spec, db.SpecWire(spec));
+      ASSERT_TRUE(vr.ok) << vr.error;
+      EXPECT_TRUE(vr.objects.empty());
+      ASSERT_TRUE(vr.aggregates.has_value());
+      EXPECT_EQ(vr.aggregates->count, count);
+      EXPECT_EQ(vr.aggregates->min_key, min_v);
+      EXPECT_EQ(vr.aggregates->max_key, max_v);
+      if (count > 0) {
+        ASSERT_TRUE(vr.aggregates->sum.has_value());
+        EXPECT_EQ(*vr.aggregates->sum, sum);
+      } else {
+        EXPECT_FALSE(vr.aggregates->sum.has_value());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded attribute indexes
+// ---------------------------------------------------------------------------
+
+TEST(MultiAttrSharded, ShardedIndexesMatchUnsharded) {
+  MultiAttrOptions sharded_opts = SmallOptions(2);
+  sharded_opts.shard_bounds = {-20, 0, 20};
+  MultiAttrDb sharded(std::move(sharded_opts));
+  MultiAttrDb flat(SmallOptions(2));
+  EXPECT_EQ(sharded.BackendName(), "multiattr(2)/sharded(4)/GEM2-tree");
+
+  std::set<int64_t> deleted_s, deleted_f;
+  std::vector<MultiAttrRecord> records =
+      Populate(&sharded, 80, 0xF00D, &deleted_s);
+  {
+    std::vector<MultiAttrRecord> same = Populate(&flat, 80, 0xF00D, &deleted_f);
+    ASSERT_EQ(same, records);
+  }
+  sharded.CheckConsistency();
+
+  // Every attribute's shard contracts anchor at one shared header.
+  auto states = sharded.ReadChainState();
+  ASSERT_EQ(states.size(), 2u * 4u);
+  for (const auto& s : states) {
+    EXPECT_EQ(s.header.Digest(), states[0].header.Digest());
+  }
+
+  Rng rng(0xCAFE);
+  for (int round = 0; round < 10; ++round) {
+    QuerySpec spec;
+    spec.op = rng.Chance(0.5) ? BoolOp::kAnd : BoolOp::kOr;
+    const int npred = static_cast<int>(rng.Uniform(1, 2));
+    for (int p = 0; p < npred; ++p) {
+      Key lo = rng.UniformInt(-60, 60);
+      Key hi = rng.UniformInt(-60, 60);
+      if (hi < lo) std::swap(lo, hi);
+      spec.predicates.push_back(
+          Predicate{PredicateKind::kRange,
+                    static_cast<uint32_t>(rng.Uniform(0, 1)), lo, hi});
+    }
+    SCOPED_TRACE(core::ToString(spec));
+    ExpectSpecEquals(sharded, records, deleted_s, spec);
+
+    VerifiedSpecResult a = sharded.AuthenticatedSpec(spec);
+    VerifiedSpecResult b = flat.AuthenticatedSpec(spec);
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    ASSERT_EQ(a.objects.size(), b.objects.size());
+    for (size_t i = 0; i < a.objects.size(); ++i) {
+      EXPECT_EQ(a.objects[i].key, b.objects[i].key);
+      EXPECT_EQ(a.objects[i].value, b.objects[i].value);
+    }
+  }
+
+  // Aggregates work through sharded indexes too (boundary collection across
+  // slices).
+  QuerySpec count = QuerySpec::Range(-30, 30, 1);
+  count.aggregate = AggregateKind::kCount;
+  VerifiedSpecResult vr = sharded.AuthenticatedSpec(count);
+  ASSERT_TRUE(vr.ok) << vr.error;
+  ASSERT_TRUE(vr.aggregates.has_value());
+  uint64_t expected = 0;
+  for (const MultiAttrRecord& r : records) {
+    if (deleted_s.count(r.id) == 0 && r.attrs[1] >= -30 && r.attrs[1] <= 30) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(vr.aggregates->count, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy shim byte-identity
+// ---------------------------------------------------------------------------
+
+TEST(LegacyShim, SinglePredicateSpecIsByteIdenticalToLegacyQuery) {
+  for (WireVersion version : {WireVersion::kV2, WireVersion::kV3}) {
+    core::DbOptions opts;
+    opts.kind = AdsKind::kGem2;
+    opts.gem2.m = 2;
+    opts.gem2.smax = 16;
+    opts.wire_version = version;
+    core::AuthenticatedDb db(opts);
+    for (Key k = 0; k < 40; ++k) db.Insert({k * 3, "v" + std::to_string(k)});
+    db.Delete(9);
+
+    for (auto [lb, ub] : std::vector<std::pair<Key, Key>>{
+             {0, 120}, {7, 7}, {-10, 5}, {200, 300}}) {
+      const core::SpecResponse spec_answer =
+          db.ExecuteSpec(QuerySpec::Range(lb, ub));
+      ASSERT_EQ(spec_answer.conjuncts.size(), 1u);
+      // The conjunct's image is bit-identical to the pre-QuerySpec wire:
+      // same query machinery, same serialization, gas untouched.
+      EXPECT_EQ(core::SerializeResponse(spec_answer.conjuncts[0], version),
+                core::SerializeResponse(db.Query(lb, ub), version));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec forgery sweep: >= 500 seeded forgeries, 100% rejection
+// ---------------------------------------------------------------------------
+
+TEST(MultiAttrForgery, SpecSweepRejectsEverything) {
+  for (WireVersion version : {WireVersion::kV2, WireVersion::kV3}) {
+    MultiAttrDb db(SmallOptions(2, version));
+    std::set<int64_t> deleted;
+    std::vector<MultiAttrRecord> records = Populate(&db, 70, 0xDEAD, &deleted);
+
+    fault::SpecAdversaryOptions opts;
+    opts.seed = 7;
+    opts.mutations = 500;
+    opts.wire_version = version;
+    // Cover every composition the operators target: AND/OR pairs over
+    // distinct ranges (conjunct swapping), single predicates (echo
+    // tampering), and aggregates (boundary tampering).
+    {
+      QuerySpec both;
+      both.predicates.push_back(Predicate{PredicateKind::kRange, 0, -30, 10});
+      both.predicates.push_back(Predicate{PredicateKind::kRange, 1, -10, 30});
+      opts.specs.push_back(both);
+      QuerySpec either = both;
+      either.op = BoolOp::kOr;
+      opts.specs.push_back(either);
+      opts.specs.push_back(QuerySpec::Range(-50, 50, 1));
+      QuerySpec count = QuerySpec::Range(-40, 40);
+      count.aggregate = AggregateKind::kCount;
+      opts.specs.push_back(count);
+      QuerySpec sum = QuerySpec::Range(-25, 45, 1);
+      sum.aggregate = AggregateKind::kSum;
+      opts.specs.push_back(sum);
+    }
+
+    const fault::AdversaryReport report = fault::RunSpecAdversarialSweep(db, opts);
+    EXPECT_EQ(report.attempted, 500);
+    EXPECT_TRUE(report.AllRejected()) << report.forgeries.size()
+                                      << " forgeries accepted, first: "
+                                      << (report.forgeries.empty()
+                                              ? ""
+                                              : report.forgeries.front());
+    EXPECT_EQ(report.rejected_parse + report.rejected_verify, 500);
+    // Every operator family got rounds in.
+    EXPECT_GE(report.attempts_by_op.size(), 6u);
+
+    // Determinism: the same (db state, options) reproduce the same report.
+    EXPECT_EQ(fault::RunSpecAdversarialSweep(db, opts), report);
+  }
+}
+
+}  // namespace
+}  // namespace gem2::multiattr

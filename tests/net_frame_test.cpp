@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <functional>
 #include <limits>
+#include <stdexcept>
+#include <vector>
 
 #include "net/frame.h"
 #include "seed_util.h"
@@ -167,6 +170,91 @@ TEST(NetFrame, EveryByteFlipIsRejectedOrVisiblyDifferent) {
           << " decoded to a frame identical to the original";
     }
   }
+}
+
+TEST(NetFrame, Query2RoundTripsSpecShapes) {
+  std::vector<core::QuerySpec> specs;
+  specs.push_back(core::QuerySpec::Range(-10, 500));
+  {
+    core::QuerySpec both;
+    both.op = core::BoolOp::kOr;
+    both.predicates.push_back(
+        core::Predicate{core::PredicateKind::kRange, 0, 1, 2});
+    both.predicates.push_back(
+        core::Predicate{core::PredicateKind::kRange, 3, -7, 7});
+    specs.push_back(both);
+    core::QuerySpec agg = core::QuerySpec::Range(0, 99, 1);
+    agg.aggregate = core::AggregateKind::kSum;
+    specs.push_back(agg);
+  }
+  uint64_t request_id = 40;
+  for (const core::QuerySpec& spec : specs) {
+    const Bytes encoded = EncodeQuery2Frame(request_id, spec);
+    const Frame frame = DecodeOne(encoded);
+    EXPECT_EQ(frame.type, FrameType::kQuery2);
+    EXPECT_EQ(frame.request_id, request_id);
+    const auto parsed = ParseQuery2Body(frame.body);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, spec);
+    ++request_id;
+  }
+}
+
+TEST(NetFrame, EncodeQuery2RefusesInvalidSpecs) {
+  // An invalid spec must never reach the wire: the receiving decoder would
+  // poison the connection.
+  EXPECT_THROW(EncodeQuery2Frame(1, core::QuerySpec{}), std::invalid_argument);
+  EXPECT_THROW(EncodeQuery2Frame(1, core::QuerySpec::Range(5, 4)),
+               std::invalid_argument);
+}
+
+TEST(NetFrame, MalformedSpecBodyPoisonsDecoder) {
+  // Spec validity is part of framing: a kQuery2 frame whose body is not one
+  // valid canonical spec image kills the decoder like a bad magic would.
+  const Bytes good = EncodeQuery2Frame(9, core::QuerySpec::Range(0, 10));
+  for (const auto& mutate :
+       {std::function<void(Bytes*)>([](Bytes* b) {
+          b->pop_back();
+          (*b)[19] = static_cast<uint8_t>((*b)[19] - 1);  // shrink length too
+        }),
+        std::function<void(Bytes*)>([](Bytes* b) {
+          (*b)[kFrameHeaderBytes] = 7;  // unknown BoolOp tag
+        }),
+        std::function<void(Bytes*)>([](Bytes* b) {
+          // Out-of-order bounds: parses structurally, fails Check.
+          for (size_t i = 0; i < 8; ++i) {
+            std::swap((*b)[kFrameHeaderBytes + 19 + i],
+                      (*b)[kFrameHeaderBytes + 27 + i]);
+          }
+        })}) {
+    Bytes bad = good;
+    mutate(&bad);
+    FrameDecoder decoder;
+    decoder.Feed(bad.data(), bad.size());
+    Frame frame;
+    ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+    EXPECT_TRUE(decoder.failed());
+    EXPECT_EQ(decoder.error(), "malformed query spec body");
+    // Poisoned for good: a pristine frame cannot resurrect the stream.
+    const Bytes fine = EncodeFrame(FrameType::kBusy, 2, {});
+    decoder.Feed(fine.data(), fine.size());
+    EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+  }
+}
+
+TEST(NetFrame, LegacyQueryStillDecodesAlongsideQuery2) {
+  // Both request generations interleave on one stream.
+  Bytes stream = EncodeQueryFrame(1, 5, 9);
+  const Bytes q2 = EncodeQuery2Frame(2, core::QuerySpec::Range(5, 9));
+  stream.insert(stream.end(), q2.begin(), q2.end());
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kQuery);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kQuery2);
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
 }
 
 TEST(NetFrame, RejectsBadMagic) {

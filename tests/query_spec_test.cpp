@@ -1,0 +1,194 @@
+// QuerySpec surface tests: structural validation (Check), canonical codec
+// round-trips across spec shapes, and fail-closed parsing — truncations at
+// every prefix, trailing bytes, unknown tags, and structurally invalid
+// images all come back std::nullopt, never a weaker spec.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/query_spec.h"
+
+namespace gem2::core {
+namespace {
+
+QuerySpec TwoPredicateAnd() {
+  QuerySpec spec;
+  spec.op = BoolOp::kAnd;
+  spec.predicates.push_back(Predicate{PredicateKind::kRange, 0, 3, 9});
+  spec.predicates.push_back(Predicate{PredicateKind::kRange, 1, -5, 5});
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Construction and Check
+// ---------------------------------------------------------------------------
+
+TEST(QuerySpecCheck, RangeFactoryIsOneAndPredicate) {
+  const QuerySpec spec = QuerySpec::Range(-7, 42);
+  EXPECT_EQ(spec.op, BoolOp::kAnd);
+  EXPECT_EQ(spec.aggregate, AggregateKind::kNone);
+  ASSERT_EQ(spec.predicates.size(), 1u);
+  EXPECT_EQ(spec.predicates[0].kind, PredicateKind::kRange);
+  EXPECT_EQ(spec.predicates[0].attr, 0u);
+  EXPECT_EQ(spec.predicates[0].lb, -7);
+  EXPECT_EQ(spec.predicates[0].ub, 42);
+  EXPECT_TRUE(spec.Check().empty());
+
+  EXPECT_EQ(QuerySpec::Range(0, 0, 3).predicates[0].attr, 3u);
+}
+
+TEST(QuerySpecCheck, RejectsStructuralViolations) {
+  QuerySpec empty;
+  EXPECT_FALSE(empty.Check().empty());
+
+  QuerySpec too_many;
+  for (size_t i = 0; i <= kMaxSpecPredicates; ++i) {
+    too_many.predicates.push_back(Predicate{PredicateKind::kRange, 0, 0, 1});
+  }
+  EXPECT_FALSE(too_many.Check().empty());
+
+  QuerySpec inverted = QuerySpec::Range(10, 9);
+  EXPECT_EQ(inverted.Check(), "predicate bounds out of order");
+
+  QuerySpec multi_agg = TwoPredicateAnd();
+  multi_agg.aggregate = AggregateKind::kCount;
+  EXPECT_EQ(multi_agg.Check(), "aggregate specs take exactly one predicate");
+
+  QuerySpec single_agg = QuerySpec::Range(0, 100);
+  single_agg.aggregate = AggregateKind::kSum;
+  EXPECT_TRUE(single_agg.Check().empty());
+}
+
+TEST(QuerySpecCheck, AcceptsFullKeyDomainBounds) {
+  QuerySpec spec = QuerySpec::Range(kKeyMin, kKeyMax);
+  EXPECT_TRUE(spec.Check().empty());
+  QuerySpec point = QuerySpec::Range(kKeyMax, kKeyMax);
+  EXPECT_TRUE(point.Check().empty());
+}
+
+TEST(QuerySpecToString, RendersCompositionAndAggregates) {
+  EXPECT_EQ(ToString(TwoPredicateAnd()), "AND(a0:[3,9], a1:[-5,5])");
+
+  QuerySpec disj = TwoPredicateAnd();
+  disj.op = BoolOp::kOr;
+  EXPECT_EQ(ToString(disj), "OR(a0:[3,9], a1:[-5,5])");
+
+  QuerySpec agg = QuerySpec::Range(0, 100);
+  agg.aggregate = AggregateKind::kCount;
+  EXPECT_EQ(ToString(agg), "COUNT(a0:[0,100])");
+}
+
+// ---------------------------------------------------------------------------
+// Canonical codec
+// ---------------------------------------------------------------------------
+
+TEST(QuerySpecCodec, RoundTripsAcrossShapes) {
+  std::vector<QuerySpec> shapes;
+  shapes.push_back(QuerySpec::Range(0, 0));
+  shapes.push_back(QuerySpec::Range(kKeyMin, kKeyMax));
+  shapes.push_back(TwoPredicateAnd());
+  {
+    QuerySpec disj = TwoPredicateAnd();
+    disj.op = BoolOp::kOr;
+    shapes.push_back(disj);
+  }
+  for (AggregateKind agg : {AggregateKind::kCount, AggregateKind::kSum,
+                            AggregateKind::kMin, AggregateKind::kMax}) {
+    QuerySpec spec = QuerySpec::Range(-1000, 1000, 2);
+    spec.aggregate = agg;
+    shapes.push_back(spec);
+  }
+  {
+    QuerySpec wide;
+    wide.op = BoolOp::kOr;
+    for (size_t i = 0; i < kMaxSpecPredicates; ++i) {
+      wide.predicates.push_back(Predicate{
+          PredicateKind::kRange, static_cast<uint32_t>(i),
+          static_cast<Key>(-10 * static_cast<Key>(i)),
+          static_cast<Key>(10 * static_cast<Key>(i))});
+    }
+    shapes.push_back(wide);
+  }
+
+  for (const QuerySpec& spec : shapes) {
+    ASSERT_TRUE(spec.Check().empty()) << ToString(spec);
+    const Bytes image = SerializeQuerySpec(spec);
+    auto parsed = ParseQuerySpec(image);
+    ASSERT_TRUE(parsed.has_value()) << ToString(spec);
+    EXPECT_EQ(*parsed, spec);
+    // Canonical: exactly one image per spec.
+    EXPECT_EQ(SerializeQuerySpec(*parsed), image);
+  }
+}
+
+TEST(QuerySpecCodec, ImageLayoutIsFixedWidth) {
+  // [op u8][agg u8][npred u64] + npred * ([kind u8][attr u64][lb][ub]).
+  EXPECT_EQ(SerializeQuerySpec(QuerySpec::Range(1, 2)).size(), 10u + 25u);
+  EXPECT_EQ(SerializeQuerySpec(TwoPredicateAnd()).size(), 10u + 2u * 25u);
+}
+
+// ---------------------------------------------------------------------------
+// Fail-closed parsing
+// ---------------------------------------------------------------------------
+
+TEST(QuerySpecCodec, RejectsEveryTruncation) {
+  const Bytes image = SerializeQuerySpec(TwoPredicateAnd());
+  for (size_t len = 0; len < image.size(); ++len) {
+    Bytes prefix(image.begin(), image.begin() + static_cast<long>(len));
+    EXPECT_FALSE(ParseQuerySpec(prefix).has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(QuerySpecCodec, RejectsTrailingBytes) {
+  Bytes image = SerializeQuerySpec(TwoPredicateAnd());
+  image.push_back(0);
+  EXPECT_FALSE(ParseQuerySpec(image).has_value());
+}
+
+TEST(QuerySpecCodec, RejectsUnknownTagsFailClosed) {
+  const Bytes image = SerializeQuerySpec(TwoPredicateAnd());
+
+  Bytes bad_op = image;
+  bad_op[0] = 7;  // unknown BoolOp
+  EXPECT_FALSE(ParseQuerySpec(bad_op).has_value());
+
+  Bytes bad_agg = image;
+  bad_agg[1] = 9;  // unknown AggregateKind
+  EXPECT_FALSE(ParseQuerySpec(bad_agg).has_value());
+
+  Bytes bad_kind = image;
+  bad_kind[10] = 0;  // unknown PredicateKind: refuse the whole spec
+  EXPECT_FALSE(ParseQuerySpec(bad_kind).has_value());
+}
+
+TEST(QuerySpecCodec, RejectsStructurallyInvalidImages) {
+  // Zero predicates.
+  Bytes zero = SerializeQuerySpec(QuerySpec::Range(0, 1));
+  zero.resize(10);           // keep [op][agg][npred] only
+  zero[9] = 0;               // npred = 0
+  EXPECT_FALSE(ParseQuerySpec(zero).has_value());
+
+  // A count that overflows the predicate limit (hostile allocation).
+  Bytes huge = zero;
+  for (size_t i = 2; i < 10; ++i) huge[i] = 0xff;
+  EXPECT_FALSE(ParseQuerySpec(huge).has_value());
+
+  // An image whose bounds are out of order: parses structurally but fails
+  // Check, so the parser must refuse it.
+  QuerySpec inverted = QuerySpec::Range(5, 6);
+  Bytes image = SerializeQuerySpec(inverted);
+  // lb is at offset 10 + 1 + 8; ub 8 bytes later. Swap them.
+  for (size_t i = 0; i < 8; ++i) std::swap(image[19 + i], image[27 + i]);
+  EXPECT_FALSE(ParseQuerySpec(image).has_value());
+
+  // An aggregate over two predicates.
+  Bytes multi_agg = SerializeQuerySpec(TwoPredicateAnd());
+  multi_agg[1] = static_cast<uint8_t>(AggregateKind::kCount);
+  EXPECT_FALSE(ParseQuerySpec(multi_agg).has_value());
+
+  EXPECT_FALSE(ParseQuerySpec(Bytes{}).has_value());
+}
+
+}  // namespace
+}  // namespace gem2::core

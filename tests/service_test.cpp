@@ -159,6 +159,12 @@ TEST(QueryWireInto, EngineMatchesStoreAndHonorsWireVersion) {
 class ServiceTest : public ::testing::Test {
  protected:
   void StartServer(WireVersion version, ServerOptions options = {}) {
+    // Tear down any previous trio in reverse dependency order: the server
+    // references the engine, and the engine's pool scope reverts into the
+    // db on destruction — replacing db_ first would leave the old engine
+    // pointing at a freed store.
+    server_.reset();
+    engine_.reset();
     db_ = MakeDb(DeriveSeed(seed_, 1), version);
     engine_ = std::make_unique<core::SpQueryEngine>(db_.get());
     server_ = std::make_unique<SpServer>(*engine_, options);
@@ -215,6 +221,129 @@ TEST_F(ServiceTest, EndToEndQueryVerifiesV3) {
   FrameClient client;
   ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
   QueryAndVerify(client, 9, 0, 100'000);
+}
+
+TEST_F(ServiceTest, EndToEndSpecQueryVerifiesBothWireVersions) {
+  for (WireVersion version : {WireVersion::kV2, WireVersion::kV3}) {
+    StartServer(version);
+    FrameClient client;
+    ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+
+    std::vector<core::QuerySpec> specs;
+    specs.push_back(core::QuerySpec::Range(0, 100'000));
+    {
+      core::QuerySpec both;  // AND of two overlapping ranges on attribute 0
+      both.predicates.push_back(
+          core::Predicate{core::PredicateKind::kRange, 0, 0, 60'000});
+      both.predicates.push_back(
+          core::Predicate{core::PredicateKind::kRange, 0, 30'000, 100'000});
+      specs.push_back(both);
+      core::QuerySpec either = both;
+      either.op = core::BoolOp::kOr;
+      specs.push_back(either);
+      core::QuerySpec count = core::QuerySpec::Range(0, 100'000);
+      count.aggregate = core::AggregateKind::kCount;
+      specs.push_back(count);
+    }
+
+    uint64_t request_id = 1;
+    for (const core::QuerySpec& spec : specs) {
+      ASSERT_TRUE(client.SendQuerySpec(request_id, spec, 2000))
+          << client.error();
+      const auto frame = client.ReadFrame(5000);
+      ASSERT_TRUE(frame.has_value()) << client.error();
+      ASSERT_EQ(frame->type, FrameType::kResponse);
+      EXPECT_EQ(frame->request_id, request_id);
+      core::VerifiedSpecResult vr = db_->VerifySpecWire(spec, frame->body);
+      ASSERT_TRUE(vr.ok) << core::ToString(spec) << ": " << vr.error;
+      const core::VerifiedSpecResult truth = db_->AuthenticatedSpec(spec);
+      ASSERT_TRUE(truth.ok) << truth.error;
+      ASSERT_EQ(vr.objects.size(), truth.objects.size());
+      for (size_t i = 0; i < truth.objects.size(); ++i) {
+        EXPECT_EQ(vr.objects[i].key, truth.objects[i].key);
+        EXPECT_EQ(vr.objects[i].value, truth.objects[i].value);
+      }
+      EXPECT_EQ(vr.aggregates.has_value(), truth.aggregates.has_value());
+      if (vr.aggregates.has_value()) {
+        EXPECT_EQ(vr.aggregates->count, truth.aggregates->count);
+      }
+      ++request_id;
+    }
+    server_->Stop();
+  }
+}
+
+TEST_F(ServiceTest, LegacyAndSpecQueriesInterleaveOnOneConnection) {
+  StartServer(WireVersion::kV2);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+
+  // Old and new request generations alternate on one stream; the legacy
+  // QUERY frame keeps being served unchanged next to QUERY2.
+  QueryAndVerify(client, 1, 0, 50'000);
+  const core::QuerySpec spec = core::QuerySpec::Range(0, 50'000);
+  ASSERT_TRUE(client.SendQuerySpec(2, spec, 2000)) << client.error();
+  const auto frame = client.ReadFrame(5000);
+  ASSERT_TRUE(frame.has_value()) << client.error();
+  ASSERT_EQ(frame->type, FrameType::kResponse);
+  core::VerifiedSpecResult vr = db_->VerifySpecWire(spec, frame->body);
+  ASSERT_TRUE(vr.ok) << vr.error;
+  QueryAndVerify(client, 3, 100, 40'000);
+
+  // The single-predicate spec answer carries the same verified result set as
+  // the legacy query for the same range.
+  const core::VerifiedResult legacy = db_->AuthenticatedRange(0, 50'000);
+  ASSERT_TRUE(legacy.ok);
+  ASSERT_EQ(vr.objects.size(), legacy.objects.size());
+  for (size_t i = 0; i < legacy.objects.size(); ++i) {
+    EXPECT_EQ(vr.objects[i].key, legacy.objects[i].key);
+  }
+}
+
+TEST_F(ServiceTest, MalformedSpecBodyGetsErrorFrameThenDisconnect) {
+  StartServer(WireVersion::kV2);
+  FrameClient client;
+  ASSERT_TRUE(client.Connect(server_->port(), 2000)) << client.error();
+
+  // A kQuery2 frame whose body is not one valid spec image poisons the
+  // server-side decoder: diagnostic, then disconnect — never resynchronize.
+  Bytes bogus_body{0x07};  // unknown BoolOp tag
+  ASSERT_TRUE(
+      client.Send(EncodeFrame(FrameType::kQuery2, 4, bogus_body), 2000));
+  const auto frame = client.ReadFrame(5000);
+  ASSERT_TRUE(frame.has_value()) << client.error();
+  EXPECT_EQ(frame->type, FrameType::kError);
+  const auto eof = client.ReadFrame(5000);
+  EXPECT_FALSE(eof.has_value());
+  EXPECT_FALSE(client.connected());
+  EXPECT_TRUE(Eventually([&] { return server_->stats().protocol_errors > 0; }));
+}
+
+TEST_F(ServiceTest, RetryingSocketClientAuthenticatedSpec) {
+  StartServer(WireVersion::kV3);
+  fault::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.attempt_timeout_us = 2'000'000;
+  policy.deadline_us = 5'000'000;
+  RetryingSocketClient client(*db_, server_->port(), policy,
+                              DeriveSeed(seed_, 21));
+
+  core::QuerySpec spec;
+  spec.op = core::BoolOp::kOr;
+  spec.predicates.push_back(
+      core::Predicate{core::PredicateKind::kRange, 0, 0, 20'000});
+  spec.predicates.push_back(
+      core::Predicate{core::PredicateKind::kRange, 0, 80'000, 100'000});
+  const SpecSocketOutcome outcome = client.AuthenticatedSpec(spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_FALSE(outcome.degraded);
+
+  const core::VerifiedSpecResult truth = db_->AuthenticatedSpec(spec);
+  ASSERT_TRUE(truth.ok) << truth.error;
+  ASSERT_EQ(outcome.result.objects.size(), truth.objects.size());
+  for (size_t i = 0; i < truth.objects.size(); ++i) {
+    EXPECT_EQ(outcome.result.objects[i].key, truth.objects[i].key);
+  }
 }
 
 TEST_F(ServiceTest, PipelinedResponsesCorrelateByRequestId) {
